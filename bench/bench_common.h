@@ -1,0 +1,146 @@
+// Shared world-building for the benchmark harness.
+//
+// Every table/figure in the paper's evaluation uses the same workload
+// family: n_A authorities, n_k attributes per authority, a policy
+// spanning all n_A * n_k attributes (AND), one user holding all of them.
+// Worlds are cached per configuration so google-benchmark iterations
+// time only the operation under measurement.
+//
+// MAABE_BENCH_SMALL=1 in the environment switches to the fast insecure
+// 192-bit test curve (useful for smoke runs); the default is the paper's
+// 512-bit PBC a-type setting.
+#pragma once
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "abe/scheme.h"
+#include "baseline/lewko.h"
+#include "lsss/parser.h"
+
+namespace maabe::bench {
+
+inline std::shared_ptr<const pairing::Group> bench_group() {
+  static std::shared_ptr<const pairing::Group> grp = [] {
+    const char* small = std::getenv("MAABE_BENCH_SMALL");
+    return (small != nullptr && small[0] == '1') ? pairing::Group::test_small()
+                                                 : pairing::Group::pbc_a512();
+  }();
+  return grp;
+}
+
+inline std::string bench_group_label() {
+  const char* small = std::getenv("MAABE_BENCH_SMALL");
+  return (small != nullptr && small[0] == '1') ? "test_small(192-bit q)"
+                                               : "pbc_a512(512-bit q, paper setting)";
+}
+
+inline std::string aid_of(int k) { return "AA" + std::to_string(k); }
+inline std::string attr_name(int j) { return "attr" + std::to_string(j); }
+
+/// AND-policy over all n_auth * n_attr attributes.
+inline lsss::LsssMatrix full_and_policy(int n_auth, int n_attr) {
+  std::string text;
+  for (int k = 0; k < n_auth; ++k) {
+    for (int j = 0; j < n_attr; ++j) {
+      if (!text.empty()) text += " AND ";
+      text += attr_name(j) + "@" + aid_of(k);
+    }
+  }
+  return lsss::LsssMatrix::from_policy(lsss::parse_policy(text));
+}
+
+/// Our scheme's world for one (n_auth, n_attr) configuration.
+struct OurWorld {
+  std::shared_ptr<const pairing::Group> grp;
+  abe::OwnerMasterKey mk;
+  abe::OwnerSecretShare sk_o;
+  std::map<std::string, abe::AuthorityVersionKey> vks;
+  std::map<std::string, abe::AuthorityPublicKey> apks;
+  std::map<std::string, abe::PublicAttributeKey> attr_pks;
+  abe::UserPublicKey user;
+  std::map<std::string, abe::UserSecretKey> user_keys;
+  lsss::LsssMatrix policy;
+  pairing::GT message;
+  abe::EncryptionResult enc;  ///< pre-made ciphertext for decrypt timing
+
+  static const OurWorld& get(int n_auth, int n_attr) {
+    static std::map<std::pair<int, int>, std::unique_ptr<OurWorld>> cache;
+    auto& slot = cache[{n_auth, n_attr}];
+    if (!slot) slot = build(n_auth, n_attr);
+    return *slot;
+  }
+
+  static std::unique_ptr<OurWorld> build(int n_auth, int n_attr) {
+    auto w = std::make_unique<OurWorld>();
+    w->grp = bench_group();
+    crypto::Drbg rng(std::string_view("bench-our-world"));
+    w->mk = abe::owner_gen(*w->grp, "owner", rng);
+    w->sk_o = abe::owner_share(*w->grp, w->mk);
+    w->user = abe::ca_register_user(*w->grp, "user", rng);
+    for (int k = 0; k < n_auth; ++k) {
+      const std::string aid = aid_of(k);
+      const abe::AuthorityVersionKey vk = abe::aa_setup(*w->grp, aid, rng);
+      w->apks.emplace(aid, abe::aa_public_key(*w->grp, vk));
+      std::set<std::string> names;
+      for (int j = 0; j < n_attr; ++j) {
+        const std::string name = attr_name(j);
+        names.insert(name);
+        const abe::PublicAttributeKey pk = abe::aa_attribute_key(*w->grp, vk, name);
+        w->attr_pks.emplace(pk.attr.qualified(), pk);
+      }
+      w->user_keys.emplace(aid, abe::aa_keygen(*w->grp, vk, w->sk_o, w->user, names));
+      w->vks.emplace(aid, vk);
+    }
+    w->policy = full_and_policy(n_auth, n_attr);
+    w->message = w->grp->gt_random(rng);
+    w->enc = abe::encrypt(*w->grp, w->mk, "bench-ct", w->message, w->policy, w->apks,
+                          w->attr_pks, rng);
+    return w;
+  }
+};
+
+/// Lewko-Waters baseline world for the same configuration.
+struct LewkoWorld {
+  std::shared_ptr<const pairing::Group> grp;
+  std::map<std::string, baseline::LewkoAuthorityKeys> authorities;
+  std::map<std::string, baseline::LewkoAttributePublicKey> pks;
+  baseline::LewkoUserKey user_key;
+  lsss::LsssMatrix policy;
+  pairing::GT message;
+  baseline::LewkoCiphertext ct;  ///< pre-made ciphertext for decrypt timing
+
+  static const LewkoWorld& get(int n_auth, int n_attr) {
+    static std::map<std::pair<int, int>, std::unique_ptr<LewkoWorld>> cache;
+    auto& slot = cache[{n_auth, n_attr}];
+    if (!slot) slot = build(n_auth, n_attr);
+    return *slot;
+  }
+
+  static std::unique_ptr<LewkoWorld> build(int n_auth, int n_attr) {
+    auto w = std::make_unique<LewkoWorld>();
+    w->grp = bench_group();
+    crypto::Drbg rng(std::string_view("bench-lewko-world"));
+    for (int k = 0; k < n_auth; ++k) {
+      const std::string aid = aid_of(k);
+      std::set<std::string> names;
+      for (int j = 0; j < n_attr; ++j) names.insert(attr_name(j));
+      baseline::LewkoAuthorityKeys auth =
+          baseline::lewko_authority_setup(*w->grp, aid, names, rng);
+      for (const std::string& name : names) {
+        const auto pk = baseline::lewko_attribute_pk(*w->grp, auth, name);
+        w->pks.emplace(pk.attr.qualified(), pk);
+      }
+      baseline::lewko_keygen(*w->grp, auth, "user", names, &w->user_key);
+      w->authorities.emplace(aid, std::move(auth));
+    }
+    w->policy = full_and_policy(n_auth, n_attr);
+    w->message = w->grp->gt_random(rng);
+    w->ct = baseline::lewko_encrypt(*w->grp, w->message, w->policy, w->pks, rng);
+    return w;
+  }
+};
+
+}  // namespace maabe::bench

@@ -1,0 +1,77 @@
+// Figure 3 (a)+(b): encryption and decryption time vs the number of
+// authorities, with 5 attributes per authority — ours vs Lewko-Waters.
+//
+// Paper shape to reproduce:
+//   (a) both schemes grow linearly in n_A; ours encrypts faster.
+//   (b) both grow linearly; our decryption is slightly slower than
+//       Lewko's (we pay n_A extra pairings; Lewko pays extra GT ops).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace maabe::bench {
+namespace {
+
+constexpr int kAttrsPerAuthority = 5;
+
+void BM_Fig3a_Encrypt_Ours(benchmark::State& state) {
+  const int n_auth = static_cast<int>(state.range(0));
+  const OurWorld& w = OurWorld::get(n_auth, kAttrsPerAuthority);
+  crypto::Drbg rng(std::string_view("fig3a-ours"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(abe::encrypt(*w.grp, w.mk, "ct", w.message, w.policy,
+                                          w.apks, w.attr_pks, rng));
+  }
+  state.counters["authorities"] = n_auth;
+}
+
+void BM_Fig3a_Encrypt_Lewko(benchmark::State& state) {
+  const int n_auth = static_cast<int>(state.range(0));
+  const LewkoWorld& w = LewkoWorld::get(n_auth, kAttrsPerAuthority);
+  crypto::Drbg rng(std::string_view("fig3a-lewko"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        baseline::lewko_encrypt(*w.grp, w.message, w.policy, w.pks, rng));
+  }
+  state.counters["authorities"] = n_auth;
+}
+
+void BM_Fig3b_Decrypt_Ours(benchmark::State& state) {
+  const int n_auth = static_cast<int>(state.range(0));
+  const OurWorld& w = OurWorld::get(n_auth, kAttrsPerAuthority);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(abe::decrypt(*w.grp, w.enc.ct, w.user, w.user_keys));
+  }
+  state.counters["authorities"] = n_auth;
+}
+
+void BM_Fig3b_Decrypt_Lewko(benchmark::State& state) {
+  const int n_auth = static_cast<int>(state.range(0));
+  const LewkoWorld& w = LewkoWorld::get(n_auth, kAttrsPerAuthority);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baseline::lewko_decrypt(*w.grp, w.ct, w.user_key));
+  }
+  state.counters["authorities"] = n_auth;
+}
+
+void sweep(benchmark::internal::Benchmark* b) {
+  for (int n = 2; n <= 10; n += 2) b->Arg(n);
+  b->Unit(benchmark::kMillisecond)->MinTime(0.05);
+}
+
+BENCHMARK(BM_Fig3a_Encrypt_Ours)->Apply(sweep);
+BENCHMARK(BM_Fig3a_Encrypt_Lewko)->Apply(sweep);
+BENCHMARK(BM_Fig3b_Decrypt_Ours)->Apply(sweep);
+BENCHMARK(BM_Fig3b_Decrypt_Lewko)->Apply(sweep);
+
+}  // namespace
+}  // namespace maabe::bench
+
+int main(int argc, char** argv) {
+  std::printf("Fig. 3 reproduction: time vs #authorities (%d attrs/authority)\n",
+              maabe::bench::kAttrsPerAuthority);
+  std::printf("group: %s\n\n", maabe::bench::bench_group_label().c_str());
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

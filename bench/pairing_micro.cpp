@@ -1,0 +1,125 @@
+// Pairing-substrate microbenchmarks — the anchor for every timing claim
+// in the table/figure reproductions, plus the Montgomery-vs-plain
+// modular-multiplication ablation called out in DESIGN.md.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "math/montgomery.h"
+
+namespace maabe::bench {
+namespace {
+
+void BM_Pairing(benchmark::State& state) {
+  auto grp = bench_group();
+  crypto::Drbg rng(std::string_view("micro"));
+  const auto p = grp->g1_random(rng);
+  const auto q = grp->g1_random(rng);
+  for (auto _ : state) benchmark::DoNotOptimize(grp->pair(p, q));
+}
+
+void BM_G1_Exp(benchmark::State& state) {
+  auto grp = bench_group();
+  crypto::Drbg rng(std::string_view("micro"));
+  const auto p = grp->g1_random(rng);
+  const auto k = grp->zr_random(rng);
+  for (auto _ : state) benchmark::DoNotOptimize(p.mul(k));
+}
+
+void BM_G1_Exp_FixedBase(benchmark::State& state) {
+  auto grp = bench_group();
+  crypto::Drbg rng(std::string_view("micro"));
+  const auto k = grp->zr_random(rng);
+  for (auto _ : state) benchmark::DoNotOptimize(grp->g_pow(k));
+}
+
+void BM_GT_Exp_FixedBase(benchmark::State& state) {
+  auto grp = bench_group();
+  crypto::Drbg rng(std::string_view("micro"));
+  const auto k = grp->zr_random(rng);
+  for (auto _ : state) benchmark::DoNotOptimize(grp->egg_pow(k));
+}
+
+void BM_GT_Exp(benchmark::State& state) {
+  auto grp = bench_group();
+  crypto::Drbg rng(std::string_view("micro"));
+  const auto e = grp->gt_generator();
+  const auto k = grp->zr_random(rng);
+  for (auto _ : state) benchmark::DoNotOptimize(e.pow(k));
+}
+
+void BM_GT_Mul(benchmark::State& state) {
+  auto grp = bench_group();
+  crypto::Drbg rng(std::string_view("micro"));
+  const auto a = grp->gt_random(rng);
+  const auto b = grp->gt_random(rng);
+  for (auto _ : state) benchmark::DoNotOptimize(a.mul(b));
+}
+
+void BM_HashToG1(benchmark::State& state) {
+  auto grp = bench_group();
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grp->hash_to_g1(std::string("input" + std::to_string(i++))));
+  }
+}
+
+void BM_HashToZr(benchmark::State& state) {
+  auto grp = bench_group();
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grp->hash_to_zr(std::string("input" + std::to_string(i++))));
+  }
+}
+
+// Ablation: Montgomery vs division-based modular multiplication at the
+// base-field size. Justifies the substrate design choice.
+void BM_FieldMul_Montgomery(benchmark::State& state) {
+  auto grp = bench_group();
+  const math::MontCtx mont(grp->params().q);
+  crypto::Drbg rng(std::string_view("micro"));
+  const auto a = mont.to_mont(rng.below(grp->params().q));
+  const auto b = mont.to_mont(rng.below(grp->params().q));
+  for (auto _ : state) benchmark::DoNotOptimize(mont.mul(a, b));
+}
+
+void BM_FieldMul_PlainDivision(benchmark::State& state) {
+  auto grp = bench_group();
+  crypto::Drbg rng(std::string_view("micro"));
+  const auto a = rng.below(grp->params().q);
+  const auto b = rng.below(grp->params().q);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(math::Bignum::mod_mul(a, b, grp->params().q));
+  }
+}
+
+void BM_FieldInverse(benchmark::State& state) {
+  auto grp = bench_group();
+  crypto::Drbg rng(std::string_view("micro"));
+  const auto a = rng.nonzero_below(grp->params().q);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(math::Bignum::mod_inverse(a, grp->params().q));
+  }
+}
+
+BENCHMARK(BM_Pairing)->Unit(benchmark::kMicrosecond)->MinTime(0.1);
+BENCHMARK(BM_G1_Exp)->Unit(benchmark::kMicrosecond)->MinTime(0.1);
+BENCHMARK(BM_G1_Exp_FixedBase)->Unit(benchmark::kMicrosecond)->MinTime(0.1);
+BENCHMARK(BM_GT_Exp)->Unit(benchmark::kMicrosecond)->MinTime(0.1);
+BENCHMARK(BM_GT_Exp_FixedBase)->Unit(benchmark::kMicrosecond)->MinTime(0.1);
+BENCHMARK(BM_GT_Mul)->Unit(benchmark::kMicrosecond)->MinTime(0.05);
+BENCHMARK(BM_HashToG1)->Unit(benchmark::kMicrosecond)->MinTime(0.1);
+BENCHMARK(BM_HashToZr)->Unit(benchmark::kMicrosecond)->MinTime(0.05);
+BENCHMARK(BM_FieldMul_Montgomery)->Unit(benchmark::kNanosecond)->MinTime(0.05);
+BENCHMARK(BM_FieldMul_PlainDivision)->Unit(benchmark::kNanosecond)->MinTime(0.05);
+BENCHMARK(BM_FieldInverse)->Unit(benchmark::kMicrosecond)->MinTime(0.05);
+
+}  // namespace
+}  // namespace maabe::bench
+
+int main(int argc, char** argv) {
+  std::printf("Pairing substrate microbenchmarks\ngroup: %s\n\n",
+              maabe::bench::bench_group_label().c_str());
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

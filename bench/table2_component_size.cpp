@@ -1,0 +1,110 @@
+// Table II reproduction: size of each scheme component, ours vs
+// Lewko-Waters, measured in real serialized bytes.
+//
+// Paper formulas (|p| = exponent, |G| = point, |GT| = target element):
+//                     Ours                       Lewko
+//   Authority key     |p|                        2*n_k*|p|
+//   Public key        sum_k (n_k|G| + |GT|)      sum_k n_k(|GT| + |G|)
+//   Secret key        |G| + sum_k n_{k,uid}|G|   sum_k n_{k,uid}|G|
+//   Ciphertext        |GT| + (l+1)|G|            (l+1)|GT| + 2l|G|
+//
+// The harness prints measured bytes next to the formula prediction; both
+// must agree (the measurement counts only group material, as the paper
+// does — framing/ids excluded).
+#include <cstdio>
+
+#include "abe/serial.h"
+#include "baseline/lewko_serial.h"
+#include "bench_common.h"
+
+using namespace maabe;
+using namespace maabe::bench;
+
+namespace {
+
+struct Row {
+  size_t ours_measured, ours_formula, lewko_measured, lewko_formula;
+};
+
+void print_row(const char* name, const Row& r) {
+  std::printf("%-15s %10zu %10zu %12zu %12zu   %s\n", name, r.ours_measured,
+              r.ours_formula, r.lewko_measured, r.lewko_formula,
+              (r.ours_measured == r.ours_formula && r.lewko_measured == r.lewko_formula)
+                  ? "ok"
+                  : "MISMATCH");
+}
+
+}  // namespace
+
+int main() {
+  auto grp = bench_group();
+  const size_t P = grp->zr_size(), G = grp->g1_size(), GT_ = grp->gt_size();
+  std::printf("Table II reproduction: component sizes (bytes)\n");
+  std::printf("group: %s  |p|=%zu |G|=%zu |GT|=%zu\n\n", bench_group_label().c_str(),
+              P, G, GT_);
+
+  for (const auto [n_auth, n_attr] : {std::pair{2, 5}, {5, 5}, {10, 5}}) {
+    const OurWorld& ow = OurWorld::get(n_auth, n_attr);
+    const LewkoWorld& lw = LewkoWorld::get(n_auth, n_attr);
+    const size_t l = static_cast<size_t>(n_auth) * n_attr;
+
+    std::printf("n_A = %d authorities, n_k = %d attrs each (l = %zu)\n", n_auth,
+                n_attr, l);
+    std::printf("%-15s %10s %10s %12s %12s\n", "Component", "ours", "formula",
+                "lewko", "formula");
+
+    // Authority key: ours = one version key; lewko = (alpha, y) per attr.
+    Row auth_key;
+    auth_key.ours_measured = ow.vks.begin()->second.alpha.to_bytes().size();
+    auth_key.ours_formula = P;
+    auth_key.lewko_measured =
+        baseline::lewko_authority_storage_bytes(*grp, lw.authorities.begin()->second);
+    auth_key.lewko_formula = 2 * n_attr * P;
+    print_row("Authority key", auth_key);
+
+    // Public key (all authorities' published material, group part only).
+    Row pub;
+    pub.ours_measured = 0;
+    for (const auto& [aid, apk] : ow.apks) pub.ours_measured += apk.e_gg_alpha.to_bytes().size();
+    for (const auto& [h, pk] : ow.attr_pks) pub.ours_measured += pk.key.to_bytes().size();
+    pub.ours_formula = n_auth * (n_attr * G + GT_);
+    pub.lewko_measured = 0;
+    for (const auto& [h, pk] : lw.pks)
+      pub.lewko_measured += pk.e_gg_alpha.to_bytes().size() + pk.g_y.to_bytes().size();
+    pub.lewko_formula = n_auth * n_attr * (GT_ + G);
+    print_row("Public key", pub);
+
+    // Secret key (user holds all attributes).
+    Row sk;
+    sk.ours_measured = 0;
+    for (const auto& [aid, usk] : ow.user_keys) {
+      sk.ours_measured += usk.k.to_bytes().size();
+      for (const auto& [h, kx] : usk.kx) sk.ours_measured += kx.to_bytes().size();
+    }
+    // Paper counts |G| + sum n_k,uid |G| with ONE K; our faithful
+    // construction issues one K per authority (keys are per-authority),
+    // so the formula instantiates as n_A*|G| + l*|G|.
+    sk.ours_formula = n_auth * G + l * G;
+    sk.lewko_measured = 0;
+    for (const auto& [h, kx] : lw.user_key.k) sk.lewko_measured += kx.to_bytes().size();
+    sk.lewko_formula = l * G;
+    print_row("Secret key", sk);
+
+    // Ciphertext (group material).
+    Row ct;
+    ct.ours_measured = abe::ciphertext_group_material_bytes(*grp, ow.enc.ct);
+    ct.ours_formula = GT_ + (l + 1) * G;
+    ct.lewko_measured = baseline::lewko_ciphertext_group_material_bytes(*grp, lw.ct);
+    ct.lewko_formula = (l + 1) * GT_ + 2 * l * G;
+    print_row("Ciphertext", ct);
+
+    std::printf("  ciphertext ratio lewko/ours = %.2fx\n\n",
+                double(ct.lewko_measured) / double(ct.ours_measured));
+  }
+
+  std::printf("note on 'Secret key': the paper's Table II writes |G| + sum n_k|G|\n"
+              "for our scheme assuming a single tied K component; the construction\n"
+              "in Section V-B issues K per authority, which is what we measure\n"
+              "(n_A*|G| + l*|G|). Shapes and the ciphertext advantage match.\n");
+  return 0;
+}

@@ -1,0 +1,336 @@
+#include "abe/scheme.h"
+
+#include "common/errors.h"
+
+namespace maabe::abe {
+
+using lsss::Attribute;
+using lsss::LsssMatrix;
+using pairing::G1;
+using pairing::Group;
+using pairing::GT;
+using pairing::Zr;
+
+namespace {
+
+const PublicAttributeKey& require_attribute_pk(
+    const std::map<std::string, PublicAttributeKey>& pks, const std::string& handle) {
+  const auto it = pks.find(handle);
+  if (it == pks.end())
+    throw SchemeError("encrypt: missing public attribute key for '" + handle + "'");
+  return it->second;
+}
+
+}  // namespace
+
+UserPublicKey ca_register_user(const Group& grp, const std::string& uid,
+                               crypto::Drbg& rng, Zr* u_out) {
+  if (uid.empty()) throw SchemeError("ca_register_user: empty UID");
+  const Zr u = grp.zr_nonzero_random(rng);
+  if (u_out != nullptr) *u_out = u;
+  return {uid, grp.g_pow(u)};
+}
+
+OwnerMasterKey owner_gen(const Group& grp, const std::string& owner_id,
+                         crypto::Drbg& rng) {
+  if (owner_id.empty()) throw SchemeError("owner_gen: empty owner id");
+  return {owner_id, grp.zr_nonzero_random(rng), grp.zr_nonzero_random(rng)};
+}
+
+OwnerSecretShare owner_share(const Group& grp, const OwnerMasterKey& mk) {
+  const Zr beta_inv = mk.beta.inverse();
+  return {mk.owner_id, grp.g_pow(beta_inv), mk.r * beta_inv};
+}
+
+AuthorityVersionKey aa_setup(const Group& grp, const std::string& aid,
+                             crypto::Drbg& rng) {
+  if (aid.empty()) throw SchemeError("aa_setup: empty AID");
+  return {aid, 1, grp.zr_nonzero_random(rng)};
+}
+
+PublicAttributeKey aa_attribute_key(const Group& grp, const AuthorityVersionKey& vk,
+                                    const std::string& name) {
+  const Attribute attr{name, vk.aid};
+  const Zr hx = grp.hash_to_zr(attribute_handle(attr));
+  return {attr, vk.version, grp.g_pow(vk.alpha * hx)};
+}
+
+AuthorityPublicKey aa_public_key(const Group& grp, const AuthorityVersionKey& vk) {
+  return {vk.aid, vk.version, grp.egg_pow(vk.alpha)};
+}
+
+UserSecretKey aa_keygen(const Group& grp, const AuthorityVersionKey& vk,
+                        const OwnerSecretShare& owner, const UserPublicKey& user,
+                        const std::set<std::string>& attribute_names) {
+  UserSecretKey sk;
+  sk.uid = user.uid;
+  sk.aid = vk.aid;
+  sk.owner_id = owner.owner_id;
+  sk.version = vk.version;
+  // K = PK_UID^{r/beta} * g^{alpha/beta} = (g^u)^{r/beta} * (g^{1/beta})^alpha.
+  sk.k = user.pk.mul(owner.r_over_beta) + owner.g_inv_beta.mul(vk.alpha);
+  for (const std::string& name : attribute_names) {
+    const Attribute attr{name, vk.aid};
+    const std::string handle = attribute_handle(attr);
+    const Zr hx = grp.hash_to_zr(handle);
+    // K_x = PK_UID^{alpha * H(x)}.
+    sk.kx.emplace(handle, user.pk.mul(vk.alpha * hx));
+  }
+  return sk;
+}
+
+EncryptionResult encrypt(const Group& grp, const OwnerMasterKey& mk,
+                         const std::string& ct_id, const GT& message,
+                         const LsssMatrix& policy,
+                         const std::map<std::string, AuthorityPublicKey>& authority_pks,
+                         const std::map<std::string, PublicAttributeKey>& attribute_pks,
+                         crypto::Drbg& rng) {
+  if (policy.rows() == 0) throw SchemeError("encrypt: empty policy");
+
+  // Resolve involved authorities and check key-version coherence.
+  std::set<std::string> involved;
+  for (const Attribute& a : policy.row_attributes()) involved.insert(a.aid);
+
+  Ciphertext ct;
+  ct.id = ct_id;
+  ct.owner_id = mk.owner_id;
+  ct.policy = policy;
+
+  GT blind = grp.gt_one();
+  for (const std::string& aid : involved) {
+    const auto it = authority_pks.find(aid);
+    if (it == authority_pks.end())
+      throw SchemeError("encrypt: missing authority public key for '" + aid + "'");
+    blind = blind * it->second.e_gg_alpha;
+    ct.versions.emplace(aid, it->second.version);
+  }
+
+  const Zr s = grp.zr_nonzero_random(rng);
+  const std::vector<Zr> lambda = policy.share(grp, s, rng);
+
+  // C = m * (prod_k e(g,g)^{alpha_k})^s,  C' = g^{beta*s}.
+  ct.c = message * blind.pow(s);
+  const Zr beta_s = mk.beta * s;
+  ct.c_prime = grp.g_pow(beta_s);
+
+  // C_i = g^{r*lambda_i} * PK_{rho(i)}^{-beta*s}.
+  ct.ci.reserve(policy.rows());
+  for (int i = 0; i < policy.rows(); ++i) {
+    const Attribute& attr = policy.row_attribute(i);
+    const PublicAttributeKey& pk = require_attribute_pk(attribute_pks, attr.qualified());
+    if (pk.version != ct.versions.at(attr.aid))
+      throw SchemeError("encrypt: attribute key version mismatch for '" +
+                        attr.qualified() + "'");
+    ct.ci.push_back(grp.g_pow(mk.r * lambda[i]) + pk.key.mul(beta_s).neg());
+  }
+
+  return {std::move(ct), EncryptionRecord{ct_id, s}};
+}
+
+namespace {
+
+// Shared precondition checks for decrypt / can_decrypt. Returns the
+// reconstruction coefficients, or nullopt with `error` filled in.
+std::optional<std::vector<lsss::ReconCoeff>> decryption_plan(
+    const Group& grp, const Ciphertext& ct,
+    const std::map<std::string, UserSecretKey>& secret_keys, std::string* error) {
+  std::set<Attribute> have;
+  for (const std::string& aid : ct.involved_authorities()) {
+    const auto it = secret_keys.find(aid);
+    if (it == secret_keys.end()) {
+      *error = "decrypt: no secret key from involved authority '" + aid + "'";
+      return std::nullopt;
+    }
+    const UserSecretKey& sk = it->second;
+    if (sk.aid != aid) {
+      *error = "decrypt: secret key map mislabeled for '" + aid + "'";
+      return std::nullopt;
+    }
+    if (sk.owner_id != ct.owner_id) {
+      *error = "decrypt: secret key issued for owner '" + sk.owner_id +
+               "' cannot decrypt ciphertext of owner '" + ct.owner_id + "'";
+      return std::nullopt;
+    }
+    if (sk.version != ct.versions.at(aid)) {
+      *error = "decrypt: key version " + std::to_string(sk.version) +
+               " does not match ciphertext version " +
+               std::to_string(ct.versions.at(aid)) + " for authority '" + aid + "'";
+      return std::nullopt;
+    }
+    for (const Attribute& a : sk.attributes()) have.insert(a);
+  }
+
+  auto coeffs = ct.policy.reconstruction(grp, have);
+  if (!coeffs) {
+    *error = "decrypt: attribute set does not satisfy the access structure";
+    return std::nullopt;
+  }
+  return coeffs;
+}
+
+}  // namespace
+
+bool can_decrypt(const Group& grp, const Ciphertext& ct,
+                 const std::map<std::string, UserSecretKey>& secret_keys) {
+  std::string error;
+  return decryption_plan(grp, ct, secret_keys, &error).has_value();
+}
+
+GT decrypt(const Group& grp, const Ciphertext& ct, const UserPublicKey& user,
+           const std::map<std::string, UserSecretKey>& secret_keys) {
+  std::string error;
+  const auto coeffs = decryption_plan(grp, ct, secret_keys, &error);
+  if (!coeffs) throw SchemeError(error);
+
+  const std::set<std::string> involved = ct.involved_authorities();
+  const Zr n_a = grp.zr_from_u64(involved.size());
+
+  // Numerator: prod_k e(C', K_{UID,AID_k}).
+  GT numerator = grp.gt_one();
+  for (const std::string& aid : involved) {
+    numerator = numerator * grp.pair(ct.c_prime, secret_keys.at(aid).k);
+  }
+
+  // Denominator: prod_i (e(C_i, PK_UID) * e(C', K_{rho(i)}))^{w_i * n_A}.
+  GT denominator = grp.gt_one();
+  for (const auto& [row, w] : *coeffs) {
+    const Attribute& attr = ct.policy.row_attribute(row);
+    const UserSecretKey& sk = secret_keys.at(attr.aid);
+    const auto kx = sk.kx.find(attr.qualified());
+    if (kx == sk.kx.end())
+      throw SchemeError("decrypt: secret key lacks K_x for '" + attr.qualified() + "'");
+    const GT term = grp.pair(ct.ci[row], user.pk) * grp.pair(ct.c_prime, kx->second);
+    denominator = denominator * term.pow(w * n_a);
+  }
+
+  // C / (numerator / denominator) = m.
+  return ct.c * denominator / numerator;
+}
+
+ReKeyResult aa_rekey(const Group& grp, const AuthorityVersionKey& vk,
+                     crypto::Drbg& rng) {
+  Zr fresh = grp.zr_nonzero_random(rng);
+  while (fresh == vk.alpha) fresh = grp.zr_nonzero_random(rng);
+  return {AuthorityVersionKey{vk.aid, vk.version + 1, fresh}};
+}
+
+UserSecretKey aa_regenerate_key(const Group& grp, const AuthorityVersionKey& new_vk,
+                                const OwnerSecretShare& owner, const UserPublicKey& user,
+                                const std::set<std::string>& remaining_attribute_names) {
+  return aa_keygen(grp, new_vk, owner, user, remaining_attribute_names);
+}
+
+UpdateKey aa_make_update_key(const Group& grp, const AuthorityVersionKey& old_vk,
+                             const AuthorityVersionKey& new_vk,
+                             const OwnerSecretShare& owner) {
+  if (old_vk.aid != new_vk.aid)
+    throw SchemeError("aa_make_update_key: authority mismatch");
+  if (new_vk.version != old_vk.version + 1)
+    throw SchemeError("aa_make_update_key: non-consecutive versions");
+  UpdateKey uk;
+  uk.aid = old_vk.aid;
+  uk.owner_id = owner.owner_id;
+  uk.from_version = old_vk.version;
+  uk.to_version = new_vk.version;
+  // UK1 = (g^{1/beta})^{alpha' - alpha}, UK2 = alpha'/alpha.
+  uk.uk1 = owner.g_inv_beta.mul(new_vk.alpha - old_vk.alpha);
+  uk.uk2 = new_vk.alpha * old_vk.alpha.inverse();
+  return uk;
+}
+
+UserSecretKey apply_update_to_secret_key(const Group& grp, const UserSecretKey& sk,
+                                         const UpdateKey& uk) {
+  (void)grp;
+  if (sk.aid != uk.aid) throw SchemeError("key update: authority mismatch");
+  if (sk.owner_id != uk.owner_id) throw SchemeError("key update: owner mismatch");
+  if (sk.version != uk.from_version)
+    throw SchemeError("key update: key at version " + std::to_string(sk.version) +
+                      ", update expects " + std::to_string(uk.from_version));
+  UserSecretKey out = sk;
+  out.version = uk.to_version;
+  out.k = sk.k + uk.uk1;
+  for (auto& [handle, key] : out.kx) key = key.mul(uk.uk2);
+  return out;
+}
+
+AuthorityPublicKey apply_update_to_authority_pk(const Group& grp,
+                                                const AuthorityPublicKey& pk,
+                                                const UpdateKey& uk) {
+  (void)grp;
+  if (pk.aid != uk.aid) throw SchemeError("authority pk update: authority mismatch");
+  if (pk.version != uk.from_version)
+    throw SchemeError("authority pk update: version mismatch");
+  return {pk.aid, uk.to_version, pk.e_gg_alpha.pow(uk.uk2)};
+}
+
+PublicAttributeKey apply_update_to_attribute_pk(const Group& grp,
+                                                const PublicAttributeKey& pk,
+                                                const UpdateKey& uk) {
+  (void)grp;
+  if (pk.attr.aid != uk.aid) throw SchemeError("attribute pk update: authority mismatch");
+  if (pk.version != uk.from_version)
+    throw SchemeError("attribute pk update: version mismatch");
+  return {pk.attr, uk.to_version, pk.key.mul(uk.uk2)};
+}
+
+UpdateInfo owner_update_info(const Group& grp, const OwnerMasterKey& mk,
+                             const EncryptionRecord& record, const Ciphertext& ct,
+                             const std::map<std::string, PublicAttributeKey>& old_attribute_pks,
+                             const std::map<std::string, PublicAttributeKey>& new_attribute_pks,
+                             const std::string& aid) {
+  (void)grp;
+  if (record.ct_id != ct.id) throw SchemeError("owner_update_info: record/ciphertext mismatch");
+  if (ct.owner_id != mk.owner_id) throw SchemeError("owner_update_info: foreign ciphertext");
+
+  UpdateInfo ui;
+  ui.aid = aid;
+  ui.owner_id = mk.owner_id;
+  ui.ct_id = ct.id;
+  ui.from_version = ct.versions.at(aid);
+  ui.to_version = ui.from_version + 1;
+
+  const Zr beta_s = mk.beta * record.s;
+  for (const lsss::Attribute& attr : ct.policy.row_attributes()) {
+    if (attr.aid != aid) continue;
+    const std::string handle = attr.qualified();
+    const auto old_it = old_attribute_pks.find(handle);
+    const auto new_it = new_attribute_pks.find(handle);
+    if (old_it == old_attribute_pks.end() || new_it == new_attribute_pks.end())
+      throw SchemeError("owner_update_info: missing attribute key for '" + handle + "'");
+    if (new_it->second.version != ui.to_version)
+      throw SchemeError("owner_update_info: new attribute key has wrong version");
+    // UI_x = (PK_x / PK'_x)^{beta*s}.
+    ui.ui.emplace(handle, (old_it->second.key - new_it->second.key).mul(beta_s));
+  }
+  return ui;
+}
+
+void reencrypt(const Group& grp, Ciphertext* ct, const UpdateKey& uk,
+               const UpdateInfo& ui) {
+  if (ct == nullptr) throw SchemeError("reencrypt: null ciphertext");
+  if (uk.aid != ui.aid || uk.to_version != ui.to_version)
+    throw SchemeError("reencrypt: update key / update info mismatch");
+  if (ui.ct_id != ct->id) throw SchemeError("reencrypt: update info for another ciphertext");
+  if (uk.owner_id != ct->owner_id) throw SchemeError("reencrypt: owner mismatch");
+  const auto ver = ct->versions.find(uk.aid);
+  if (ver == ct->versions.end())
+    throw SchemeError("reencrypt: ciphertext does not involve authority '" + uk.aid + "'");
+  if (ver->second != uk.from_version)
+    throw SchemeError("reencrypt: ciphertext at version " + std::to_string(ver->second) +
+                      ", update expects " + std::to_string(uk.from_version));
+
+  // C~ = C * e(UK1, C').
+  ct->c = ct->c * grp.pair(uk.uk1, ct->c_prime);
+  // C~_i = C_i * UI_{rho(i)} for rows labeled by this authority.
+  for (int i = 0; i < ct->policy.rows(); ++i) {
+    const lsss::Attribute& attr = ct->policy.row_attribute(i);
+    if (attr.aid != uk.aid) continue;
+    const auto it = ui.ui.find(attr.qualified());
+    if (it == ui.ui.end())
+      throw SchemeError("reencrypt: update info lacks UI for '" + attr.qualified() + "'");
+    ct->ci[i] = ct->ci[i] + it->second;
+  }
+  ver->second = uk.to_version;
+}
+
+}  // namespace maabe::abe

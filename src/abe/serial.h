@@ -1,0 +1,56 @@
+// Wire serialization for every ABE artifact.
+//
+// The byte counts these encoders produce are what the storage and
+// communication benchmarks (paper Tables II-IV) measure. Group-element
+// fields are fixed-width; strings and maps carry length prefixes. Every
+// decoder validates lengths, tags and group membership (points are
+// re-derived from compressed coordinates) and throws WireError on
+// malformed input.
+#pragma once
+
+#include "abe/types.h"
+#include "common/wire.h"
+
+namespace maabe::abe {
+
+Bytes serialize(const pairing::Group& grp, const UserPublicKey& v);
+UserPublicKey deserialize_user_public_key(const pairing::Group& grp, ByteView data);
+
+// Secret-material encodings (for local keystores; never transmit these).
+Bytes serialize(const pairing::Group& grp, const OwnerMasterKey& v);
+OwnerMasterKey deserialize_owner_master_key(const pairing::Group& grp, ByteView data);
+
+Bytes serialize(const pairing::Group& grp, const AuthorityVersionKey& v);
+AuthorityVersionKey deserialize_authority_version_key(const pairing::Group& grp,
+                                                      ByteView data);
+
+Bytes serialize(const pairing::Group& grp, const EncryptionRecord& v);
+EncryptionRecord deserialize_encryption_record(const pairing::Group& grp, ByteView data);
+
+Bytes serialize(const pairing::Group& grp, const OwnerSecretShare& v);
+OwnerSecretShare deserialize_owner_secret_share(const pairing::Group& grp, ByteView data);
+
+Bytes serialize(const pairing::Group& grp, const AuthorityPublicKey& v);
+AuthorityPublicKey deserialize_authority_public_key(const pairing::Group& grp, ByteView data);
+
+Bytes serialize(const pairing::Group& grp, const PublicAttributeKey& v);
+PublicAttributeKey deserialize_public_attribute_key(const pairing::Group& grp, ByteView data);
+
+Bytes serialize(const pairing::Group& grp, const UserSecretKey& v);
+UserSecretKey deserialize_user_secret_key(const pairing::Group& grp, ByteView data);
+
+Bytes serialize(const pairing::Group& grp, const Ciphertext& v);
+Ciphertext deserialize_ciphertext(const pairing::Group& grp, ByteView data);
+
+Bytes serialize(const pairing::Group& grp, const UpdateKey& v);
+UpdateKey deserialize_update_key(const pairing::Group& grp, ByteView data);
+
+Bytes serialize(const pairing::Group& grp, const UpdateInfo& v);
+UpdateInfo deserialize_update_info(const pairing::Group& grp, ByteView data);
+
+/// Bytes of group material only (excluding policy text, ids and framing):
+/// |GT| + (l+1)|G| — the quantity the paper's Table II tracks for the
+/// ciphertext.
+size_t ciphertext_group_material_bytes(const pairing::Group& grp, const Ciphertext& v);
+
+}  // namespace maabe::abe

@@ -1,0 +1,24 @@
+#include "abe/types.h"
+
+#include "common/errors.h"
+
+namespace maabe::abe {
+
+std::set<lsss::Attribute> UserSecretKey::attributes() const {
+  std::set<lsss::Attribute> out;
+  for (const auto& [handle, key] : kx) {
+    const size_t at = handle.rfind('@');
+    if (at == std::string::npos)
+      throw SchemeError("UserSecretKey: malformed attribute handle '" + handle + "'");
+    out.insert(lsss::Attribute{handle.substr(0, at), handle.substr(at + 1)});
+  }
+  return out;
+}
+
+std::set<std::string> Ciphertext::involved_authorities() const {
+  std::set<std::string> out;
+  for (const auto& [aid, version] : versions) out.insert(aid);
+  return out;
+}
+
+}  // namespace maabe::abe

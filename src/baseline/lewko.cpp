@@ -1,0 +1,126 @@
+#include "baseline/lewko.h"
+
+#include "common/errors.h"
+
+namespace maabe::baseline {
+
+using lsss::Attribute;
+using lsss::LsssMatrix;
+using pairing::G1;
+using pairing::Group;
+using pairing::GT;
+using pairing::Zr;
+
+std::set<Attribute> LewkoUserKey::attributes() const {
+  std::set<Attribute> out;
+  for (const auto& [handle, key] : k) {
+    const size_t at = handle.rfind('@');
+    if (at == std::string::npos)
+      throw SchemeError("LewkoUserKey: malformed attribute handle '" + handle + "'");
+    out.insert(Attribute{handle.substr(0, at), handle.substr(at + 1)});
+  }
+  return out;
+}
+
+LewkoAuthorityKeys lewko_authority_setup(const Group& grp, const std::string& aid,
+                                         const std::set<std::string>& attribute_names,
+                                         crypto::Drbg& rng) {
+  if (aid.empty()) throw SchemeError("lewko_authority_setup: empty AID");
+  LewkoAuthorityKeys out;
+  out.aid = aid;
+  for (const std::string& name : attribute_names) {
+    const Attribute attr{name, aid};
+    out.secrets.emplace(attr.qualified(),
+                        std::make_pair(grp.zr_nonzero_random(rng),
+                                       grp.zr_nonzero_random(rng)));
+  }
+  return out;
+}
+
+LewkoAttributePublicKey lewko_attribute_pk(const Group& grp,
+                                           const LewkoAuthorityKeys& authority,
+                                           const std::string& name) {
+  const Attribute attr{name, authority.aid};
+  const auto it = authority.secrets.find(attr.qualified());
+  if (it == authority.secrets.end())
+    throw SchemeError("lewko_attribute_pk: authority does not manage '" +
+                      attr.qualified() + "'");
+  const auto& [alpha, y] = it->second;
+  return {attr, grp.egg_pow(alpha), grp.g_pow(y)};
+}
+
+G1 lewko_hash_gid(const Group& grp, const std::string& gid) {
+  return grp.hash_to_g1(std::string("lewko/gid/" + gid));
+}
+
+void lewko_keygen(const Group& grp, const LewkoAuthorityKeys& authority,
+                  const std::string& gid, const std::set<std::string>& attribute_names,
+                  LewkoUserKey* key) {
+  if (key == nullptr) throw SchemeError("lewko_keygen: null key");
+  if (key->gid.empty()) {
+    key->gid = gid;
+  } else if (key->gid != gid) {
+    throw SchemeError("lewko_keygen: key belongs to another GID");
+  }
+  const G1 h_gid = lewko_hash_gid(grp, gid);
+  for (const std::string& name : attribute_names) {
+    const Attribute attr{name, authority.aid};
+    const auto it = authority.secrets.find(attr.qualified());
+    if (it == authority.secrets.end())
+      throw SchemeError("lewko_keygen: authority does not manage '" + attr.qualified() + "'");
+    const auto& [alpha, y] = it->second;
+    // K_x = g^{alpha_x} * H(GID)^{y_x}.
+    key->k.insert_or_assign(attr.qualified(), grp.g_pow(alpha) + h_gid.mul(y));
+  }
+}
+
+LewkoCiphertext lewko_encrypt(const Group& grp, const GT& message,
+                              const LsssMatrix& policy,
+                              const std::map<std::string, LewkoAttributePublicKey>& pks,
+                              crypto::Drbg& rng) {
+  if (policy.rows() == 0) throw SchemeError("lewko_encrypt: empty policy");
+
+  const Zr s = grp.zr_nonzero_random(rng);
+  const std::vector<Zr> lambda = policy.share(grp, s, rng);
+  const std::vector<Zr> omega = policy.share(grp, grp.zr_zero(), rng);
+
+  LewkoCiphertext ct;
+  ct.policy = policy;
+  ct.c0 = message * grp.egg_pow(s);
+  ct.c1.reserve(policy.rows());
+  ct.c2.reserve(policy.rows());
+  ct.c3.reserve(policy.rows());
+  for (int i = 0; i < policy.rows(); ++i) {
+    const std::string handle = policy.row_attribute(i).qualified();
+    const auto it = pks.find(handle);
+    if (it == pks.end())
+      throw SchemeError("lewko_encrypt: missing public key for '" + handle + "'");
+    const Zr ri = grp.zr_nonzero_random(rng);
+    ct.c1.push_back(grp.egg_pow(lambda[i]) * it->second.e_gg_alpha.pow(ri));
+    ct.c2.push_back(grp.g_pow(ri));
+    ct.c3.push_back(it->second.g_y.mul(ri) + grp.g_pow(omega[i]));
+  }
+  return ct;
+}
+
+GT lewko_decrypt(const Group& grp, const LewkoCiphertext& ct, const LewkoUserKey& key) {
+  const auto coeffs = ct.policy.reconstruction(grp, key.attributes());
+  if (!coeffs)
+    throw SchemeError("lewko_decrypt: attributes do not satisfy the access structure");
+
+  const G1 h_gid = lewko_hash_gid(grp, key.gid);
+  GT acc = grp.gt_one();
+  for (const auto& [row, w] : *coeffs) {
+    const std::string handle = ct.policy.row_attribute(row).qualified();
+    const auto kx = key.k.find(handle);
+    if (kx == key.k.end())
+      throw SchemeError("lewko_decrypt: key lacks '" + handle + "'");
+    // C1_i * e(H(GID), C3_i) / e(K_x, C2_i) = e(g,g)^{lambda_i} e(H,g)^{omega_i}.
+    const GT term =
+        ct.c1[row] * grp.pair(h_gid, ct.c3[row]) / grp.pair(kx->second, ct.c2[row]);
+    acc = acc * term.pow(w);
+  }
+  return ct.c0 / acc;
+}
+
+}  // namespace maabe::baseline

@@ -1,0 +1,92 @@
+// Baseline: Lewko-Waters decentralized CP-ABE (EUROCRYPT 2011),
+// prime-order random-oracle variant — the scheme the paper compares
+// against in Tables II-IV and Figures 3-4.
+//
+// Construction (attributes are globally unique "name@aid" handles; an
+// authority is simply the manager of a set of attributes):
+//   AuthoritySetup: per attribute x: alpha_x, y_x <- Z_r;
+//                   publish e(g,g)^{alpha_x}, g^{y_x}.
+//   KeyGen(GID,x):  K_x = g^{alpha_x} * H(GID)^{y_x}    (H: {0,1}* -> G)
+//   Encrypt(m,(M,rho)): s <- Z_r, shares lambda_i of s and omega_i of 0;
+//                   C0 = m * e(g,g)^s and per row i with fresh r_i:
+//                   C1_i = e(g,g)^{lambda_i} * e(g,g)^{alpha_rho(i) r_i}
+//                   C2_i = g^{r_i}
+//                   C3_i = g^{y_rho(i) r_i} * g^{omega_i}
+//   Decrypt(GID):   per used row,
+//                   C1_i * e(H(GID), C3_i) / e(K_rho(i), C2_i)
+//                     = e(g,g)^{lambda_i} * e(H(GID),g)^{omega_i};
+//                   combine with reconstruction coefficients to get
+//                   e(g,g)^s, then m = C0 / e(g,g)^s.
+//
+// Unlike the paper's scheme there is no owner key and no revocation
+// support; keys are global (not per-owner).
+#pragma once
+
+#include <map>
+
+#include "crypto/drbg.h"
+#include "lsss/matrix.h"
+
+namespace maabe::baseline {
+
+/// Authority-held secrets: (alpha_x, y_x) per managed attribute.
+struct LewkoAuthorityKeys {
+  std::string aid;
+  /// Keyed by qualified attribute handle.
+  std::map<std::string, std::pair<pairing::Zr, pairing::Zr>> secrets;
+};
+
+/// Published per-attribute keys.
+struct LewkoAttributePublicKey {
+  lsss::Attribute attr;
+  pairing::GT e_gg_alpha;  // e(g,g)^{alpha_x}
+  pairing::G1 g_y;         // g^{y_x}
+};
+
+/// A user's decryption keys (from any number of authorities).
+struct LewkoUserKey {
+  std::string gid;
+  /// Keyed by qualified attribute handle; value g^{alpha_x} H(GID)^{y_x}.
+  std::map<std::string, pairing::G1> k;
+
+  std::set<lsss::Attribute> attributes() const;
+};
+
+struct LewkoCiphertext {
+  lsss::LsssMatrix policy;
+  pairing::GT c0;
+  std::vector<pairing::GT> c1;
+  std::vector<pairing::G1> c2;
+  std::vector<pairing::G1> c3;
+};
+
+/// Creates an authority managing `attribute_names` (under its AID).
+LewkoAuthorityKeys lewko_authority_setup(const pairing::Group& grp,
+                                         const std::string& aid,
+                                         const std::set<std::string>& attribute_names,
+                                         crypto::Drbg& rng);
+
+/// Publishes the keys for one attribute of the authority.
+LewkoAttributePublicKey lewko_attribute_pk(const pairing::Group& grp,
+                                           const LewkoAuthorityKeys& authority,
+                                           const std::string& name);
+
+/// The random oracle H: {0,1}* -> G applied to a global identifier.
+pairing::G1 lewko_hash_gid(const pairing::Group& grp, const std::string& gid);
+
+/// Issues keys for `attribute_names` of this authority to user `gid`,
+/// merging into `key` (which adopts/validates the gid).
+void lewko_keygen(const pairing::Group& grp, const LewkoAuthorityKeys& authority,
+                  const std::string& gid, const std::set<std::string>& attribute_names,
+                  LewkoUserKey* key);
+
+LewkoCiphertext lewko_encrypt(const pairing::Group& grp, const pairing::GT& message,
+                              const lsss::LsssMatrix& policy,
+                              const std::map<std::string, LewkoAttributePublicKey>& pks,
+                              crypto::Drbg& rng);
+
+/// Throws SchemeError when the key's attributes do not satisfy the policy.
+pairing::GT lewko_decrypt(const pairing::Group& grp, const LewkoCiphertext& ct,
+                          const LewkoUserKey& key);
+
+}  // namespace maabe::baseline

@@ -1,0 +1,28 @@
+// Serialization for the Lewko-Waters baseline (used by the Table II-IV
+// size and communication benchmarks).
+#pragma once
+
+#include "baseline/lewko.h"
+#include "common/wire.h"
+
+namespace maabe::baseline {
+
+Bytes serialize(const pairing::Group& grp, const LewkoAttributePublicKey& v);
+LewkoAttributePublicKey deserialize_lewko_attribute_pk(const pairing::Group& grp,
+                                                       ByteView data);
+
+Bytes serialize(const pairing::Group& grp, const LewkoUserKey& v);
+LewkoUserKey deserialize_lewko_user_key(const pairing::Group& grp, ByteView data);
+
+Bytes serialize(const pairing::Group& grp, const LewkoCiphertext& v);
+LewkoCiphertext deserialize_lewko_ciphertext(const pairing::Group& grp, ByteView data);
+
+/// Group material of the ciphertext: (l+1)|GT| + 2l|G| (paper Table II).
+size_t lewko_ciphertext_group_material_bytes(const pairing::Group& grp,
+                                             const LewkoCiphertext& v);
+
+/// Authority storage: 2 * n_k * |p| exponents (paper Table III row "AA").
+size_t lewko_authority_storage_bytes(const pairing::Group& grp,
+                                     const LewkoAuthorityKeys& v);
+
+}  // namespace maabe::baseline

@@ -1,0 +1,93 @@
+#include "baseline/waters.h"
+
+#include "common/errors.h"
+
+namespace maabe::baseline {
+
+using lsss::Attribute;
+using lsss::LsssMatrix;
+using pairing::G1;
+using pairing::Group;
+using pairing::GT;
+using pairing::Zr;
+
+std::set<Attribute> WatersSecretKey::attributes() const {
+  std::set<Attribute> out;
+  for (const auto& [handle, key] : kx) {
+    const size_t at = handle.rfind('@');
+    if (at == std::string::npos)
+      throw SchemeError("WatersSecretKey: malformed attribute handle '" + handle + "'");
+    out.insert(Attribute{handle.substr(0, at), handle.substr(at + 1)});
+  }
+  return out;
+}
+
+WatersSetupResult waters_setup(const Group& grp, crypto::Drbg& rng) {
+  const Zr alpha = grp.zr_nonzero_random(rng);
+  const Zr a = grp.zr_nonzero_random(rng);
+  WatersSetupResult out;
+  out.pk.e_gg_alpha = grp.egg_pow(alpha);
+  out.pk.g_a = grp.g_pow(a);
+  out.msk.g_alpha = grp.g_pow(alpha);
+  return out;
+}
+
+G1 waters_hash_attribute(const Group& grp, const Attribute& attr) {
+  return grp.hash_to_g1(std::string("waters/attr/" + attr.qualified()));
+}
+
+WatersSecretKey waters_keygen(const Group& grp, const WatersPublicKey& pk,
+                              const WatersMasterKey& msk,
+                              const std::set<Attribute>& attrs, crypto::Drbg& rng) {
+  const Zr t = grp.zr_nonzero_random(rng);
+  WatersSecretKey sk;
+  sk.k = msk.g_alpha + pk.g_a.mul(t);
+  sk.l = grp.g_pow(t);
+  for (const Attribute& attr : attrs) {
+    sk.kx.emplace(attr.qualified(), waters_hash_attribute(grp, attr).mul(t));
+  }
+  return sk;
+}
+
+WatersCiphertext waters_encrypt(const Group& grp, const WatersPublicKey& pk,
+                                const GT& message, const LsssMatrix& policy,
+                                crypto::Drbg& rng) {
+  if (policy.rows() == 0) throw SchemeError("waters_encrypt: empty policy");
+  const Zr s = grp.zr_nonzero_random(rng);
+  const std::vector<Zr> lambda = policy.share(grp, s, rng);
+
+  WatersCiphertext ct;
+  ct.policy = policy;
+  ct.c = message * pk.e_gg_alpha.pow(s);
+  ct.c_prime = grp.g_pow(s);
+  ct.ci.reserve(policy.rows());
+  ct.di.reserve(policy.rows());
+  for (int i = 0; i < policy.rows(); ++i) {
+    const Zr ri = grp.zr_nonzero_random(rng);
+    const G1 hx = waters_hash_attribute(grp, policy.row_attribute(i));
+    ct.ci.push_back(pk.g_a.mul(lambda[i]) + hx.mul(ri).neg());
+    ct.di.push_back(grp.g_pow(ri));
+  }
+  return ct;
+}
+
+GT waters_decrypt(const Group& grp, const WatersCiphertext& ct,
+                  const WatersSecretKey& sk) {
+  const auto coeffs = ct.policy.reconstruction(grp, sk.attributes());
+  if (!coeffs)
+    throw SchemeError("waters_decrypt: attributes do not satisfy the access structure");
+
+  GT denom = grp.gt_one();
+  for (const auto& [row, w] : *coeffs) {
+    const std::string handle = ct.policy.row_attribute(row).qualified();
+    const auto kx = sk.kx.find(handle);
+    if (kx == sk.kx.end())
+      throw SchemeError("waters_decrypt: key lacks '" + handle + "'");
+    const GT term = grp.pair(ct.ci[row], sk.l) * grp.pair(ct.di[row], kx->second);
+    denom = denom * term.pow(w);
+  }
+  const GT blind = grp.pair(ct.c_prime, sk.k) / denom;
+  return ct.c / blind;
+}
+
+}  // namespace maabe::baseline

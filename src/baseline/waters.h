@@ -1,0 +1,76 @@
+// Waters single-authority CP-ABE (PKC 2011), large-universe
+// random-oracle variant.
+//
+// This is the construction the paper's security proof reduces to
+// (Theorem 2 "...as the construction in [3]") and the canonical
+// single-authority scheme its introduction argues cannot handle
+// multi-authority deployments. Having it implemented (a) grounds the
+// reduction, (b) cross-validates the LSSS machinery shared by all three
+// schemes in this repo, and (c) lets tests demonstrate concretely what
+// breaks in a multi-authority setting without the paper's techniques.
+//
+//   Setup:        alpha, a <- Z_r; PK = (e(g,g)^alpha, g^a); MSK = g^alpha
+//   KeyGen(S):    t <- Z_r; K = g^alpha g^{at}; L = g^t; K_x = H(x)^t
+//   Encrypt(m,(M,rho)): s, shares lambda_i; r_i <- Z_r;
+//                 C = m e(g,g)^{alpha s}; C' = g^s;
+//                 C_i = g^{a lambda_i} H(rho(i))^{-r_i}; D_i = g^{r_i}
+//   Decrypt:      e(C',K) / prod_i (e(C_i,L) e(D_i,K_rho(i)))^{w_i}
+//                   = e(g,g)^{alpha s}
+#pragma once
+
+#include <map>
+
+#include "crypto/drbg.h"
+#include "lsss/matrix.h"
+
+namespace maabe::baseline {
+
+struct WatersPublicKey {
+  pairing::GT e_gg_alpha;
+  pairing::G1 g_a;
+};
+
+struct WatersMasterKey {
+  pairing::G1 g_alpha;
+};
+
+struct WatersSecretKey {
+  pairing::G1 k;  // g^alpha g^{at}
+  pairing::G1 l;  // g^t
+  /// Keyed by qualified attribute handle.
+  std::map<std::string, pairing::G1> kx;  // H(x)^t
+
+  std::set<lsss::Attribute> attributes() const;
+};
+
+struct WatersCiphertext {
+  lsss::LsssMatrix policy;
+  pairing::GT c;
+  pairing::G1 c_prime;
+  std::vector<pairing::G1> ci;
+  std::vector<pairing::G1> di;
+};
+
+struct WatersSetupResult {
+  WatersPublicKey pk;
+  WatersMasterKey msk;
+};
+
+WatersSetupResult waters_setup(const pairing::Group& grp, crypto::Drbg& rng);
+
+/// H: {0,1}* -> G applied to a qualified attribute handle.
+pairing::G1 waters_hash_attribute(const pairing::Group& grp, const lsss::Attribute& attr);
+
+WatersSecretKey waters_keygen(const pairing::Group& grp, const WatersPublicKey& pk,
+                              const WatersMasterKey& msk,
+                              const std::set<lsss::Attribute>& attrs, crypto::Drbg& rng);
+
+WatersCiphertext waters_encrypt(const pairing::Group& grp, const WatersPublicKey& pk,
+                                const pairing::GT& message,
+                                const lsss::LsssMatrix& policy, crypto::Drbg& rng);
+
+/// Throws SchemeError when the key does not satisfy the policy.
+pairing::GT waters_decrypt(const pairing::Group& grp, const WatersCiphertext& ct,
+                           const WatersSecretKey& sk);
+
+}  // namespace maabe::baseline

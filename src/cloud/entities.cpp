@@ -1,0 +1,284 @@
+#include "cloud/entities.h"
+
+#include "abe/serial.h"
+#include "common/errors.h"
+#include "lsss/parser.h"
+
+namespace maabe::cloud {
+
+using abe::AuthorityPublicKey;
+using abe::Ciphertext;
+using abe::EncryptionRecord;
+using abe::PublicAttributeKey;
+using abe::UpdateInfo;
+using abe::UpdateKey;
+using abe::UserPublicKey;
+using abe::UserSecretKey;
+using pairing::GT;
+
+// ------------------------------------------------ CertificateAuthority --
+
+CertificateAuthority::CertificateAuthority(std::shared_ptr<const pairing::Group> grp,
+                                           crypto::Drbg rng)
+    : grp_(std::move(grp)), rng_(std::move(rng)) {}
+
+const UserPublicKey& CertificateAuthority::register_user(const std::string& uid) {
+  if (users_.contains(uid)) throw SchemeError("CA: UID '" + uid + "' already registered");
+  pairing::Zr u;
+  const UserPublicKey pk = abe::ca_register_user(*grp_, uid, rng_, &u);
+  user_secrets_.emplace(uid, u);
+  return users_.emplace(uid, pk).first->second;
+}
+
+void CertificateAuthority::register_authority(const std::string& aid) {
+  if (aid.empty()) throw SchemeError("CA: empty AID");
+  if (!authorities_.insert(aid).second)
+    throw SchemeError("CA: AID '" + aid + "' already registered");
+}
+
+const UserPublicKey& CertificateAuthority::user_public_key(const std::string& uid) const {
+  const auto it = users_.find(uid);
+  if (it == users_.end()) throw SchemeError("CA: unknown UID '" + uid + "'");
+  return it->second;
+}
+
+// -------------------------------------------------- AttributeAuthority --
+
+AttributeAuthority::AttributeAuthority(std::shared_ptr<const pairing::Group> grp,
+                                       std::string aid, crypto::Drbg rng)
+    : grp_(std::move(grp)), aid_(std::move(aid)), rng_(std::move(rng)) {
+  vk_ = abe::aa_setup(*grp_, aid_, rng_);
+}
+
+void AttributeAuthority::define_attribute(const std::string& name) {
+  if (name.empty()) throw SchemeError("AA: empty attribute name");
+  universe_.insert(name);
+}
+
+void AttributeAuthority::accept_owner_share(const abe::OwnerSecretShare& share) {
+  owners_.insert_or_assign(share.owner_id, share);
+}
+
+AuthorityPublicKey AttributeAuthority::public_key() const {
+  return abe::aa_public_key(*grp_, vk_);
+}
+
+std::map<std::string, PublicAttributeKey> AttributeAuthority::attribute_public_keys()
+    const {
+  std::map<std::string, PublicAttributeKey> out;
+  for (const std::string& name : universe_) {
+    PublicAttributeKey pk = abe::aa_attribute_key(*grp_, vk_, name);
+    out.emplace(pk.attr.qualified(), std::move(pk));
+  }
+  return out;
+}
+
+void AttributeAuthority::assign(const std::string& uid, const std::set<std::string>& names) {
+  for (const std::string& name : names) {
+    if (!universe_.contains(name))
+      throw SchemeError("AA '" + aid_ + "': does not manage attribute '" + name + "'");
+  }
+  assignments_[uid].insert(names.begin(), names.end());
+}
+
+const std::set<std::string>& AttributeAuthority::assignment(const std::string& uid) const {
+  static const std::set<std::string> kEmpty;
+  const auto it = assignments_.find(uid);
+  return it == assignments_.end() ? kEmpty : it->second;
+}
+
+UserSecretKey AttributeAuthority::issue_key(const UserPublicKey& user,
+                                            const std::string& owner_id) {
+  const auto owner = owners_.find(owner_id);
+  if (owner == owners_.end())
+    throw SchemeError("AA '" + aid_ + "': owner '" + owner_id + "' not onboarded");
+  return abe::aa_keygen(*grp_, vk_, owner->second, user, assignment(user.uid));
+}
+
+AttributeAuthority::RevocationBundle AttributeAuthority::rekey_for(
+    const UserPublicKey& user, const std::set<std::string>& remaining) {
+  const abe::AuthorityVersionKey old_vk = vk_;
+  vk_ = abe::aa_rekey(*grp_, old_vk, rng_).new_vk;
+
+  RevocationBundle bundle;
+  bundle.new_version = vk_.version;
+  for (const auto& [owner_id, share] : owners_) {
+    bundle.regenerated_keys.emplace(
+        owner_id, abe::aa_regenerate_key(*grp_, vk_, share, user, remaining));
+    bundle.update_keys.emplace(owner_id,
+                               abe::aa_make_update_key(*grp_, old_vk, vk_, share));
+  }
+  return bundle;
+}
+
+AttributeAuthority::RevocationBundle AttributeAuthority::revoke(
+    const UserPublicKey& user, const std::string& name) {
+  auto it = assignments_.find(user.uid);
+  if (it == assignments_.end() || it->second.erase(name) == 0)
+    throw SchemeError("AA '" + aid_ + "': user '" + user.uid +
+                      "' does not hold attribute '" + name + "'");
+  return rekey_for(user, it->second);
+}
+
+AttributeAuthority::RevocationBundle AttributeAuthority::revoke_all(
+    const UserPublicKey& user) {
+  auto it = assignments_.find(user.uid);
+  if (it == assignments_.end() || it->second.empty())
+    throw SchemeError("AA '" + aid_ + "': user '" + user.uid +
+                      "' holds no attributes to revoke");
+  it->second.clear();
+  return rekey_for(user, {});
+}
+
+// ---------------------------------------------------------- DataOwner --
+
+DataOwner::DataOwner(std::shared_ptr<const pairing::Group> grp, std::string owner_id,
+                     crypto::Drbg rng)
+    : grp_(std::move(grp)), owner_id_(std::move(owner_id)), rng_(std::move(rng)) {
+  mk_ = abe::owner_gen(*grp_, owner_id_, rng_);
+  share_ = abe::owner_share(*grp_, mk_);
+}
+
+void DataOwner::learn_authority_key(const AuthorityPublicKey& pk) {
+  authority_pks_.insert_or_assign(pk.aid, pk);
+}
+
+void DataOwner::learn_attribute_key(const PublicAttributeKey& pk) {
+  attribute_pks_.insert_or_assign(pk.attr.qualified(), pk);
+}
+
+StoredFile DataOwner::protect(const std::string& file_id,
+                              const std::vector<DataComponent>& components) {
+  if (components.empty()) throw SchemeError("DataOwner: no components to protect");
+  StoredFile file;
+  file.file_id = file_id;
+  file.owner_id = owner_id_;
+  for (const DataComponent& comp : components) {
+    const std::string ct_id = slot_ct_id(file_id, comp.name);
+    if (records_.contains(ct_id))
+      throw SchemeError("DataOwner: duplicate component id '" + ct_id + "'");
+
+    // KEM: random GT seed -> content key.
+    const GT seed = grp_->gt_random(rng_);
+    const Bytes content_key = content_key_from_gt(seed);
+
+    const lsss::LsssMatrix policy =
+        lsss::LsssMatrix::from_policy(lsss::parse_policy(comp.policy));
+    abe::EncryptionResult enc =
+        abe::encrypt(*grp_, mk_, ct_id, seed, policy, authority_pks_, attribute_pks_, rng_);
+
+    SealedSlot slot;
+    slot.component_name = comp.name;
+    slot.sealed_data =
+        crypto::seal(content_key, comp.data, slot_aad(file_id, comp.name), rng_);
+    slot.key_ct = enc.ct;
+
+    records_.emplace(ct_id, enc.record);
+    ciphertexts_.emplace(ct_id, std::move(enc.ct));
+    file.slots.push_back(std::move(slot));
+  }
+  return file;
+}
+
+bool DataOwner::apply_update(const UpdateKey& uk) {
+  if (uk.owner_id != owner_id_) return false;
+  const auto apk = authority_pks_.find(uk.aid);
+  if (apk == authority_pks_.end()) return false;
+  apk->second = abe::apply_update_to_authority_pk(*grp_, apk->second, uk);
+  for (auto& [handle, pk] : attribute_pks_) {
+    if (pk.attr.aid != uk.aid) continue;
+    prev_attribute_pks_.insert_or_assign(handle, pk);
+    pk = abe::apply_update_to_attribute_pk(*grp_, pk, uk);
+  }
+  return true;
+}
+
+std::vector<UpdateInfo> DataOwner::update_infos(const std::string& aid,
+                                                uint32_t from_version) {
+  std::vector<UpdateInfo> out;
+  for (auto& [ct_id, ct] : ciphertexts_) {
+    const auto ver = ct.versions.find(aid);
+    if (ver == ct.versions.end() || ver->second != from_version) continue;
+    out.push_back(abe::owner_update_info(*grp_, mk_, records_.at(ct_id), ct,
+                                         prev_attribute_pks_, attribute_pks_, aid));
+    // Track the owner's own copy forward so later revocations can build
+    // on the current ciphertext state.
+    ver->second = from_version + 1;
+    // The C / C_i components of the owner's copy also advance; rebuild
+    // them the same way the server will (cheap, local).
+  }
+  return out;
+}
+
+// ----------------------------------------------------------- Consumer --
+
+Consumer::Consumer(std::shared_ptr<const pairing::Group> grp, UserPublicKey pk)
+    : grp_(std::move(grp)), pk_(std::move(pk)) {}
+
+namespace {
+std::string key_slot(const std::string& owner_id, const std::string& aid) {
+  return owner_id + '\0' + aid;
+}
+}  // namespace
+
+void Consumer::add_key(const UserSecretKey& sk) {
+  if (sk.uid != pk_.uid)
+    throw SchemeError("Consumer '" + pk_.uid + "': key issued to '" + sk.uid + "'");
+  keys_.insert_or_assign(key_slot(sk.owner_id, sk.aid), sk);
+}
+
+bool Consumer::apply_update(const UpdateKey& uk) {
+  const auto it = keys_.find(key_slot(uk.owner_id, uk.aid));
+  if (it == keys_.end()) return false;
+  it->second = abe::apply_update_to_secret_key(*grp_, it->second, uk);
+  return true;
+}
+
+bool Consumer::has_key(const std::string& owner_id, const std::string& aid) const {
+  return keys_.contains(key_slot(owner_id, aid));
+}
+
+const UserSecretKey& Consumer::key(const std::string& owner_id,
+                                   const std::string& aid) const {
+  const auto it = keys_.find(key_slot(owner_id, aid));
+  if (it == keys_.end())
+    throw SchemeError("Consumer '" + pk_.uid + "': no key for owner '" + owner_id +
+                      "' authority '" + aid + "'");
+  return it->second;
+}
+
+std::map<std::string, UserSecretKey> Consumer::keys_for_owner(
+    const std::string& owner_id) const {
+  std::map<std::string, UserSecretKey> out;
+  const std::string prefix = owner_id + '\0';
+  for (const auto& [slot, sk] : keys_) {
+    if (slot.starts_with(prefix)) out.emplace(sk.aid, sk);
+  }
+  return out;
+}
+
+bool Consumer::can_open(const SealedSlot& slot) const {
+  return abe::can_decrypt(*grp_, slot.key_ct, keys_for_owner(slot.key_ct.owner_id));
+}
+
+std::map<std::string, Bytes> Consumer::open_file(const StoredFile& file) const {
+  std::map<std::string, Bytes> out;
+  const std::map<std::string, UserSecretKey> keys = keys_for_owner(file.owner_id);
+  for (const SealedSlot& slot : file.slots) {
+    if (!abe::can_decrypt(*grp_, slot.key_ct, keys)) continue;
+    const GT seed = abe::decrypt(*grp_, slot.key_ct, pk_, keys);
+    const Bytes key = content_key_from_gt(seed);
+    out.emplace(slot.component_name,
+                crypto::open(key, slot.sealed_data,
+                             slot_aad(file.file_id, slot.component_name)));
+  }
+  return out;
+}
+
+size_t Consumer::key_storage_bytes() const {
+  size_t total = 0;
+  for (const auto& [slot, sk] : keys_) total += abe::serialize(*grp_, sk).size();
+  return total;
+}
+
+}  // namespace maabe::cloud

@@ -1,0 +1,190 @@
+// The stateful entities of the access-control framework (paper Fig. 1):
+// certificate authority, attribute authorities, data owners and data
+// consumers. The cloud server lives in server.h; the wiring (who sends
+// what to whom, with byte metering) lives in system.h.
+#pragma once
+
+#include <optional>
+
+#include "abe/scheme.h"
+#include "cloud/hybrid.h"
+
+namespace maabe::cloud {
+
+/// Fully trusted CA: assigns global UIDs and AIDs, issues PK_UID.
+class CertificateAuthority {
+ public:
+  CertificateAuthority(std::shared_ptr<const pairing::Group> grp, crypto::Drbg rng);
+
+  /// Authenticates and registers a user; throws SchemeError on duplicate.
+  const abe::UserPublicKey& register_user(const std::string& uid);
+  /// Registers an attribute authority; throws SchemeError on duplicate.
+  void register_authority(const std::string& aid);
+
+  const abe::UserPublicKey& user_public_key(const std::string& uid) const;
+  bool has_user(const std::string& uid) const { return users_.contains(uid); }
+  bool has_authority(const std::string& aid) const { return authorities_.contains(aid); }
+
+ private:
+  std::shared_ptr<const pairing::Group> grp_;
+  crypto::Drbg rng_;
+  std::map<std::string, abe::UserPublicKey> users_;
+  std::map<std::string, pairing::Zr> user_secrets_;  // CA archive of u
+  std::set<std::string> authorities_;
+};
+
+/// An attribute authority: manages its attribute universe, assigns
+/// attributes to users, issues per-owner secret keys and runs the ReKey
+/// side of revocation.
+class AttributeAuthority {
+ public:
+  AttributeAuthority(std::shared_ptr<const pairing::Group> grp, std::string aid,
+                     crypto::Drbg rng);
+
+  const std::string& aid() const { return aid_; }
+  uint32_t version() const { return vk_.version; }
+
+  /// Adds an attribute to this authority's universe.
+  void define_attribute(const std::string& name);
+  bool manages(const std::string& name) const { return universe_.contains(name); }
+
+  /// Owner onboarding: the AA stores SK_o so it can issue keys for this
+  /// owner's data.
+  void accept_owner_share(const abe::OwnerSecretShare& share);
+
+  /// Current PK_{o,AID} = e(g,g)^alpha.
+  abe::AuthorityPublicKey public_key() const;
+  /// Current PK_{x,AID} for every attribute in the universe, keyed by
+  /// qualified handle.
+  std::map<std::string, abe::PublicAttributeKey> attribute_public_keys() const;
+
+  /// Assigns attributes to a user (role assignment in the AA's domain).
+  void assign(const std::string& uid, const std::set<std::string>& names);
+  const std::set<std::string>& assignment(const std::string& uid) const;
+
+  /// Issues SK_{UID,AID} for the user's current assignment under the
+  /// given owner's SK_o.
+  abe::UserSecretKey issue_key(const abe::UserPublicKey& user,
+                               const std::string& owner_id);
+
+  /// Everything the ReKey phase produces (paper Section V-C Phase 1).
+  struct RevocationBundle {
+    uint32_t new_version = 0;
+    /// Fresh keys for the revoked user, one per onboarded owner.
+    std::map<std::string, abe::UserSecretKey> regenerated_keys;
+    /// Update keys, one per onboarded owner (UK1 is owner-specific).
+    std::map<std::string, abe::UpdateKey> update_keys;
+  };
+
+  /// Revokes attribute `name` from `uid`: removes the assignment, bumps
+  /// the version key and produces the regenerated/update keys.
+  RevocationBundle revoke(const abe::UserPublicKey& user, const std::string& name);
+
+  /// User-level revocation: strips EVERY attribute this authority has
+  /// assigned to the user, with a single version bump (the paper cites
+  /// schemes limited to user-level revocation; here it composes from the
+  /// same ReKey machinery). Throws if the user holds nothing.
+  RevocationBundle revoke_all(const abe::UserPublicKey& user);
+
+ private:
+  RevocationBundle rekey_for(const abe::UserPublicKey& user,
+                             const std::set<std::string>& remaining);
+
+  std::shared_ptr<const pairing::Group> grp_;
+  std::string aid_;
+  crypto::Drbg rng_;
+  abe::AuthorityVersionKey vk_;
+  std::set<std::string> universe_;
+  std::map<std::string, std::set<std::string>> assignments_;  // uid -> names
+  std::map<std::string, abe::OwnerSecretShare> owners_;       // owner_id -> SK_o
+};
+
+/// A data owner: holds MK_o, tracks current public keys, hybrid-encrypts
+/// files (Fig. 2) and produces UpdateInfo during revocation.
+class DataOwner {
+ public:
+  DataOwner(std::shared_ptr<const pairing::Group> grp, std::string owner_id,
+            crypto::Drbg rng);
+
+  const std::string& owner_id() const { return owner_id_; }
+  const abe::OwnerSecretShare& share() const { return share_; }
+
+  /// Key distribution: the owner caches the AA-published keys it will
+  /// encrypt under.
+  void learn_authority_key(const abe::AuthorityPublicKey& pk);
+  void learn_attribute_key(const abe::PublicAttributeKey& pk);
+
+  /// Splits `components` per Fig. 2: symmetric-encrypts each component
+  /// under a fresh content key, CP-ABE-protects the keys. Remembers the
+  /// encryption exponents (EncryptionRecord) and ciphertext copies for
+  /// later re-keying.
+  StoredFile protect(const std::string& file_id,
+                     const std::vector<DataComponent>& components);
+
+  /// Revocation phase-1 step 3: fold UK into the cached public keys.
+  /// Returns false if the update does not concern this owner.
+  bool apply_update(const abe::UpdateKey& uk);
+
+  /// Revocation phase 2 prep: UpdateInfo for every ciphertext of this
+  /// owner that involves `aid` at `from_version`.
+  /// `new_attribute_pks` must already be at the target version (i.e.
+  /// call apply_update first).
+  std::vector<abe::UpdateInfo> update_infos(const std::string& aid,
+                                            uint32_t from_version);
+
+  size_t tracked_ciphertexts() const { return ciphertexts_.size(); }
+
+ private:
+  std::shared_ptr<const pairing::Group> grp_;
+  std::string owner_id_;
+  crypto::Drbg rng_;
+  abe::OwnerMasterKey mk_;
+  abe::OwnerSecretShare share_;
+  std::map<std::string, abe::AuthorityPublicKey> authority_pks_;
+  std::map<std::string, abe::PublicAttributeKey> attribute_pks_;      // current
+  std::map<std::string, abe::PublicAttributeKey> prev_attribute_pks_; // one version back
+  std::map<std::string, abe::EncryptionRecord> records_;   // ct_id -> s
+  std::map<std::string, abe::Ciphertext> ciphertexts_;     // ct_id -> copy
+};
+
+/// A data consumer: accumulates per-(owner, authority) secret keys,
+/// applies update keys, opens stored files.
+class Consumer {
+ public:
+  Consumer(std::shared_ptr<const pairing::Group> grp, abe::UserPublicKey pk);
+
+  const std::string& uid() const { return pk_.uid; }
+  const abe::UserPublicKey& public_key() const { return pk_; }
+
+  void add_key(const abe::UserSecretKey& sk);
+  /// Applies UK to the matching (owner, authority) key; returns false if
+  /// this consumer holds no such key.
+  bool apply_update(const abe::UpdateKey& uk);
+  /// Replaces the key outright (revoked user receiving its regenerated,
+  /// reduced key).
+  void replace_key(const abe::UserSecretKey& sk) { add_key(sk); }
+
+  bool has_key(const std::string& owner_id, const std::string& aid) const;
+  const abe::UserSecretKey& key(const std::string& owner_id, const std::string& aid) const;
+
+  /// Decrypts every slot this consumer is authorized for. Components it
+  /// cannot open are simply absent from the result (the paper's
+  /// different-granularity property).
+  std::map<std::string, Bytes> open_file(const StoredFile& file) const;
+
+  /// True when the consumer's keys can open the given slot.
+  bool can_open(const SealedSlot& slot) const;
+
+  /// Total serialized size of held secret keys (Table III row "User").
+  size_t key_storage_bytes() const;
+
+ private:
+  std::map<std::string, abe::UserSecretKey> keys_for_owner(const std::string& owner_id) const;
+
+  std::shared_ptr<const pairing::Group> grp_;
+  abe::UserPublicKey pk_;
+  /// Keyed by owner_id + '\0' + aid.
+  std::map<std::string, abe::UserSecretKey> keys_;
+};
+
+}  // namespace maabe::cloud

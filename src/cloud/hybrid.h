@@ -1,0 +1,53 @@
+// Hybrid data format (paper Fig. 2).
+//
+// The owner splits data into logical components m_1..m_n, encrypts each
+// with a fresh symmetric content key k_i, and CP-ABE-protects only the
+// content keys:
+//
+//   [ CT_1 | E_{k_1}(m_1) ]  [ CT_2 | E_{k_2}(m_2) ]  ...
+//
+// The content key is transported KEM-style: the ABE "message" is a
+// random GT element whose serialization feeds a KDF that yields the
+// 32-byte AES/HMAC key. Users whose attributes satisfy a component's
+// policy recover that component only — different users obtain different
+// granularities of the same file.
+#pragma once
+
+#include "abe/types.h"
+#include "crypto/authenc.h"
+
+namespace maabe::cloud {
+
+/// Owner-side input: one logical component and its access policy.
+struct DataComponent {
+  std::string name;    ///< e.g. "diagnosis", "billing"
+  Bytes data;
+  std::string policy;  ///< policy-language string (lsss/parser.h)
+};
+
+/// One protected component as stored in the cloud.
+struct SealedSlot {
+  std::string component_name;
+  abe::Ciphertext key_ct;  ///< CP-ABE ciphertext of the content-key seed
+  Bytes sealed_data;       ///< authenc box: iv || E_k(data) || tag
+};
+
+struct StoredFile {
+  std::string file_id;
+  std::string owner_id;
+  std::vector<SealedSlot> slots;
+};
+
+/// Derives the 32-byte content key from the ABE-transported GT element.
+Bytes content_key_from_gt(const pairing::GT& seed);
+
+/// Stable ciphertext id for a component: "<file_id>/<component_name>".
+std::string slot_ct_id(const std::string& file_id, const std::string& component_name);
+
+/// Additional authenticated data binding a sealed box to its slot.
+Bytes slot_aad(const std::string& file_id, const std::string& component_name);
+
+Bytes serialize(const pairing::Group& grp, const StoredFile& v);
+StoredFile deserialize_stored_file(const pairing::Group& grp, ByteView data);
+
+}  // namespace maabe::cloud

@@ -1,0 +1,28 @@
+#include "cloud/meter.h"
+
+namespace maabe::cloud {
+
+void ChannelMeter::record(const std::string& from, const std::string& to, size_t bytes) {
+  totals_[{from, to}] += bytes;
+}
+
+size_t ChannelMeter::sent(const std::string& from, const std::string& to) const {
+  const auto it = totals_.find({from, to});
+  return it == totals_.end() ? 0 : it->second;
+}
+
+size_t ChannelMeter::between(const std::string& a, const std::string& b) const {
+  return sent(a, b) + sent(b, a);
+}
+
+size_t ChannelMeter::involving(const std::string& entity) const {
+  size_t total = 0;
+  for (const auto& [channel, bytes] : totals_) {
+    if (channel.first == entity || channel.second == entity) total += bytes;
+  }
+  return total;
+}
+
+void ChannelMeter::reset() { totals_.clear(); }
+
+}  // namespace maabe::cloud

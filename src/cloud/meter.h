@@ -1,0 +1,39 @@
+// Byte accounting between entities.
+//
+// The framework layer (system.h) routes every serialized artefact
+// through a ChannelMeter, which is how the communication-cost benchmark
+// (paper Table IV) measures real wire bytes per channel, and how the
+// storage benchmark (Table III) attributes at-rest bytes to entities.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace maabe::cloud {
+
+class ChannelMeter {
+ public:
+  /// Records `bytes` sent from `from` to `to`.
+  void record(const std::string& from, const std::string& to, size_t bytes);
+
+  /// Directional total from -> to.
+  size_t sent(const std::string& from, const std::string& to) const;
+
+  /// Sum of both directions between two entities.
+  size_t between(const std::string& a, const std::string& b) const;
+
+  /// Everything sent or received by one entity.
+  size_t involving(const std::string& entity) const;
+
+  void reset();
+
+  const std::map<std::pair<std::string, std::string>, size_t>& entries() const {
+    return totals_;
+  }
+
+ private:
+  std::map<std::pair<std::string, std::string>, size_t> totals_;
+};
+
+}  // namespace maabe::cloud

@@ -1,0 +1,64 @@
+#include "cloud/server.h"
+
+#include "abe/serial.h"
+#include "common/errors.h"
+
+namespace maabe::cloud {
+
+void CloudServer::store(StoredFile file) {
+  if (file.file_id.empty()) throw SchemeError("CloudServer: empty file id");
+  files_.insert_or_assign(file.file_id, std::move(file));
+}
+
+const StoredFile& CloudServer::fetch(const std::string& file_id) const {
+  const auto it = files_.find(file_id);
+  if (it == files_.end()) throw SchemeError("CloudServer: no file '" + file_id + "'");
+  return it->second;
+}
+
+std::vector<std::string> CloudServer::file_ids() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [id, file] : files_) out.push_back(id);
+  return out;
+}
+
+size_t CloudServer::reencrypt(const abe::UpdateKey& uk,
+                              const std::vector<abe::UpdateInfo>& infos) {
+  // Index the update infos by ciphertext id.
+  std::map<std::string, const abe::UpdateInfo*> by_ct;
+  for (const abe::UpdateInfo& ui : infos) by_ct.emplace(ui.ct_id, &ui);
+
+  size_t updated = 0;
+  for (auto& [file_id, file] : files_) {
+    if (file.owner_id != uk.owner_id) continue;
+    for (SealedSlot& slot : file.slots) {
+      const auto ver = slot.key_ct.versions.find(uk.aid);
+      if (ver == slot.key_ct.versions.end() || ver->second != uk.from_version) continue;
+      const auto ui = by_ct.find(slot.key_ct.id);
+      if (ui == by_ct.end())
+        throw SchemeError("CloudServer: missing update info for ciphertext '" +
+                          slot.key_ct.id + "'");
+      abe::reencrypt(*grp_, &slot.key_ct, uk, *ui->second);
+      ++updated;
+    }
+  }
+  return updated;
+}
+
+size_t CloudServer::storage_bytes() const {
+  size_t total = 0;
+  for (const auto& [id, file] : files_) total += serialize(*grp_, file).size();
+  return total;
+}
+
+size_t CloudServer::ciphertext_group_material_bytes() const {
+  size_t total = 0;
+  for (const auto& [id, file] : files_) {
+    for (const SealedSlot& slot : file.slots)
+      total += abe::ciphertext_group_material_bytes(*grp_, slot.key_ct);
+  }
+  return total;
+}
+
+}  // namespace maabe::cloud

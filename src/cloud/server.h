@@ -1,0 +1,43 @@
+// The honest-but-curious cloud server.
+//
+// Stores owners' protected files, serves them to consumers, and runs the
+// ReEncrypt half of attribute revocation via proxy re-encryption — it
+// never holds content keys and never decrypts anything (paper Section
+// III-B trust model).
+#pragma once
+
+#include "abe/scheme.h"
+#include "cloud/hybrid.h"
+
+namespace maabe::cloud {
+
+class CloudServer {
+ public:
+  explicit CloudServer(std::shared_ptr<const pairing::Group> grp)
+      : grp_(std::move(grp)) {}
+
+  /// Stores (or replaces) a file uploaded by an owner.
+  void store(StoredFile file);
+
+  bool has_file(const std::string& file_id) const { return files_.contains(file_id); }
+  const StoredFile& fetch(const std::string& file_id) const;
+  std::vector<std::string> file_ids() const;
+
+  /// ReEncrypt (paper Section V-C Phase 2): applies the update key and
+  /// the per-ciphertext update information to every affected slot.
+  /// Returns the number of ciphertexts re-encrypted.
+  size_t reencrypt(const abe::UpdateKey& uk, const std::vector<abe::UpdateInfo>& infos);
+
+  /// Bytes at rest (Table III row "Server"): serialized stored files.
+  size_t storage_bytes() const;
+
+  /// Bytes of ABE group material at rest (the paper's |GT|+(l+1)|G|
+  /// accounting, excluding the symmetric payloads).
+  size_t ciphertext_group_material_bytes() const;
+
+ private:
+  std::shared_ptr<const pairing::Group> grp_;
+  std::map<std::string, StoredFile> files_;
+};
+
+}  // namespace maabe::cloud

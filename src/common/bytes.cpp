@@ -1,0 +1,65 @@
+#include "common/bytes.h"
+
+#include "common/errors.h"
+
+namespace maabe {
+
+namespace {
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string to_hex(ByteView data) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (uint8_t b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xf]);
+  }
+  return out;
+}
+
+Bytes from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) throw WireError("from_hex: odd-length hex string");
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_nibble(hex[i]);
+    const int lo = hex_nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) throw WireError("from_hex: invalid hex digit");
+    out.push_back(static_cast<uint8_t>(hi << 4 | lo));
+  }
+  return out;
+}
+
+bool secure_equal(ByteView a, ByteView b) {
+  if (a.size() != b.size()) return false;
+  uint8_t acc = 0;
+  for (size_t i = 0; i < a.size(); ++i) acc |= static_cast<uint8_t>(a[i] ^ b[i]);
+  return acc == 0;
+}
+
+Bytes bytes_of(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string string_of(ByteView b) {
+  return std::string(b.begin(), b.end());
+}
+
+Bytes concat(ByteView a, ByteView b) {
+  Bytes out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+}  // namespace maabe

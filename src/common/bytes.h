@@ -1,0 +1,35 @@
+// Byte-string helpers shared by every subsystem.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace maabe {
+
+using Bytes = std::vector<uint8_t>;
+using ByteView = std::span<const uint8_t>;
+
+/// Encodes `data` as lowercase hex.
+std::string to_hex(ByteView data);
+
+/// Decodes a hex string (upper or lower case, even length). Throws
+/// WireError on malformed input.
+Bytes from_hex(std::string_view hex);
+
+/// Constant-time equality over byte strings of equal length; returns false
+/// immediately (and without leaking contents) when lengths differ.
+bool secure_equal(ByteView a, ByteView b);
+
+/// Copies a std::string's bytes into a Bytes vector.
+Bytes bytes_of(std::string_view s);
+
+/// Interprets a byte string as text (for debugging / examples).
+std::string string_of(ByteView b);
+
+/// Concatenates byte strings.
+Bytes concat(ByteView a, ByteView b);
+
+}  // namespace maabe

@@ -1,0 +1,53 @@
+// Exception hierarchy for the maabe library.
+//
+// All library errors derive from maabe::Error. Callers that want a single
+// catch-all can catch Error&; the subsystem-specific types exist so that
+// tests and applications can distinguish "bad policy string" from
+// "ciphertext corrupted" without string matching.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace maabe {
+
+/// Base class of every exception thrown by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Arithmetic misuse: overflow of fixed bignum capacity, division by zero,
+/// non-invertible element, malformed numeric encoding.
+class MathError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Symmetric-crypto failures: bad key sizes, MAC verification failure.
+class CryptoError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Access-policy failures: parse errors, duplicate attributes (the paper
+/// requires an injective row-labeling function rho), empty policies.
+class PolicyError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// ABE-scheme misuse or failure: mismatched groups, attributes that do not
+/// satisfy the access structure, key/ciphertext version mismatches.
+class SchemeError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Serialization failures: truncated buffers, bad tags, range violations.
+class WireError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace maabe

@@ -1,0 +1,75 @@
+#include "common/wire.h"
+
+#include "common/errors.h"
+
+namespace maabe {
+
+void Writer::u8(uint8_t v) { buf_.push_back(v); }
+
+void Writer::u32(uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8)
+    buf_.push_back(static_cast<uint8_t>(v >> shift));
+}
+
+void Writer::u64(uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8)
+    buf_.push_back(static_cast<uint8_t>(v >> shift));
+}
+
+void Writer::raw(ByteView data) { buf_.insert(buf_.end(), data.begin(), data.end()); }
+
+void Writer::var_bytes(ByteView data) {
+  if (data.size() > UINT32_MAX) throw WireError("var_bytes: field too large");
+  u32(static_cast<uint32_t>(data.size()));
+  raw(data);
+}
+
+void Writer::str(std::string_view s) {
+  var_bytes(ByteView(reinterpret_cast<const uint8_t*>(s.data()), s.size()));
+}
+
+void Reader::need(size_t n) const {
+  if (data_.size() - pos_ < n) throw WireError("wire: truncated input");
+}
+
+uint8_t Reader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+uint32_t Reader::u32() {
+  need(4);
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = v << 8 | data_[pos_++];
+  return v;
+}
+
+uint64_t Reader::u64() {
+  need(8);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = v << 8 | data_[pos_++];
+  return v;
+}
+
+Bytes Reader::raw(size_t n) {
+  need(n);
+  Bytes out(data_.begin() + pos_, data_.begin() + pos_ + n);
+  pos_ += n;
+  return out;
+}
+
+Bytes Reader::var_bytes() {
+  const uint32_t n = u32();
+  return raw(n);
+}
+
+std::string Reader::str() {
+  const Bytes b = var_bytes();
+  return std::string(b.begin(), b.end());
+}
+
+void Reader::expect_done() const {
+  if (!done()) throw WireError("wire: trailing bytes after message");
+}
+
+}  // namespace maabe

@@ -1,0 +1,38 @@
+// AES-128/192/256 block cipher (FIPS 197) and CTR mode.
+//
+// The paper's hybrid data format encrypts each data component with a
+// symmetric content key; this module provides that cipher. The
+// implementation is a straightforward table-free byte-oriented AES:
+// clarity over speed (the asymmetric operations dominate every benchmark
+// in the paper by orders of magnitude).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace maabe::crypto {
+
+class Aes {
+ public:
+  /// Key must be 16, 24 or 32 bytes. Throws CryptoError otherwise.
+  explicit Aes(ByteView key);
+
+  static constexpr size_t kBlockSize = 16;
+
+  /// Encrypts a single 16-byte block in place.
+  void encrypt_block(uint8_t block[kBlockSize]) const;
+  /// Decrypts a single 16-byte block in place.
+  void decrypt_block(uint8_t block[kBlockSize]) const;
+
+ private:
+  uint8_t round_keys_[15][16];
+  int rounds_ = 0;
+};
+
+/// CTR-mode keystream XOR: encryption and decryption are the same
+/// operation. `iv` must be 16 bytes (it is used as the initial counter
+/// block; the low 32 bits increment per block).
+Bytes aes_ctr(ByteView key, ByteView iv, ByteView data);
+
+}  // namespace maabe::crypto

@@ -1,0 +1,62 @@
+#include "crypto/authenc.h"
+
+#include "common/errors.h"
+#include "common/wire.h"
+#include "crypto/aes.h"
+#include "crypto/hmac.h"
+
+namespace maabe::crypto {
+
+namespace {
+
+constexpr size_t kIvSize = 16;
+constexpr size_t kTagSize = 32;
+
+// Independent subkeys for encryption and authentication.
+struct SubKeys {
+  Bytes enc;
+  Bytes mac;
+};
+
+SubKeys derive(ByteView key) {
+  if (key.size() != kContentKeySize) throw CryptoError("authenc: key must be 32 bytes");
+  const Bytes material = kdf(key, "authenc/subkeys", 64);
+  return {Bytes(material.begin(), material.begin() + 32),
+          Bytes(material.begin() + 32, material.end())};
+}
+
+Bytes mac_input(ByteView iv, ByteView ct, ByteView aad) {
+  Writer w;
+  w.var_bytes(aad);
+  w.raw(iv);
+  w.raw(ct);
+  return w.take();
+}
+
+}  // namespace
+
+Bytes seal(ByteView key, ByteView plaintext, ByteView aad, Drbg& rng) {
+  const SubKeys keys = derive(key);
+  const Bytes iv = rng.bytes(kIvSize);
+  const Bytes ct = aes_ctr(keys.enc, iv, plaintext);
+  const Bytes tag = hmac_sha256(keys.mac, mac_input(iv, ct, aad));
+  Bytes out;
+  out.reserve(iv.size() + ct.size() + tag.size());
+  out.insert(out.end(), iv.begin(), iv.end());
+  out.insert(out.end(), ct.begin(), ct.end());
+  out.insert(out.end(), tag.begin(), tag.end());
+  return out;
+}
+
+Bytes open(ByteView key, ByteView box, ByteView aad) {
+  if (box.size() < kIvSize + kTagSize) throw CryptoError("authenc: box too short");
+  const SubKeys keys = derive(key);
+  const ByteView iv = box.subspan(0, kIvSize);
+  const ByteView ct = box.subspan(kIvSize, box.size() - kIvSize - kTagSize);
+  const ByteView tag = box.subspan(box.size() - kTagSize);
+  const Bytes expect = hmac_sha256(keys.mac, mac_input(iv, ct, aad));
+  if (!secure_equal(expect, tag)) throw CryptoError("authenc: authentication failed");
+  return aes_ctr(keys.enc, iv, ct);
+}
+
+}  // namespace maabe::crypto

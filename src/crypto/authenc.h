@@ -1,0 +1,26 @@
+// Authenticated symmetric encryption for data components.
+//
+// AES-256-CTR with HMAC-SHA-256, encrypt-then-MAC. This is the
+// "symmetric encryption method" the paper leaves unspecified for the
+// content-key layer (Fig. 2): data components m_i are encrypted under
+// content keys k_i, which are themselves protected by CP-ABE.
+//
+// Wire layout of a sealed box: iv(16) || ciphertext || tag(32).
+#pragma once
+
+#include "common/bytes.h"
+#include "crypto/drbg.h"
+
+namespace maabe::crypto {
+
+constexpr size_t kContentKeySize = 32;
+
+/// Encrypts and authenticates `plaintext` under a 32-byte content key.
+/// `aad` is authenticated but not encrypted (the hybrid layer binds the
+/// component name and ciphertext id through it).
+Bytes seal(ByteView key, ByteView plaintext, ByteView aad, Drbg& rng);
+
+/// Reverses seal(). Throws CryptoError if authentication fails.
+Bytes open(ByteView key, ByteView box, ByteView aad);
+
+}  // namespace maabe::crypto

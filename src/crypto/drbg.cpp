@@ -1,0 +1,63 @@
+#include "crypto/drbg.h"
+
+#include "common/errors.h"
+#include "crypto/hmac.h"
+
+namespace maabe::crypto {
+
+Drbg::Drbg(ByteView seed) : key_(32, 0x00), v_(32, 0x01) { update(seed); }
+
+Drbg::Drbg(std::string_view seed_label) : Drbg(ByteView(
+    reinterpret_cast<const uint8_t*>(seed_label.data()), seed_label.size())) {}
+
+void Drbg::update(ByteView provided) {
+  Bytes block = v_;
+  block.push_back(0x00);
+  block.insert(block.end(), provided.begin(), provided.end());
+  key_ = hmac_sha256(key_, block);
+  v_ = hmac_sha256(key_, v_);
+  if (!provided.empty()) {
+    block = v_;
+    block.push_back(0x01);
+    block.insert(block.end(), provided.begin(), provided.end());
+    key_ = hmac_sha256(key_, block);
+    v_ = hmac_sha256(key_, v_);
+  }
+}
+
+Bytes Drbg::bytes(size_t out_len) {
+  Bytes out;
+  out.reserve(out_len);
+  while (out.size() < out_len) {
+    v_ = hmac_sha256(key_, v_);
+    out.insert(out.end(), v_.begin(), v_.end());
+  }
+  out.resize(out_len);
+  update({});
+  return out;
+}
+
+math::Bignum Drbg::below(const math::Bignum& bound) {
+  if (bound.is_zero()) throw MathError("Drbg::below: zero bound");
+  const int bits = bound.bit_length();
+  const size_t nbytes = (bits + 7) / 8;
+  const int excess_bits = static_cast<int>(nbytes * 8) - bits;
+  // Rejection sampling: expected < 2 draws.
+  for (;;) {
+    Bytes b = bytes(nbytes);
+    b[0] &= static_cast<uint8_t>(0xff >> excess_bits);
+    const math::Bignum candidate = math::Bignum::from_bytes_be(b);
+    if (math::Bignum::cmp(candidate, bound) < 0) return candidate;
+  }
+}
+
+math::Bignum Drbg::nonzero_below(const math::Bignum& bound) {
+  for (;;) {
+    math::Bignum candidate = below(bound);
+    if (!candidate.is_zero()) return candidate;
+  }
+}
+
+void Drbg::reseed(ByteView entropy) { update(entropy); }
+
+}  // namespace maabe::crypto

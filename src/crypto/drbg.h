@@ -1,0 +1,43 @@
+// Deterministic random bit generator (HMAC_DRBG, NIST SP 800-90A style).
+//
+// All randomness in the library flows through a Drbg so that tests can be
+// reproducible (seed with a constant) while applications seed from OS
+// entropy (see random.h). The generator also provides uniform sampling of
+// integers below a bound, which the pairing and ABE layers use for
+// exponents and secret shares.
+#pragma once
+
+#include "common/bytes.h"
+#include "math/bignum.h"
+
+namespace maabe::crypto {
+
+class Drbg {
+ public:
+  /// Seeds from arbitrary entropy input (any length).
+  explicit Drbg(ByteView seed);
+  /// Convenience: seed from a label string (tests).
+  explicit Drbg(std::string_view seed_label);
+
+  /// Fills `out_len` pseudo-random bytes.
+  Bytes bytes(size_t out_len);
+
+  /// Uniform integer in [0, bound) via rejection sampling.
+  /// Throws MathError if bound is zero.
+  math::Bignum below(const math::Bignum& bound);
+
+  /// Uniform integer in [1, bound) — the "random nonzero exponent" shape
+  /// every ABE algorithm needs.
+  math::Bignum nonzero_below(const math::Bignum& bound);
+
+  /// Mixes additional entropy into the state.
+  void reseed(ByteView entropy);
+
+ private:
+  void update(ByteView provided);
+
+  Bytes key_;  // 32 bytes
+  Bytes v_;    // 32 bytes
+};
+
+}  // namespace maabe::crypto

@@ -1,0 +1,56 @@
+#include "crypto/hmac.h"
+
+#include "common/errors.h"
+#include "crypto/sha256.h"
+
+namespace maabe::crypto {
+
+Bytes hmac_sha256(ByteView key, ByteView data) {
+  constexpr size_t kBlock = Sha256::kBlockSize;
+  Bytes k(kBlock, 0);
+  if (key.size() > kBlock) {
+    const Bytes hashed = Sha256::digest(key);
+    std::copy(hashed.begin(), hashed.end(), k.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k.begin());
+  }
+
+  Bytes ipad(kBlock), opad(kBlock);
+  for (size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(data);
+  const Bytes inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+Bytes kdf(ByteView ikm, std::string_view label, size_t out_len) {
+  if (out_len == 0 || out_len > 255 * Sha256::kDigestSize)
+    throw CryptoError("kdf: bad output length");
+  // Extract with a fixed application salt.
+  const Bytes salt = bytes_of("maabe/kdf/v1");
+  const Bytes prk = hmac_sha256(salt, ikm);
+  // Expand.
+  Bytes out;
+  Bytes t;
+  uint8_t counter = 1;
+  while (out.size() < out_len) {
+    Bytes block = t;
+    block.insert(block.end(), label.begin(), label.end());
+    block.push_back(counter++);
+    t = hmac_sha256(prk, block);
+    out.insert(out.end(), t.begin(), t.end());
+  }
+  out.resize(out_len);
+  return out;
+}
+
+}  // namespace maabe::crypto

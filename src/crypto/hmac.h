@@ -1,0 +1,19 @@
+// HMAC-SHA-256 (RFC 2104 / FIPS 198-1).
+//
+// Used by the hybrid layer for encrypt-then-MAC integrity on data
+// components and by the KDF that turns a GT element into a content key.
+#pragma once
+
+#include "common/bytes.h"
+
+namespace maabe::crypto {
+
+/// HMAC-SHA-256 of `data` under `key` (any key length).
+Bytes hmac_sha256(ByteView key, ByteView data);
+
+/// HKDF-style expansion: derives `out_len` bytes from input keying
+/// material and a context/label string, via HMAC-SHA-256
+/// (extract with a fixed salt, then expand).
+Bytes kdf(ByteView ikm, std::string_view label, size_t out_len);
+
+}  // namespace maabe::crypto

@@ -1,0 +1,21 @@
+#include "crypto/random.h"
+
+#include <cstdio>
+
+#include "common/errors.h"
+
+namespace maabe::crypto {
+
+Bytes os_entropy(size_t n) {
+  Bytes out(n);
+  std::FILE* f = std::fopen("/dev/urandom", "rb");
+  if (f == nullptr) throw CryptoError("os_entropy: cannot open /dev/urandom");
+  const size_t got = std::fread(out.data(), 1, n, f);
+  std::fclose(f);
+  if (got != n) throw CryptoError("os_entropy: short read from /dev/urandom");
+  return out;
+}
+
+Drbg make_system_drbg() { return Drbg(os_entropy(48)); }
+
+}  // namespace maabe::crypto

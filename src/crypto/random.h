@@ -1,0 +1,16 @@
+// OS entropy source.
+#pragma once
+
+#include "common/bytes.h"
+#include "crypto/drbg.h"
+
+namespace maabe::crypto {
+
+/// Reads `n` bytes from the operating system's entropy pool
+/// (/dev/urandom). Throws CryptoError on failure.
+Bytes os_entropy(size_t n);
+
+/// A Drbg seeded with 48 bytes of OS entropy.
+Drbg make_system_drbg();
+
+}  // namespace maabe::crypto

@@ -1,0 +1,196 @@
+#include "lsss/parser.h"
+
+#include <cctype>
+
+#include "common/errors.h"
+
+namespace maabe::lsss {
+
+namespace {
+
+struct Token {
+  enum class Kind { kIdent, kInt, kAnd, kOr, kOf, kLParen, kRParen, kComma, kAt, kEnd };
+  Kind kind;
+  std::string text;
+  size_t pos;
+};
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' ||
+         c == ':' || c == '+' || c == '-';
+}
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) { advance(); }
+
+  const Token& peek() const { return current_; }
+
+  Token take() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+ private:
+  void advance() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    const size_t start = pos_;
+    if (pos_ >= text_.size()) {
+      current_ = {Token::Kind::kEnd, "", start};
+      return;
+    }
+    const char c = text_[pos_];
+    if (c == '(') {
+      ++pos_;
+      current_ = {Token::Kind::kLParen, "(", start};
+      return;
+    }
+    if (c == ')') {
+      ++pos_;
+      current_ = {Token::Kind::kRParen, ")", start};
+      return;
+    }
+    if (c == ',') {
+      ++pos_;
+      current_ = {Token::Kind::kComma, ",", start};
+      return;
+    }
+    if (c == '@') {
+      ++pos_;
+      current_ = {Token::Kind::kAt, "@", start};
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      // An integer immediately followed by "of" (e.g. "2of(") splits into
+      // INT + OF; an integer followed by other ident chars is an ident
+      // (attribute names may start with digits only via the '@' context,
+      // so keep it simple: digits then optional "of").
+      size_t end = pos_;
+      while (end < text_.size() && std::isdigit(static_cast<unsigned char>(text_[end]))) ++end;
+      const bool of_follows = end + 1 < text_.size() &&
+                              std::tolower(static_cast<unsigned char>(text_[end])) == 'o' &&
+                              std::tolower(static_cast<unsigned char>(text_[end + 1])) == 'f';
+      if (of_follows || end >= text_.size() || !ident_char(text_[end])) {
+        current_ = {Token::Kind::kInt, std::string(text_.substr(pos_, end - pos_)), start};
+        pos_ = end;
+        return;
+      }
+      // fall through to ident
+    }
+    if (ident_char(c)) {
+      size_t end = pos_;
+      while (end < text_.size() && ident_char(text_[end])) ++end;
+      const std::string word(text_.substr(pos_, end - pos_));
+      pos_ = end;
+      const std::string lw = lower(word);
+      if (lw == "and") {
+        current_ = {Token::Kind::kAnd, word, start};
+      } else if (lw == "or") {
+        current_ = {Token::Kind::kOr, word, start};
+      } else if (lw == "of") {
+        current_ = {Token::Kind::kOf, word, start};
+      } else {
+        current_ = {Token::Kind::kIdent, word, start};
+      }
+      return;
+    }
+    throw PolicyError("policy parse error: unexpected character '" + std::string(1, c) +
+                      "' at position " + std::to_string(start));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  Token current_{Token::Kind::kEnd, "", 0};
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : lex_(text) {}
+
+  PolicyPtr parse() {
+    PolicyPtr p = expr();
+    expect(Token::Kind::kEnd, "end of input");
+    return p;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& expected) {
+    const Token& t = lex_.peek();
+    throw PolicyError("policy parse error: expected " + expected + " at position " +
+                      std::to_string(t.pos) +
+                      (t.text.empty() ? "" : " (found '" + t.text + "')"));
+  }
+
+  Token expect(Token::Kind k, const std::string& what) {
+    if (lex_.peek().kind != k) fail(what);
+    return lex_.take();
+  }
+
+  PolicyPtr expr() {
+    std::vector<PolicyPtr> terms{term()};
+    while (lex_.peek().kind == Token::Kind::kOr) {
+      lex_.take();
+      terms.push_back(term());
+    }
+    return PolicyNode::or_of(std::move(terms));
+  }
+
+  PolicyPtr term() {
+    std::vector<PolicyPtr> factors{factor()};
+    while (lex_.peek().kind == Token::Kind::kAnd) {
+      lex_.take();
+      factors.push_back(factor());
+    }
+    return PolicyNode::and_of(std::move(factors));
+  }
+
+  PolicyPtr factor() {
+    const Token& t = lex_.peek();
+    if (t.kind == Token::Kind::kLParen) {
+      lex_.take();
+      PolicyPtr inner = expr();
+      expect(Token::Kind::kRParen, "')'");
+      return inner;
+    }
+    if (t.kind == Token::Kind::kInt) {
+      const Token k = lex_.take();
+      expect(Token::Kind::kOf, "'of' after threshold count");
+      expect(Token::Kind::kLParen, "'(' after 'of'");
+      std::vector<PolicyPtr> children{expr()};
+      while (lex_.peek().kind == Token::Kind::kComma) {
+        lex_.take();
+        children.push_back(expr());
+      }
+      expect(Token::Kind::kRParen, "')' closing threshold list");
+      int kv = 0;
+      try {
+        kv = std::stoi(k.text);
+      } catch (const std::exception&) {
+        throw PolicyError("policy parse error: bad threshold count '" + k.text + "'");
+      }
+      return PolicyNode::threshold(kv, std::move(children));
+    }
+    if (t.kind == Token::Kind::kIdent) {
+      const Token name = lex_.take();
+      expect(Token::Kind::kAt, "'@' after attribute name");
+      const Token aid = expect(Token::Kind::kIdent, "authority id after '@'");
+      return PolicyNode::attr(name.text, aid.text);
+    }
+    fail("attribute, '(' or threshold");
+  }
+
+  Lexer lex_;
+};
+
+}  // namespace
+
+PolicyPtr parse_policy(std::string_view text) { return Parser(text).parse(); }
+
+}  // namespace maabe::lsss

@@ -1,0 +1,27 @@
+// Textual policy language.
+//
+// Grammar (case-insensitive keywords, '@' binds attribute to authority):
+//
+//   expr   := term ( OR term )*
+//   term   := factor ( AND factor )*
+//   factor := attribute | '(' expr ')' | INT 'of' '(' expr (',' expr)* ')'
+//   attribute := ident '@' ident
+//   ident  := [A-Za-z0-9_.:+-]+
+//
+// Examples:
+//   "Doctor@MedOrg AND Researcher@TrialAdmin"
+//   "(Engineer@IBM OR Engineer@Google) AND Member@JointProject"
+//   "2of(CS@UnivA, EE@UnivB, Math@UnivC)"
+#pragma once
+
+#include <string_view>
+
+#include "lsss/policy.h"
+
+namespace maabe::lsss {
+
+/// Parses a policy string; throws PolicyError with a position-annotated
+/// message on syntax errors.
+PolicyPtr parse_policy(std::string_view text);
+
+}  // namespace maabe::lsss

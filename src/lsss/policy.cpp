@@ -1,0 +1,197 @@
+#include "lsss/policy.h"
+
+#include "common/errors.h"
+
+namespace maabe::lsss {
+
+namespace {
+
+PolicyPtr make_node(PolicyNode&& node) {
+  return std::make_shared<const PolicyNode>(std::move(node));
+}
+
+}  // namespace
+
+// PolicyNode has a private default constructor; the factories assemble
+// instances through a friend-free trick: a mutable local built via the
+// private ctor accessible from static member functions.
+
+PolicyPtr PolicyNode::attr(Attribute a) {
+  if (a.name.empty() || a.aid.empty())
+    throw PolicyError("policy: attribute name and authority must be non-empty");
+  PolicyNode n;
+  n.kind_ = Kind::kAttr;
+  n.attr_ = std::move(a);
+  return make_node(std::move(n));
+}
+
+PolicyPtr PolicyNode::attr(std::string name, std::string aid) {
+  return attr(Attribute{std::move(name), std::move(aid)});
+}
+
+PolicyPtr PolicyNode::and_of(std::vector<PolicyPtr> children) {
+  if (children.empty()) throw PolicyError("policy: AND requires children");
+  for (const auto& c : children)
+    if (!c) throw PolicyError("policy: null child");
+  if (children.size() == 1) return children.front();
+  PolicyNode n;
+  n.kind_ = Kind::kAnd;
+  n.children_ = std::move(children);
+  return make_node(std::move(n));
+}
+
+PolicyPtr PolicyNode::or_of(std::vector<PolicyPtr> children) {
+  if (children.empty()) throw PolicyError("policy: OR requires children");
+  for (const auto& c : children)
+    if (!c) throw PolicyError("policy: null child");
+  if (children.size() == 1) return children.front();
+  PolicyNode n;
+  n.kind_ = Kind::kOr;
+  n.children_ = std::move(children);
+  return make_node(std::move(n));
+}
+
+PolicyPtr PolicyNode::threshold(int k, std::vector<PolicyPtr> children) {
+  const int n = static_cast<int>(children.size());
+  if (n == 0) throw PolicyError("policy: threshold requires children");
+  for (const auto& c : children)
+    if (!c) throw PolicyError("policy: null child");
+  if (k < 1 || k > n) throw PolicyError("policy: threshold k out of range");
+  if (k == 1) return or_of(std::move(children));
+  if (k == n) return and_of(std::move(children));
+  PolicyNode node;
+  node.kind_ = Kind::kThreshold;
+  node.k_ = k;
+  node.children_ = std::move(children);
+  return make_node(std::move(node));
+}
+
+const Attribute& PolicyNode::attribute() const {
+  if (kind_ != Kind::kAttr) throw PolicyError("policy: not an attribute node");
+  return attr_;
+}
+
+std::vector<Attribute> PolicyNode::leaves() const {
+  std::vector<Attribute> out;
+  if (kind_ == Kind::kAttr) {
+    out.push_back(attr_);
+    return out;
+  }
+  for (const auto& c : children_) {
+    const auto sub = c->leaves();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+std::set<std::string> PolicyNode::involved_authorities() const {
+  std::set<std::string> out;
+  for (const auto& a : leaves()) out.insert(a.aid);
+  return out;
+}
+
+bool PolicyNode::satisfied_by(const std::set<Attribute>& have) const {
+  switch (kind_) {
+    case Kind::kAttr:
+      return have.contains(attr_);
+    case Kind::kAnd:
+      for (const auto& c : children_)
+        if (!c->satisfied_by(have)) return false;
+      return true;
+    case Kind::kOr:
+      for (const auto& c : children_)
+        if (c->satisfied_by(have)) return true;
+      return false;
+    case Kind::kThreshold: {
+      int count = 0;
+      for (const auto& c : children_)
+        if (c->satisfied_by(have)) ++count;
+      return count >= k_;
+    }
+  }
+  throw PolicyError("policy: corrupt node kind");
+}
+
+std::string PolicyNode::to_string() const {
+  switch (kind_) {
+    case Kind::kAttr:
+      return attr_.qualified();
+    case Kind::kAnd:
+    case Kind::kOr: {
+      const char* op = kind_ == Kind::kAnd ? " AND " : " OR ";
+      std::string out = "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += op;
+        out += children_[i]->to_string();
+      }
+      out += ")";
+      return out;
+    }
+    case Kind::kThreshold: {
+      std::string out = std::to_string(k_) + "of(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children_[i]->to_string();
+      }
+      out += ")";
+      return out;
+    }
+  }
+  throw PolicyError("policy: corrupt node kind");
+}
+
+namespace {
+
+// Enumerates k-subsets of [0, n) and builds OR-of-AND combinations.
+void combinations(int n, int k, std::vector<int>& current, int start,
+                  const std::vector<PolicyPtr>& children,
+                  std::vector<PolicyPtr>* terms, size_t max_terms) {
+  if (static_cast<int>(current.size()) == k) {
+    std::vector<PolicyPtr> conj;
+    conj.reserve(k);
+    for (int idx : current) conj.push_back(children[idx]);
+    terms->push_back(PolicyNode::and_of(std::move(conj)));
+    if (terms->size() > max_terms)
+      throw PolicyError("policy: threshold expansion too large");
+    return;
+  }
+  for (int i = start; i <= n - (k - static_cast<int>(current.size())); ++i) {
+    current.push_back(i);
+    combinations(n, k, current, i + 1, children, terms, max_terms);
+    current.pop_back();
+  }
+}
+
+}  // namespace
+
+PolicyPtr expand_thresholds(const PolicyPtr& node, size_t max_terms) {
+  if (!node) throw PolicyError("policy: null node");
+  switch (node->kind()) {
+    case PolicyNode::Kind::kAttr:
+      return node;
+    case PolicyNode::Kind::kAnd:
+    case PolicyNode::Kind::kOr: {
+      std::vector<PolicyPtr> expanded;
+      expanded.reserve(node->children().size());
+      for (const auto& c : node->children())
+        expanded.push_back(expand_thresholds(c, max_terms));
+      return node->kind() == PolicyNode::Kind::kAnd
+                 ? PolicyNode::and_of(std::move(expanded))
+                 : PolicyNode::or_of(std::move(expanded));
+    }
+    case PolicyNode::Kind::kThreshold: {
+      std::vector<PolicyPtr> expanded;
+      expanded.reserve(node->children().size());
+      for (const auto& c : node->children())
+        expanded.push_back(expand_thresholds(c, max_terms));
+      std::vector<PolicyPtr> terms;
+      std::vector<int> current;
+      combinations(static_cast<int>(expanded.size()), node->threshold_k(),
+                   current, 0, expanded, &terms, max_terms);
+      return PolicyNode::or_of(std::move(terms));
+    }
+  }
+  throw PolicyError("policy: corrupt node kind");
+}
+
+}  // namespace maabe::lsss

@@ -1,0 +1,83 @@
+// Access-policy abstract syntax trees.
+//
+// A policy is a monotone boolean formula over authority-qualified
+// attributes ("Doctor@MedOrg"), built from AND, OR and k-of-n threshold
+// gates. The paper's scheme encrypts under any LSSS access structure;
+// policies compile to LSSS matrices in matrix.h.
+#pragma once
+
+#include <compare>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace maabe::lsss {
+
+/// An attribute together with the authority (AID) that manages it. The
+/// paper stresses that the AID makes same-named attributes from
+/// different authorities distinguishable.
+struct Attribute {
+  std::string name;
+  std::string aid;
+
+  /// Canonical "name@aid" form — the string fed to the random oracle
+  /// H(x) and shown in policy strings.
+  std::string qualified() const { return name + "@" + aid; }
+
+  auto operator<=>(const Attribute&) const = default;
+};
+
+class PolicyNode;
+using PolicyPtr = std::shared_ptr<const PolicyNode>;
+
+/// Immutable policy tree node. Construct through the factories; shared
+/// ownership makes subtree reuse cheap.
+class PolicyNode {
+ public:
+  enum class Kind { kAttr, kAnd, kOr, kThreshold };
+
+  static PolicyPtr attr(Attribute a);
+  static PolicyPtr attr(std::string name, std::string aid);
+  /// AND / OR over >= 1 children (a single child collapses to the child).
+  static PolicyPtr and_of(std::vector<PolicyPtr> children);
+  static PolicyPtr or_of(std::vector<PolicyPtr> children);
+  /// k-of-n threshold gate; requires 1 <= k <= n. k=1 collapses to OR,
+  /// k=n to AND.
+  static PolicyPtr threshold(int k, std::vector<PolicyPtr> children);
+
+  Kind kind() const { return kind_; }
+  const Attribute& attribute() const;
+  int threshold_k() const { return k_; }
+  const std::vector<PolicyPtr>& children() const { return children_; }
+
+  /// All leaf attributes, left-to-right (duplicates preserved).
+  std::vector<Attribute> leaves() const;
+
+  /// Set of authorities whose attributes appear in the policy.
+  std::set<std::string> involved_authorities() const;
+
+  /// Boolean-formula semantics — the reference oracle that the LSSS
+  /// compilation must agree with (property-tested).
+  bool satisfied_by(const std::set<Attribute>& have) const;
+
+  /// Round-trippable textual form, e.g.
+  /// "(Doctor@MedOrg AND Researcher@Trial) OR 2of(a@A, b@B, c@C)".
+  std::string to_string() const;
+
+ private:
+  PolicyNode() = default;
+
+  Kind kind_ = Kind::kAttr;
+  Attribute attr_;
+  int k_ = 0;
+  std::vector<PolicyPtr> children_;
+};
+
+/// Rewrites every threshold gate into an OR of ANDs over its
+/// C(n, k) satisfying combinations, yielding an AND/OR-only tree (the
+/// shape the Lewko-Waters LSSS conversion consumes). Throws PolicyError
+/// if the expansion would exceed `max_terms` combinations.
+PolicyPtr expand_thresholds(const PolicyPtr& node, size_t max_terms = 4096);
+
+}  // namespace maabe::lsss

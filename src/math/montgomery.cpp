@@ -1,0 +1,97 @@
+#include "math/montgomery.h"
+
+#include "common/errors.h"
+
+namespace maabe::math {
+
+using u128 = unsigned __int128;
+
+MontCtx::MontCtx(const Bignum& modulus) : p_(modulus) {
+  if (!modulus.is_odd() || modulus.bit_length() < 2)
+    throw MathError("MontCtx: modulus must be odd and >= 3");
+  n_ = modulus.limb_count();
+  bits_ = modulus.bit_length();
+  byte_len_ = (bits_ + 7) / 8;
+
+  // n0_ = -p^{-1} mod 2^64 via Newton-Hensel lifting.
+  const uint64_t p0 = modulus.limb(0);
+  uint64_t x = p0;  // 3-bit correct start (x*p == 1 mod 8 for odd p)
+  for (int i = 0; i < 6; ++i) x *= 2 - p0 * x;
+  n0_ = ~x + 1;  // -x
+
+  // R mod p and R^2 mod p via shifting.
+  const Bignum r = Bignum::mod(Bignum::shl(Bignum::from_u64(1), 64 * n_), p_);
+  one_ = r;
+  r2_ = Bignum::mod(Bignum::mul(r, r), p_);
+}
+
+Bignum MontCtx::mul(const Bignum& a, const Bignum& b) const {
+  // CIOS (coarsely integrated operand scanning).
+  const int n = n_;
+  uint64_t t[Bignum::kMaxLimbs + 2] = {0};
+  for (int i = 0; i < n; ++i) {
+    const uint64_t ai = a.limb(i);
+    // t += ai * b
+    u128 carry = 0;
+    for (int j = 0; j < n; ++j) {
+      const u128 s = u128(ai) * b.limb(j) + t[j] + static_cast<uint64_t>(carry);
+      t[j] = static_cast<uint64_t>(s);
+      carry = s >> 64;
+    }
+    u128 s = u128(t[n]) + static_cast<uint64_t>(carry);
+    t[n] = static_cast<uint64_t>(s);
+    t[n + 1] = static_cast<uint64_t>(s >> 64);
+
+    // t = (t + m*p) / 2^64
+    const uint64_t m = t[0] * n0_;
+    s = u128(m) * p_.limb(0) + t[0];
+    carry = s >> 64;
+    for (int j = 1; j < n; ++j) {
+      s = u128(m) * p_.limb(j) + t[j] + static_cast<uint64_t>(carry);
+      t[j - 1] = static_cast<uint64_t>(s);
+      carry = s >> 64;
+    }
+    s = u128(t[n]) + static_cast<uint64_t>(carry);
+    t[n - 1] = static_cast<uint64_t>(s);
+    t[n] = t[n + 1] + static_cast<uint64_t>(s >> 64);
+    t[n + 1] = 0;
+  }
+
+  // t[0..n] holds the result, < 2p.
+  Bignum out = Bignum::from_limbs_le(t, n + 1);
+  if (Bignum::cmp(out, p_) >= 0) out = Bignum::sub(out, p_);
+  return out;
+}
+
+Bignum MontCtx::to_mont(const Bignum& a) const { return mul(a, r2_); }
+
+Bignum MontCtx::from_mont(const Bignum& a) const { return mul(a, Bignum::from_u64(1)); }
+
+Bignum MontCtx::add(const Bignum& a, const Bignum& b) const {
+  return Bignum::mod_add(a, b, p_);
+}
+
+Bignum MontCtx::sub(const Bignum& a, const Bignum& b) const {
+  return Bignum::mod_sub(a, b, p_);
+}
+
+Bignum MontCtx::neg(const Bignum& a) const {
+  if (a.is_zero()) return a;
+  return Bignum::sub(p_, a);
+}
+
+Bignum MontCtx::pow(const Bignum& base, const Bignum& exp) const {
+  Bignum result = one_;
+  for (int i = exp.bit_length() - 1; i >= 0; --i) {
+    result = mul(result, result);
+    if (exp.bit(i)) result = mul(result, base);
+  }
+  return result;
+}
+
+Bignum MontCtx::inv(const Bignum& a) const {
+  const Bignum plain = from_mont(a);
+  return to_mont(Bignum::mod_inverse(plain, p_));
+}
+
+}  // namespace maabe::math

@@ -1,0 +1,16 @@
+// Primality testing.
+//
+// Miller-Rabin with fixed small-prime bases. For the parameter-generation
+// use case (random candidates, not adversarial inputs) 40 bases give a
+// composite-acceptance probability far below 4^-40.
+#pragma once
+
+#include "math/bignum.h"
+
+namespace maabe::math {
+
+/// Miller-Rabin probable-prime test. `rounds` caps the number of bases
+/// used (at most the 40 built-in small-prime bases).
+bool is_probable_prime(const Bignum& n, int rounds = 40);
+
+}  // namespace maabe::math

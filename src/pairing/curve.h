@@ -1,0 +1,59 @@
+// Arithmetic on the supersingular curve E: y^2 = x^3 + x over F_q.
+//
+// Affine points are the external representation; scalar multiplication
+// and the Miller loop run in Jacobian coordinates ((X:Y:Z) with
+// x = X/Z^2, y = Y/Z^3) to avoid per-step field inversions.
+#pragma once
+
+#include "pairing/fp.h"
+
+namespace maabe::pairing {
+
+/// Affine point; coordinates in Montgomery form. `inf` marks the point
+/// at infinity (coordinates ignored).
+struct AffinePoint {
+  math::Bignum x;
+  math::Bignum y;
+  bool inf = true;
+
+  static AffinePoint infinity() { return {}; }
+};
+
+/// Jacobian point used internally by scalar multiplication and pairing.
+struct JacPoint {
+  math::Bignum x;
+  math::Bignum y;
+  math::Bignum z;  // zero z encodes infinity
+};
+
+class CurveCtx {
+ public:
+  explicit CurveCtx(const FpCtx& fq) : fq_(fq) {}
+
+  const FpCtx& field() const { return fq_; }
+
+  bool eq(const AffinePoint& p, const AffinePoint& q) const;
+  bool is_on_curve(const AffinePoint& p) const;
+
+  AffinePoint neg(const AffinePoint& p) const;
+  AffinePoint add(const AffinePoint& p, const AffinePoint& q) const;
+  AffinePoint dbl(const AffinePoint& p) const;
+  /// Scalar multiplication; k is a plain (non-Montgomery) integer.
+  AffinePoint mul(const AffinePoint& p, const math::Bignum& k) const;
+
+  // Jacobian core (also used by the Miller loop).
+  JacPoint to_jac(const AffinePoint& p) const;
+  AffinePoint to_affine(const JacPoint& p) const;
+  JacPoint jac_dbl(const JacPoint& p) const;
+  /// Mixed addition with an affine q; q must not be infinity.
+  JacPoint jac_add_mixed(const JacPoint& p, const AffinePoint& q) const;
+
+  /// Solves y^2 = x^3 + x for y given x (Montgomery form); returns false
+  /// if the RHS is a non-residue.
+  bool lift_x(const math::Bignum& x, math::Bignum* y) const;
+
+ private:
+  const FpCtx& fq_;
+};
+
+}  // namespace maabe::pairing

@@ -1,0 +1,47 @@
+#include "pairing/fp.h"
+
+#include "common/errors.h"
+
+namespace maabe::pairing {
+
+using math::Bignum;
+
+FpCtx::FpCtx(const Bignum& p) : mont_(p) {
+  qr_exp_ = Bignum::shr(Bignum::sub(p, Bignum::from_u64(1)), 1);
+  sqrt_exp_ = Bignum::shr(Bignum::add(p, Bignum::from_u64(1)), 2);
+}
+
+Bignum FpCtx::inv(const Bignum& a) const {
+  if (a.is_zero()) throw MathError("FpCtx::inv: zero is not invertible");
+  return mont_.inv(a);
+}
+
+bool FpCtx::is_qr(const Bignum& a) const {
+  if (a.is_zero()) return true;
+  return mont_.pow(a, qr_exp_) == mont_.one();
+}
+
+Bignum FpCtx::sqrt(const Bignum& a) const {
+  if (a.is_zero()) return a;
+  const Bignum root = mont_.pow(a, sqrt_exp_);
+  if (mont_.mul(root, root) != a) throw MathError("FpCtx::sqrt: not a quadratic residue");
+  return root;
+}
+
+Bignum FpCtx::random(crypto::Drbg& rng) const {
+  return enc(rng.below(mont_.modulus()));
+}
+
+Bytes FpCtx::to_bytes(const Bignum& mont_form) const {
+  return dec(mont_form).to_bytes_be(mont_.byte_length());
+}
+
+Bignum FpCtx::from_bytes(ByteView data) const {
+  if (data.size() != mont_.byte_length()) throw WireError("FpCtx::from_bytes: bad length");
+  const Bignum plain = Bignum::from_bytes_be(data);
+  if (Bignum::cmp(plain, mont_.modulus()) >= 0)
+    throw WireError("FpCtx::from_bytes: value exceeds modulus");
+  return enc(plain);
+}
+
+}  // namespace maabe::pairing

@@ -1,0 +1,64 @@
+// Prime-field context: Montgomery arithmetic plus the field-level
+// operations the curve and pairing layers need (inversion, square roots,
+// serialization, uniform sampling).
+//
+// Field elements are plain math::Bignum values in Montgomery form; all
+// operations go through the owning FpCtx (context-object style keeps the
+// hot path free of per-element field pointers).
+#pragma once
+
+#include "crypto/drbg.h"
+#include "math/bignum.h"
+#include "math/montgomery.h"
+
+namespace maabe::pairing {
+
+class FpCtx {
+ public:
+  /// p must be an odd prime.
+  explicit FpCtx(const math::Bignum& p);
+
+  const math::Bignum& modulus() const { return mont_.modulus(); }
+  size_t byte_length() const { return mont_.byte_length(); }
+
+  // Montgomery codec.
+  math::Bignum enc(const math::Bignum& plain) const { return mont_.to_mont(plain); }
+  math::Bignum dec(const math::Bignum& m) const { return mont_.from_mont(m); }
+
+  // Arithmetic on Montgomery-form elements.
+  math::Bignum add(const math::Bignum& a, const math::Bignum& b) const { return mont_.add(a, b); }
+  math::Bignum sub(const math::Bignum& a, const math::Bignum& b) const { return mont_.sub(a, b); }
+  math::Bignum neg(const math::Bignum& a) const { return mont_.neg(a); }
+  math::Bignum mul(const math::Bignum& a, const math::Bignum& b) const { return mont_.mul(a, b); }
+  math::Bignum sqr(const math::Bignum& a) const { return mont_.sqr(a); }
+  math::Bignum inv(const math::Bignum& a) const;
+  math::Bignum pow(const math::Bignum& base, const math::Bignum& exp) const {
+    return mont_.pow(base, exp);
+  }
+  math::Bignum dbl(const math::Bignum& a) const { return mont_.add(a, a); }
+
+  const math::Bignum& one() const { return mont_.one(); }
+  math::Bignum zero() const { return math::Bignum(); }
+
+  /// Quadratic-residue test via Euler's criterion (element in Montgomery
+  /// form; zero counts as a residue).
+  bool is_qr(const math::Bignum& a) const;
+
+  /// Square root for p = 3 (mod 4): a^((p+1)/4). Throws MathError if `a`
+  /// is a non-residue.
+  math::Bignum sqrt(const math::Bignum& a) const;
+
+  /// Uniform field element (Montgomery form).
+  math::Bignum random(crypto::Drbg& rng) const;
+
+  /// Fixed-width big-endian serialization of the *plain* value.
+  Bytes to_bytes(const math::Bignum& mont_form) const;
+  math::Bignum from_bytes(ByteView data) const;
+
+ private:
+  math::MontCtx mont_;
+  math::Bignum qr_exp_;    // (p-1)/2
+  math::Bignum sqrt_exp_;  // (p+1)/4
+};
+
+}  // namespace maabe::pairing

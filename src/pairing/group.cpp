@@ -1,0 +1,285 @@
+#include "pairing/group.h"
+
+#include "common/errors.h"
+#include "common/wire.h"
+#include "crypto/sha256.h"
+
+namespace maabe::pairing {
+
+using math::Bignum;
+
+namespace {
+
+void require_same_group(const void* a, const void* b, const char* op) {
+  if (a == nullptr || b == nullptr) throw SchemeError(std::string(op) + ": uninitialized element");
+  if (a != b) throw SchemeError(std::string(op) + ": elements from different groups");
+}
+
+// Domain-separated expansion of `data` to `out_len` bytes.
+Bytes expand(std::string_view domain, ByteView data, size_t out_len) {
+  Bytes out;
+  uint32_t counter = 0;
+  while (out.size() < out_len) {
+    crypto::Sha256 h;
+    Writer w;
+    w.str(domain);
+    w.u32(counter++);
+    w.var_bytes(data);
+    h.update(w.bytes());
+    const Bytes d = h.finish();
+    out.insert(out.end(), d.begin(), d.end());
+  }
+  out.resize(out_len);
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Zr --
+
+Zr Zr::add(const Zr& o) const {
+  require_same_group(g_, o.g_, "Zr::add");
+  return Zr(g_, Bignum::mod_add(v_, o.v_, g_->order()));
+}
+
+Zr Zr::sub(const Zr& o) const {
+  require_same_group(g_, o.g_, "Zr::sub");
+  return Zr(g_, Bignum::mod_sub(v_, o.v_, g_->order()));
+}
+
+Zr Zr::mul(const Zr& o) const {
+  require_same_group(g_, o.g_, "Zr::mul");
+  return Zr(g_, Bignum::mod_mul(v_, o.v_, g_->order()));
+}
+
+Zr Zr::neg() const {
+  if (g_ == nullptr) throw SchemeError("Zr::neg: uninitialized element");
+  return Zr(g_, Bignum::mod_sub(Bignum(), v_, g_->order()));
+}
+
+Zr Zr::inverse() const {
+  if (g_ == nullptr) throw SchemeError("Zr::inverse: uninitialized element");
+  return Zr(g_, Bignum::mod_inverse(v_, g_->order()));
+}
+
+Bytes Zr::to_bytes() const {
+  if (g_ == nullptr) throw SchemeError("Zr::to_bytes: uninitialized element");
+  return v_.to_bytes_be(g_->zr_size());
+}
+
+// ---------------------------------------------------------------- G1 --
+
+G1 G1::add(const G1& o) const {
+  require_same_group(g_, o.g_, "G1::add");
+  return G1(g_, g_->ctx().curve().add(pt_, o.pt_));
+}
+
+G1 G1::neg() const {
+  if (g_ == nullptr) throw SchemeError("G1::neg: uninitialized element");
+  return G1(g_, g_->ctx().curve().neg(pt_));
+}
+
+G1 G1::mul(const Zr& k) const {
+  require_same_group(g_, k.group(), "G1::mul");
+  return G1(g_, g_->ctx().curve().mul(pt_, k.value()));
+}
+
+bool operator==(const G1& a, const G1& b) {
+  require_same_group(a.g_, b.g_, "G1::eq");
+  return a.g_->ctx().curve().eq(a.pt_, b.pt_);
+}
+
+bool G1::in_subgroup() const {
+  if (g_ == nullptr) throw SchemeError("G1::in_subgroup: uninitialized element");
+  if (pt_.inf) return true;
+  return g_->ctx().curve().mul(pt_, g_->order()).inf;
+}
+
+Bytes G1::to_bytes() const {
+  if (g_ == nullptr) throw SchemeError("G1::to_bytes: uninitialized element");
+  const FpCtx& fq = g_->ctx().fq();
+  Bytes out;
+  if (pt_.inf) {
+    out.assign(fq.byte_length(), 0);
+    out.push_back(2);  // infinity marker
+    return out;
+  }
+  out = fq.to_bytes(pt_.x);
+  out.push_back(static_cast<uint8_t>(fq.dec(pt_.y).is_odd() ? 1 : 0));
+  return out;
+}
+
+// ---------------------------------------------------------------- GT --
+
+bool GT::is_one() const {
+  if (g_ == nullptr) throw SchemeError("GT::is_one: uninitialized element");
+  return g_->ctx().fq2().is_one(v_);
+}
+
+GT GT::mul(const GT& o) const {
+  require_same_group(g_, o.g_, "GT::mul");
+  return GT(g_, g_->ctx().fq2().mul(v_, o.v_));
+}
+
+GT GT::inverse() const {
+  if (g_ == nullptr) throw SchemeError("GT::inverse: uninitialized element");
+  // Elements of the order-r subgroup have norm 1, so conjugation inverts.
+  return GT(g_, g_->ctx().fq2().conj(v_));
+}
+
+GT GT::pow(const Zr& k) const {
+  require_same_group(g_, k.group(), "GT::pow");
+  return GT(g_, g_->ctx().fq2().pow(v_, k.value()));
+}
+
+bool operator==(const GT& a, const GT& b) {
+  require_same_group(a.g_, b.g_, "GT::eq");
+  return a.v_ == b.v_;
+}
+
+bool GT::in_subgroup() const {
+  if (g_ == nullptr) throw SchemeError("GT::in_subgroup: uninitialized element");
+  return g_->ctx().fq2().is_one(g_->ctx().fq2().pow(v_, g_->order()));
+}
+
+Bytes GT::to_bytes() const {
+  if (g_ == nullptr) throw SchemeError("GT::to_bytes: uninitialized element");
+  return g_->ctx().fq2().to_bytes(v_);
+}
+
+// ------------------------------------------------------------- Group --
+
+Group::Group(const TypeAParams& params) : ctx_(params) {
+  params.validate();
+  // Deterministic generator: hash to the curve, clear the cofactor.
+  generator_ = hash_to_g1(std::string_view("maabe/type-a/generator/v1"));
+  if (generator_.is_identity()) throw MathError("Group: generator derivation failed");
+  e_gg_ = pair(generator_, generator_);
+  if (e_gg_.is_one()) throw MathError("Group: degenerate pairing");
+  // Window tables for the two fixed bases every scheme algorithm uses.
+  g_table_ = std::make_unique<G1FixedBase>(ctx_.curve(), generator_.pt_,
+                                           params.r.bit_length());
+  egg_table_ = std::make_unique<GtFixedBase>(ctx_.fq2(), e_gg_.v_,
+                                             params.r.bit_length());
+}
+
+G1 Group::g_pow(const Zr& k) const {
+  if (k.group() != this) throw SchemeError("g_pow: exponent from another group");
+  return G1(this, g_table_->pow(k.value()));
+}
+
+GT Group::egg_pow(const Zr& k) const {
+  if (k.group() != this) throw SchemeError("egg_pow: exponent from another group");
+  return GT(this, egg_table_->pow(k.value()));
+}
+
+std::shared_ptr<const Group> Group::pbc_a512() {
+  return std::make_shared<const Group>(TypeAParams::pbc_a512());
+}
+
+std::shared_ptr<const Group> Group::test_small() {
+  return std::make_shared<const Group>(TypeAParams::test_small());
+}
+
+std::shared_ptr<const Group> Group::create(const TypeAParams& params) {
+  return std::make_shared<const Group>(params);
+}
+
+size_t Group::zr_size() const { return (order().bit_length() + 7) / 8; }
+size_t Group::g1_size() const { return ctx_.fq().byte_length() + 1; }
+size_t Group::gt_size() const { return 2 * ctx_.fq().byte_length(); }
+
+Zr Group::zr_from_u64(uint64_t v) const {
+  return Zr(this, Bignum::mod(Bignum::from_u64(v), order()));
+}
+
+Zr Group::zr_from_bignum(const Bignum& v) const {
+  return Zr(this, Bignum::mod(v, order()));
+}
+
+Zr Group::zr_random(crypto::Drbg& rng) const { return Zr(this, rng.below(order())); }
+
+Zr Group::zr_nonzero_random(crypto::Drbg& rng) const {
+  return Zr(this, rng.nonzero_below(order()));
+}
+
+Zr Group::zr_from_bytes(ByteView data) const {
+  if (data.size() != zr_size()) throw WireError("zr_from_bytes: bad length");
+  const Bignum v = Bignum::from_bytes_be(data);
+  if (Bignum::cmp(v, order()) >= 0) throw WireError("zr_from_bytes: value exceeds order");
+  return Zr(this, v);
+}
+
+Zr Group::hash_to_zr(ByteView data) const {
+  // 16 extra bytes make the mod-r bias negligible.
+  const Bytes wide = expand("maabe/hash-to-zr", data, zr_size() + 16);
+  return Zr(this, Bignum::mod(Bignum::from_bytes_be(wide), order()));
+}
+
+Zr Group::hash_to_zr(std::string_view s) const {
+  return hash_to_zr(ByteView(reinterpret_cast<const uint8_t*>(s.data()), s.size()));
+}
+
+G1 Group::g1_random(crypto::Drbg& rng) const {
+  return g().mul(zr_nonzero_random(rng));
+}
+
+G1 Group::hash_to_g1(ByteView data) const {
+  const FpCtx& fq = ctx_.fq();
+  const CurveCtx& curve = ctx_.curve();
+  for (uint32_t counter = 0; counter < 1000; ++counter) {
+    Writer w;
+    w.u32(counter);
+    w.var_bytes(data);
+    const Bytes xb = expand("maabe/hash-to-g1", w.bytes(), fq.byte_length() + 16);
+    const Bignum x_plain = Bignum::mod(Bignum::from_bytes_be(xb), fq.modulus());
+    const Bignum x = fq.enc(x_plain);
+    Bignum y;
+    if (!curve.lift_x(x, &y)) continue;
+    // Pick the sign of y from one more hash bit for uniformity.
+    const Bytes sign = expand("maabe/hash-to-g1/sign", w.bytes(), 1);
+    if (sign[0] & 1) y = fq.neg(y);
+    // Clear the cofactor to land in the order-r subgroup.
+    const AffinePoint pt = curve.mul({x, y, false}, params().h);
+    if (!pt.inf) return G1(this, pt);
+  }
+  throw MathError("hash_to_g1: failed to find a curve point");
+}
+
+G1 Group::hash_to_g1(std::string_view s) const {
+  return hash_to_g1(ByteView(reinterpret_cast<const uint8_t*>(s.data()), s.size()));
+}
+
+G1 Group::g1_from_bytes(ByteView data) const {
+  if (data.size() != g1_size()) throw WireError("g1_from_bytes: bad length");
+  const FpCtx& fq = ctx_.fq();
+  const uint8_t flag = data[data.size() - 1];
+  const ByteView xb = data.subspan(0, data.size() - 1);
+  if (flag == 2) {
+    for (uint8_t b : xb)
+      if (b != 0) throw WireError("g1_from_bytes: malformed infinity encoding");
+    return g1_identity();
+  }
+  if (flag > 1) throw WireError("g1_from_bytes: bad sign flag");
+  const Bignum x = fq.from_bytes(xb);
+  Bignum y;
+  if (!ctx_.curve().lift_x(x, &y)) throw WireError("g1_from_bytes: x not on curve");
+  if (fq.dec(y).is_odd() != (flag == 1)) y = fq.neg(y);
+  return G1(this, {x, y, false});
+}
+
+GT Group::gt_random(crypto::Drbg& rng) const {
+  return gt_generator().pow(zr_nonzero_random(rng));
+}
+
+GT Group::gt_from_bytes(ByteView data) const {
+  return GT(this, ctx_.fq2().from_bytes(data));
+}
+
+GT Group::pair(const G1& a, const G1& b) const {
+  require_same_group(this, a.g_, "Group::pair");
+  require_same_group(this, b.g_, "Group::pair");
+  return GT(this, ctx_.pair(a.pt_, b.pt_));
+}
+
+}  // namespace maabe::pairing

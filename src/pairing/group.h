@@ -1,0 +1,193 @@
+// Public pairing-group API used by the ABE schemes.
+//
+// A Group bundles a type-A parameter set with its contexts, a fixed
+// generator g of the order-r subgroup, and the cached value e(g, g).
+// Element types Zr (exponents mod r), G1 (curve points) and GT (target
+// group) are cheap value types referencing their Group; the Group must
+// outlive its elements (create it once per process, e.g. via the
+// shared_ptr factories, and keep it alive).
+//
+// All serialization is fixed-width: |Zr| = r-bytes, |G1| = q-bytes + 1
+// (compressed point), |GT| = 2 * q-bytes. These are the element sizes the
+// paper's Tables II-IV count symbolically as |p|, |G|, |GT|.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "pairing/fixed_base.h"
+#include "pairing/pairing.h"
+
+namespace maabe::pairing {
+
+class Group;
+
+/// Exponent in Z_r (plain representation; arithmetic mod the group
+/// order r).
+class Zr {
+ public:
+  Zr() = default;
+
+  const math::Bignum& value() const { return v_; }
+  const Group* group() const { return g_; }
+  bool is_zero() const { return v_.is_zero(); }
+
+  Zr add(const Zr& o) const;
+  Zr sub(const Zr& o) const;
+  Zr mul(const Zr& o) const;
+  Zr neg() const;
+  /// Multiplicative inverse mod r; throws MathError on zero.
+  Zr inverse() const;
+
+  friend Zr operator+(const Zr& a, const Zr& b) { return a.add(b); }
+  friend Zr operator-(const Zr& a, const Zr& b) { return a.sub(b); }
+  friend Zr operator*(const Zr& a, const Zr& b) { return a.mul(b); }
+  friend bool operator==(const Zr& a, const Zr& b) { return a.v_ == b.v_; }
+  friend bool operator!=(const Zr& a, const Zr& b) { return !(a == b); }
+
+  Bytes to_bytes() const;
+
+ private:
+  friend class Group;
+  Zr(const Group* g, math::Bignum v) : g_(g), v_(std::move(v)) {}
+
+  const Group* g_ = nullptr;
+  math::Bignum v_;
+};
+
+/// Point in the order-r subgroup of E(F_q) (written multiplicatively in
+/// the paper: G1 "exponentiation" g^k is scalar multiplication here).
+class G1 {
+ public:
+  G1() = default;
+
+  bool is_identity() const { return pt_.inf; }
+
+  G1 add(const G1& o) const;
+  G1 neg() const;
+  /// g^k — scalar multiplication by an exponent in Z_r.
+  G1 mul(const Zr& k) const;
+  /// True when the point lies in the order-r subgroup. Deserialized
+  /// points are guaranteed on-curve but may sit in a cofactor coset;
+  /// key-material decoders call this (see abe/serial.cpp).
+  bool in_subgroup() const;
+
+  friend G1 operator+(const G1& a, const G1& b) { return a.add(b); }
+  friend G1 operator-(const G1& a, const G1& b) { return a.add(b.neg()); }
+  friend G1 operator*(const G1& a, const Zr& k) { return a.mul(k); }
+  friend bool operator==(const G1& a, const G1& b);
+  friend bool operator!=(const G1& a, const G1& b) { return !(a == b); }
+
+  Bytes to_bytes() const;
+
+ private:
+  friend class Group;
+  G1(const Group* g, AffinePoint pt) : g_(g), pt_(std::move(pt)) {}
+
+  const Group* g_ = nullptr;
+  AffinePoint pt_;
+};
+
+/// Element of the target group (order-r subgroup of F_{q^2}^*).
+class GT {
+ public:
+  GT() = default;
+
+  bool is_one() const;
+
+  GT mul(const GT& o) const;
+  GT div(const GT& o) const { return mul(o.inverse()); }
+  /// Inverse via conjugation (valid in the norm-1 cyclotomic subgroup).
+  GT inverse() const;
+  GT pow(const Zr& k) const;
+  /// True when the element lies in the order-r target subgroup.
+  bool in_subgroup() const;
+
+  friend GT operator*(const GT& a, const GT& b) { return a.mul(b); }
+  friend GT operator/(const GT& a, const GT& b) { return a.div(b); }
+  friend bool operator==(const GT& a, const GT& b);
+  friend bool operator!=(const GT& a, const GT& b) { return !(a == b); }
+
+  Bytes to_bytes() const;
+
+ private:
+  friend class Group;
+  GT(const Group* g, Fp2 v) : g_(g), v_(std::move(v)) {}
+
+  const Group* g_ = nullptr;
+  Fp2 v_;
+};
+
+class Group {
+ public:
+  /// The paper's setting: 512-bit base field, 160-bit order (PBC a.param).
+  static std::shared_ptr<const Group> pbc_a512();
+  /// Fast insecure parameters for tests (192-bit base field).
+  static std::shared_ptr<const Group> test_small();
+  static std::shared_ptr<const Group> create(const TypeAParams& params);
+
+  explicit Group(const TypeAParams& params);
+
+  const TypeAParams& params() const { return ctx_.params(); }
+  const math::Bignum& order() const { return ctx_.params().r; }
+  const PairingCtx& ctx() const { return ctx_; }
+
+  // Serialized element sizes in bytes.
+  size_t zr_size() const;
+  size_t g1_size() const;
+  size_t gt_size() const;
+
+  // ---- Zr ----------------------------------------------------------
+  Zr zr_zero() const { return Zr(this, {}); }
+  Zr zr_one() const { return Zr(this, math::Bignum::from_u64(1)); }
+  Zr zr_from_u64(uint64_t v) const;
+  /// Reduces an arbitrary integer mod r.
+  Zr zr_from_bignum(const math::Bignum& v) const;
+  Zr zr_random(crypto::Drbg& rng) const;
+  Zr zr_nonzero_random(crypto::Drbg& rng) const;
+  Zr zr_from_bytes(ByteView data) const;
+  /// The random oracle H: {0,1}* -> Z_r of the paper.
+  Zr hash_to_zr(ByteView data) const;
+  Zr hash_to_zr(std::string_view s) const;
+
+  // ---- G1 ----------------------------------------------------------
+  G1 g1_identity() const { return G1(this, AffinePoint::infinity()); }
+  /// The fixed generator g (deterministically derived from the params).
+  const G1& g() const { return generator_; }
+  /// g^k via the precomputed window table — 4-6x faster than g().mul(k);
+  /// use whenever the base is the generator (KeyGen, Encrypt hot paths).
+  G1 g_pow(const Zr& k) const;
+  G1 g1_random(crypto::Drbg& rng) const;
+  /// Try-and-increment hash to the order-r subgroup (needed by the
+  /// Lewko-Waters baseline's H: {0,1}* -> G).
+  G1 hash_to_g1(ByteView data) const;
+  G1 hash_to_g1(std::string_view s) const;
+  G1 g1_from_bytes(ByteView data) const;
+
+  // ---- GT ----------------------------------------------------------
+  GT gt_one() const { return GT(this, ctx_.fq2().one()); }
+  /// e(g, g), cached at construction.
+  const GT& gt_generator() const { return e_gg_; }
+  /// e(g,g)^k via the precomputed window table.
+  GT egg_pow(const Zr& k) const;
+  /// Uniform random element of the order-r target subgroup (used as the
+  /// KEM "message" whose hash becomes a content key).
+  GT gt_random(crypto::Drbg& rng) const;
+  GT gt_from_bytes(ByteView data) const;
+
+  /// The bilinear map e: G1 x G1 -> GT.
+  GT pair(const G1& a, const G1& b) const;
+
+ private:
+  friend class Zr;
+  friend class G1;
+  friend class GT;
+
+  PairingCtx ctx_;
+  G1 generator_;
+  GT e_gg_;
+  std::unique_ptr<G1FixedBase> g_table_;
+  std::unique_ptr<GtFixedBase> egg_table_;
+};
+
+}  // namespace maabe::pairing

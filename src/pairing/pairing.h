@@ -1,0 +1,47 @@
+// Modified Tate pairing on the type-A curve.
+//
+//   e(P, Q) = f_{r,P}(phi(Q))^((q^2-1)/r),  phi(x, y) = (-x, i*y)
+//
+// Implementation notes:
+//  * Miller loop in Jacobian coordinates; lines are scaled by arbitrary
+//    F_q factors (killed by the final exponentiation), which removes all
+//    inversions from the loop.
+//  * Denominator elimination: vertical lines evaluate inside F_q because
+//    x(phi(Q)) = -x_Q is in F_q, so they are skipped entirely.
+//  * Final exponentiation splits as (q^2-1)/r = (q-1) * h:
+//    f^(q-1) = conj(f) * f^{-1} (one Fp2 inversion), then a plain
+//    square-and-multiply by the cofactor h = (q+1)/r.
+#pragma once
+
+#include "pairing/curve.h"
+#include "pairing/fp2.h"
+#include "pairing/params.h"
+
+namespace maabe::pairing {
+
+/// Bundles every context needed to evaluate pairings on one parameter
+/// set. Cheap to construct; Group (group.h) owns one per instance.
+class PairingCtx {
+ public:
+  explicit PairingCtx(const TypeAParams& params);
+
+  const TypeAParams& params() const { return params_; }
+  const FpCtx& fq() const { return fq_; }
+  const Fp2Ctx& fq2() const { return fq2_; }
+  const CurveCtx& curve() const { return curve_; }
+
+  /// e(P, Q); symmetric and bilinear on the order-r subgroup. Returns 1
+  /// if either input is the point at infinity.
+  Fp2 pair(const AffinePoint& p, const AffinePoint& q) const;
+
+  /// Maps an arbitrary f in F_{q^2}^* to the order-r target group.
+  Fp2 final_exponentiation(const Fp2& f) const;
+
+ private:
+  TypeAParams params_;
+  FpCtx fq_;
+  Fp2Ctx fq2_;
+  CurveCtx curve_;
+};
+
+}  // namespace maabe::pairing

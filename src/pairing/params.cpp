@@ -1,0 +1,73 @@
+#include "pairing/params.h"
+
+#include "common/errors.h"
+#include "math/prime.h"
+
+namespace maabe::pairing {
+
+using math::Bignum;
+
+void TypeAParams::validate() const {
+  if (!math::is_probable_prime(q)) throw MathError("TypeAParams: q is not prime");
+  if (!math::is_probable_prime(r)) throw MathError("TypeAParams: r is not prime");
+  if (Bignum::mod(q, Bignum::from_u64(4)).to_u64() != 3)
+    throw MathError("TypeAParams: q must be 3 mod 4");
+  if (Bignum::add(Bignum::mul(h, r), Bignum()) !=
+      Bignum::add(q, Bignum::from_u64(1)))
+    throw MathError("TypeAParams: h*r != q+1");
+}
+
+const TypeAParams& TypeAParams::pbc_a512() {
+  static const TypeAParams params = {
+      Bignum::from_hex(
+          "a7a73868e95fba886edef8ce96e7217e364bb946f5ed839628d1f80010940622"
+          "a7afdaf9b049744a459e54dab7ba5be92539e8ff9b4f30a3cf6230c28e284d97"),
+      Bignum::from_hex("8000000000000800000000000000000000000001"),
+      Bignum::from_hex(
+          "14f4e70d1d2bf601bf6b0d47137cc83915f505f0e85050f93a6344777e2cd28f"
+          "f9b4f30a3cf6230c28e284d98")};
+  return params;
+}
+
+const TypeAParams& TypeAParams::test_small() {
+  static const TypeAParams params = {
+      Bignum::from_hex("a8a00006952d5bd44d531e0f159f2117c2792ecb0de393eb"),
+      Bignum::from_hex("a8b318d0752b1825bc55"),
+      Bignum::from_hex("ffe3054f92fff366bad4964db03c")};
+  return params;
+}
+
+TypeAParams TypeAParams::generate(int rbits, int qbits, crypto::Drbg& rng) {
+  if (rbits < 16 || qbits < rbits + 8)
+    throw MathError("TypeAParams::generate: need qbits >> rbits >= 16");
+  const int hbits = qbits - rbits;
+
+  for (int attempt = 0; attempt < 100000; ++attempt) {
+    // Random odd rbits candidate with the top bit set.
+    Bytes rb = rng.bytes((rbits + 7) / 8);
+    Bignum r = Bignum::from_bytes_be(rb);
+    r = Bignum::mod(r, Bignum::shl(Bignum::from_u64(1), rbits));
+    r = Bignum::add(Bignum::mod(r, Bignum::shl(Bignum::from_u64(1), rbits - 1)),
+                    Bignum::shl(Bignum::from_u64(1), rbits - 1));
+    if (!r.is_odd()) r = Bignum::add(r, Bignum::from_u64(1));
+    if (!math::is_probable_prime(r)) continue;
+
+    // Cofactor: multiple of 4 so that q = h*r - 1 = -1 = 3 (mod 4).
+    for (int inner = 0; inner < 1000; ++inner) {
+      Bytes hb = rng.bytes((hbits + 7) / 8);
+      Bignum h = Bignum::from_bytes_be(hb);
+      h = Bignum::add(Bignum::mod(h, Bignum::shl(Bignum::from_u64(1), hbits - 1)),
+                      Bignum::shl(Bignum::from_u64(1), hbits - 1));
+      h = Bignum::sub(h, Bignum::mod(h, Bignum::from_u64(4)));
+      const Bignum q = Bignum::sub(Bignum::mul(h, r), Bignum::from_u64(1));
+      if (q.bit_length() != qbits) continue;
+      if (!math::is_probable_prime(q)) continue;
+      TypeAParams out{q, r, h};
+      out.validate();
+      return out;
+    }
+  }
+  throw MathError("TypeAParams::generate: no parameters found");
+}
+
+}  // namespace maabe::pairing

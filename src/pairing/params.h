@@ -1,0 +1,42 @@
+// Type-A (supersingular) pairing parameters.
+//
+// The paper's evaluation uses PBC's symmetric "alpha" curve: the
+// supersingular curve  E: y^2 = x^3 + x  over F_q with q = 3 (mod 4)
+// prime, which has #E(F_q) = q + 1 and embedding degree 2. Picking a
+// prime r with q + 1 = h * r gives a subgroup G = E(F_q)[r] and a
+// symmetric pairing e: G x G -> GT (subgroup of F_{q^2}^*) via the
+// modified Tate pairing with the distortion map phi(x, y) = (-x, iy).
+//
+// pbc_a512() reproduces the exact group sizes of the paper's testbed
+// (512-bit base field, 160-bit group order — PBC's stock a.param).
+// test_small() is a 192-bit-field instance for fast unit testing; it is
+// NOT cryptographically secure.
+#pragma once
+
+#include "crypto/drbg.h"
+#include "math/bignum.h"
+
+namespace maabe::pairing {
+
+struct TypeAParams {
+  math::Bignum q;  ///< Base-field prime, q = 3 (mod 4).
+  math::Bignum r;  ///< Prime group order, r | q + 1.
+  math::Bignum h;  ///< Cofactor, q + 1 = h * r.
+
+  /// Validates primality and the algebraic relations above.
+  /// Throws MathError on violation.
+  void validate() const;
+
+  /// PBC's stock 512-bit/160-bit "a" parameters (the paper's setting).
+  static const TypeAParams& pbc_a512();
+
+  /// Small (192-bit q, 80-bit r) parameters for fast tests. Insecure.
+  static const TypeAParams& test_small();
+
+  /// Generates fresh parameters: a random `rbits` prime r and cofactor h
+  /// (a multiple of 4, so q = 3 mod 4) such that q = h*r - 1 is a
+  /// `qbits` prime.
+  static TypeAParams generate(int rbits, int qbits, crypto::Drbg& rng);
+};
+
+}  // namespace maabe::pairing

@@ -1,0 +1,375 @@
+#include "abe/scheme.h"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+#include "lsss/parser.h"
+
+namespace maabe::abe {
+namespace {
+
+using lsss::LsssMatrix;
+using lsss::parse_policy;
+using pairing::Group;
+using pairing::GT;
+using pairing::Zr;
+
+// A miniature multi-authority world: one owner, three authorities
+// ("Med", "Trial", "Gov") each managing a few attributes, two users.
+class SchemeTest : public ::testing::Test {
+ protected:
+  SchemeTest() : grp(Group::test_small()), rng("scheme-test") {
+    owner_mk = owner_gen(*grp, "owner-1", rng);
+    owner_sk = owner_share(*grp, owner_mk);
+
+    for (const std::string aid : {"Med", "Trial", "Gov"}) {
+      vks.emplace(aid, aa_setup(*grp, aid, rng));
+      apks.emplace(aid, aa_public_key(*grp, vks.at(aid)));
+    }
+    for (const std::string name : {"Doctor", "Nurse", "Admin"}) add_attr("Med", name);
+    for (const std::string name : {"Researcher", "Reviewer"}) add_attr("Trial", name);
+    for (const std::string name : {"Auditor"}) add_attr("Gov", name);
+
+    alice = ca_register_user(*grp, "alice", rng);
+    bob = ca_register_user(*grp, "bob", rng);
+
+    // Alice: Doctor@Med + Researcher@Trial. Bob: Nurse@Med + Auditor@Gov.
+    alice_keys.emplace("Med", aa_keygen(*grp, vks.at("Med"), owner_sk, alice, {"Doctor"}));
+    alice_keys.emplace("Trial",
+                       aa_keygen(*grp, vks.at("Trial"), owner_sk, alice, {"Researcher"}));
+    bob_keys.emplace("Med", aa_keygen(*grp, vks.at("Med"), owner_sk, bob, {"Nurse"}));
+    bob_keys.emplace("Gov", aa_keygen(*grp, vks.at("Gov"), owner_sk, bob, {"Auditor"}));
+  }
+
+  void add_attr(const std::string& aid, const std::string& name) {
+    const PublicAttributeKey pk = aa_attribute_key(*grp, vks.at(aid), name);
+    attr_pks.emplace(pk.attr.qualified(), pk);
+  }
+
+  EncryptionResult enc(const std::string& policy_text, const GT& m,
+                       const std::string& id = "ct-1") {
+    const LsssMatrix policy = LsssMatrix::from_policy(parse_policy(policy_text));
+    return encrypt(*grp, owner_mk, id, m, policy, apks, attr_pks, rng);
+  }
+
+  std::shared_ptr<const Group> grp;
+  crypto::Drbg rng;
+  OwnerMasterKey owner_mk;
+  OwnerSecretShare owner_sk;
+  std::map<std::string, AuthorityVersionKey> vks;
+  std::map<std::string, AuthorityPublicKey> apks;
+  std::map<std::string, PublicAttributeKey> attr_pks;
+  UserPublicKey alice, bob;
+  std::map<std::string, UserSecretKey> alice_keys, bob_keys;
+};
+
+TEST_F(SchemeTest, EncryptDecryptSingleAuthority) {
+  const GT m = grp->gt_random(rng);
+  const auto [ct, rec] = enc("Doctor@Med", m);
+  EXPECT_EQ(decrypt(*grp, ct, alice, alice_keys), m);
+}
+
+TEST_F(SchemeTest, EncryptDecryptAcrossAuthorities) {
+  const GT m = grp->gt_random(rng);
+  const auto [ct, rec] = enc("Doctor@Med AND Researcher@Trial", m);
+  EXPECT_EQ(ct.involved_authorities(), (std::set<std::string>{"Med", "Trial"}));
+  EXPECT_EQ(decrypt(*grp, ct, alice, alice_keys), m);
+}
+
+TEST_F(SchemeTest, DecryptFailsWhenPolicyUnsatisfied) {
+  const GT m = grp->gt_random(rng);
+  const auto [ct, rec] = enc("Doctor@Med AND Auditor@Gov", m);
+  // Bob has Auditor@Gov but is a Nurse, not a Doctor.
+  EXPECT_FALSE(can_decrypt(*grp, ct, bob_keys));
+  EXPECT_THROW(decrypt(*grp, ct, bob, bob_keys), SchemeError);
+}
+
+TEST_F(SchemeTest, DecryptFailsWithoutInvolvedAuthorityKey) {
+  const GT m = grp->gt_random(rng);
+  // Policy satisfiable by Alice's attributes alone (OR), but it also
+  // involves Gov, from which Alice has no key at all.
+  const auto [ct, rec] = enc("Doctor@Med OR Auditor@Gov", m);
+  EXPECT_FALSE(can_decrypt(*grp, ct, alice_keys));
+  EXPECT_THROW(decrypt(*grp, ct, alice, alice_keys), SchemeError);
+}
+
+TEST_F(SchemeTest, OrPolicyEitherBranchDecrypts) {
+  const GT m = grp->gt_random(rng);
+  {
+    const auto [ct, rec] = enc("Doctor@Med OR Nurse@Med", m);
+    EXPECT_EQ(decrypt(*grp, ct, alice, alice_keys), m);
+    std::map<std::string, UserSecretKey> bob_med{{"Med", bob_keys.at("Med")}};
+    EXPECT_EQ(decrypt(*grp, ct, bob, bob_med), m);
+  }
+}
+
+TEST_F(SchemeTest, ComplexNestedPolicy) {
+  const GT m = grp->gt_random(rng);
+  const auto [ct, rec] =
+      enc("(Doctor@Med AND Researcher@Trial) OR (Nurse@Med AND Auditor@Gov)", m);
+  // Decryption requires K_{UID,AID} from *every* involved authority
+  // (the paper's numerator ranges over all of I_A), so users holding
+  // only one branch's attributes still need empty-attribute keys from
+  // the other branch's authorities.
+  auto alice_full = alice_keys;
+  alice_full.emplace("Gov", aa_keygen(*grp, vks.at("Gov"), owner_sk, alice, {}));
+  auto bob_full = bob_keys;
+  bob_full.emplace("Trial", aa_keygen(*grp, vks.at("Trial"), owner_sk, bob, {}));
+  EXPECT_EQ(decrypt(*grp, ct, alice, alice_full), m);
+  EXPECT_EQ(decrypt(*grp, ct, bob, bob_full), m);
+  // A user with only partial attributes from each branch fails.
+  auto carol = ca_register_user(*grp, "carol", rng);
+  std::map<std::string, UserSecretKey> carol_keys;
+  carol_keys.emplace("Med", aa_keygen(*grp, vks.at("Med"), owner_sk, carol, {"Doctor"}));
+  carol_keys.emplace("Gov", aa_keygen(*grp, vks.at("Gov"), owner_sk, carol, {"Auditor"}));
+  carol_keys.emplace("Trial", aa_keygen(*grp, vks.at("Trial"), owner_sk, carol, {"Reviewer"}));
+  EXPECT_THROW(decrypt(*grp, ct, carol, carol_keys), SchemeError);
+}
+
+TEST_F(SchemeTest, CollusionMixedKeysYieldGarbage) {
+  // The paper's central claim (Theorem 1): users with different UIDs
+  // cannot pool keys. Alice contributes Doctor@Med, Bob contributes
+  // Auditor@Gov; together the attributes satisfy the policy, but the
+  // UID binding makes the combined decryption come out wrong.
+  const GT m = grp->gt_random(rng);
+  const auto [ct, rec] = enc("Doctor@Med AND Auditor@Gov", m);
+
+  std::map<std::string, UserSecretKey> pooled;
+  pooled.emplace("Med", alice_keys.at("Med"));
+  pooled.emplace("Gov", bob_keys.at("Gov"));
+
+  // Mechanically the algorithm runs (attributes satisfy the policy) but
+  // the output must NOT be the message, under either user's public key.
+  const GT out_alice = decrypt(*grp, ct, alice, pooled);
+  const GT out_bob = decrypt(*grp, ct, bob, pooled);
+  EXPECT_NE(out_alice, m);
+  EXPECT_NE(out_bob, m);
+}
+
+TEST_F(SchemeTest, SameUserKeysFromDifferentAuthoritiesDoCombine) {
+  // The flip side of collusion resistance: one UID's keys tie together.
+  const GT m = grp->gt_random(rng);
+  const auto [ct, rec] = enc("Doctor@Med AND Researcher@Trial", m);
+  EXPECT_EQ(decrypt(*grp, ct, alice, alice_keys), m);
+}
+
+TEST_F(SchemeTest, DecryptRejectsForeignOwnerKeys) {
+  // Keys issued under a different owner's SK_o must be rejected.
+  const OwnerMasterKey mk2 = owner_gen(*grp, "owner-2", rng);
+  const OwnerSecretShare sk2 = owner_share(*grp, mk2);
+  std::map<std::string, UserSecretKey> foreign;
+  foreign.emplace("Med", aa_keygen(*grp, vks.at("Med"), sk2, alice, {"Doctor"}));
+
+  const GT m = grp->gt_random(rng);
+  const auto [ct, rec] = enc("Doctor@Med", m);
+  EXPECT_THROW(decrypt(*grp, ct, alice, foreign), SchemeError);
+}
+
+TEST_F(SchemeTest, RandomizedEncryption) {
+  const GT m = grp->gt_random(rng);
+  const auto r1 = enc("Doctor@Med", m, "ct-a");
+  const auto r2 = enc("Doctor@Med", m, "ct-b");
+  EXPECT_NE(r1.ct.c, r2.ct.c);
+  EXPECT_NE(r1.ct.c_prime, r2.ct.c_prime);
+  EXPECT_NE(r1.record.s, r2.record.s);
+}
+
+TEST_F(SchemeTest, EncryptValidatesInputs) {
+  const GT m = grp->gt_random(rng);
+  // Missing authority public key.
+  std::map<std::string, AuthorityPublicKey> missing_auth = apks;
+  missing_auth.erase("Gov");
+  const LsssMatrix policy = LsssMatrix::from_policy(parse_policy("Auditor@Gov"));
+  EXPECT_THROW(encrypt(*grp, owner_mk, "x", m, policy, missing_auth, attr_pks, rng),
+               SchemeError);
+  // Missing attribute key.
+  std::map<std::string, PublicAttributeKey> missing_attr = attr_pks;
+  missing_attr.erase("Auditor@Gov");
+  EXPECT_THROW(encrypt(*grp, owner_mk, "x", m, policy, apks, missing_attr, rng),
+               SchemeError);
+}
+
+TEST_F(SchemeTest, CiphertextStructure) {
+  const GT m = grp->gt_random(rng);
+  const auto [ct, rec] = enc("(Doctor@Med AND Researcher@Trial) OR Nurse@Med", m);
+  EXPECT_EQ(ct.ci.size(), 3u);  // one C_i per policy row
+  EXPECT_EQ(ct.owner_id, "owner-1");
+  EXPECT_EQ(ct.versions.size(), 2u);
+  EXPECT_EQ(ct.versions.at("Med"), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Attribute revocation (paper Section V-C).
+// ---------------------------------------------------------------------
+
+class RevocationTest : public SchemeTest {
+ protected:
+  // Revokes "Doctor" from alice at Med, runs the full protocol over the
+  // given ciphertext, and returns the updated world pieces.
+  struct RevocationOutcome {
+    AuthorityVersionKey new_vk;
+    UpdateKey uk;                       // for owner-1
+    UserSecretKey alice_regenerated;    // reduced attribute set
+    std::map<std::string, UserSecretKey> bob_updated;
+    std::map<std::string, AuthorityPublicKey> new_apks;
+    std::map<std::string, PublicAttributeKey> new_attr_pks;
+  };
+
+  RevocationOutcome revoke_doctor_from_alice(Ciphertext* ct, const EncryptionRecord& rec) {
+    RevocationOutcome out;
+    const AuthorityVersionKey& old_vk = vks.at("Med");
+    out.new_vk = aa_rekey(*grp, old_vk, rng).new_vk;
+
+    // Revoked user gets a fresh key for the reduced set (loses Doctor).
+    out.alice_regenerated = aa_regenerate_key(*grp, out.new_vk, owner_sk, alice, {});
+
+    // Everyone else applies the update key.
+    out.uk = aa_make_update_key(*grp, old_vk, out.new_vk, owner_sk);
+    out.bob_updated = bob_keys;
+    out.bob_updated.at("Med") =
+        apply_update_to_secret_key(*grp, bob_keys.at("Med"), out.uk);
+
+    // Owner updates its public keys.
+    out.new_apks = apks;
+    out.new_apks.at("Med") = apply_update_to_authority_pk(*grp, apks.at("Med"), out.uk);
+    out.new_attr_pks = attr_pks;
+    for (auto& [handle, pk] : out.new_attr_pks) {
+      if (pk.attr.aid == "Med")
+        pk = apply_update_to_attribute_pk(*grp, pk, out.uk);
+    }
+
+    // Owner builds UpdateInfo; server re-encrypts.
+    if (ct != nullptr) {
+      const UpdateInfo ui =
+          owner_update_info(*grp, owner_mk, rec, *ct, attr_pks, out.new_attr_pks, "Med");
+      reencrypt(*grp, ct, out.uk, ui);
+    }
+    return out;
+  }
+};
+
+TEST_F(RevocationTest, NonRevokedUserDecryptsReencryptedCiphertext) {
+  const GT m = grp->gt_random(rng);
+  auto [ct, rec] = enc("Nurse@Med AND Auditor@Gov", m);
+  const auto world = revoke_doctor_from_alice(&ct, rec);
+  EXPECT_EQ(ct.versions.at("Med"), 2u);
+  EXPECT_EQ(decrypt(*grp, ct, bob, world.bob_updated), m);
+}
+
+TEST_F(RevocationTest, RevokedUserStaleKeyRejected) {
+  const GT m = grp->gt_random(rng);
+  auto [ct, rec] = enc("Doctor@Med", m);
+  revoke_doctor_from_alice(&ct, rec);
+  // Alice's old (version 1) key no longer matches the re-encrypted CT.
+  EXPECT_THROW(decrypt(*grp, ct, alice, alice_keys), SchemeError);
+}
+
+TEST_F(RevocationTest, RevokedUserRegeneratedKeyLacksAttribute) {
+  const GT m = grp->gt_random(rng);
+  auto [ct, rec] = enc("Doctor@Med", m);
+  const auto world = revoke_doctor_from_alice(&ct, rec);
+  std::map<std::string, UserSecretKey> alice_new;
+  alice_new.emplace("Med", world.alice_regenerated);
+  EXPECT_THROW(decrypt(*grp, ct, alice, alice_new), SchemeError);
+}
+
+TEST_F(RevocationTest, NewEncryptionsUseNewKeysAndExcludeRevokedUser) {
+  const GT m = grp->gt_random(rng);
+  const auto world = revoke_doctor_from_alice(nullptr, EncryptionRecord{});
+  const LsssMatrix policy = LsssMatrix::from_policy(parse_policy("Nurse@Med"));
+  const auto [ct2, rec2] =
+      encrypt(*grp, owner_mk, "ct-new", m, policy, world.new_apks, world.new_attr_pks, rng);
+  EXPECT_EQ(ct2.versions.at("Med"), 2u);
+  EXPECT_EQ(decrypt(*grp, ct2, bob, world.bob_updated), m);
+  // Alice's stale version-1 keys cannot decrypt version-2 ciphertexts.
+  EXPECT_THROW(decrypt(*grp, ct2, alice, alice_keys), SchemeError);
+}
+
+TEST_F(RevocationTest, NewlyJoinedUserDecryptsOldReencryptedData) {
+  // Forward access: data published before a user joins must remain
+  // decryptable after re-encryption (paper Section V-C intro).
+  const GT m = grp->gt_random(rng);
+  auto [ct, rec] = enc("Nurse@Med", m);
+  const auto world = revoke_doctor_from_alice(&ct, rec);
+
+  const UserPublicKey dave = ca_register_user(*grp, "dave", rng);
+  std::map<std::string, UserSecretKey> dave_keys;
+  dave_keys.emplace("Med", aa_keygen(*grp, world.new_vk, owner_sk, dave, {"Nurse"}));
+  EXPECT_EQ(decrypt(*grp, ct, dave, dave_keys), m);
+}
+
+TEST_F(RevocationTest, ReencryptOnlyTouchesAffectedRows) {
+  const GT m = grp->gt_random(rng);
+  auto [ct, rec] = enc("(Nurse@Med AND Auditor@Gov) OR Researcher@Trial", m);
+  const std::vector<pairing::G1> before = ct.ci;
+  revoke_doctor_from_alice(&ct, rec);
+  // Row attributes: Nurse@Med (0), Auditor@Gov (1), Researcher@Trial (2).
+  EXPECT_NE(ct.ci[0], before[0]);  // Med row re-encrypted
+  EXPECT_EQ(ct.ci[1], before[1]);  // Gov row untouched
+  EXPECT_EQ(ct.ci[2], before[2]);  // Trial row untouched
+}
+
+TEST_F(RevocationTest, SequentialRevocationsCompose) {
+  const GT m = grp->gt_random(rng);
+  auto [ct, rec] = enc("Nurse@Med", m);
+
+  // Two consecutive version bumps at Med.
+  auto w1 = revoke_doctor_from_alice(&ct, rec);
+  vks.at("Med") = w1.new_vk;
+  apks = w1.new_apks;
+  attr_pks = w1.new_attr_pks;
+  bob_keys = w1.bob_updated;
+  auto w2 = revoke_doctor_from_alice(&ct, rec);
+
+  EXPECT_EQ(ct.versions.at("Med"), 3u);
+  EXPECT_EQ(decrypt(*grp, ct, bob, w2.bob_updated), m);
+}
+
+TEST_F(RevocationTest, UpdateValidationCatchesMisuse) {
+  const AuthorityVersionKey& old_vk = vks.at("Med");
+  const AuthorityVersionKey new_vk = aa_rekey(*grp, old_vk, rng).new_vk;
+  EXPECT_EQ(new_vk.version, 2u);
+  EXPECT_NE(new_vk.alpha, old_vk.alpha);
+
+  const UpdateKey uk = aa_make_update_key(*grp, old_vk, new_vk, owner_sk);
+  // Applying to a key of the wrong authority / wrong version throws.
+  EXPECT_THROW(apply_update_to_secret_key(*grp, bob_keys.at("Gov"), uk), SchemeError);
+  UserSecretKey already = apply_update_to_secret_key(*grp, bob_keys.at("Med"), uk);
+  EXPECT_THROW(apply_update_to_secret_key(*grp, already, uk), SchemeError);
+  EXPECT_THROW(apply_update_to_authority_pk(*grp, apks.at("Gov"), uk), SchemeError);
+  // Non-consecutive versions rejected.
+  const AuthorityVersionKey skipped{old_vk.aid, old_vk.version + 2, new_vk.alpha};
+  EXPECT_THROW(aa_make_update_key(*grp, old_vk, skipped, owner_sk), SchemeError);
+}
+
+TEST_F(RevocationTest, ReencryptValidatesInputs) {
+  const GT m = grp->gt_random(rng);
+  auto [ct, rec] = enc("Nurse@Med", m);
+  auto [ct_other, rec_other] = enc("Nurse@Med", m, "ct-2");
+
+  const AuthorityVersionKey& old_vk = vks.at("Med");
+  const AuthorityVersionKey new_vk = aa_rekey(*grp, old_vk, rng).new_vk;
+  const UpdateKey uk = aa_make_update_key(*grp, old_vk, new_vk, owner_sk);
+  std::map<std::string, PublicAttributeKey> new_pks = attr_pks;
+  for (auto& [h, pk] : new_pks)
+    if (pk.attr.aid == "Med") pk = apply_update_to_attribute_pk(*grp, pk, uk);
+  const UpdateInfo ui = owner_update_info(*grp, owner_mk, rec, ct, attr_pks, new_pks, "Med");
+
+  // UpdateInfo targeted at ct cannot re-encrypt ct_other.
+  EXPECT_THROW(reencrypt(*grp, &ct_other, uk, ui), SchemeError);
+  // Happy path works, double-application is rejected by versioning.
+  reencrypt(*grp, &ct, uk, ui);
+  EXPECT_THROW(reencrypt(*grp, &ct, uk, ui), SchemeError);
+}
+
+TEST_F(RevocationTest, OwnerUpdateInfoValidatesRecord) {
+  const GT m = grp->gt_random(rng);
+  auto [ct, rec] = enc("Nurse@Med", m);
+  EncryptionRecord wrong = rec;
+  wrong.ct_id = "someone-else";
+  EXPECT_THROW(owner_update_info(*grp, owner_mk, wrong, ct, attr_pks, attr_pks, "Med"),
+               SchemeError);
+}
+
+}  // namespace
+}  // namespace maabe::abe

@@ -1,0 +1,107 @@
+// Failure injection on the storage path: corrupted wire bytes, swapped
+// slots and cross-file splicing must surface as typed errors (WireError
+// on malformed structure, CryptoError on MAC failure) — never as silent
+// wrong plaintext.
+#include <gtest/gtest.h>
+
+#include "cloud/system.h"
+#include "common/errors.h"
+
+namespace maabe::cloud {
+namespace {
+
+using pairing::Group;
+
+class FailureInjection : public ::testing::Test {
+ protected:
+  FailureInjection() : grp(Group::test_small()), sys(grp, "inject") {
+    sys.add_authority("Med", {"Doctor"});
+    sys.add_owner("hosp");
+    sys.publish_authority_keys("Med", "hosp");
+    sys.add_user("alice");
+    sys.assign_attributes("Med", "alice", {"Doctor"});
+    sys.issue_user_key("Med", "alice", "hosp");
+    sys.upload("hosp", "f1",
+               {{"a", bytes_of("component A plaintext"), "Doctor@Med"},
+                {"b", bytes_of("component B plaintext"), "Doctor@Med"}});
+  }
+
+  std::shared_ptr<const Group> grp;
+  CloudSystem sys;
+};
+
+TEST_F(FailureInjection, BitflipsNeverYieldWrongPlaintext) {
+  const StoredFile& original = sys.server().fetch("f1");
+  const Bytes wire = serialize(*grp, original);
+  const Consumer& alice = sys.user("alice");
+
+  // Flip one byte at a spread of positions across the whole encoding.
+  int structural = 0, authentication = 0, survived = 0;
+  for (size_t pos = 0; pos < wire.size(); pos += 13) {
+    Bytes bad = wire;
+    bad[pos] ^= 0x40;
+    try {
+      const StoredFile file = deserialize_stored_file(*grp, bad);
+      const auto view = sys.user("alice").open_file(file);
+      // A flip confined to ignorable metadata may legitimately survive —
+      // but any recovered plaintext must be the true one.
+      for (const auto& [name, data] : view) {
+        EXPECT_TRUE(string_of(data) == "component A plaintext" ||
+                    string_of(data) == "component B plaintext")
+            << "WRONG PLAINTEXT at corrupt position " << pos;
+      }
+      ++survived;
+    } catch (const WireError&) {
+      ++structural;
+    } catch (const CryptoError&) {
+      ++authentication;
+    } catch (const SchemeError&) {
+      // e.g. corrupted version table -> version mismatch; acceptable.
+      ++structural;
+    }
+  }
+  (void)alice;
+  // Most positions must be detected; some flips (e.g. inside ids or
+  // policy text) legitimately parse but then fail later or change
+  // nothing security-relevant.
+  EXPECT_GT(structural + authentication, 0);
+}
+
+TEST_F(FailureInjection, SwappedSealedPayloadsDetected) {
+  // Swap the two components' symmetric payloads: AAD binding (file id +
+  // component name) must make both fail authentication.
+  StoredFile file = sys.server().fetch("f1");
+  std::swap(file.slots[0].sealed_data, file.slots[1].sealed_data);
+  EXPECT_THROW(sys.user("alice").open_file(file), CryptoError);
+}
+
+TEST_F(FailureInjection, SplicedKeyCiphertextDetected) {
+  // Replace component a's key-ciphertext with component b's: the KEM
+  // seed then derives b's content key, which cannot open a's box.
+  StoredFile file = sys.server().fetch("f1");
+  file.slots[0].key_ct = file.slots[1].key_ct;
+  EXPECT_THROW(sys.user("alice").open_file(file), CryptoError);
+}
+
+TEST_F(FailureInjection, TruncatedWireAlwaysThrows) {
+  const Bytes wire = serialize(*grp, sys.server().fetch("f1"));
+  for (size_t len = 0; len < wire.size(); len += 7) {
+    EXPECT_THROW(deserialize_stored_file(*grp, ByteView(wire.data(), len)), WireError)
+        << len;
+  }
+}
+
+TEST_F(FailureInjection, ForeignGroupElementsRejected) {
+  // A ciphertext whose points were generated on a DIFFERENT curve
+  // instance must fail to deserialize (x not on curve / value too big)
+  // with overwhelming probability rather than decrypt to junk.
+  crypto::Drbg rng(std::string_view("gen"));
+  const auto params = pairing::TypeAParams::generate(48, 160, rng);
+  auto other = Group::create(params);
+  const Bytes foreign = other->g1_random(rng).to_bytes();
+  EXPECT_NE(foreign.size(), grp->g1_size());
+  EXPECT_THROW((void)grp->g1_from_bytes(foreign), WireError);
+}
+
+}  // namespace
+}  // namespace maabe::cloud

@@ -1,0 +1,73 @@
+#include "cloud/hybrid.h"
+
+#include <gtest/gtest.h>
+
+#include "abe/scheme.h"
+#include "common/errors.h"
+#include "lsss/parser.h"
+
+namespace maabe::cloud {
+namespace {
+
+using pairing::Group;
+using pairing::GT;
+
+TEST(Hybrid, ContentKeyDerivationDeterministic) {
+  auto grp = Group::test_small();
+  crypto::Drbg rng(std::string_view("hybrid"));
+  const GT seed = grp->gt_random(rng);
+  EXPECT_EQ(content_key_from_gt(seed), content_key_from_gt(seed));
+  EXPECT_EQ(content_key_from_gt(seed).size(), crypto::kContentKeySize);
+  const GT other = grp->gt_random(rng);
+  EXPECT_NE(content_key_from_gt(seed), content_key_from_gt(other));
+}
+
+TEST(Hybrid, SlotIds) {
+  EXPECT_EQ(slot_ct_id("file-1", "billing"), "file-1/billing");
+  EXPECT_NE(slot_aad("f", "a"), slot_aad("f", "b"));
+  EXPECT_NE(slot_aad("f1", "a"), slot_aad("f2", "a"));
+}
+
+TEST(Hybrid, StoredFileRoundTrip) {
+  auto grp = Group::test_small();
+  crypto::Drbg rng(std::string_view("hybrid-file"));
+
+  // Build a minimal real slot.
+  const auto mk = abe::owner_gen(*grp, "owner", rng);
+  const auto vk = abe::aa_setup(*grp, "Med", rng);
+  std::map<std::string, abe::AuthorityPublicKey> apks{{"Med", abe::aa_public_key(*grp, vk)}};
+  std::map<std::string, abe::PublicAttributeKey> attr_pks;
+  const auto pk = abe::aa_attribute_key(*grp, vk, "Doctor");
+  attr_pks.emplace("Doctor@Med", pk);
+
+  const GT seed = grp->gt_random(rng);
+  const auto policy = lsss::LsssMatrix::from_policy(lsss::parse_policy("Doctor@Med"));
+  auto enc = abe::encrypt(*grp, mk, "f/x", seed, policy, apks, attr_pks, rng);
+
+  StoredFile file;
+  file.file_id = "f";
+  file.owner_id = "owner";
+  SealedSlot slot;
+  slot.component_name = "x";
+  slot.key_ct = enc.ct;
+  slot.sealed_data = crypto::seal(content_key_from_gt(seed), bytes_of("payload"),
+                                  slot_aad("f", "x"), rng);
+  file.slots.push_back(slot);
+
+  const Bytes wire = serialize(*grp, file);
+  const StoredFile back = deserialize_stored_file(*grp, wire);
+  EXPECT_EQ(back.file_id, "f");
+  EXPECT_EQ(back.owner_id, "owner");
+  ASSERT_EQ(back.slots.size(), 1u);
+  EXPECT_EQ(back.slots[0].component_name, "x");
+  EXPECT_EQ(back.slots[0].sealed_data, slot.sealed_data);
+  EXPECT_EQ(back.slots[0].key_ct.c, enc.ct.c);
+
+  // Owner mismatch between file and slot is rejected.
+  StoredFile bad = file;
+  bad.owner_id = "other";
+  EXPECT_THROW(deserialize_stored_file(*grp, serialize(*grp, bad)), WireError);
+}
+
+}  // namespace
+}  // namespace maabe::cloud

@@ -1,0 +1,44 @@
+#include "cloud/meter.h"
+
+#include <gtest/gtest.h>
+
+namespace maabe::cloud {
+namespace {
+
+TEST(Meter, RecordsAndAccumulates) {
+  ChannelMeter m;
+  EXPECT_EQ(m.sent("a", "b"), 0u);
+  m.record("a", "b", 10);
+  m.record("a", "b", 5);
+  EXPECT_EQ(m.sent("a", "b"), 15u);
+  EXPECT_EQ(m.sent("b", "a"), 0u);
+}
+
+TEST(Meter, BetweenSumsBothDirections) {
+  ChannelMeter m;
+  m.record("a", "b", 10);
+  m.record("b", "a", 7);
+  EXPECT_EQ(m.between("a", "b"), 17u);
+  EXPECT_EQ(m.between("b", "a"), 17u);
+}
+
+TEST(Meter, InvolvingSumsAllChannels) {
+  ChannelMeter m;
+  m.record("a", "b", 1);
+  m.record("c", "a", 2);
+  m.record("b", "c", 4);
+  EXPECT_EQ(m.involving("a"), 3u);
+  EXPECT_EQ(m.involving("b"), 5u);
+  EXPECT_EQ(m.involving("d"), 0u);
+}
+
+TEST(Meter, Reset) {
+  ChannelMeter m;
+  m.record("a", "b", 10);
+  m.reset();
+  EXPECT_EQ(m.sent("a", "b"), 0u);
+  EXPECT_TRUE(m.entries().empty());
+}
+
+}  // namespace
+}  // namespace maabe::cloud

@@ -1,0 +1,109 @@
+// Scale / soak test: a larger deployment driven through many rounds of
+// uploads, downloads and revocations, with an independently maintained
+// "ground truth" access matrix checked after every mutation.
+#include <gtest/gtest.h>
+
+#include "cloud/system.h"
+#include "common/errors.h"
+#include "lsss/parser.h"
+
+namespace maabe::cloud {
+namespace {
+
+using pairing::Group;
+
+TEST(Soak, RandomizedDeploymentStaysConsistent) {
+  CloudSystem sys(Group::test_small(), "soak");
+  crypto::Drbg rng(std::string_view("soak-driver"));
+
+  // 3 authorities x 3 attributes.
+  const std::vector<std::string> aids = {"A0", "A1", "A2"};
+  const std::vector<std::string> names = {"x", "y", "z"};
+  for (const auto& aid : aids) {
+    sys.add_authority(aid, {names.begin(), names.end()});
+  }
+  sys.add_owner("owner");
+  for (const auto& aid : aids) sys.publish_authority_keys(aid, "owner");
+
+  // 6 users with pseudo-random attribute assignments; every user gets a
+  // key from every authority (possibly empty) so cross-authority ORs
+  // remain decryptable.
+  struct UserState {
+    std::set<lsss::Attribute> attrs;
+  };
+  std::map<std::string, UserState> truth;
+  for (int u = 0; u < 6; ++u) {
+    const std::string uid = "u" + std::to_string(u);
+    sys.add_user(uid);
+    for (const auto& aid : aids) {
+      std::set<std::string> grant;
+      for (const auto& name : names) {
+        if (rng.bytes(1)[0] & 1) {
+          grant.insert(name);
+          truth[uid].attrs.insert({name, aid});
+        }
+      }
+      if (!grant.empty()) sys.assign_attributes(aid, uid, grant);
+      sys.issue_user_key(aid, uid, "owner");
+    }
+  }
+
+  // A pool of policies of varying shape.
+  const std::vector<std::string> policies = {
+      "x@A0",
+      "x@A0 AND y@A1",
+      "(x@A0 AND y@A1) OR z@A2",
+      "2of(x@A0, y@A1, z@A2)",
+      "x@A0 AND (y@A0 OR y@A1) AND z@A2",
+  };
+  std::vector<std::pair<std::string, lsss::PolicyPtr>> files;
+  for (size_t i = 0; i < policies.size(); ++i) {
+    const std::string fid = "file" + std::to_string(i);
+    sys.upload("owner", fid,
+               {{"c", bytes_of("payload " + std::to_string(i)), policies[i]}});
+    files.emplace_back(fid, lsss::parse_policy(policies[i]));
+  }
+
+  const auto check_everything = [&] {
+    for (const auto& [fid, ast] : files) {
+      for (const auto& [uid, state] : truth) {
+        const bool expect = ast->satisfied_by(state.attrs);
+        const auto view = sys.download(uid, fid);
+        ASSERT_EQ(view.contains("c"), expect)
+            << "user " << uid << " file " << fid << " policy " << ast->to_string();
+      }
+    }
+  };
+  check_everything();
+
+  // Rounds of revocations interleaved with re-checks and new uploads.
+  int revocations = 0;
+  for (int round = 0; round < 6; ++round) {
+    // Pick a user+attribute that is actually assigned.
+    const std::string uid = "u" + std::to_string(rng.bytes(1)[0] % 6);
+    auto& attrs = truth[uid].attrs;
+    if (attrs.empty()) continue;
+    auto it = attrs.begin();
+    std::advance(it, rng.bytes(1)[0] % attrs.size());
+    const lsss::Attribute victim = *it;
+    attrs.erase(it);
+    sys.revoke_attribute(victim.aid, uid, victim.name);
+    ++revocations;
+    check_everything();
+  }
+  EXPECT_GT(revocations, 0);
+
+  // Late joiner reads exactly what its attributes allow, including
+  // multiply-re-encrypted old files.
+  sys.add_user("late");
+  truth["late"] = {};
+  for (const auto& aid : aids) {
+    sys.assign_attributes(aid, "late", {"x", "y", "z"});
+    sys.issue_user_key(aid, "late", "owner");
+    for (const auto& name : names) truth["late"].attrs.insert({name, aid});
+  }
+  check_everything();
+}
+
+}  // namespace
+}  // namespace maabe::cloud

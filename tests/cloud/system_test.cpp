@@ -1,0 +1,252 @@
+// End-to-end integration tests of the full access-control framework:
+// the paper's Fig. 1 workflow driven through CloudSystem.
+#include "cloud/system.h"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+
+namespace maabe::cloud {
+namespace {
+
+using pairing::Group;
+
+// The paper's motivating scenario: medical data shared across a medical
+// organization and a clinical-trial administrator.
+class SystemTest : public ::testing::Test {
+ protected:
+  SystemTest() : sys(Group::test_small(), "system-test") {
+    sys.add_authority("MedOrg", {"Doctor", "Nurse", "Pharmacist"});
+    sys.add_authority("TrialAdmin", {"Researcher", "Monitor"});
+
+    sys.add_owner("hospital");
+    sys.publish_authority_keys("MedOrg", "hospital");
+    sys.publish_authority_keys("TrialAdmin", "hospital");
+
+    sys.add_user("alice");  // doctor + researcher
+    sys.assign_attributes("MedOrg", "alice", {"Doctor"});
+    sys.assign_attributes("TrialAdmin", "alice", {"Researcher"});
+    sys.issue_user_key("MedOrg", "alice", "hospital");
+    sys.issue_user_key("TrialAdmin", "alice", "hospital");
+
+    sys.add_user("bob");  // nurse only
+    sys.assign_attributes("MedOrg", "bob", {"Nurse"});
+    sys.issue_user_key("MedOrg", "bob", "hospital");
+    sys.issue_user_key("TrialAdmin", "bob", "hospital");  // empty assignment
+  }
+
+  void upload_patient_record() {
+    sys.upload("hospital", "patient-42",
+               {{"diagnosis", bytes_of("stage-1 hypertension"),
+                 "Doctor@MedOrg AND Researcher@TrialAdmin"},
+                {"vitals", bytes_of("bp=140/90 hr=72"),
+                 "Doctor@MedOrg OR Nurse@MedOrg"},
+                {"billing", bytes_of("invoice #99: $1200"),
+                 "Pharmacist@MedOrg"}});
+  }
+
+  CloudSystem sys;
+};
+
+TEST_F(SystemTest, DifferentUsersGetDifferentGranularity) {
+  upload_patient_record();
+
+  const auto alice_view = sys.download("alice", "patient-42");
+  ASSERT_EQ(alice_view.size(), 2u);
+  EXPECT_EQ(string_of(alice_view.at("diagnosis")), "stage-1 hypertension");
+  EXPECT_EQ(string_of(alice_view.at("vitals")), "bp=140/90 hr=72");
+  EXPECT_FALSE(alice_view.contains("billing"));
+
+  const auto bob_view = sys.download("bob", "patient-42");
+  ASSERT_EQ(bob_view.size(), 1u);
+  EXPECT_EQ(string_of(bob_view.at("vitals")), "bp=140/90 hr=72");
+}
+
+TEST_F(SystemTest, UnknownEntitiesRejected) {
+  EXPECT_THROW(sys.download("mallory", "x"), SchemeError);
+  EXPECT_THROW(sys.upload("nobody", "f", {}), SchemeError);
+  EXPECT_THROW(sys.assign_attributes("NoAA", "alice", {"X"}), SchemeError);
+  EXPECT_THROW(sys.assign_attributes("MedOrg", "ghost", {"Doctor"}), SchemeError);
+  EXPECT_THROW(sys.issue_user_key("MedOrg", "alice", "no-owner"), SchemeError);
+  upload_patient_record();
+  EXPECT_THROW(sys.download("alice", "missing-file"), SchemeError);
+}
+
+TEST_F(SystemTest, DuplicateEnrollmentRejected) {
+  EXPECT_THROW(sys.add_authority("MedOrg", {}), SchemeError);
+  EXPECT_THROW(sys.add_user("alice"), SchemeError);
+  EXPECT_THROW(sys.add_owner("hospital"), SchemeError);
+}
+
+TEST_F(SystemTest, AttributeOutsideUniverseRejected) {
+  EXPECT_THROW(sys.assign_attributes("MedOrg", "alice", {"Astronaut"}), SchemeError);
+}
+
+TEST_F(SystemTest, RevocationEndToEnd) {
+  upload_patient_record();
+  ASSERT_EQ(sys.download("alice", "patient-42").size(), 2u);
+
+  // Revoke Doctor from alice at MedOrg.
+  const size_t reencrypted = sys.revoke_attribute("MedOrg", "alice", "Doctor");
+  // All three components involve MedOrg (diagnosis, vitals, billing),
+  // so all three key-ciphertexts get re-encrypted.
+  EXPECT_EQ(reencrypted, 3u);
+  EXPECT_EQ(sys.authority("MedOrg").version(), 2u);
+
+  // Alice lost Doctor: no more diagnosis, no more vitals via Doctor —
+  // and she is not a nurse, so vitals is gone too.
+  const auto alice_view = sys.download("alice", "patient-42");
+  EXPECT_TRUE(alice_view.empty());
+
+  // Bob (non-revoked) still reads vitals after his key update.
+  const auto bob_view = sys.download("bob", "patient-42");
+  ASSERT_EQ(bob_view.size(), 1u);
+  EXPECT_EQ(string_of(bob_view.at("vitals")), "bp=140/90 hr=72");
+}
+
+TEST_F(SystemTest, RevocationDoesNotAffectOtherAuthorities) {
+  upload_patient_record();
+  sys.revoke_attribute("MedOrg", "bob", "Nurse");
+  // Alice keeps full access (her MedOrg key was updated, not revoked).
+  const auto alice_view = sys.download("alice", "patient-42");
+  EXPECT_EQ(alice_view.size(), 2u);
+  // Bob lost everything.
+  EXPECT_TRUE(sys.download("bob", "patient-42").empty());
+}
+
+TEST_F(SystemTest, NewUserAfterRevocationReadsOldData) {
+  upload_patient_record();
+  sys.revoke_attribute("MedOrg", "bob", "Nurse");
+
+  sys.add_user("carol");
+  sys.assign_attributes("MedOrg", "carol", {"Nurse"});
+  sys.issue_user_key("MedOrg", "carol", "hospital");
+  const auto carol_view = sys.download("carol", "patient-42");
+  ASSERT_EQ(carol_view.size(), 1u);
+  EXPECT_EQ(string_of(carol_view.at("vitals")), "bp=140/90 hr=72");
+}
+
+TEST_F(SystemTest, UploadsAfterRevocationUseNewVersion) {
+  upload_patient_record();
+  sys.revoke_attribute("MedOrg", "bob", "Nurse");
+  // Owner's cached keys advanced to version 2; new uploads work and
+  // non-revoked users can read them.
+  sys.upload("hospital", "patient-43",
+             {{"vitals", bytes_of("bp=120/80"), "Doctor@MedOrg OR Nurse@MedOrg"}});
+  const auto alice_view = sys.download("alice", "patient-43");
+  ASSERT_EQ(alice_view.size(), 1u);
+  EXPECT_TRUE(sys.download("bob", "patient-43").empty());
+}
+
+TEST_F(SystemTest, SequentialRevocationsAcrossAuthorities) {
+  upload_patient_record();
+  sys.revoke_attribute("MedOrg", "alice", "Doctor");
+  sys.revoke_attribute("TrialAdmin", "alice", "Researcher");
+  EXPECT_EQ(sys.authority("MedOrg").version(), 2u);
+  EXPECT_EQ(sys.authority("TrialAdmin").version(), 2u);
+  EXPECT_TRUE(sys.download("alice", "patient-42").empty());
+  EXPECT_EQ(sys.download("bob", "patient-42").size(), 1u);
+}
+
+TEST_F(SystemTest, RevokeUnheldAttributeRejected) {
+  EXPECT_THROW(sys.revoke_attribute("MedOrg", "alice", "Nurse"), SchemeError);
+  EXPECT_THROW(sys.revoke_attribute("MedOrg", "bob", "Doctor"), SchemeError);
+}
+
+TEST_F(SystemTest, MultipleOwnersIsolated) {
+  sys.add_owner("clinic");
+  sys.publish_authority_keys("MedOrg", "clinic");
+  sys.issue_user_key("MedOrg", "bob", "clinic");
+
+  sys.upload("clinic", "clinic-file",
+             {{"note", bytes_of("clinic note"), "Nurse@MedOrg"}});
+  upload_patient_record();
+
+  // Bob reads both owners' nurse-visible data with per-owner keys.
+  EXPECT_EQ(sys.download("bob", "clinic-file").size(), 1u);
+  EXPECT_EQ(sys.download("bob", "patient-42").size(), 1u);
+
+  // Alice has no key for owner "clinic" at all.
+  EXPECT_TRUE(sys.download("alice", "clinic-file").empty());
+
+  // Revocation at one owner's world does not break the other owner.
+  sys.revoke_attribute("MedOrg", "alice", "Doctor");
+  EXPECT_EQ(sys.download("bob", "clinic-file").size(), 1u);
+}
+
+TEST_F(SystemTest, TwoRevocationsAtSameAuthority) {
+  // Second version bump at the SAME authority with stored files present:
+  // the owner's UpdateInfo machinery must chain correctly (v1->v2->v3).
+  upload_patient_record();
+  sys.revoke_attribute("MedOrg", "alice", "Doctor");
+  sys.revoke_attribute("MedOrg", "bob", "Nurse");
+  EXPECT_EQ(sys.authority("MedOrg").version(), 3u);
+  // Both revoked users lost their MedOrg access.
+  EXPECT_TRUE(sys.download("alice", "patient-42").empty());
+  EXPECT_TRUE(sys.download("bob", "patient-42").empty());
+  // A fresh nurse joining at version 3 reads the twice-re-encrypted file.
+  sys.add_user("erin");
+  sys.assign_attributes("MedOrg", "erin", {"Nurse"});
+  sys.issue_user_key("MedOrg", "erin", "hospital");
+  const auto erin_view = sys.download("erin", "patient-42");
+  ASSERT_EQ(erin_view.size(), 1u);
+  EXPECT_EQ(string_of(erin_view.at("vitals")), "bp=140/90 hr=72");
+}
+
+TEST_F(SystemTest, UserLevelRevocation) {
+  upload_patient_record();
+  // Give alice a second MedOrg attribute so user-level revocation
+  // differs from single-attribute revocation.
+  sys.assign_attributes("MedOrg", "alice", {"Nurse"});
+  sys.issue_user_key("MedOrg", "alice", "hospital");
+  ASSERT_EQ(sys.download("alice", "patient-42").size(), 2u);
+
+  const size_t reencrypted = sys.revoke_user("MedOrg", "alice");
+  EXPECT_EQ(reencrypted, 3u);
+  EXPECT_EQ(sys.authority("MedOrg").version(), 2u);  // single bump
+  EXPECT_TRUE(sys.authority("MedOrg").assignment("alice").empty());
+
+  // Alice lost Doctor AND Nurse in one shot; bob unaffected.
+  EXPECT_TRUE(sys.download("alice", "patient-42").empty());
+  EXPECT_EQ(sys.download("bob", "patient-42").size(), 1u);
+
+  // Revoking a user with nothing assigned is an error.
+  EXPECT_THROW(sys.revoke_user("MedOrg", "alice"), SchemeError);
+  EXPECT_THROW(sys.revoke_user("TrialAdmin", "bob"), SchemeError);
+}
+
+TEST_F(SystemTest, MeterTracksChannels) {
+  upload_patient_record();
+  sys.download("alice", "patient-42");
+  const ChannelMeter& meter = sys.meter();
+  EXPECT_GT(meter.sent("aa:MedOrg", "user:alice"), 0u);   // secret keys
+  EXPECT_GT(meter.sent("aa:MedOrg", "owner:hospital"), 0u);  // public keys
+  EXPECT_GT(meter.sent("owner:hospital", "server"), 0u);  // upload
+  EXPECT_GT(meter.sent("server", "user:alice"), 0u);      // download
+  EXPECT_EQ(meter.sent("server", "user:bob"), 0u);
+}
+
+TEST_F(SystemTest, StorageReportShape) {
+  upload_patient_record();
+  const auto report = sys.storage_report();
+  // AA storage is exactly one exponent — the paper's headline claim.
+  EXPECT_EQ(report.per_entity.at("aa:MedOrg"), sys.group().zr_size());
+  EXPECT_EQ(report.per_entity.at("aa:TrialAdmin"), sys.group().zr_size());
+  EXPECT_GT(report.per_entity.at("owner:hospital"), 2 * sys.group().zr_size());
+  EXPECT_GT(report.per_entity.at("user:alice"), 0u);
+  EXPECT_GT(report.per_entity.at("server"), 0u);
+}
+
+TEST_F(SystemTest, LateAuthorityGetsOwnerShares) {
+  // An authority added after owners exist still issues working keys.
+  sys.add_authority("Gov", {"Auditor"});
+  sys.publish_authority_keys("Gov", "hospital");
+  sys.add_user("dave");
+  sys.assign_attributes("Gov", "dave", {"Auditor"});
+  sys.issue_user_key("Gov", "dave", "hospital");
+  sys.upload("hospital", "audit-log", {{"log", bytes_of("entries"), "Auditor@Gov"}});
+  EXPECT_EQ(sys.download("dave", "audit-log").size(), 1u);
+}
+
+}  // namespace
+}  // namespace maabe::cloud

@@ -1,0 +1,50 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+
+namespace maabe {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  EXPECT_EQ(to_hex(data), "0001abff7f");
+  EXPECT_EQ(from_hex("0001abff7f"), data);
+  EXPECT_EQ(from_hex("0001ABFF7F"), data);
+}
+
+TEST(Bytes, EmptyHex) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Bytes, FromHexRejectsMalformed) {
+  EXPECT_THROW(from_hex("abc"), WireError);    // odd length
+  EXPECT_THROW(from_hex("zz"), WireError);     // bad digit
+  EXPECT_THROW(from_hex("a b0"), WireError);   // whitespace
+}
+
+TEST(Bytes, SecureEqual) {
+  const Bytes a = {1, 2, 3}, b = {1, 2, 3}, c = {1, 2, 4}, d = {1, 2};
+  EXPECT_TRUE(secure_equal(a, b));
+  EXPECT_FALSE(secure_equal(a, c));
+  EXPECT_FALSE(secure_equal(a, d));
+  EXPECT_TRUE(secure_equal({}, {}));
+}
+
+TEST(Bytes, StringConversions) {
+  const std::string s = "hello";
+  EXPECT_EQ(string_of(bytes_of(s)), s);
+  EXPECT_EQ(bytes_of("").size(), 0u);
+}
+
+TEST(Bytes, Concat) {
+  const Bytes a = {1, 2}, b = {3};
+  EXPECT_EQ(concat(a, b), (Bytes{1, 2, 3}));
+  EXPECT_EQ(concat({}, b), b);
+  EXPECT_EQ(concat(a, {}), a);
+}
+
+}  // namespace
+}  // namespace maabe

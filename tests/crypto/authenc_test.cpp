@@ -1,0 +1,78 @@
+#include "crypto/authenc.h"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+
+namespace maabe::crypto {
+namespace {
+
+Bytes test_key() {
+  Bytes k(kContentKeySize);
+  for (size_t i = 0; i < k.size(); ++i) k[i] = static_cast<uint8_t>(i * 7);
+  return k;
+}
+
+TEST(AuthEnc, RoundTrip) {
+  Drbg rng("authenc");
+  const Bytes pt = bytes_of("patient record: name=Alice diagnosis=healthy");
+  const Bytes aad = bytes_of("component:medical");
+  const Bytes box = seal(test_key(), pt, aad, rng);
+  EXPECT_EQ(open(test_key(), box, aad), pt);
+}
+
+TEST(AuthEnc, EmptyPlaintext) {
+  Drbg rng("authenc");
+  const Bytes box = seal(test_key(), {}, {}, rng);
+  EXPECT_TRUE(open(test_key(), box, {}).empty());
+}
+
+TEST(AuthEnc, WrongKeyFails) {
+  Drbg rng("authenc");
+  const Bytes box = seal(test_key(), bytes_of("secret"), {}, rng);
+  Bytes other = test_key();
+  other[0] ^= 1;
+  EXPECT_THROW(open(other, box, {}), CryptoError);
+}
+
+TEST(AuthEnc, WrongAadFails) {
+  Drbg rng("authenc");
+  const Bytes box = seal(test_key(), bytes_of("secret"), bytes_of("aad1"), rng);
+  EXPECT_THROW(open(test_key(), box, bytes_of("aad2")), CryptoError);
+}
+
+TEST(AuthEnc, TamperedCiphertextFails) {
+  Drbg rng("authenc");
+  Bytes box = seal(test_key(), bytes_of("some longer secret payload"), {}, rng);
+  for (size_t pos : {size_t{0}, size_t{16}, box.size() - 1}) {
+    Bytes tampered = box;
+    tampered[pos] ^= 0x80;
+    EXPECT_THROW(open(test_key(), tampered, {}), CryptoError) << pos;
+  }
+}
+
+TEST(AuthEnc, TruncatedBoxFails) {
+  Drbg rng("authenc");
+  const Bytes box = seal(test_key(), bytes_of("secret"), {}, rng);
+  EXPECT_THROW(open(test_key(), ByteView(box.data(), 10), {}), CryptoError);
+  EXPECT_THROW(open(test_key(), ByteView(box.data(), 47), {}), CryptoError);
+}
+
+TEST(AuthEnc, FreshIvPerSeal) {
+  Drbg rng("authenc");
+  const Bytes pt = bytes_of("same message");
+  const Bytes b1 = seal(test_key(), pt, {}, rng);
+  const Bytes b2 = seal(test_key(), pt, {}, rng);
+  EXPECT_NE(b1, b2);  // randomized encryption
+  EXPECT_EQ(open(test_key(), b1, {}), pt);
+  EXPECT_EQ(open(test_key(), b2, {}), pt);
+}
+
+TEST(AuthEnc, BadKeySizeRejected) {
+  Drbg rng("authenc");
+  EXPECT_THROW(seal(Bytes(16), bytes_of("x"), {}, rng), CryptoError);
+  EXPECT_THROW(open(Bytes(31), Bytes(64), {}), CryptoError);
+}
+
+}  // namespace
+}  // namespace maabe::crypto

@@ -1,0 +1,81 @@
+#include "crypto/drbg.h"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+#include "crypto/random.h"
+
+namespace maabe::crypto {
+namespace {
+
+using math::Bignum;
+
+TEST(Drbg, DeterministicForSameSeed) {
+  Drbg a("seed"), b("seed");
+  EXPECT_EQ(a.bytes(64), b.bytes(64));
+  EXPECT_EQ(a.bytes(10), b.bytes(10));
+}
+
+TEST(Drbg, DifferentSeedsDiverge) {
+  Drbg a("seed-1"), b("seed-2");
+  EXPECT_NE(a.bytes(32), b.bytes(32));
+}
+
+TEST(Drbg, SuccessiveOutputsDiffer) {
+  Drbg d("seed");
+  EXPECT_NE(d.bytes(32), d.bytes(32));
+}
+
+TEST(Drbg, ReseedChangesStream) {
+  Drbg a("seed"), b("seed");
+  a.reseed(bytes_of("extra"));
+  EXPECT_NE(a.bytes(32), b.bytes(32));
+}
+
+TEST(Drbg, BelowIsInRange) {
+  Drbg d("range");
+  const Bignum bound = Bignum::from_hex("a8b318d0752b1825bc55");
+  for (int i = 0; i < 200; ++i) {
+    const Bignum v = d.below(bound);
+    EXPECT_LT(Bignum::cmp(v, bound), 0);
+  }
+}
+
+TEST(Drbg, BelowSmallBoundHitsAllValues) {
+  Drbg d("small");
+  bool seen[5] = {};
+  for (int i = 0; i < 200; ++i) seen[d.below(Bignum::from_u64(5)).to_u64()] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Drbg, BelowRejectsZeroBound) {
+  Drbg d("z");
+  EXPECT_THROW(d.below(Bignum()), MathError);
+}
+
+TEST(Drbg, NonzeroBelowNeverReturnsZero) {
+  Drbg d("nz");
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_FALSE(d.nonzero_below(Bignum::from_u64(2)).is_zero());
+  }
+}
+
+TEST(Drbg, BelowPowerOfTwoBoundaryMasking) {
+  Drbg d("mask");
+  const Bignum bound = Bignum::from_u64(256);  // exactly 9 bits
+  for (int i = 0; i < 100; ++i) EXPECT_LT(d.below(bound).to_u64(), 256u);
+}
+
+TEST(OsEntropy, ProducesRequestedLength) {
+  EXPECT_EQ(os_entropy(16).size(), 16u);
+  EXPECT_EQ(os_entropy(0).size(), 0u);
+  EXPECT_NE(os_entropy(32), os_entropy(32));
+}
+
+TEST(OsEntropy, SystemDrbgWorks) {
+  Drbg d = make_system_drbg();
+  EXPECT_EQ(d.bytes(8).size(), 8u);
+}
+
+}  // namespace
+}  // namespace maabe::crypto

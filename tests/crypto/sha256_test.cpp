@@ -1,0 +1,65 @@
+#include "crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+
+namespace maabe::crypto {
+namespace {
+
+std::string hex_digest(ByteView data) { return to_hex(Sha256::digest(data)); }
+
+// NIST FIPS 180-4 example vectors.
+TEST(Sha256, NistVectors) {
+  EXPECT_EQ(hex_digest(bytes_of("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(hex_digest({}),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(hex_digest(bytes_of(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  const Bytes data = bytes_of("the quick brown fox jumps over the lazy dog!!");
+  for (size_t split = 0; split <= data.size(); ++split) {
+    Sha256 h;
+    h.update(ByteView(data.data(), split));
+    h.update(ByteView(data.data() + split, data.size() - split));
+    EXPECT_EQ(h.finish(), Sha256::digest(data)) << "split=" << split;
+  }
+}
+
+TEST(Sha256, BlockBoundaryLengths) {
+  // Exercise padding around the 56- and 64-byte boundaries.
+  for (size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const Bytes data(len, 0x5a);
+    Sha256 a;
+    a.update(data);
+    EXPECT_EQ(a.finish(), Sha256::digest(data)) << len;
+  }
+}
+
+TEST(Sha256, ReuseAfterFinishThrows) {
+  Sha256 h;
+  h.update(bytes_of("x"));
+  h.finish();
+  EXPECT_THROW(h.update(bytes_of("y")), CryptoError);
+  EXPECT_THROW(h.finish(), CryptoError);
+}
+
+TEST(Sha256, DistinctInputsDistinctDigests) {
+  EXPECT_NE(Sha256::digest(bytes_of("a")), Sha256::digest(bytes_of("b")));
+  EXPECT_NE(Sha256::digest(bytes_of("")), Sha256::digest(Bytes{0}));
+}
+
+}  // namespace
+}  // namespace maabe::crypto

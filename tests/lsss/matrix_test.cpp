@@ -1,0 +1,233 @@
+#include "lsss/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+#include "lsss/parser.h"
+
+namespace maabe::lsss {
+namespace {
+
+using pairing::Group;
+using pairing::Zr;
+
+class MatrixTest : public ::testing::Test {
+ protected:
+  MatrixTest() : grp(Group::test_small()) {}
+
+  // Reconstructs sum w_i * lambda_i and checks it equals s.
+  void expect_reconstructs(const LsssMatrix& m, const std::set<Attribute>& have,
+                           bool expect_ok) {
+    const Zr s = grp->zr_random(rng);
+    const std::vector<Zr> shares = m.share(*grp, s, rng);
+    const auto coeffs = m.reconstruction(*grp, have);
+    EXPECT_EQ(coeffs.has_value(), expect_ok);
+    if (!coeffs) return;
+    Zr acc = grp->zr_zero();
+    for (const auto& [row, w] : *coeffs) {
+      ASSERT_GE(row, 0);
+      ASSERT_LT(row, m.rows());
+      // Coefficients must only reference rows the user holds.
+      EXPECT_TRUE(have.contains(m.row_attribute(row)));
+      acc = acc + w * shares[row];
+    }
+    EXPECT_EQ(acc, s);
+  }
+
+  std::shared_ptr<const Group> grp;
+  crypto::Drbg rng{std::string_view("matrix-test")};
+};
+
+TEST_F(MatrixTest, SingleAttribute) {
+  const LsssMatrix m = LsssMatrix::from_policy(parse_policy("a@A"));
+  EXPECT_EQ(m.rows(), 1);
+  EXPECT_EQ(m.cols(), 1);
+  expect_reconstructs(m, {{"a", "A"}}, true);
+  expect_reconstructs(m, {{"b", "A"}}, false);
+  expect_reconstructs(m, {}, false);
+}
+
+TEST_F(MatrixTest, SimpleAnd) {
+  const LsssMatrix m = LsssMatrix::from_policy(parse_policy("a@A AND b@B"));
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 2);
+  expect_reconstructs(m, {{"a", "A"}, {"b", "B"}}, true);
+  expect_reconstructs(m, {{"a", "A"}}, false);
+  expect_reconstructs(m, {{"b", "B"}}, false);
+}
+
+TEST_F(MatrixTest, SimpleOr) {
+  const LsssMatrix m = LsssMatrix::from_policy(parse_policy("a@A OR b@B"));
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 1);
+  expect_reconstructs(m, {{"a", "A"}}, true);
+  expect_reconstructs(m, {{"b", "B"}}, true);
+  expect_reconstructs(m, {{"c", "C"}}, false);
+}
+
+TEST_F(MatrixTest, WideAnd) {
+  const LsssMatrix m =
+      LsssMatrix::from_policy(parse_policy("a@A AND b@B AND c@C AND d@D"));
+  EXPECT_EQ(m.rows(), 4);
+  expect_reconstructs(m, {{"a", "A"}, {"b", "B"}, {"c", "C"}, {"d", "D"}}, true);
+  expect_reconstructs(m, {{"a", "A"}, {"b", "B"}, {"c", "C"}}, false);
+}
+
+TEST_F(MatrixTest, ThresholdDirectModeKeepsRhoInjective) {
+  // The default Vandermonde compilation gives one row per leaf — no
+  // attribute repetition, so no reuse opt-in needed.
+  const PolicyPtr p = parse_policy("2of(a@A, b@B, c@C)");
+  const LsssMatrix m = LsssMatrix::from_policy(p);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 2);  // root column + (k-1) Vandermonde columns
+  expect_reconstructs(m, {{"a", "A"}, {"b", "B"}}, true);
+  expect_reconstructs(m, {{"b", "B"}, {"c", "C"}}, true);
+  expect_reconstructs(m, {{"a", "A"}, {"c", "C"}}, true);
+  expect_reconstructs(m, {{"a", "A"}}, false);
+  expect_reconstructs(m, {{"c", "C"}}, false);
+}
+
+TEST_F(MatrixTest, ThresholdExpandModeRequiresReuseFlag) {
+  // The OR-of-ANDs expansion repeats attributes, so the paper's
+  // injective-rho rule rejects it unless reuse is explicitly allowed.
+  const PolicyPtr p = parse_policy("2of(a@A, b@B, c@C)");
+  EXPECT_THROW(LsssMatrix::from_policy(p, false, ThresholdMode::kExpand), PolicyError);
+  const LsssMatrix m = LsssMatrix::from_policy(p, true, ThresholdMode::kExpand);
+  EXPECT_EQ(m.rows(), 6);  // 3 combinations x 2 leaves
+  expect_reconstructs(m, {{"a", "A"}, {"b", "B"}}, true);
+  expect_reconstructs(m, {{"a", "A"}}, false);
+}
+
+TEST_F(MatrixTest, WideThresholdOnlyFeasibleDirect) {
+  // 10-of-20 has C(20,10) = 184756 expansion terms — the expansion path
+  // refuses, the direct path emits a 20 x 10 matrix.
+  std::vector<PolicyPtr> kids;
+  for (int i = 0; i < 20; ++i)
+    kids.push_back(PolicyNode::attr("a" + std::to_string(i), "A"));
+  const PolicyPtr p = PolicyNode::threshold(10, kids);
+  EXPECT_THROW(LsssMatrix::from_policy(p, true, ThresholdMode::kExpand), PolicyError);
+
+  const LsssMatrix m = LsssMatrix::from_policy(p);
+  EXPECT_EQ(m.rows(), 20);
+  EXPECT_EQ(m.cols(), 10);
+  // Any 10 leaves reconstruct; any 9 do not.
+  std::set<Attribute> have;
+  for (int i = 0; i < 9; ++i) have.insert({"a" + std::to_string(2 * i), "A"});
+  expect_reconstructs(m, have, false);
+  have.insert({"a19", "A"});
+  expect_reconstructs(m, have, true);
+}
+
+TEST_F(MatrixTest, NestedThresholdsDirect) {
+  // Threshold over compound children, nested under other gates.
+  const PolicyPtr p = parse_policy("x@X AND 2of(a@A AND b@B, c@C, d@D OR e@E)");
+  const LsssMatrix m = LsssMatrix::from_policy(p);
+  expect_reconstructs(m, {{"x", "X"}, {"a", "A"}, {"b", "B"}, {"c", "C"}}, true);
+  expect_reconstructs(m, {{"x", "X"}, {"c", "C"}, {"e", "E"}}, true);
+  expect_reconstructs(m, {{"x", "X"}, {"a", "A"}, {"c", "C"}}, false);  // AND half
+  expect_reconstructs(m, {{"a", "A"}, {"b", "B"}, {"c", "C"}}, false);  // missing x
+  expect_reconstructs(m, {{"x", "X"}, {"c", "C"}}, false);
+}
+
+TEST_F(MatrixTest, ThresholdOverflowGuard) {
+  // Vandermonde powers n^{k-1} must fit 62 bits; a 40-of-80 gate
+  // (80^39) must be rejected with a clear error rather than overflow.
+  std::vector<PolicyPtr> kids;
+  for (int i = 0; i < 80; ++i)
+    kids.push_back(PolicyNode::attr("a" + std::to_string(i), "A"));
+  const PolicyPtr p = PolicyNode::threshold(40, kids);
+  EXPECT_THROW(LsssMatrix::from_policy(p), PolicyError);
+}
+
+TEST_F(MatrixTest, DuplicateAttributeRejectedByDefault) {
+  EXPECT_THROW(LsssMatrix::from_policy(parse_policy("a@A OR (a@A AND b@B)")),
+               PolicyError);
+}
+
+TEST_F(MatrixTest, RowAttributesMatchPolicyLeaves) {
+  const PolicyPtr p = parse_policy("(x@A AND y@B) OR z@C");
+  const LsssMatrix m = LsssMatrix::from_policy(p);
+  ASSERT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.row_attribute(0).name, "x");
+  EXPECT_EQ(m.row_attribute(1).name, "y");
+  EXPECT_EQ(m.row_attribute(2).name, "z");
+  EXPECT_EQ(m.policy_text(), p->to_string());
+}
+
+TEST_F(MatrixTest, ShareVectorFirstCoordinateIsSecret) {
+  // Sharing with the full attribute set must always reconstruct.
+  const LsssMatrix m = LsssMatrix::from_policy(
+      parse_policy("(a@A AND b@B) OR (c@C AND d@D AND e@E)"));
+  expect_reconstructs(m, {{"a", "A"}, {"b", "B"}}, true);
+  expect_reconstructs(m, {{"c", "C"}, {"d", "D"}, {"e", "E"}}, true);
+  expect_reconstructs(m, {{"a", "A"}, {"c", "C"}, {"d", "D"}}, false);
+  expect_reconstructs(m, {{"b", "B"}, {"e", "E"}}, false);
+}
+
+// Property test: LSSS satisfiability must agree with boolean semantics on
+// every subset of attributes, for a corpus of policies.
+class MatrixAgreement : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MatrixAgreement, MatchesBooleanSemanticsOnAllSubsets) {
+  auto grp = Group::test_small();
+  crypto::Drbg rng(std::string_view("agreement"));
+  const PolicyPtr p = parse_policy(GetParam());
+
+  // Collect distinct attributes.
+  const std::vector<Attribute> all_leaves = p->leaves();
+  std::set<Attribute> attr_set(all_leaves.begin(), all_leaves.end());
+  std::vector<Attribute> attrs(attr_set.begin(), attr_set.end());
+  ASSERT_LE(attrs.size(), 12u) << "test policy too wide for subset enumeration";
+
+  // Both threshold compilation strategies must agree with the boolean
+  // semantics on every subset.
+  for (const ThresholdMode mode : {ThresholdMode::kDirect, ThresholdMode::kExpand}) {
+    const LsssMatrix m = LsssMatrix::from_policy(p, /*allow_attribute_reuse=*/true, mode);
+    for (uint32_t mask = 0; mask < (1u << attrs.size()); ++mask) {
+      std::set<Attribute> have;
+      for (size_t i = 0; i < attrs.size(); ++i)
+        if (mask & (1u << i)) have.insert(attrs[i]);
+      const bool boolean = p->satisfied_by(have);
+      const auto coeffs = m.reconstruction(*grp, have);
+      ASSERT_EQ(coeffs.has_value(), boolean)
+          << "policy=" << GetParam() << " mask=" << mask
+          << " mode=" << (mode == ThresholdMode::kDirect ? "direct" : "expand");
+      if (coeffs) {
+        const Zr s = grp->zr_random(rng);
+        const auto shares = m.share(*grp, s, rng);
+        Zr acc = grp->zr_zero();
+        for (const auto& [row, w] : *coeffs) acc = acc + w * shares[row];
+        ASSERT_EQ(acc, s) << "policy=" << GetParam() << " mask=" << mask;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, MatrixAgreement,
+    ::testing::Values(
+        "a@A",
+        "a@A AND b@B",
+        "a@A OR b@B",
+        "a@A AND b@B AND c@C",
+        "a@A OR b@B OR c@C",
+        "(a@A AND b@B) OR c@C",
+        "(a@A OR b@B) AND c@C",
+        "(a@A AND b@B) OR (c@C AND d@D)",
+        "(a@A OR b@B) AND (c@C OR d@D)",
+        "((a@A AND b@B) OR c@C) AND d@D",
+        "a@A AND (b@B OR (c@C AND d@D))",
+        "2of(a@A, b@B, c@C)",
+        "3of(a@A, b@B, c@C, d@D)",
+        "2of(a@A AND b@B, c@C, d@D)",
+        "(x@X OR y@Y) AND 2of(a@A, b@B, c@C)",
+        "((a@A AND b@B) OR (c@C AND d@D)) AND (e@E OR f@F)",
+        "a@A AND b@A AND c@A AND d@A AND e@A AND f@A AND g@A",
+        "a@A OR (b@B AND (c@C OR (d@D AND e@E)))"));
+
+TEST_F(MatrixTest, NullPolicyRejected) {
+  EXPECT_THROW(LsssMatrix::from_policy(nullptr), PolicyError);
+}
+
+}  // namespace
+}  // namespace maabe::lsss

@@ -1,0 +1,174 @@
+#include "lsss/parser.h"
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+
+namespace maabe::lsss {
+namespace {
+
+TEST(Parser, SingleAttribute) {
+  const PolicyPtr p = parse_policy("Doctor@MedOrg");
+  EXPECT_EQ(p->kind(), PolicyNode::Kind::kAttr);
+  EXPECT_EQ(p->attribute().name, "Doctor");
+  EXPECT_EQ(p->attribute().aid, "MedOrg");
+}
+
+TEST(Parser, AndOrPrecedence) {
+  // AND binds tighter than OR: a OR b AND c == a OR (b AND c).
+  const PolicyPtr p = parse_policy("a@A OR b@B AND c@C");
+  ASSERT_EQ(p->kind(), PolicyNode::Kind::kOr);
+  ASSERT_EQ(p->children().size(), 2u);
+  EXPECT_EQ(p->children()[0]->kind(), PolicyNode::Kind::kAttr);
+  EXPECT_EQ(p->children()[1]->kind(), PolicyNode::Kind::kAnd);
+}
+
+TEST(Parser, ParenthesesOverridePrecedence) {
+  const PolicyPtr p = parse_policy("(a@A OR b@B) AND c@C");
+  ASSERT_EQ(p->kind(), PolicyNode::Kind::kAnd);
+  EXPECT_EQ(p->children()[0]->kind(), PolicyNode::Kind::kOr);
+}
+
+TEST(Parser, CaseInsensitiveKeywords) {
+  EXPECT_EQ(parse_policy("a@A and b@B")->kind(), PolicyNode::Kind::kAnd);
+  EXPECT_EQ(parse_policy("a@A Or b@B")->kind(), PolicyNode::Kind::kOr);
+}
+
+TEST(Parser, Threshold) {
+  const PolicyPtr p = parse_policy("2of(a@A, b@B, c@C)");
+  ASSERT_EQ(p->kind(), PolicyNode::Kind::kThreshold);
+  EXPECT_EQ(p->threshold_k(), 2);
+  EXPECT_EQ(p->children().size(), 3u);
+}
+
+TEST(Parser, ThresholdWithSpaces) {
+  const PolicyPtr p = parse_policy("2 of (a@A, b@B, c@C)");
+  ASSERT_EQ(p->kind(), PolicyNode::Kind::kThreshold);
+}
+
+TEST(Parser, ThresholdOverCompoundTerms) {
+  const PolicyPtr p = parse_policy("2of(a@A AND x@X, b@B, c@C OR d@D)");
+  ASSERT_EQ(p->kind(), PolicyNode::Kind::kThreshold);
+  EXPECT_EQ(p->children()[0]->kind(), PolicyNode::Kind::kAnd);
+  EXPECT_EQ(p->children()[2]->kind(), PolicyNode::Kind::kOr);
+}
+
+TEST(Parser, NestedPolicies) {
+  const PolicyPtr p = parse_policy(
+      "(Doctor@Med AND Researcher@Trial) OR (Admin@Med AND 2of(a@A, b@B, c@C))");
+  ASSERT_EQ(p->kind(), PolicyNode::Kind::kOr);
+  // Semantics sanity.
+  EXPECT_TRUE(p->satisfied_by({{"Doctor", "Med"}, {"Researcher", "Trial"}}));
+  EXPECT_TRUE(p->satisfied_by({{"Admin", "Med"}, {"a", "A"}, {"c", "C"}}));
+  EXPECT_FALSE(p->satisfied_by({{"Admin", "Med"}, {"a", "A"}}));
+}
+
+TEST(Parser, IdentifierCharacterSet) {
+  const PolicyPtr p = parse_policy("role:senior-dev_2@org.example+test");
+  EXPECT_EQ(p->attribute().name, "role:senior-dev_2");
+  EXPECT_EQ(p->attribute().aid, "org.example+test");
+}
+
+TEST(Parser, NumericLeadingIdent) {
+  // A number NOT followed by "of" parses as an attribute name.
+  const PolicyPtr p = parse_policy("2fa@SecOrg");
+  EXPECT_EQ(p->attribute().name, "2fa");
+}
+
+TEST(Parser, SyntaxErrors) {
+  EXPECT_THROW(parse_policy(""), PolicyError);
+  EXPECT_THROW(parse_policy("a@"), PolicyError);
+  EXPECT_THROW(parse_policy("@A"), PolicyError);
+  EXPECT_THROW(parse_policy("a@A AND"), PolicyError);
+  EXPECT_THROW(parse_policy("a@A b@B"), PolicyError);
+  EXPECT_THROW(parse_policy("(a@A"), PolicyError);
+  EXPECT_THROW(parse_policy("a@A)"), PolicyError);
+  EXPECT_THROW(parse_policy("2of(a@A)"), PolicyError);      // k > n
+  EXPECT_THROW(parse_policy("0of(a@A, b@B)"), PolicyError); // k < 1
+  EXPECT_THROW(parse_policy("a@A ! b@B"), PolicyError);
+  EXPECT_THROW(parse_policy("2of a@A, b@B"), PolicyError);
+}
+
+TEST(Parser, ErrorMessagesCarryPosition) {
+  try {
+    parse_policy("a@A AND ");
+    FAIL() << "expected PolicyError";
+  } catch (const PolicyError& e) {
+    EXPECT_NE(std::string(e.what()).find("position"), std::string::npos);
+  }
+}
+
+TEST(Parser, FuzzedInputsNeverCrash) {
+  // Pseudo-random byte soup and mutated valid policies must either parse
+  // or throw PolicyError — never crash or throw anything else.
+  std::mt19937_64 rng(0xF0220);
+  const std::string alphabet = "ab@AO()of2, ANDRX\t\n%$";
+  int parsed = 0, rejected = 0;
+  for (int i = 0; i < 500; ++i) {
+    std::string s;
+    const size_t len = rng() % 40;
+    for (size_t j = 0; j < len; ++j) s.push_back(alphabet[rng() % alphabet.size()]);
+    try {
+      const PolicyPtr p = parse_policy(s);
+      ASSERT_NE(p, nullptr);
+      (void)p->to_string();
+      ++parsed;
+    } catch (const PolicyError&) {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0);
+  SUCCEED() << parsed << " parsed, " << rejected << " rejected";
+}
+
+TEST(Parser, MutatedValidPoliciesNeverCrash) {
+  const std::string base = "(Doctor@Med AND 2of(a@A, b@B, c@C)) OR Admin@Med";
+  std::mt19937_64 rng(0xBEEF);
+  for (int i = 0; i < 300; ++i) {
+    std::string s = base;
+    const int op = rng() % 3;
+    const size_t pos = rng() % s.size();
+    if (op == 0) {
+      s.erase(pos, 1);
+    } else if (op == 1) {
+      s.insert(pos, 1, static_cast<char>("()@, "[rng() % 5]));
+    } else {
+      s[pos] = static_cast<char>(rng() % 94 + 33);
+    }
+    try {
+      (void)parse_policy(s);
+    } catch (const PolicyError&) {
+      // expected for most mutations
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Parser, DeeplyNestedPolicies) {
+  // 200 levels of parentheses: must parse (or cleanly reject), not
+  // overflow the stack.
+  std::string s;
+  for (int i = 0; i < 200; ++i) s += "(";
+  s += "a@A";
+  for (int i = 0; i < 200; ++i) s += ")";
+  const PolicyPtr p = parse_policy(s);
+  EXPECT_EQ(p->kind(), PolicyNode::Kind::kAttr);
+}
+
+TEST(Parser, RoundTripThroughToString) {
+  const char* policies[] = {
+      "Doctor@MedOrg",
+      "(a@A AND b@B)",
+      "((a@A AND b@B) OR c@C)",
+      "2of(a@A, b@B, c@C)",
+  };
+  for (const char* text : policies) {
+    const PolicyPtr p1 = parse_policy(text);
+    const PolicyPtr p2 = parse_policy(p1->to_string());
+    EXPECT_EQ(p1->to_string(), p2->to_string()) << text;
+  }
+}
+
+}  // namespace
+}  // namespace maabe::lsss

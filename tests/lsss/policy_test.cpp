@@ -1,0 +1,129 @@
+#include "lsss/policy.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "common/errors.h"
+
+namespace maabe::lsss {
+namespace {
+
+Attribute A(const std::string& n, const std::string& aid = "A") { return {n, aid}; }
+
+TEST(Policy, AttrNode) {
+  const PolicyPtr p = PolicyNode::attr("Doctor", "MedOrg");
+  EXPECT_EQ(p->kind(), PolicyNode::Kind::kAttr);
+  EXPECT_EQ(p->attribute().qualified(), "Doctor@MedOrg");
+  EXPECT_EQ(p->to_string(), "Doctor@MedOrg");
+  EXPECT_TRUE(p->satisfied_by({{"Doctor", "MedOrg"}}));
+  EXPECT_FALSE(p->satisfied_by({{"Doctor", "OtherOrg"}}));
+  EXPECT_FALSE(p->satisfied_by({}));
+}
+
+TEST(Policy, EmptyNamesRejected) {
+  EXPECT_THROW(PolicyNode::attr("", "A"), PolicyError);
+  EXPECT_THROW(PolicyNode::attr("x", ""), PolicyError);
+}
+
+TEST(Policy, AndOrSemantics) {
+  const PolicyPtr p = PolicyNode::and_of(
+      {PolicyNode::attr("a", "A"),
+       PolicyNode::or_of({PolicyNode::attr("b", "B"), PolicyNode::attr("c", "C")})});
+  EXPECT_TRUE(p->satisfied_by({{"a", "A"}, {"b", "B"}}));
+  EXPECT_TRUE(p->satisfied_by({{"a", "A"}, {"c", "C"}}));
+  EXPECT_FALSE(p->satisfied_by({{"a", "A"}}));
+  EXPECT_FALSE(p->satisfied_by({{"b", "B"}, {"c", "C"}}));
+}
+
+TEST(Policy, SingleChildCollapses) {
+  const PolicyPtr a = PolicyNode::attr("a", "A");
+  EXPECT_EQ(PolicyNode::and_of({a}), a);
+  EXPECT_EQ(PolicyNode::or_of({a}), a);
+}
+
+TEST(Policy, EmptyGatesRejected) {
+  EXPECT_THROW(PolicyNode::and_of({}), PolicyError);
+  EXPECT_THROW(PolicyNode::or_of({}), PolicyError);
+  EXPECT_THROW(PolicyNode::threshold(1, {}), PolicyError);
+}
+
+TEST(Policy, ThresholdSemantics) {
+  const PolicyPtr p = PolicyNode::threshold(
+      2, {PolicyNode::attr("a", "A"), PolicyNode::attr("b", "B"),
+          PolicyNode::attr("c", "C")});
+  EXPECT_EQ(p->kind(), PolicyNode::Kind::kThreshold);
+  EXPECT_FALSE(p->satisfied_by({A("a")}));
+  EXPECT_TRUE(p->satisfied_by({{"a", "A"}, {"b", "B"}}));
+  EXPECT_TRUE(p->satisfied_by({{"a", "A"}, {"c", "C"}}));
+  EXPECT_TRUE(p->satisfied_by({{"a", "A"}, {"b", "B"}, {"c", "C"}}));
+  EXPECT_FALSE(p->satisfied_by({{"b", "X"}, {"c", "C"}}));
+}
+
+TEST(Policy, ThresholdDegenerateCollapses) {
+  const auto kids = [] {
+    return std::vector<PolicyPtr>{PolicyNode::attr("a", "A"), PolicyNode::attr("b", "B")};
+  };
+  EXPECT_EQ(PolicyNode::threshold(1, kids())->kind(), PolicyNode::Kind::kOr);
+  EXPECT_EQ(PolicyNode::threshold(2, kids())->kind(), PolicyNode::Kind::kAnd);
+  EXPECT_THROW(PolicyNode::threshold(0, kids()), PolicyError);
+  EXPECT_THROW(PolicyNode::threshold(3, kids()), PolicyError);
+}
+
+TEST(Policy, LeavesPreserveOrder) {
+  const PolicyPtr p = PolicyNode::or_of(
+      {PolicyNode::and_of({PolicyNode::attr("x", "A"), PolicyNode::attr("y", "B")}),
+       PolicyNode::attr("z", "C")});
+  const auto leaves = p->leaves();
+  ASSERT_EQ(leaves.size(), 3u);
+  EXPECT_EQ(leaves[0].name, "x");
+  EXPECT_EQ(leaves[1].name, "y");
+  EXPECT_EQ(leaves[2].name, "z");
+}
+
+TEST(Policy, InvolvedAuthorities) {
+  const PolicyPtr p = PolicyNode::and_of(
+      {PolicyNode::attr("x", "Med"), PolicyNode::attr("y", "Trial"),
+       PolicyNode::attr("z", "Med")});
+  EXPECT_EQ(p->involved_authorities(), (std::set<std::string>{"Med", "Trial"}));
+}
+
+TEST(Policy, ExpandThresholdsProducesEquivalentFormula) {
+  const PolicyPtr p = PolicyNode::threshold(
+      2, {PolicyNode::attr("a", "A"), PolicyNode::attr("b", "B"),
+          PolicyNode::attr("c", "C"), PolicyNode::attr("d", "D")});
+  const PolicyPtr e = expand_thresholds(p);
+  // Exhaustively compare semantics over all 16 subsets.
+  const Attribute all[] = {{"a", "A"}, {"b", "B"}, {"c", "C"}, {"d", "D"}};
+  for (int mask = 0; mask < 16; ++mask) {
+    std::set<Attribute> have;
+    for (int i = 0; i < 4; ++i)
+      if (mask & (1 << i)) have.insert(all[i]);
+    EXPECT_EQ(p->satisfied_by(have), e->satisfied_by(have)) << mask;
+  }
+  // Expanded tree is AND/OR only.
+  const std::function<bool(const PolicyPtr&)> no_thresh = [&](const PolicyPtr& n) {
+    if (n->kind() == PolicyNode::Kind::kThreshold) return false;
+    for (const auto& c : n->children())
+      if (!no_thresh(c)) return false;
+    return true;
+  };
+  EXPECT_TRUE(no_thresh(e));
+}
+
+TEST(Policy, ExpandThresholdExplosionGuarded) {
+  std::vector<PolicyPtr> kids;
+  for (int i = 0; i < 20; ++i) kids.push_back(PolicyNode::attr("a" + std::to_string(i), "A"));
+  const PolicyPtr p = PolicyNode::threshold(10, kids);  // C(20,10) = 184756
+  EXPECT_THROW(expand_thresholds(p, 1000), PolicyError);
+}
+
+TEST(Policy, ToStringRoundTripShape) {
+  const PolicyPtr p = PolicyNode::or_of(
+      {PolicyNode::and_of({PolicyNode::attr("Doctor", "Med"), PolicyNode::attr("Res", "Tri")}),
+       PolicyNode::attr("Admin", "Med")});
+  EXPECT_EQ(p->to_string(), "((Doctor@Med AND Res@Tri) OR Admin@Med)");
+}
+
+}  // namespace
+}  // namespace maabe::lsss

@@ -1,0 +1,60 @@
+#include "math/prime.h"
+
+#include <gtest/gtest.h>
+
+namespace maabe::math {
+namespace {
+
+Bignum H(std::string_view hex) { return Bignum::from_hex(hex); }
+
+TEST(Prime, SmallValues) {
+  const uint64_t primes[] = {2, 3, 5, 7, 11, 13, 97, 101, 127};
+  for (uint64_t p : primes) EXPECT_TRUE(is_probable_prime(Bignum::from_u64(p))) << p;
+  const uint64_t composites[] = {0, 1, 4, 6, 9, 15, 21, 100, 121, 169};
+  for (uint64_t c : composites)
+    EXPECT_FALSE(is_probable_prime(Bignum::from_u64(c))) << c;
+}
+
+TEST(Prime, MediumValues) {
+  EXPECT_TRUE(is_probable_prime(Bignum::from_u64(1000003)));
+  EXPECT_FALSE(is_probable_prime(Bignum::from_u64(1000001)));  // 101*9901
+  EXPECT_TRUE(is_probable_prime(Bignum::from_u64(0xffffffffffffffc5ull)));  // 2^64-59
+  EXPECT_FALSE(is_probable_prime(Bignum::from_u64(0xffffffffffffffffull)));
+}
+
+TEST(Prime, CarmichaelNumbersRejected) {
+  for (uint64_t c : {561ull, 1105ull, 1729ull, 41041ull, 825265ull}) {
+    EXPECT_FALSE(is_probable_prime(Bignum::from_u64(c))) << c;
+  }
+}
+
+TEST(Prime, PbcTypeAParametersArePrime) {
+  // Group order r = 2^159 + 2^107 + 1 and 512-bit field prime q of PBC's
+  // stock "a" parameters.
+  EXPECT_TRUE(is_probable_prime(H("8000000000000800000000000000000000000001")));
+  EXPECT_TRUE(is_probable_prime(
+      H("a7a73868e95fba886edef8ce96e7217e364bb946f5ed839628d1f80010940622"
+        "a7afdaf9b049744a459e54dab7ba5be92539e8ff9b4f30a3cf6230c28e284d97")));
+}
+
+TEST(Prime, LargeCompositeRejected) {
+  // Product of two 256-bit primes must be recognized as composite.
+  const Bignum p = H("8000000000000800000000000000000000000001");
+  EXPECT_FALSE(is_probable_prime(Bignum::mul(p, p)));
+  EXPECT_FALSE(is_probable_prime(
+      Bignum::mul(p, H("ffffffffffffffffffffffffffffff61"))));
+}
+
+TEST(Prime, MersennePrimes) {
+  // 2^89-1 and 2^107-1 are prime; 2^83-1 and 2^97-1 are not.
+  const auto mersenne = [](int n) {
+    return Bignum::sub(Bignum::shl(Bignum::from_u64(1), n), Bignum::from_u64(1));
+  };
+  EXPECT_TRUE(is_probable_prime(mersenne(89)));
+  EXPECT_TRUE(is_probable_prime(mersenne(107)));
+  EXPECT_FALSE(is_probable_prime(mersenne(83)));
+  EXPECT_FALSE(is_probable_prime(mersenne(97)));
+}
+
+}  // namespace
+}  // namespace maabe::math

@@ -1,0 +1,111 @@
+#include "pairing/fp.h"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+#include "pairing/params.h"
+
+namespace maabe::pairing {
+namespace {
+
+using math::Bignum;
+
+class FpTest : public ::testing::Test {
+ protected:
+  FpTest() : fq(TypeAParams::test_small().q) {}
+  FpCtx fq;
+  crypto::Drbg rng{std::string_view("fp-test")};
+};
+
+TEST_F(FpTest, EncodeDecodeRoundTrip) {
+  for (int i = 0; i < 20; ++i) {
+    const Bignum plain = rng.below(fq.modulus());
+    EXPECT_EQ(fq.dec(fq.enc(plain)), plain);
+  }
+}
+
+TEST_F(FpTest, FieldAxiomsSampled) {
+  for (int i = 0; i < 20; ++i) {
+    const Bignum a = fq.random(rng), b = fq.random(rng), c = fq.random(rng);
+    EXPECT_EQ(fq.add(a, b), fq.add(b, a));
+    EXPECT_EQ(fq.mul(a, b), fq.mul(b, a));
+    EXPECT_EQ(fq.mul(a, fq.add(b, c)), fq.add(fq.mul(a, b), fq.mul(a, c)));
+    EXPECT_EQ(fq.add(a, fq.neg(a)), fq.zero());
+    EXPECT_EQ(fq.mul(a, fq.one()), a);
+    EXPECT_EQ(fq.sub(a, b), fq.add(a, fq.neg(b)));
+  }
+}
+
+TEST_F(FpTest, InverseIsInverse) {
+  for (int i = 0; i < 20; ++i) {
+    const Bignum a = fq.random(rng);
+    if (a.is_zero()) continue;
+    EXPECT_EQ(fq.mul(a, fq.inv(a)), fq.one());
+  }
+  EXPECT_THROW(fq.inv(fq.zero()), MathError);
+}
+
+TEST_F(FpTest, SqrMatchesMul) {
+  for (int i = 0; i < 20; ++i) {
+    const Bignum a = fq.random(rng);
+    EXPECT_EQ(fq.sqr(a), fq.mul(a, a));
+  }
+}
+
+TEST_F(FpTest, SqrtOfSquaresWorks) {
+  int residues = 0;
+  for (int i = 0; i < 30; ++i) {
+    const Bignum a = fq.random(rng);
+    const Bignum sq = fq.sqr(a);
+    ASSERT_TRUE(fq.is_qr(sq));
+    const Bignum root = fq.sqrt(sq);
+    EXPECT_TRUE(root == a || root == fq.neg(a));
+    ++residues;
+  }
+  EXPECT_GT(residues, 0);
+}
+
+TEST_F(FpTest, NonResidueDetected) {
+  // -1 is a non-residue because q = 3 (mod 4).
+  const Bignum minus_one = fq.neg(fq.one());
+  EXPECT_FALSE(fq.is_qr(minus_one));
+  EXPECT_THROW(fq.sqrt(minus_one), MathError);
+}
+
+TEST_F(FpTest, QrMultiplicativity) {
+  // Product of two non-residues is a residue.
+  Bignum nr1, nr2;
+  bool found1 = false;
+  for (int i = 0; i < 100 && !found1; ++i) {
+    const Bignum a = fq.random(rng);
+    if (!a.is_zero() && !fq.is_qr(a)) {
+      if (nr1.is_zero()) {
+        nr1 = a;
+      } else {
+        nr2 = a;
+        found1 = true;
+      }
+    }
+  }
+  ASSERT_TRUE(found1);
+  EXPECT_TRUE(fq.is_qr(fq.mul(nr1, nr2)));
+}
+
+TEST_F(FpTest, SerializationRoundTrip) {
+  for (int i = 0; i < 10; ++i) {
+    const Bignum a = fq.random(rng);
+    const Bytes b = fq.to_bytes(a);
+    EXPECT_EQ(b.size(), fq.byte_length());
+    EXPECT_EQ(fq.from_bytes(b), a);
+  }
+}
+
+TEST_F(FpTest, FromBytesRejectsBadInput) {
+  EXPECT_THROW(fq.from_bytes(Bytes(fq.byte_length() - 1)), WireError);
+  EXPECT_THROW(fq.from_bytes(Bytes(fq.byte_length() + 1)), WireError);
+  // The modulus itself is not a reduced residue.
+  EXPECT_THROW(fq.from_bytes(fq.modulus().to_bytes_be(fq.byte_length())), WireError);
+}
+
+}  // namespace
+}  // namespace maabe::pairing

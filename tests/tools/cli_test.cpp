@@ -1,0 +1,126 @@
+// Integration tests for maabe-cli: drive the real binary through full
+// workflows against a temporary keystore.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#ifndef MAABE_CLI_PATH
+#error "MAABE_CLI_PATH must be defined by the build"
+#endif
+
+namespace {
+
+namespace fs = std::filesystem;
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    home_ = fs::temp_directory_path() /
+            ("maabe-cli-test-" + std::to_string(::getpid()) + "-" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(home_);
+    fs::create_directories(home_);
+  }
+
+  void TearDown() override { fs::remove_all(home_); }
+
+  int run(const std::string& args) {
+    const std::string cmd = std::string(MAABE_CLI_PATH) + " --home " +
+                            home_.string() + " " + args + " >/dev/null 2>&1";
+    const int status = std::system(cmd.c_str());
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+
+  void write_file(const std::string& name, const std::string& content) {
+    std::ofstream out(home_ / name);
+    out << content;
+  }
+
+  std::string read_file(const std::string& name) {
+    std::ifstream in(home_ / name);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }
+
+  fs::path home_;
+};
+
+TEST_F(CliTest, FullWorkflow) {
+  ASSERT_EQ(run("init --test-curve"), 0);
+  ASSERT_EQ(run("add-authority Med Doctor Nurse"), 0);
+  ASSERT_EQ(run("add-authority Trial Researcher"), 0);
+  ASSERT_EQ(run("add-owner hosp"), 0);
+  ASSERT_EQ(run("add-user alice"), 0);
+  ASSERT_EQ(run("grant Med alice Doctor"), 0);
+  ASSERT_EQ(run("grant Trial alice Researcher"), 0);
+  ASSERT_EQ(run("issue-key Med alice hosp"), 0);
+  ASSERT_EQ(run("issue-key Trial alice hosp"), 0);
+
+  write_file("in.txt", "hello multi-authority world");
+  ASSERT_EQ(run("encrypt hosp f1 \"Doctor@Med AND Researcher@Trial\" " +
+                (home_ / "in.txt").string()),
+            0);
+  ASSERT_EQ(run("decrypt alice f1 " + (home_ / "out.txt").string()), 0);
+  EXPECT_EQ(read_file("out.txt"), "hello multi-authority world");
+}
+
+TEST_F(CliTest, AccessDeniedExitCode) {
+  ASSERT_EQ(run("init --test-curve"), 0);
+  ASSERT_EQ(run("add-authority Med Doctor Nurse"), 0);
+  ASSERT_EQ(run("add-owner hosp"), 0);
+  ASSERT_EQ(run("add-user bob"), 0);
+  ASSERT_EQ(run("grant Med bob Nurse"), 0);
+  ASSERT_EQ(run("issue-key Med bob hosp"), 0);
+  write_file("in.txt", "doctors only");
+  ASSERT_EQ(run("encrypt hosp f1 \"Doctor@Med\" " + (home_ / "in.txt").string()), 0);
+  EXPECT_EQ(run("decrypt bob f1 " + (home_ / "out.txt").string()), 2);
+}
+
+TEST_F(CliTest, RevocationAcrossInvocations) {
+  ASSERT_EQ(run("init --test-curve"), 0);
+  ASSERT_EQ(run("add-authority Med Doctor"), 0);
+  ASSERT_EQ(run("add-owner hosp"), 0);
+  ASSERT_EQ(run("add-user alice"), 0);
+  ASSERT_EQ(run("add-user carol"), 0);
+  ASSERT_EQ(run("grant Med alice Doctor"), 0);
+  ASSERT_EQ(run("grant Med carol Doctor"), 0);
+  ASSERT_EQ(run("issue-key Med alice hosp"), 0);
+  ASSERT_EQ(run("issue-key Med carol hosp"), 0);
+  write_file("in.txt", "ward census");
+  ASSERT_EQ(run("encrypt hosp f1 \"Doctor@Med\" " + (home_ / "in.txt").string()), 0);
+
+  ASSERT_EQ(run("decrypt alice f1 " + (home_ / "o1.txt").string()), 0);
+  ASSERT_EQ(run("revoke Med alice Doctor"), 0);
+  // Alice: denied. Carol: still works via the update key.
+  EXPECT_EQ(run("decrypt alice f1 " + (home_ / "o2.txt").string()), 2);
+  EXPECT_EQ(run("decrypt carol f1 " + (home_ / "o3.txt").string()), 0);
+  EXPECT_EQ(read_file("o3.txt"), "ward census");
+}
+
+TEST_F(CliTest, ErrorsAndUsage) {
+  EXPECT_NE(run(""), 0);                           // usage
+  EXPECT_NE(run("bogus-command"), 0);              // unknown command
+  EXPECT_EQ(run("status"), 1);                     // not initialized
+  ASSERT_EQ(run("init --test-curve"), 0);
+  EXPECT_EQ(run("init --test-curve"), 1);          // double init
+  EXPECT_EQ(run("add-authority"), 1);              // missing args
+  EXPECT_EQ(run("add-user 'bad id'"), 1);          // invalid identifier
+  EXPECT_EQ(run("grant NoAA nobody X"), 1);        // unknown authority
+  EXPECT_EQ(run("decrypt nobody nofile out"), 1);  // unknown everything
+  EXPECT_EQ(run("status"), 0);
+}
+
+TEST_F(CliTest, DuplicateFileRejected) {
+  ASSERT_EQ(run("init --test-curve"), 0);
+  ASSERT_EQ(run("add-authority Med Doctor"), 0);
+  ASSERT_EQ(run("add-owner hosp"), 0);
+  write_file("in.txt", "x");
+  ASSERT_EQ(run("encrypt hosp f1 \"Doctor@Med\" " + (home_ / "in.txt").string()), 0);
+  EXPECT_EQ(run("encrypt hosp f1 \"Doctor@Med\" " + (home_ / "in.txt").string()), 1);
+  EXPECT_EQ(run("inspect f1"), 0);
+}
+
+}  // namespace

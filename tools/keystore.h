@@ -1,0 +1,105 @@
+// File-based keystore for the maabe command-line tool.
+//
+// Single-host demo layout under a --home directory:
+//
+//   group.params                     curve parameters (q, r, h hex)
+//   ca/users/<uid>.pk                UserPublicKey
+//   aa/<aid>/state                   authority state (version key,
+//                                    universe, assignments)
+//   owners/<id>/master               OwnerMasterKey        (secret)
+//   owners/<id>/share                OwnerSecretShare      (for AAs)
+//   owners/<id>/records/<ct>         EncryptionRecord      (secret)
+//   owners/<id>/cts/<ct>             owner's ciphertext copy
+//   users/<uid>/keys/<owner>__<aid>  UserSecretKey         (secret)
+//   server/<file_id>                 StoredFile
+//
+// Identifiers are restricted to [A-Za-z0-9_.-] so they can double as
+// path components without escaping.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <vector>
+
+#include "abe/types.h"
+#include "common/bytes.h"
+#include "pairing/group.h"
+
+namespace maabe::tools {
+
+/// Persistent authority state beyond the bare version key.
+struct AuthorityState {
+  abe::AuthorityVersionKey vk;
+  std::set<std::string> universe;
+  std::map<std::string, std::set<std::string>> assignments;  // uid -> names
+};
+
+class Keystore {
+ public:
+  explicit Keystore(std::filesystem::path home);
+
+  const std::filesystem::path& home() const { return home_; }
+
+  /// Throws SchemeError when the id contains characters unsafe for a
+  /// path component.
+  static void validate_id(const std::string& id);
+
+  // ---- group -----------------------------------------------------------
+  void init_group(const pairing::TypeAParams& params);
+  /// Loads (and caches) the group; throws if init was never run.
+  std::shared_ptr<const pairing::Group> group();
+  bool initialized() const;
+
+  // ---- CA / users ------------------------------------------------------
+  void save_user_pk(const abe::UserPublicKey& pk);
+  abe::UserPublicKey load_user_pk(const std::string& uid);
+  bool has_user(const std::string& uid) const;
+  std::vector<std::string> list_users() const;
+
+  // ---- authorities -----------------------------------------------------
+  void save_authority(const AuthorityState& state);
+  AuthorityState load_authority(const std::string& aid);
+  bool has_authority(const std::string& aid) const;
+  std::vector<std::string> list_authorities() const;
+
+  // ---- owners ----------------------------------------------------------
+  void save_owner(const abe::OwnerMasterKey& mk, const abe::OwnerSecretShare& share);
+  abe::OwnerMasterKey load_owner_master(const std::string& owner_id);
+  abe::OwnerSecretShare load_owner_share(const std::string& owner_id);
+  bool has_owner(const std::string& owner_id) const;
+  std::vector<std::string> list_owners() const;
+
+  void save_record(const std::string& owner_id, const abe::EncryptionRecord& rec);
+  abe::EncryptionRecord load_record(const std::string& owner_id, const std::string& ct_id);
+  void save_owner_ciphertext(const std::string& owner_id, const abe::Ciphertext& ct);
+  abe::Ciphertext load_owner_ciphertext(const std::string& owner_id,
+                                        const std::string& ct_id);
+  std::vector<std::string> list_owner_ciphertexts(const std::string& owner_id) const;
+
+  // ---- user secret keys --------------------------------------------------
+  void save_user_key(const abe::UserSecretKey& sk);
+  std::optional<abe::UserSecretKey> load_user_key(const std::string& uid,
+                                                  const std::string& owner_id,
+                                                  const std::string& aid);
+  /// All keys the user holds for one owner, keyed by AID.
+  std::map<std::string, abe::UserSecretKey> load_user_keys_for_owner(
+      const std::string& uid, const std::string& owner_id);
+  void delete_user_key(const std::string& uid, const std::string& owner_id,
+                       const std::string& aid);
+
+  // ---- server ------------------------------------------------------------
+  void save_server_file(const std::string& file_id, ByteView bytes);
+  Bytes load_server_file(const std::string& file_id);
+  bool has_server_file(const std::string& file_id) const;
+  std::vector<std::string> list_server_files() const;
+
+ private:
+  Bytes read(const std::filesystem::path& rel) const;
+  void write(const std::filesystem::path& rel, ByteView data);
+  std::vector<std::string> list_dir(const std::filesystem::path& rel) const;
+
+  std::filesystem::path home_;
+  std::shared_ptr<const pairing::Group> group_;
+};
+
+}  // namespace maabe::tools

@@ -1,0 +1,382 @@
+// maabe-cli — a persistent multi-authority access-control deployment on
+// the local filesystem.
+//
+// Walkthrough:
+//   maabe-cli --home demo init --test-curve
+//   maabe-cli --home demo add-authority MedOrg Doctor Nurse
+//   maabe-cli --home demo add-authority TrialAdmin Researcher
+//   maabe-cli --home demo add-owner hospital
+//   maabe-cli --home demo add-user alice
+//   maabe-cli --home demo grant MedOrg alice Doctor
+//   maabe-cli --home demo grant TrialAdmin alice Researcher
+//   maabe-cli --home demo issue-key MedOrg alice hospital
+//   maabe-cli --home demo issue-key TrialAdmin alice hospital
+//   echo "secret note" > note.txt
+//   maabe-cli --home demo encrypt hospital note1 \
+//       "Doctor@MedOrg AND Researcher@TrialAdmin" note.txt
+//   maabe-cli --home demo decrypt alice note1 out.txt
+//   maabe-cli --home demo revoke MedOrg alice Doctor
+//   maabe-cli --home demo decrypt alice note1 out.txt   # now denied
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "abe/scheme.h"
+#include "abe/serial.h"
+#include "cloud/hybrid.h"
+#include "common/errors.h"
+#include "crypto/random.h"
+#include "keystore.h"
+#include "lsss/parser.h"
+
+namespace maabe::tools {
+namespace {
+
+namespace fsys = std::filesystem;
+
+Bytes read_whole_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw SchemeError("cannot read input file '" + path + "'");
+  return Bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+}
+
+void write_whole_file(const std::string& path, ByteView data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw SchemeError("cannot write output file '" + path + "'");
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+}
+
+struct Cli {
+  Keystore store;
+  crypto::Drbg rng = crypto::make_system_drbg();
+
+  explicit Cli(fsys::path home) : store(std::move(home)) {}
+
+  int init(const std::vector<std::string>& args) {
+    const bool small = !args.empty() && args[0] == "--test-curve";
+    if (store.initialized()) throw SchemeError("already initialized");
+    store.init_group(small ? pairing::TypeAParams::test_small()
+                           : pairing::TypeAParams::pbc_a512());
+    std::printf("initialized %s (%s)\n", store.home().string().c_str(),
+                small ? "192-bit test curve, INSECURE" : "512-bit type-A curve");
+    return 0;
+  }
+
+  int add_authority(const std::vector<std::string>& args) {
+    if (args.size() < 2) throw SchemeError("usage: add-authority <aid> <attr>...");
+    const std::string& aid = args[0];
+    if (store.has_authority(aid)) throw SchemeError("authority exists: " + aid);
+    AuthorityState state;
+    state.vk = abe::aa_setup(*store.group(), aid, rng);
+    for (size_t i = 1; i < args.size(); ++i) {
+      Keystore::validate_id(args[i]);
+      state.universe.insert(args[i]);
+    }
+    store.save_authority(state);
+    std::printf("authority '%s' created (version 1, %zu attributes)\n", aid.c_str(),
+                state.universe.size());
+    return 0;
+  }
+
+  int add_owner(const std::vector<std::string>& args) {
+    if (args.size() != 1) throw SchemeError("usage: add-owner <id>");
+    if (store.has_owner(args[0])) throw SchemeError("owner exists: " + args[0]);
+    const abe::OwnerMasterKey mk = abe::owner_gen(*store.group(), args[0], rng);
+    store.save_owner(mk, abe::owner_share(*store.group(), mk));
+    std::printf("owner '%s' created; SK_o available to authorities\n", args[0].c_str());
+    return 0;
+  }
+
+  int add_user(const std::vector<std::string>& args) {
+    if (args.size() != 1) throw SchemeError("usage: add-user <uid>");
+    if (store.has_user(args[0])) throw SchemeError("user exists: " + args[0]);
+    store.save_user_pk(abe::ca_register_user(*store.group(), args[0], rng));
+    std::printf("user '%s' registered (global UID assigned by CA)\n", args[0].c_str());
+    return 0;
+  }
+
+  int grant(const std::vector<std::string>& args) {
+    if (args.size() < 3) throw SchemeError("usage: grant <aid> <uid> <attr>...");
+    AuthorityState state = store.load_authority(args[0]);
+    if (!store.has_user(args[1])) throw SchemeError("unknown user: " + args[1]);
+    for (size_t i = 2; i < args.size(); ++i) {
+      if (!state.universe.contains(args[i]))
+        throw SchemeError("authority '" + args[0] + "' does not manage '" + args[i] + "'");
+      state.assignments[args[1]].insert(args[i]);
+    }
+    store.save_authority(state);
+    std::printf("granted %zu attribute(s) at '%s' to '%s'\n", args.size() - 2,
+                args[0].c_str(), args[1].c_str());
+    return 0;
+  }
+
+  int issue_key(const std::vector<std::string>& args) {
+    if (args.size() != 3) throw SchemeError("usage: issue-key <aid> <uid> <owner>");
+    const AuthorityState state = store.load_authority(args[0]);
+    const abe::UserPublicKey user = store.load_user_pk(args[1]);
+    const abe::OwnerSecretShare share = store.load_owner_share(args[2]);
+    const auto it = state.assignments.find(args[1]);
+    const std::set<std::string> attrs =
+        it == state.assignments.end() ? std::set<std::string>{} : it->second;
+    store.save_user_key(abe::aa_keygen(*store.group(), state.vk, share, user, attrs));
+    std::printf("issued key: user '%s', authority '%s' (v%u), owner '%s', %zu attrs\n",
+                args[1].c_str(), args[0].c_str(), state.vk.version, args[2].c_str(),
+                attrs.size());
+    return 0;
+  }
+
+  // Builds current public keys for every authority the policy involves.
+  void collect_public_keys(const lsss::LsssMatrix& policy,
+                           std::map<std::string, abe::AuthorityPublicKey>* apks,
+                           std::map<std::string, abe::PublicAttributeKey>* attr_pks) {
+    auto grp = store.group();
+    std::set<std::string> involved;
+    for (const auto& attr : policy.row_attributes()) involved.insert(attr.aid);
+    for (const std::string& aid : involved) {
+      const AuthorityState state = store.load_authority(aid);
+      apks->emplace(aid, abe::aa_public_key(*grp, state.vk));
+      for (const std::string& name : state.universe) {
+        const auto pk = abe::aa_attribute_key(*grp, state.vk, name);
+        attr_pks->emplace(pk.attr.qualified(), pk);
+      }
+    }
+  }
+
+  int encrypt(const std::vector<std::string>& args) {
+    if (args.size() != 4)
+      throw SchemeError("usage: encrypt <owner> <file-id> <policy> <input-file>");
+    auto grp = store.group();
+    const abe::OwnerMasterKey mk = store.load_owner_master(args[0]);
+    const std::string& file_id = args[1];
+    Keystore::validate_id(file_id);
+    if (store.has_server_file(file_id)) throw SchemeError("file exists: " + file_id);
+
+    const lsss::LsssMatrix policy =
+        lsss::LsssMatrix::from_policy(lsss::parse_policy(args[2]));
+    std::map<std::string, abe::AuthorityPublicKey> apks;
+    std::map<std::string, abe::PublicAttributeKey> attr_pks;
+    collect_public_keys(policy, &apks, &attr_pks);
+
+    // Hybrid encryption (Fig. 2), single component per file in the CLI.
+    const pairing::GT seed = grp->gt_random(rng);
+    abe::EncryptionResult enc =
+        abe::encrypt(*grp, mk, file_id, seed, policy, apks, attr_pks, rng);
+    cloud::StoredFile file;
+    file.file_id = file_id;
+    file.owner_id = args[0];
+    cloud::SealedSlot slot;
+    slot.component_name = "data";
+    slot.key_ct = enc.ct;
+    slot.sealed_data = crypto::seal(cloud::content_key_from_gt(seed),
+                                    read_whole_file(args[3]),
+                                    cloud::slot_aad(file_id, "data"), rng);
+    file.slots.push_back(std::move(slot));
+
+    const Bytes wire = cloud::serialize(*grp, file);
+    store.save_server_file(file_id, wire);
+    store.save_record(args[0], enc.record);
+    store.save_owner_ciphertext(args[0], enc.ct);
+    std::printf("stored '%s' (%zu bytes) under policy %s\n", file_id.c_str(),
+                wire.size(), policy.policy_text().c_str());
+    return 0;
+  }
+
+  int decrypt(const std::vector<std::string>& args) {
+    if (args.size() != 3)
+      throw SchemeError("usage: decrypt <uid> <file-id> <output-file>");
+    auto grp = store.group();
+    const cloud::StoredFile file =
+        cloud::deserialize_stored_file(*grp, store.load_server_file(args[1]));
+    const abe::UserPublicKey user = store.load_user_pk(args[0]);
+    const auto keys = store.load_user_keys_for_owner(args[0], file.owner_id);
+    const cloud::SealedSlot& slot = file.slots.at(0);
+    if (!abe::can_decrypt(*grp, slot.key_ct, keys)) {
+      std::printf("ACCESS DENIED: '%s' cannot decrypt '%s' (policy %s)\n",
+                  args[0].c_str(), args[1].c_str(),
+                  slot.key_ct.policy.policy_text().c_str());
+      return 2;
+    }
+    const pairing::GT seed = abe::decrypt(*grp, slot.key_ct, user, keys);
+    const Bytes plain =
+        crypto::open(cloud::content_key_from_gt(seed), slot.sealed_data,
+                     cloud::slot_aad(file.file_id, slot.component_name));
+    write_whole_file(args[2], plain);
+    std::printf("decrypted '%s' -> '%s' (%zu bytes)\n", args[1].c_str(),
+                args[2].c_str(), plain.size());
+    return 0;
+  }
+
+  int revoke(const std::vector<std::string>& args) {
+    if (args.size() != 3) throw SchemeError("usage: revoke <aid> <uid> <attr>");
+    auto grp = store.group();
+    const std::string &aid = args[0], &uid = args[1], &attr = args[2];
+
+    AuthorityState state = store.load_authority(aid);
+    auto assignment = state.assignments.find(uid);
+    if (assignment == state.assignments.end() || assignment->second.erase(attr) == 0)
+      throw SchemeError("user '" + uid + "' does not hold '" + attr + "' at '" + aid + "'");
+
+    // Phase 1: new version key; per-attribute old/new public keys.
+    const abe::AuthorityVersionKey old_vk = state.vk;
+    state.vk = abe::aa_rekey(*grp, old_vk, rng).new_vk;
+    store.save_authority(state);
+    std::map<std::string, abe::PublicAttributeKey> old_pks, new_pks;
+    for (const std::string& name : state.universe) {
+      const auto op = abe::aa_attribute_key(*grp, old_vk, name);
+      old_pks.emplace(op.attr.qualified(), op);
+      const auto np = abe::aa_attribute_key(*grp, state.vk, name);
+      new_pks.emplace(np.attr.qualified(), np);
+    }
+    const abe::UserPublicKey revoked_pk = store.load_user_pk(uid);
+
+    size_t keys_updated = 0, cts_reencrypted = 0;
+    for (const std::string& owner_id : store.list_owners()) {
+      const abe::OwnerSecretShare share = store.load_owner_share(owner_id);
+      const abe::UpdateKey uk = abe::aa_make_update_key(*grp, old_vk, state.vk, share);
+
+      // Revoked user: fresh key with the reduced attribute set.
+      if (store.load_user_key(uid, owner_id, aid)) {
+        store.save_user_key(abe::aa_regenerate_key(*grp, state.vk, share, revoked_pk,
+                                                   assignment->second));
+      }
+      // Everyone else: apply the update key.
+      for (const std::string& other : store.list_users()) {
+        if (other == uid) continue;
+        if (auto sk = store.load_user_key(other, owner_id, aid)) {
+          store.save_user_key(abe::apply_update_to_secret_key(*grp, *sk, uk));
+          ++keys_updated;
+        }
+      }
+
+      // Phase 2: owner emits UpdateInfo; "server" re-encrypts in place.
+      const abe::OwnerMasterKey mk = store.load_owner_master(owner_id);
+      for (const std::string& ct_id : store.list_owner_ciphertexts(owner_id)) {
+        abe::Ciphertext ct = store.load_owner_ciphertext(owner_id, ct_id);
+        const auto ver = ct.versions.find(aid);
+        if (ver == ct.versions.end() || ver->second != old_vk.version) continue;
+        const abe::EncryptionRecord rec = store.load_record(owner_id, ct_id);
+        const abe::UpdateInfo ui =
+            abe::owner_update_info(*grp, mk, rec, ct, old_pks, new_pks, aid);
+        abe::reencrypt(*grp, &ct, uk, ui);
+        store.save_owner_ciphertext(owner_id, ct);
+        // Propagate into the stored file.
+        cloud::StoredFile file =
+            cloud::deserialize_stored_file(*grp, store.load_server_file(ct_id));
+        for (cloud::SealedSlot& slot : file.slots) {
+          if (slot.key_ct.id == ct_id) slot.key_ct = ct;
+        }
+        store.save_server_file(ct_id, cloud::serialize(*grp, file));
+        ++cts_reencrypted;
+      }
+    }
+    std::printf("revoked '%s' from '%s' at '%s': version %u -> %u, "
+                "%zu key(s) updated, %zu ciphertext(s) re-encrypted\n",
+                attr.c_str(), uid.c_str(), aid.c_str(), old_vk.version,
+                state.vk.version, keys_updated, cts_reencrypted);
+    return 0;
+  }
+
+  int inspect(const std::vector<std::string>& args) {
+    if (args.size() != 1) throw SchemeError("usage: inspect <file-id>");
+    auto grp = store.group();
+    const Bytes wire = store.load_server_file(args[0]);
+    const cloud::StoredFile file = cloud::deserialize_stored_file(*grp, wire);
+    std::printf("file '%s': owner '%s', %zu byte(s) on server\n", file.file_id.c_str(),
+                file.owner_id.c_str(), wire.size());
+    for (const cloud::SealedSlot& slot : file.slots) {
+      std::printf("  component '%s': policy %s\n", slot.component_name.c_str(),
+                  slot.key_ct.policy.policy_text().c_str());
+      for (const auto& [aid, version] : slot.key_ct.versions)
+        std::printf("    authority '%s' at version %u\n", aid.c_str(), version);
+      std::printf("    ABE group material %zu B, sealed payload %zu B\n",
+                  abe::ciphertext_group_material_bytes(*grp, slot.key_ct),
+                  slot.sealed_data.size());
+    }
+    return 0;
+  }
+
+  int status(const std::vector<std::string>&) {
+    if (!store.initialized())
+      throw SchemeError("keystore not initialized (run 'maabe-cli init' first)");
+    std::printf("keystore: %s\n", store.home().string().c_str());
+    std::printf("authorities:");
+    for (const auto& aid : store.list_authorities()) {
+      const AuthorityState s = store.load_authority(aid);
+      std::printf(" %s(v%u,%zu attrs)", aid.c_str(), s.vk.version, s.universe.size());
+    }
+    std::printf("\nowners:");
+    for (const auto& o : store.list_owners()) std::printf(" %s", o.c_str());
+    std::printf("\nusers:");
+    for (const auto& u : store.list_users()) std::printf(" %s", u.c_str());
+    std::printf("\nfiles:");
+    for (const auto& f : store.list_server_files()) std::printf(" %s", f.c_str());
+    std::printf("\n");
+    return 0;
+  }
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "maabe-cli — multi-authority attribute-based access control\n"
+               "usage: maabe-cli [--home DIR] <command> [args]\n\n"
+               "commands:\n"
+               "  init [--test-curve]                  create the keystore\n"
+               "  add-authority <aid> <attr>...        register an attribute authority\n"
+               "  add-owner <id>                       create a data owner\n"
+               "  add-user <uid>                       register a user with the CA\n"
+               "  grant <aid> <uid> <attr>...          assign attributes to a user\n"
+               "  issue-key <aid> <uid> <owner>        issue the user's secret key\n"
+               "  encrypt <owner> <id> <policy> <in>   protect + upload a file\n"
+               "  decrypt <uid> <id> <out>             download + decrypt a file\n"
+               "  revoke <aid> <uid> <attr>            full revocation protocol\n"
+               "  inspect <id>                         show a stored file's metadata\n"
+               "  status                               list entities and files\n");
+  return 64;
+}
+
+int run(int argc, char** argv) {
+  fsys::path home = "maabe-home";
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--home") == 0 && i + 1 < argc) {
+      home = argv[++i];
+    } else {
+      args.emplace_back(argv[i]);
+    }
+  }
+  if (args.empty()) return usage();
+  const std::string cmd = args.front();
+  args.erase(args.begin());
+
+  Cli cli(home);
+  if (cmd == "init") return cli.init(args);
+  if (cmd == "add-authority") return cli.add_authority(args);
+  if (cmd == "add-owner") return cli.add_owner(args);
+  if (cmd == "add-user") return cli.add_user(args);
+  if (cmd == "grant") return cli.grant(args);
+  if (cmd == "issue-key") return cli.issue_key(args);
+  if (cmd == "encrypt") return cli.encrypt(args);
+  if (cmd == "decrypt") return cli.decrypt(args);
+  if (cmd == "revoke") return cli.revoke(args);
+  if (cmd == "inspect") return cli.inspect(args);
+  if (cmd == "status") return cli.status(args);
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  return usage();
+}
+
+}  // namespace
+}  // namespace maabe::tools
+
+int main(int argc, char** argv) {
+  try {
+    return maabe::tools::run(argc, argv);
+  } catch (const maabe::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "unexpected error: %s\n", e.what());
+    return 1;
+  }
+}
