@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig3_time_vs_authorities.cpp" "bench/CMakeFiles/fig3_time_vs_authorities.dir/fig3_time_vs_authorities.cpp.o" "gcc" "bench/CMakeFiles/fig3_time_vs_authorities.dir/fig3_time_vs_authorities.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/maabe_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maabe_abe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maabe_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maabe_lsss.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maabe_pairing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maabe_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maabe_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maabe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

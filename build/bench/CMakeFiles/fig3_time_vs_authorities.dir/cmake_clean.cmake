@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_time_vs_authorities.dir/fig3_time_vs_authorities.cpp.o"
+  "CMakeFiles/fig3_time_vs_authorities.dir/fig3_time_vs_authorities.cpp.o.d"
+  "fig3_time_vs_authorities"
+  "fig3_time_vs_authorities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_time_vs_authorities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_time_vs_attributes.dir/fig4_time_vs_attributes.cpp.o"
+  "CMakeFiles/fig4_time_vs_attributes.dir/fig4_time_vs_attributes.cpp.o.d"
+  "fig4_time_vs_attributes"
+  "fig4_time_vs_attributes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_time_vs_attributes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pairing_micro.dir/pairing_micro.cpp.o"
+  "CMakeFiles/pairing_micro.dir/pairing_micro.cpp.o.d"
+  "pairing_micro"
+  "pairing_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pairing_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

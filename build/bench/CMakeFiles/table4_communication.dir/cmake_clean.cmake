@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_communication.dir/table4_communication.cpp.o"
+  "CMakeFiles/table4_communication.dir/table4_communication.cpp.o.d"
+  "table4_communication"
+  "table4_communication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_communication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

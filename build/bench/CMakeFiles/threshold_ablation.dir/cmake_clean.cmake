@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threshold_ablation.dir/threshold_ablation.cpp.o"
+  "CMakeFiles/threshold_ablation.dir/threshold_ablation.cpp.o.d"
+  "threshold_ablation"
+  "threshold_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threshold_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

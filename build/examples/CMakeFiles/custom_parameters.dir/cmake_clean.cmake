@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_parameters.dir/custom_parameters.cpp.o"
+  "CMakeFiles/custom_parameters.dir/custom_parameters.cpp.o.d"
+  "custom_parameters"
+  "custom_parameters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

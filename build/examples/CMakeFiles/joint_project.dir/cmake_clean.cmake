@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/joint_project.dir/joint_project.cpp.o"
+  "CMakeFiles/joint_project.dir/joint_project.cpp.o.d"
+  "joint_project"
+  "joint_project.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/joint_project.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

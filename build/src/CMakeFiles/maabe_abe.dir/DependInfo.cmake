@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/abe/scheme.cpp" "src/CMakeFiles/maabe_abe.dir/abe/scheme.cpp.o" "gcc" "src/CMakeFiles/maabe_abe.dir/abe/scheme.cpp.o.d"
+  "/root/repo/src/abe/serial.cpp" "src/CMakeFiles/maabe_abe.dir/abe/serial.cpp.o" "gcc" "src/CMakeFiles/maabe_abe.dir/abe/serial.cpp.o.d"
+  "/root/repo/src/abe/types.cpp" "src/CMakeFiles/maabe_abe.dir/abe/types.cpp.o" "gcc" "src/CMakeFiles/maabe_abe.dir/abe/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/maabe_lsss.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maabe_pairing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maabe_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maabe_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maabe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

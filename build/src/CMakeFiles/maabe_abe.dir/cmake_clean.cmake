@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maabe_abe.dir/abe/scheme.cpp.o"
+  "CMakeFiles/maabe_abe.dir/abe/scheme.cpp.o.d"
+  "CMakeFiles/maabe_abe.dir/abe/serial.cpp.o"
+  "CMakeFiles/maabe_abe.dir/abe/serial.cpp.o.d"
+  "CMakeFiles/maabe_abe.dir/abe/types.cpp.o"
+  "CMakeFiles/maabe_abe.dir/abe/types.cpp.o.d"
+  "libmaabe_abe.a"
+  "libmaabe_abe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maabe_abe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maabe_baseline.dir/baseline/lewko.cpp.o"
+  "CMakeFiles/maabe_baseline.dir/baseline/lewko.cpp.o.d"
+  "CMakeFiles/maabe_baseline.dir/baseline/lewko_serial.cpp.o"
+  "CMakeFiles/maabe_baseline.dir/baseline/lewko_serial.cpp.o.d"
+  "CMakeFiles/maabe_baseline.dir/baseline/waters.cpp.o"
+  "CMakeFiles/maabe_baseline.dir/baseline/waters.cpp.o.d"
+  "libmaabe_baseline.a"
+  "libmaabe_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maabe_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maabe_cloud.dir/cloud/entities.cpp.o"
+  "CMakeFiles/maabe_cloud.dir/cloud/entities.cpp.o.d"
+  "CMakeFiles/maabe_cloud.dir/cloud/hybrid.cpp.o"
+  "CMakeFiles/maabe_cloud.dir/cloud/hybrid.cpp.o.d"
+  "CMakeFiles/maabe_cloud.dir/cloud/meter.cpp.o"
+  "CMakeFiles/maabe_cloud.dir/cloud/meter.cpp.o.d"
+  "CMakeFiles/maabe_cloud.dir/cloud/server.cpp.o"
+  "CMakeFiles/maabe_cloud.dir/cloud/server.cpp.o.d"
+  "CMakeFiles/maabe_cloud.dir/cloud/system.cpp.o"
+  "CMakeFiles/maabe_cloud.dir/cloud/system.cpp.o.d"
+  "libmaabe_cloud.a"
+  "libmaabe_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maabe_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maabe_common.dir/common/bytes.cpp.o"
+  "CMakeFiles/maabe_common.dir/common/bytes.cpp.o.d"
+  "CMakeFiles/maabe_common.dir/common/wire.cpp.o"
+  "CMakeFiles/maabe_common.dir/common/wire.cpp.o.d"
+  "libmaabe_common.a"
+  "libmaabe_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maabe_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes.cpp" "src/CMakeFiles/maabe_crypto.dir/crypto/aes.cpp.o" "gcc" "src/CMakeFiles/maabe_crypto.dir/crypto/aes.cpp.o.d"
+  "/root/repo/src/crypto/authenc.cpp" "src/CMakeFiles/maabe_crypto.dir/crypto/authenc.cpp.o" "gcc" "src/CMakeFiles/maabe_crypto.dir/crypto/authenc.cpp.o.d"
+  "/root/repo/src/crypto/drbg.cpp" "src/CMakeFiles/maabe_crypto.dir/crypto/drbg.cpp.o" "gcc" "src/CMakeFiles/maabe_crypto.dir/crypto/drbg.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/CMakeFiles/maabe_crypto.dir/crypto/hmac.cpp.o" "gcc" "src/CMakeFiles/maabe_crypto.dir/crypto/hmac.cpp.o.d"
+  "/root/repo/src/crypto/random.cpp" "src/CMakeFiles/maabe_crypto.dir/crypto/random.cpp.o" "gcc" "src/CMakeFiles/maabe_crypto.dir/crypto/random.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/CMakeFiles/maabe_crypto.dir/crypto/sha256.cpp.o" "gcc" "src/CMakeFiles/maabe_crypto.dir/crypto/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/maabe_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maabe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

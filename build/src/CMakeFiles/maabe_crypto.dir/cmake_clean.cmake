@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maabe_crypto.dir/crypto/aes.cpp.o"
+  "CMakeFiles/maabe_crypto.dir/crypto/aes.cpp.o.d"
+  "CMakeFiles/maabe_crypto.dir/crypto/authenc.cpp.o"
+  "CMakeFiles/maabe_crypto.dir/crypto/authenc.cpp.o.d"
+  "CMakeFiles/maabe_crypto.dir/crypto/drbg.cpp.o"
+  "CMakeFiles/maabe_crypto.dir/crypto/drbg.cpp.o.d"
+  "CMakeFiles/maabe_crypto.dir/crypto/hmac.cpp.o"
+  "CMakeFiles/maabe_crypto.dir/crypto/hmac.cpp.o.d"
+  "CMakeFiles/maabe_crypto.dir/crypto/random.cpp.o"
+  "CMakeFiles/maabe_crypto.dir/crypto/random.cpp.o.d"
+  "CMakeFiles/maabe_crypto.dir/crypto/sha256.cpp.o"
+  "CMakeFiles/maabe_crypto.dir/crypto/sha256.cpp.o.d"
+  "libmaabe_crypto.a"
+  "libmaabe_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maabe_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

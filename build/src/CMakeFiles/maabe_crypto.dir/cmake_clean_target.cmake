@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmaabe_crypto.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maabe_lsss.dir/lsss/matrix.cpp.o"
+  "CMakeFiles/maabe_lsss.dir/lsss/matrix.cpp.o.d"
+  "CMakeFiles/maabe_lsss.dir/lsss/parser.cpp.o"
+  "CMakeFiles/maabe_lsss.dir/lsss/parser.cpp.o.d"
+  "CMakeFiles/maabe_lsss.dir/lsss/policy.cpp.o"
+  "CMakeFiles/maabe_lsss.dir/lsss/policy.cpp.o.d"
+  "libmaabe_lsss.a"
+  "libmaabe_lsss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maabe_lsss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

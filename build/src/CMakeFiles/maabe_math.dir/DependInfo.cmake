@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/bignum.cpp" "src/CMakeFiles/maabe_math.dir/math/bignum.cpp.o" "gcc" "src/CMakeFiles/maabe_math.dir/math/bignum.cpp.o.d"
+  "/root/repo/src/math/montgomery.cpp" "src/CMakeFiles/maabe_math.dir/math/montgomery.cpp.o" "gcc" "src/CMakeFiles/maabe_math.dir/math/montgomery.cpp.o.d"
+  "/root/repo/src/math/prime.cpp" "src/CMakeFiles/maabe_math.dir/math/prime.cpp.o" "gcc" "src/CMakeFiles/maabe_math.dir/math/prime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/maabe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

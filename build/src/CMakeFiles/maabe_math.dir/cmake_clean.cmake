@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maabe_math.dir/math/bignum.cpp.o"
+  "CMakeFiles/maabe_math.dir/math/bignum.cpp.o.d"
+  "CMakeFiles/maabe_math.dir/math/montgomery.cpp.o"
+  "CMakeFiles/maabe_math.dir/math/montgomery.cpp.o.d"
+  "CMakeFiles/maabe_math.dir/math/prime.cpp.o"
+  "CMakeFiles/maabe_math.dir/math/prime.cpp.o.d"
+  "libmaabe_math.a"
+  "libmaabe_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maabe_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pairing/curve.cpp" "src/CMakeFiles/maabe_pairing.dir/pairing/curve.cpp.o" "gcc" "src/CMakeFiles/maabe_pairing.dir/pairing/curve.cpp.o.d"
+  "/root/repo/src/pairing/fixed_base.cpp" "src/CMakeFiles/maabe_pairing.dir/pairing/fixed_base.cpp.o" "gcc" "src/CMakeFiles/maabe_pairing.dir/pairing/fixed_base.cpp.o.d"
+  "/root/repo/src/pairing/fp.cpp" "src/CMakeFiles/maabe_pairing.dir/pairing/fp.cpp.o" "gcc" "src/CMakeFiles/maabe_pairing.dir/pairing/fp.cpp.o.d"
+  "/root/repo/src/pairing/fp2.cpp" "src/CMakeFiles/maabe_pairing.dir/pairing/fp2.cpp.o" "gcc" "src/CMakeFiles/maabe_pairing.dir/pairing/fp2.cpp.o.d"
+  "/root/repo/src/pairing/group.cpp" "src/CMakeFiles/maabe_pairing.dir/pairing/group.cpp.o" "gcc" "src/CMakeFiles/maabe_pairing.dir/pairing/group.cpp.o.d"
+  "/root/repo/src/pairing/pairing.cpp" "src/CMakeFiles/maabe_pairing.dir/pairing/pairing.cpp.o" "gcc" "src/CMakeFiles/maabe_pairing.dir/pairing/pairing.cpp.o.d"
+  "/root/repo/src/pairing/params.cpp" "src/CMakeFiles/maabe_pairing.dir/pairing/params.cpp.o" "gcc" "src/CMakeFiles/maabe_pairing.dir/pairing/params.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/maabe_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maabe_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maabe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maabe_pairing.dir/pairing/curve.cpp.o"
+  "CMakeFiles/maabe_pairing.dir/pairing/curve.cpp.o.d"
+  "CMakeFiles/maabe_pairing.dir/pairing/fixed_base.cpp.o"
+  "CMakeFiles/maabe_pairing.dir/pairing/fixed_base.cpp.o.d"
+  "CMakeFiles/maabe_pairing.dir/pairing/fp.cpp.o"
+  "CMakeFiles/maabe_pairing.dir/pairing/fp.cpp.o.d"
+  "CMakeFiles/maabe_pairing.dir/pairing/fp2.cpp.o"
+  "CMakeFiles/maabe_pairing.dir/pairing/fp2.cpp.o.d"
+  "CMakeFiles/maabe_pairing.dir/pairing/group.cpp.o"
+  "CMakeFiles/maabe_pairing.dir/pairing/group.cpp.o.d"
+  "CMakeFiles/maabe_pairing.dir/pairing/pairing.cpp.o"
+  "CMakeFiles/maabe_pairing.dir/pairing/pairing.cpp.o.d"
+  "CMakeFiles/maabe_pairing.dir/pairing/params.cpp.o"
+  "CMakeFiles/maabe_pairing.dir/pairing/params.cpp.o.d"
+  "libmaabe_pairing.a"
+  "libmaabe_pairing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maabe_pairing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abe.dir/abe/e2e_property_test.cpp.o"
+  "CMakeFiles/test_abe.dir/abe/e2e_property_test.cpp.o.d"
+  "CMakeFiles/test_abe.dir/abe/scheme_test.cpp.o"
+  "CMakeFiles/test_abe.dir/abe/scheme_test.cpp.o.d"
+  "CMakeFiles/test_abe.dir/abe/serial_test.cpp.o"
+  "CMakeFiles/test_abe.dir/abe/serial_test.cpp.o.d"
+  "test_abe"
+  "test_abe.pdb"
+  "test_abe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

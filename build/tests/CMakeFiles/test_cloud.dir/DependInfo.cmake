@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cloud/entities_test.cpp" "tests/CMakeFiles/test_cloud.dir/cloud/entities_test.cpp.o" "gcc" "tests/CMakeFiles/test_cloud.dir/cloud/entities_test.cpp.o.d"
+  "/root/repo/tests/cloud/failure_injection_test.cpp" "tests/CMakeFiles/test_cloud.dir/cloud/failure_injection_test.cpp.o" "gcc" "tests/CMakeFiles/test_cloud.dir/cloud/failure_injection_test.cpp.o.d"
+  "/root/repo/tests/cloud/hybrid_test.cpp" "tests/CMakeFiles/test_cloud.dir/cloud/hybrid_test.cpp.o" "gcc" "tests/CMakeFiles/test_cloud.dir/cloud/hybrid_test.cpp.o.d"
+  "/root/repo/tests/cloud/meter_test.cpp" "tests/CMakeFiles/test_cloud.dir/cloud/meter_test.cpp.o" "gcc" "tests/CMakeFiles/test_cloud.dir/cloud/meter_test.cpp.o.d"
+  "/root/repo/tests/cloud/soak_test.cpp" "tests/CMakeFiles/test_cloud.dir/cloud/soak_test.cpp.o" "gcc" "tests/CMakeFiles/test_cloud.dir/cloud/soak_test.cpp.o.d"
+  "/root/repo/tests/cloud/system_test.cpp" "tests/CMakeFiles/test_cloud.dir/cloud/system_test.cpp.o" "gcc" "tests/CMakeFiles/test_cloud.dir/cloud/system_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/maabe_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maabe_abe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maabe_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maabe_lsss.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maabe_pairing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maabe_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maabe_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maabe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cloud.dir/cloud/entities_test.cpp.o"
+  "CMakeFiles/test_cloud.dir/cloud/entities_test.cpp.o.d"
+  "CMakeFiles/test_cloud.dir/cloud/failure_injection_test.cpp.o"
+  "CMakeFiles/test_cloud.dir/cloud/failure_injection_test.cpp.o.d"
+  "CMakeFiles/test_cloud.dir/cloud/hybrid_test.cpp.o"
+  "CMakeFiles/test_cloud.dir/cloud/hybrid_test.cpp.o.d"
+  "CMakeFiles/test_cloud.dir/cloud/meter_test.cpp.o"
+  "CMakeFiles/test_cloud.dir/cloud/meter_test.cpp.o.d"
+  "CMakeFiles/test_cloud.dir/cloud/soak_test.cpp.o"
+  "CMakeFiles/test_cloud.dir/cloud/soak_test.cpp.o.d"
+  "CMakeFiles/test_cloud.dir/cloud/system_test.cpp.o"
+  "CMakeFiles/test_cloud.dir/cloud/system_test.cpp.o.d"
+  "test_cloud"
+  "test_cloud.pdb"
+  "test_cloud[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

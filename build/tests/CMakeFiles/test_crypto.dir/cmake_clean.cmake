@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto.dir/crypto/aes_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/aes_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/authenc_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/authenc_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/drbg_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/drbg_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/hmac_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/hmac_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/sha256_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/sha256_test.cpp.o.d"
+  "test_crypto"
+  "test_crypto.pdb"
+  "test_crypto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_keystore.dir/tools/keystore_test.cpp.o"
+  "CMakeFiles/test_keystore.dir/tools/keystore_test.cpp.o.d"
+  "test_keystore"
+  "test_keystore.pdb"
+  "test_keystore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_keystore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lsss.dir/lsss/matrix_test.cpp.o"
+  "CMakeFiles/test_lsss.dir/lsss/matrix_test.cpp.o.d"
+  "CMakeFiles/test_lsss.dir/lsss/parser_test.cpp.o"
+  "CMakeFiles/test_lsss.dir/lsss/parser_test.cpp.o.d"
+  "CMakeFiles/test_lsss.dir/lsss/policy_test.cpp.o"
+  "CMakeFiles/test_lsss.dir/lsss/policy_test.cpp.o.d"
+  "test_lsss"
+  "test_lsss.pdb"
+  "test_lsss[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lsss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/math/bignum_test.cpp" "tests/CMakeFiles/test_math.dir/math/bignum_test.cpp.o" "gcc" "tests/CMakeFiles/test_math.dir/math/bignum_test.cpp.o.d"
+  "/root/repo/tests/math/montgomery_test.cpp" "tests/CMakeFiles/test_math.dir/math/montgomery_test.cpp.o" "gcc" "tests/CMakeFiles/test_math.dir/math/montgomery_test.cpp.o.d"
+  "/root/repo/tests/math/prime_test.cpp" "tests/CMakeFiles/test_math.dir/math/prime_test.cpp.o" "gcc" "tests/CMakeFiles/test_math.dir/math/prime_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/maabe_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maabe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pairing/curve_test.cpp" "tests/CMakeFiles/test_pairing.dir/pairing/curve_test.cpp.o" "gcc" "tests/CMakeFiles/test_pairing.dir/pairing/curve_test.cpp.o.d"
+  "/root/repo/tests/pairing/fixed_base_test.cpp" "tests/CMakeFiles/test_pairing.dir/pairing/fixed_base_test.cpp.o" "gcc" "tests/CMakeFiles/test_pairing.dir/pairing/fixed_base_test.cpp.o.d"
+  "/root/repo/tests/pairing/fp2_test.cpp" "tests/CMakeFiles/test_pairing.dir/pairing/fp2_test.cpp.o" "gcc" "tests/CMakeFiles/test_pairing.dir/pairing/fp2_test.cpp.o.d"
+  "/root/repo/tests/pairing/fp_test.cpp" "tests/CMakeFiles/test_pairing.dir/pairing/fp_test.cpp.o" "gcc" "tests/CMakeFiles/test_pairing.dir/pairing/fp_test.cpp.o.d"
+  "/root/repo/tests/pairing/group_property_test.cpp" "tests/CMakeFiles/test_pairing.dir/pairing/group_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_pairing.dir/pairing/group_property_test.cpp.o.d"
+  "/root/repo/tests/pairing/pairing_test.cpp" "tests/CMakeFiles/test_pairing.dir/pairing/pairing_test.cpp.o" "gcc" "tests/CMakeFiles/test_pairing.dir/pairing/pairing_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/maabe_pairing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maabe_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maabe_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/maabe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

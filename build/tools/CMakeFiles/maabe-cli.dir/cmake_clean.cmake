@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maabe-cli.dir/maabe_cli.cpp.o"
+  "CMakeFiles/maabe-cli.dir/maabe_cli.cpp.o.d"
+  "maabe-cli"
+  "maabe-cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maabe-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maabe_keystore.dir/keystore.cpp.o"
+  "CMakeFiles/maabe_keystore.dir/keystore.cpp.o.d"
+  "libmaabe_keystore.a"
+  "libmaabe_keystore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maabe_keystore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

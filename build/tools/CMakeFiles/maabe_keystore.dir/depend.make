@@ -1,0 +1,2 @@
+# Empty dependencies file for maabe_keystore.
+# This may be replaced when dependencies are built.
