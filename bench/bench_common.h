@@ -11,6 +11,7 @@
 // 512-bit PBC a-type setting.
 #pragma once
 
+#include <chrono>
 #include <cstdlib>
 #include <map>
 #include <memory>
@@ -18,6 +19,7 @@
 
 #include "abe/scheme.h"
 #include "baseline/lewko.h"
+#include "engine/engine.h"
 #include "lsss/parser.h"
 
 namespace maabe::bench {
@@ -142,5 +144,61 @@ struct LewkoWorld {
     return w;
   }
 };
+
+/// One (n_auth, n_attr) sweep point for the fig3/fig4 JSON emission:
+/// wall time plus engine op-counter deltas for a single encrypt and
+/// decrypt of each scheme.
+struct FigPoint {
+  double ours_encrypt_ms = 0, ours_decrypt_ms = 0;
+  double lewko_encrypt_ms = 0, lewko_decrypt_ms = 0;
+  engine::EngineStats ours_encrypt_ops, ours_decrypt_ops;
+  engine::EngineStats lewko_encrypt_ops, lewko_decrypt_ops;
+};
+
+inline FigPoint measure_fig_point(int n_auth, int n_attr) {
+  using Clock = std::chrono::steady_clock;
+  const auto ms = [](Clock::time_point a, Clock::time_point b) {
+    return std::chrono::duration<double, std::milli>(b - a).count();
+  };
+  FigPoint p;
+  engine::CryptoEngine& eng = engine::CryptoEngine::for_group(*bench_group());
+  {
+    const OurWorld& w = OurWorld::get(n_auth, n_attr);
+    crypto::Drbg rng(std::string_view("fig-json-ours"));
+    engine::EngineStats s0 = eng.stats();
+    auto t0 = Clock::now();
+    const abe::EncryptionResult enc =
+        abe::encrypt(*w.grp, w.mk, "json-ct", w.message, w.policy, w.apks, w.attr_pks, rng);
+    auto t1 = Clock::now();
+    p.ours_encrypt_ms = ms(t0, t1);
+    p.ours_encrypt_ops = eng.stats() - s0;
+
+    s0 = eng.stats();
+    t0 = Clock::now();
+    (void)abe::decrypt(*w.grp, enc.ct, w.user, w.user_keys);
+    t1 = Clock::now();
+    p.ours_decrypt_ms = ms(t0, t1);
+    p.ours_decrypt_ops = eng.stats() - s0;
+  }
+  {
+    const LewkoWorld& w = LewkoWorld::get(n_auth, n_attr);
+    crypto::Drbg rng(std::string_view("fig-json-lewko"));
+    engine::EngineStats s0 = eng.stats();
+    auto t0 = Clock::now();
+    const baseline::LewkoCiphertext ct =
+        baseline::lewko_encrypt(*w.grp, w.message, w.policy, w.pks, rng);
+    auto t1 = Clock::now();
+    p.lewko_encrypt_ms = ms(t0, t1);
+    p.lewko_encrypt_ops = eng.stats() - s0;
+
+    s0 = eng.stats();
+    t0 = Clock::now();
+    (void)baseline::lewko_decrypt(*w.grp, ct, w.user_key);
+    t1 = Clock::now();
+    p.lewko_decrypt_ms = ms(t0, t1);
+    p.lewko_decrypt_ops = eng.stats() - s0;
+  }
+  return p;
+}
 
 }  // namespace maabe::bench

@@ -1,0 +1,114 @@
+// Minimal JSON emission for the bench harness.
+//
+// Each bench main writes a machine-readable BENCH_<name>.json next to
+// its stdout tables so sweeps can be plotted / diffed across runs
+// without scraping google-benchmark output. Hand-rolled (ordered keys,
+// no external deps) — the values are flat records of numbers and
+// strings, nothing more.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/engine.h"
+
+namespace maabe::bench {
+
+/// Order-preserving JSON value builder (objects and arrays only nest
+/// through raw emission).
+class Json {
+ public:
+  static std::string quote(std::string_view s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default: out += c;
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  Json& put(std::string_view key, std::string_view value) {
+    return put_raw(key, quote(value));
+  }
+  Json& put(std::string_view key, const char* value) {
+    return put_raw(key, quote(value));
+  }
+  Json& put(std::string_view key, uint64_t value) {
+    return put_raw(key, std::to_string(value));
+  }
+  Json& put(std::string_view key, int value) {
+    return put_raw(key, std::to_string(value));
+  }
+  Json& put(std::string_view key, double value) {
+    std::ostringstream os;
+    os.precision(6);
+    os << std::fixed << value;
+    return put_raw(key, os.str());
+  }
+  Json& put(std::string_view key, const Json& nested) {
+    return put_raw(key, nested.dump());
+  }
+  Json& put(std::string_view key, const std::vector<Json>& array) {
+    std::string out = "[";
+    for (size_t i = 0; i < array.size(); ++i) {
+      if (i) out += ", ";
+      out += array[i].dump();
+    }
+    out += ']';
+    return put_raw(key, out);
+  }
+
+  Json& put_raw(std::string_view key, std::string_view json_value) {
+    fields_.emplace_back(std::string(key), std::string(json_value));
+    return *this;
+  }
+
+  std::string dump() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i) out += ", ";
+      out += quote(fields_[i].first) + ": " + fields_[i].second;
+    }
+    out += '}';
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// The standard encoding of engine counters used by every bench JSON.
+inline Json stats_json(const engine::EngineStats& s) {
+  Json j;
+  j.put("pairings", s.pairings)
+      .put("g1_exps", s.g1_exps)
+      .put("gt_exps", s.gt_exps)
+      .put("batches", s.batches)
+      .put("table_builds", s.table_builds)
+      .put("table_hits", s.table_hits)
+      .put("wall_ms", s.wall_ms());
+  return j;
+}
+
+/// Writes `root` to BENCH_<name>.json in the working directory and
+/// tells the operator where it went.
+inline void write_bench_json(const std::string& name, const Json& root) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  out << root.dump() << '\n';
+  out.close();
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace maabe::bench

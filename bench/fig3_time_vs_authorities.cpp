@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
+#include "bench_json.h"
 
 namespace maabe::bench {
 namespace {
@@ -64,14 +65,43 @@ BENCHMARK(BM_Fig3a_Encrypt_Lewko)->Apply(sweep);
 BENCHMARK(BM_Fig3b_Decrypt_Ours)->Apply(sweep);
 BENCHMARK(BM_Fig3b_Decrypt_Lewko)->Apply(sweep);
 
+void emit_json() {
+  std::vector<Json> points;
+  for (int n = 2; n <= 10; n += 2) {
+    const FigPoint p = measure_fig_point(n, kAttrsPerAuthority);
+    Json j;
+    j.put("authorities", n)
+        .put("ours_encrypt_ms", p.ours_encrypt_ms)
+        .put("ours_decrypt_ms", p.ours_decrypt_ms)
+        .put("lewko_encrypt_ms", p.lewko_encrypt_ms)
+        .put("lewko_decrypt_ms", p.lewko_decrypt_ms)
+        .put("ours_encrypt_ops", stats_json(p.ours_encrypt_ops))
+        .put("ours_decrypt_ops", stats_json(p.ours_decrypt_ops))
+        .put("lewko_encrypt_ops", stats_json(p.lewko_encrypt_ops))
+        .put("lewko_decrypt_ops", stats_json(p.lewko_decrypt_ops));
+    points.push_back(j);
+  }
+  Json root;
+  root.put("bench", "fig3")
+      .put("group", bench_group_label())
+      .put("attrs_per_authority", kAttrsPerAuthority)
+      .put("engine_threads",
+           engine::CryptoEngine::for_group(*bench_group()).threads())
+      .put("points", points);
+  write_bench_json("fig3", root);
+}
+
 }  // namespace
 }  // namespace maabe::bench
 
 int main(int argc, char** argv) {
   std::printf("Fig. 3 reproduction: time vs #authorities (%d attrs/authority)\n",
               maabe::bench::kAttrsPerAuthority);
-  std::printf("group: %s\n\n", maabe::bench::bench_group_label().c_str());
+  std::printf("group: %s\nengine threads: %d\n\n",
+              maabe::bench::bench_group_label().c_str(),
+              maabe::engine::CryptoEngine::default_threads());
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  maabe::bench::emit_json();
   return 0;
 }

@@ -3,7 +3,12 @@
 // modular-multiplication ablation called out in DESIGN.md.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <thread>
+
 #include "bench_common.h"
+#include "bench_json.h"
+#include "engine/engine.h"
 #include "math/montgomery.h"
 
 namespace maabe::bench {
@@ -113,13 +118,70 @@ BENCHMARK(BM_FieldMul_Montgomery)->Unit(benchmark::kNanosecond)->MinTime(0.05);
 BENCHMARK(BM_FieldMul_PlainDivision)->Unit(benchmark::kNanosecond)->MinTime(0.05);
 BENCHMARK(BM_FieldInverse)->Unit(benchmark::kMicrosecond)->MinTime(0.05);
 
+// The engine's headline batch: a 16-term pairing product (decrypt's
+// shape at l=8, N_A=... — the dominant cost in Fig. 3b), timed on the
+// legacy serial path vs the thread pool. Emits BENCH_pairing_micro.json.
+void engine_batch_report() {
+  using Clock = std::chrono::steady_clock;
+  auto grp = bench_group();
+  crypto::Drbg rng(std::string_view("micro-batch"));
+
+  constexpr size_t kTerms = 16;
+  std::vector<engine::CryptoEngine::PairTerm> terms;
+  for (size_t i = 0; i < kTerms; ++i)
+    terms.push_back({grp->g1_random(rng), grp->g1_random(rng)});
+
+  const int pool_threads = std::max(4, engine::CryptoEngine::default_threads());
+  engine::CryptoEngine serial_eng(*grp, 1);
+  engine::CryptoEngine pool_eng(*grp, pool_threads);
+
+  const auto time_reps = [&](engine::CryptoEngine& eng, int reps) {
+    (void)eng.pairing_product(terms);  // warm up (pool spin-up, caches)
+    const auto t0 = Clock::now();
+    for (int i = 0; i < reps; ++i) benchmark::DoNotOptimize(eng.pairing_product(terms));
+    const auto t1 = Clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0).count() / reps;
+  };
+
+  constexpr int kReps = 5;
+  const double serial_ms = time_reps(serial_eng, kReps);
+  const double pool_ms = time_reps(pool_eng, kReps);
+  const double speedup = pool_ms > 0 ? serial_ms / pool_ms : 0.0;
+
+  std::printf("\n%zu-pairing product batch (%d reps):\n", kTerms, kReps);
+  std::printf("  serial (1 thread)   : %8.3f ms\n", serial_ms);
+  std::printf("  engine (%d threads) : %8.3f ms   speedup %.2fx\n", pool_threads,
+              pool_ms, speedup);
+  if (std::thread::hardware_concurrency() <= 1)
+    std::printf("  (host exposes 1 hardware thread; no parallel gain is possible)\n");
+
+  Json root;
+  root.put("bench", "pairing_micro")
+      .put("group", bench_group_label())
+      .put("batch", "pairing_product")
+      .put("batch_terms", kTerms)
+      .put("reps", kReps)
+      .put("hardware_concurrency",
+           static_cast<uint64_t>(std::thread::hardware_concurrency()))
+      .put("serial_threads", 1)
+      .put("pool_threads", pool_threads)
+      .put("serial_wall_ms", serial_ms)
+      .put("pool_wall_ms", pool_ms)
+      .put("speedup", speedup)
+      .put("serial_stats", stats_json(serial_eng.stats()))
+      .put("pool_stats", stats_json(pool_eng.stats()));
+  write_bench_json("pairing_micro", root);
+}
+
 }  // namespace
 }  // namespace maabe::bench
 
 int main(int argc, char** argv) {
-  std::printf("Pairing substrate microbenchmarks\ngroup: %s\n\n",
-              maabe::bench::bench_group_label().c_str());
+  std::printf("Pairing substrate microbenchmarks\ngroup: %s\nengine threads: %d\n\n",
+              maabe::bench::bench_group_label().c_str(),
+              maabe::engine::CryptoEngine::default_threads());
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  maabe::bench::engine_batch_report();
   return 0;
 }

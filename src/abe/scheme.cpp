@@ -1,9 +1,11 @@
 #include "abe/scheme.h"
 
 #include "common/errors.h"
+#include "engine/engine.h"
 
 namespace maabe::abe {
 
+using engine::CryptoEngine;
 using lsss::Attribute;
 using lsss::LsssMatrix;
 using pairing::G1;
@@ -67,15 +69,29 @@ UserSecretKey aa_keygen(const Group& grp, const AuthorityVersionKey& vk,
   sk.aid = vk.aid;
   sk.owner_id = owner.owner_id;
   sk.version = vk.version;
+  // All exponentiations go through the engine in one batch; the PK_UID
+  // base repeats across every K_x row (and across keygen calls), so the
+  // engine's table cache amortizes it.
+  CryptoEngine& eng = CryptoEngine::for_group(grp);
+  std::vector<CryptoEngine::G1Term> terms;
+  terms.reserve(attribute_names.size() + 2);
   // K = PK_UID^{r/beta} * g^{alpha/beta} = (g^u)^{r/beta} * (g^{1/beta})^alpha.
-  sk.k = user.pk.mul(owner.r_over_beta) + owner.g_inv_beta.mul(vk.alpha);
+  terms.push_back({user.pk, owner.r_over_beta});
+  terms.push_back({owner.g_inv_beta, vk.alpha});
+  std::vector<std::string> handles;
+  handles.reserve(attribute_names.size());
   for (const std::string& name : attribute_names) {
     const Attribute attr{name, vk.aid};
     const std::string handle = attribute_handle(attr);
     const Zr hx = grp.hash_to_zr(handle);
     // K_x = PK_UID^{alpha * H(x)}.
-    sk.kx.emplace(handle, user.pk.mul(vk.alpha * hx));
+    terms.push_back({user.pk, vk.alpha * hx});
+    handles.push_back(handle);
   }
+  const std::vector<G1> powers = eng.multi_exp_g1(terms);
+  sk.k = powers[0] + powers[1];
+  for (size_t i = 0; i < handles.size(); ++i)
+    sk.kx.emplace(handles[i], powers[i + 2]);
   return sk;
 }
 
@@ -107,22 +123,34 @@ EncryptionResult encrypt(const Group& grp, const OwnerMasterKey& mk,
 
   const Zr s = grp.zr_nonzero_random(rng);
   const std::vector<Zr> lambda = policy.share(grp, s, rng);
+  CryptoEngine& eng = CryptoEngine::for_group(grp);
 
-  // C = m * (prod_k e(g,g)^{alpha_k})^s,  C' = g^{beta*s}.
-  ct.c = message * blind.pow(s);
+  // C = m * (prod_k e(g,g)^{alpha_k})^s,  C' = g^{beta*s}. The blind is
+  // fixed per authority set, so its table is cached across encryptions.
+  ct.c = message * eng.multi_exp_gt({{blind, s}})[0];
   const Zr beta_s = mk.beta * s;
   ct.c_prime = grp.g_pow(beta_s);
 
-  // C_i = g^{r*lambda_i} * PK_{rho(i)}^{-beta*s}.
-  ct.ci.reserve(policy.rows());
+  // C_i = g^{r*lambda_i} * PK_{rho(i)}^{-beta*s}: validate and collect
+  // the per-row exponents serially, then submit both batches.
+  std::vector<Zr> gen_exps;
+  std::vector<CryptoEngine::G1Term> pk_terms;
+  gen_exps.reserve(policy.rows());
+  pk_terms.reserve(policy.rows());
   for (int i = 0; i < policy.rows(); ++i) {
     const Attribute& attr = policy.row_attribute(i);
     const PublicAttributeKey& pk = require_attribute_pk(attribute_pks, attr.qualified());
     if (pk.version != ct.versions.at(attr.aid))
       throw SchemeError("encrypt: attribute key version mismatch for '" +
                         attr.qualified() + "'");
-    ct.ci.push_back(grp.g_pow(mk.r * lambda[i]) + pk.key.mul(beta_s).neg());
+    gen_exps.push_back(mk.r * lambda[i]);
+    pk_terms.push_back({pk.key, beta_s});
   }
+  const std::vector<G1> gen_parts = eng.g_pow_batch(gen_exps);
+  const std::vector<G1> pk_parts = eng.multi_exp_g1(pk_terms);
+  ct.ci.reserve(policy.rows());
+  for (int i = 0; i < policy.rows(); ++i)
+    ct.ci.push_back(gen_parts[i] + pk_parts[i].neg());
 
   return {std::move(ct), EncryptionRecord{ct_id, s}};
 }
@@ -184,24 +212,41 @@ GT decrypt(const Group& grp, const Ciphertext& ct, const UserPublicKey& user,
 
   const std::set<std::string> involved = ct.involved_authorities();
   const Zr n_a = grp.zr_from_u64(involved.size());
+  CryptoEngine& eng = CryptoEngine::for_group(grp);
 
   // Numerator: prod_k e(C', K_{UID,AID_k}).
-  GT numerator = grp.gt_one();
-  for (const std::string& aid : involved) {
-    numerator = numerator * grp.pair(ct.c_prime, secret_keys.at(aid).k);
-  }
+  std::vector<CryptoEngine::PairTerm> num_terms;
+  num_terms.reserve(involved.size());
+  for (const std::string& aid : involved)
+    num_terms.push_back({ct.c_prime, secret_keys.at(aid).k});
+  const GT numerator = eng.pairing_product(num_terms);
 
   // Denominator: prod_i (e(C_i, PK_UID) * e(C', K_{rho(i)}))^{w_i * n_A}.
-  GT denominator = grp.gt_one();
+  // The 2l pairings are the decryption bottleneck (DESIGN.md section 5);
+  // evaluate them as one batch, then batch the GT exponentiations and
+  // fold in row order.
+  std::vector<CryptoEngine::PairTerm> den_terms;
+  std::vector<Zr> den_exps;
+  den_terms.reserve(2 * coeffs->size());
+  den_exps.reserve(coeffs->size());
   for (const auto& [row, w] : *coeffs) {
     const Attribute& attr = ct.policy.row_attribute(row);
     const UserSecretKey& sk = secret_keys.at(attr.aid);
     const auto kx = sk.kx.find(attr.qualified());
     if (kx == sk.kx.end())
       throw SchemeError("decrypt: secret key lacks K_x for '" + attr.qualified() + "'");
-    const GT term = grp.pair(ct.ci[row], user.pk) * grp.pair(ct.c_prime, kx->second);
-    denominator = denominator * term.pow(w * n_a);
+    den_terms.push_back({ct.ci[row], user.pk});
+    den_terms.push_back({ct.c_prime, kx->second});
+    den_exps.push_back(w * n_a);
   }
+  const std::vector<GT> den_pairs = eng.pair_batch(den_terms);
+  std::vector<CryptoEngine::GtTerm> den_pows;
+  den_pows.reserve(den_exps.size());
+  for (size_t i = 0; i < den_exps.size(); ++i)
+    den_pows.push_back({den_pairs[2 * i] * den_pairs[2 * i + 1], den_exps[i]});
+  GT denominator = grp.gt_one();
+  for (const GT& t : eng.multi_exp_gt(den_pows, /*cache_bases=*/false))
+    denominator = denominator * t;
 
   // C / (numerator / denominator) = m.
   return ct.c * denominator / numerator;

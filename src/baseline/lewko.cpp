@@ -1,9 +1,11 @@
 #include "baseline/lewko.h"
 
 #include "common/errors.h"
+#include "engine/engine.h"
 
 namespace maabe::baseline {
 
+using engine::CryptoEngine;
 using lsss::Attribute;
 using lsss::LsssMatrix;
 using pairing::G1;
@@ -63,15 +65,28 @@ void lewko_keygen(const Group& grp, const LewkoAuthorityKeys& authority,
     throw SchemeError("lewko_keygen: key belongs to another GID");
   }
   const G1 h_gid = lewko_hash_gid(grp, gid);
+  // Validate + collect serially, then batch: g^{alpha_x} over the fixed
+  // base and H(GID)^{y_x} over the per-user base (cached across the
+  // attributes of one call and across calls for the same GID).
+  std::vector<std::string> handles;
+  std::vector<Zr> g_exps;
+  std::vector<CryptoEngine::G1Term> h_terms;
   for (const std::string& name : attribute_names) {
     const Attribute attr{name, authority.aid};
     const auto it = authority.secrets.find(attr.qualified());
     if (it == authority.secrets.end())
       throw SchemeError("lewko_keygen: authority does not manage '" + attr.qualified() + "'");
     const auto& [alpha, y] = it->second;
-    // K_x = g^{alpha_x} * H(GID)^{y_x}.
-    key->k.insert_or_assign(attr.qualified(), grp.g_pow(alpha) + h_gid.mul(y));
+    handles.push_back(attr.qualified());
+    g_exps.push_back(alpha);
+    h_terms.push_back({h_gid, y});
   }
+  CryptoEngine& eng = CryptoEngine::for_group(grp);
+  const std::vector<G1> g_parts = eng.g_pow_batch(g_exps);
+  const std::vector<G1> h_parts = eng.multi_exp_g1(h_terms);
+  // K_x = g^{alpha_x} * H(GID)^{y_x}.
+  for (size_t i = 0; i < handles.size(); ++i)
+    key->k.insert_or_assign(handles[i], g_parts[i] + h_parts[i]);
 }
 
 LewkoCiphertext lewko_encrypt(const Group& grp, const GT& message,
@@ -87,18 +102,39 @@ LewkoCiphertext lewko_encrypt(const Group& grp, const GT& message,
   LewkoCiphertext ct;
   ct.policy = policy;
   ct.c0 = message * grp.egg_pow(s);
-  ct.c1.reserve(policy.rows());
-  ct.c2.reserve(policy.rows());
-  ct.c3.reserve(policy.rows());
+  // Serial pass: validation and the rng draws (sequence is part of the
+  // deterministic contract). Parallel pass: the four exponentiation
+  // batches; the per-attribute pk bases recur across encryptions and hit
+  // the engine's table cache.
+  std::vector<CryptoEngine::GtTerm> alpha_terms;
+  std::vector<CryptoEngine::G1Term> y_terms;
+  std::vector<Zr> ri;
+  alpha_terms.reserve(policy.rows());
+  y_terms.reserve(policy.rows());
+  ri.reserve(policy.rows());
   for (int i = 0; i < policy.rows(); ++i) {
     const std::string handle = policy.row_attribute(i).qualified();
     const auto it = pks.find(handle);
     if (it == pks.end())
       throw SchemeError("lewko_encrypt: missing public key for '" + handle + "'");
-    const Zr ri = grp.zr_nonzero_random(rng);
-    ct.c1.push_back(grp.egg_pow(lambda[i]) * it->second.e_gg_alpha.pow(ri));
-    ct.c2.push_back(grp.g_pow(ri));
-    ct.c3.push_back(it->second.g_y.mul(ri) + grp.g_pow(omega[i]));
+    const Zr r = grp.zr_nonzero_random(rng);
+    ri.push_back(r);
+    alpha_terms.push_back({it->second.e_gg_alpha, r});
+    y_terms.push_back({it->second.g_y, r});
+  }
+  CryptoEngine& eng = CryptoEngine::for_group(grp);
+  const std::vector<GT> egg_lambda = eng.egg_pow_batch(lambda);
+  const std::vector<GT> alpha_r = eng.multi_exp_gt(alpha_terms);
+  const std::vector<G1> g_r = eng.g_pow_batch(ri);
+  const std::vector<G1> y_r = eng.multi_exp_g1(y_terms);
+  const std::vector<G1> g_omega = eng.g_pow_batch(omega);
+  ct.c1.reserve(policy.rows());
+  ct.c2.reserve(policy.rows());
+  ct.c3.reserve(policy.rows());
+  for (int i = 0; i < policy.rows(); ++i) {
+    ct.c1.push_back(egg_lambda[i] * alpha_r[i]);
+    ct.c2.push_back(g_r[i]);
+    ct.c3.push_back(y_r[i] + g_omega[i]);
   }
   return ct;
 }
@@ -109,17 +145,32 @@ GT lewko_decrypt(const Group& grp, const LewkoCiphertext& ct, const LewkoUserKey
     throw SchemeError("lewko_decrypt: attributes do not satisfy the access structure");
 
   const G1 h_gid = lewko_hash_gid(grp, key.gid);
-  GT acc = grp.gt_one();
+  // Batch the 2l pairings, then the l GT exponentiations; fold in row
+  // order.
+  CryptoEngine& eng = CryptoEngine::for_group(grp);
+  std::vector<CryptoEngine::PairTerm> pair_terms;
+  std::vector<size_t> rows;
+  std::vector<Zr> exps;
+  pair_terms.reserve(2 * coeffs->size());
   for (const auto& [row, w] : *coeffs) {
     const std::string handle = ct.policy.row_attribute(row).qualified();
     const auto kx = key.k.find(handle);
     if (kx == key.k.end())
       throw SchemeError("lewko_decrypt: key lacks '" + handle + "'");
-    // C1_i * e(H(GID), C3_i) / e(K_x, C2_i) = e(g,g)^{lambda_i} e(H,g)^{omega_i}.
-    const GT term =
-        ct.c1[row] * grp.pair(h_gid, ct.c3[row]) / grp.pair(kx->second, ct.c2[row]);
-    acc = acc * term.pow(w);
+    pair_terms.push_back({h_gid, ct.c3[row]});
+    pair_terms.push_back({kx->second, ct.c2[row]});
+    rows.push_back(static_cast<size_t>(row));
+    exps.push_back(w);
   }
+  const std::vector<GT> pairs = eng.pair_batch(pair_terms);
+  std::vector<CryptoEngine::GtTerm> pows;
+  pows.reserve(exps.size());
+  for (size_t i = 0; i < exps.size(); ++i) {
+    // C1_i * e(H(GID), C3_i) / e(K_x, C2_i) = e(g,g)^{lambda_i} e(H,g)^{omega_i}.
+    pows.push_back({ct.c1[rows[i]] * pairs[2 * i] / pairs[2 * i + 1], exps[i]});
+  }
+  GT acc = grp.gt_one();
+  for (const GT& t : eng.multi_exp_gt(pows, /*cache_bases=*/false)) acc = acc * t;
   return ct.c0 / acc;
 }
 

@@ -1,9 +1,11 @@
 #include "baseline/waters.h"
 
 #include "common/errors.h"
+#include "engine/engine.h"
 
 namespace maabe::baseline {
 
+using engine::CryptoEngine;
 using lsss::Attribute;
 using lsss::LsssMatrix;
 using pairing::G1;
@@ -41,11 +43,24 @@ WatersSecretKey waters_keygen(const Group& grp, const WatersPublicKey& pk,
                               const std::set<Attribute>& attrs, crypto::Drbg& rng) {
   const Zr t = grp.zr_nonzero_random(rng);
   WatersSecretKey sk;
-  sk.k = msk.g_alpha + pk.g_a.mul(t);
   sk.l = grp.g_pow(t);
-  for (const Attribute& attr : attrs) {
-    sk.kx.emplace(attr.qualified(), waters_hash_attribute(grp, attr).mul(t));
-  }
+  // One engine batch: g_a^t plus H(x)^t per attribute. The attribute
+  // hashes (try-and-increment, expensive) are computed as a parallel
+  // sweep first; their bases recur across keygen calls, so they cache.
+  CryptoEngine& eng = CryptoEngine::for_group(grp);
+  const std::vector<Attribute> ordered(attrs.begin(), attrs.end());
+  std::vector<G1> hashes(ordered.size());
+  eng.parallel_for(ordered.size(), [&](size_t i) {
+    hashes[i] = waters_hash_attribute(grp, ordered[i]);
+  });
+  std::vector<CryptoEngine::G1Term> terms;
+  terms.reserve(ordered.size() + 1);
+  terms.push_back({pk.g_a, t});
+  for (const G1& hx : hashes) terms.push_back({hx, t});
+  const std::vector<G1> powers = eng.multi_exp_g1(terms);
+  sk.k = msk.g_alpha + powers[0];
+  for (size_t i = 0; i < ordered.size(); ++i)
+    sk.kx.emplace(ordered[i].qualified(), powers[i + 1]);
   return sk;
 }
 
@@ -58,15 +73,32 @@ WatersCiphertext waters_encrypt(const Group& grp, const WatersPublicKey& pk,
 
   WatersCiphertext ct;
   ct.policy = policy;
-  ct.c = message * pk.e_gg_alpha.pow(s);
   ct.c_prime = grp.g_pow(s);
+  // Draw all per-row randomness serially first (the rng sequence is part
+  // of the deterministic contract), then batch everything else.
+  std::vector<Zr> ri;
+  ri.reserve(policy.rows());
+  for (int i = 0; i < policy.rows(); ++i) ri.push_back(grp.zr_nonzero_random(rng));
+
+  CryptoEngine& eng = CryptoEngine::for_group(grp);
+  ct.c = message * eng.multi_exp_gt({{pk.e_gg_alpha, s}})[0];
+  std::vector<G1> hashes(policy.rows());
+  eng.parallel_for(static_cast<size_t>(policy.rows()), [&](size_t i) {
+    hashes[i] = waters_hash_attribute(grp, policy.row_attribute(static_cast<int>(i)));
+  });
+  std::vector<CryptoEngine::G1Term> terms;
+  terms.reserve(2 * policy.rows());
+  for (int i = 0; i < policy.rows(); ++i) {
+    terms.push_back({pk.g_a, lambda[i]});
+    terms.push_back({hashes[i], ri[i]});
+  }
+  const std::vector<G1> powers = eng.multi_exp_g1(terms);
+  const std::vector<G1> di = eng.g_pow_batch(ri);
   ct.ci.reserve(policy.rows());
   ct.di.reserve(policy.rows());
   for (int i = 0; i < policy.rows(); ++i) {
-    const Zr ri = grp.zr_nonzero_random(rng);
-    const G1 hx = waters_hash_attribute(grp, policy.row_attribute(i));
-    ct.ci.push_back(pk.g_a.mul(lambda[i]) + hx.mul(ri).neg());
-    ct.di.push_back(grp.g_pow(ri));
+    ct.ci.push_back(powers[2 * i] + powers[2 * i + 1].neg());
+    ct.di.push_back(di[i]);
   }
   return ct;
 }
@@ -77,16 +109,33 @@ GT waters_decrypt(const Group& grp, const WatersCiphertext& ct,
   if (!coeffs)
     throw SchemeError("waters_decrypt: attributes do not satisfy the access structure");
 
-  GT denom = grp.gt_one();
+  // Batch the 2l + 1 pairings, then the l GT exponentiations; fold in
+  // row order (exact arithmetic keeps this byte-identical to the serial
+  // loop at any thread count).
+  CryptoEngine& eng = CryptoEngine::for_group(grp);
+  std::vector<CryptoEngine::PairTerm> pair_terms;
+  std::vector<Zr> exps;
+  pair_terms.reserve(2 * coeffs->size() + 1);
+  exps.reserve(coeffs->size());
   for (const auto& [row, w] : *coeffs) {
     const std::string handle = ct.policy.row_attribute(row).qualified();
     const auto kx = sk.kx.find(handle);
     if (kx == sk.kx.end())
       throw SchemeError("waters_decrypt: key lacks '" + handle + "'");
-    const GT term = grp.pair(ct.ci[row], sk.l) * grp.pair(ct.di[row], kx->second);
-    denom = denom * term.pow(w);
+    pair_terms.push_back({ct.ci[row], sk.l});
+    pair_terms.push_back({ct.di[row], kx->second});
+    exps.push_back(w);
   }
-  const GT blind = grp.pair(ct.c_prime, sk.k) / denom;
+  pair_terms.push_back({ct.c_prime, sk.k});
+  const std::vector<GT> pairs = eng.pair_batch(pair_terms);
+  std::vector<CryptoEngine::GtTerm> pows;
+  pows.reserve(exps.size());
+  for (size_t i = 0; i < exps.size(); ++i)
+    pows.push_back({pairs[2 * i] * pairs[2 * i + 1], exps[i]});
+  GT denom = grp.gt_one();
+  for (const GT& t : eng.multi_exp_gt(pows, /*cache_bases=*/false))
+    denom = denom * t;
+  const GT blind = pairs.back() / denom;
   return ct.c / blind;
 }
 

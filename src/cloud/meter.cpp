@@ -25,4 +25,13 @@ size_t ChannelMeter::involving(const std::string& entity) const {
 
 void ChannelMeter::reset() { totals_.clear(); }
 
+void OpMeter::record(const std::string& phase, const engine::EngineStats& delta) {
+  phases_[phase] += delta;
+}
+
+engine::EngineStats OpMeter::phase(const std::string& name) const {
+  const auto it = phases_.find(name);
+  return it == phases_.end() ? engine::EngineStats{} : it->second;
+}
+
 }  // namespace maabe::cloud

@@ -1,14 +1,21 @@
-// Byte accounting between entities.
+// Byte and crypto-op accounting.
 //
 // The framework layer (system.h) routes every serialized artefact
 // through a ChannelMeter, which is how the communication-cost benchmark
 // (paper Table IV) measures real wire bytes per channel, and how the
 // storage benchmark (Table III) attributes at-rest bytes to entities.
+//
+// OpMeter is the group-operation analogue: it attributes
+// engine::CryptoEngine op counters (pairings, exponentiations) and batch
+// wall time to named phases (Encrypt, Decrypt, ReEncrypt, ...), which is
+// how the benches report ops-per-phase next to milliseconds.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
+
+#include "engine/engine.h"
 
 namespace maabe::cloud {
 
@@ -34,6 +41,36 @@ class ChannelMeter {
 
  private:
   std::map<std::pair<std::string, std::string>, size_t> totals_;
+};
+
+/// Accumulates engine-stat deltas per named phase.
+class OpMeter {
+ public:
+  /// Snapshots the engine's counters on construction and records the
+  /// delta into `meter` under `phase` on destruction.
+  class Scope {
+   public:
+    Scope(OpMeter& meter, engine::CryptoEngine& eng, std::string phase)
+        : meter_(meter), eng_(eng), phase_(std::move(phase)), start_(eng.stats()) {}
+    ~Scope() { meter_.record(phase_, eng_.stats() - start_); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    OpMeter& meter_;
+    engine::CryptoEngine& eng_;
+    std::string phase_;
+    engine::EngineStats start_;
+  };
+
+  void record(const std::string& phase, const engine::EngineStats& delta);
+  /// Zeroed stats if the phase was never recorded.
+  engine::EngineStats phase(const std::string& name) const;
+  const std::map<std::string, engine::EngineStats>& phases() const { return phases_; }
+  void reset() { phases_.clear(); }
+
+ private:
+  std::map<std::string, engine::EngineStats> phases_;
 };
 
 }  // namespace maabe::cloud

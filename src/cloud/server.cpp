@@ -2,6 +2,7 @@
 
 #include "abe/serial.h"
 #include "common/errors.h"
+#include "engine/engine.h"
 
 namespace maabe::cloud {
 
@@ -29,7 +30,12 @@ size_t CloudServer::reencrypt(const abe::UpdateKey& uk,
   std::map<std::string, const abe::UpdateInfo*> by_ct;
   for (const abe::UpdateInfo& ui : infos) by_ct.emplace(ui.ct_id, &ui);
 
-  size_t updated = 0;
+  // Serial pass: select and validate the affected slots in store order.
+  struct Work {
+    abe::Ciphertext* ct;
+    const abe::UpdateInfo* ui;
+  };
+  std::vector<Work> work;
   for (auto& [file_id, file] : files_) {
     if (file.owner_id != uk.owner_id) continue;
     for (SealedSlot& slot : file.slots) {
@@ -39,11 +45,17 @@ size_t CloudServer::reencrypt(const abe::UpdateKey& uk,
       if (ui == by_ct.end())
         throw SchemeError("CloudServer: missing update info for ciphertext '" +
                           slot.key_ct.id + "'");
-      abe::reencrypt(*grp_, &slot.key_ct, uk, *ui->second);
-      ++updated;
+      work.push_back({&slot.key_ct, ui->second});
     }
   }
-  return updated;
+
+  // Parallel pass: ciphertexts are independent, so the proxy
+  // re-encryption (one pairing + per-row point additions each) fans out
+  // across the engine's pool. Per-slot results don't depend on order.
+  engine::CryptoEngine::for_group(*grp_).parallel_for(
+      work.size(),
+      [&](size_t i) { abe::reencrypt(*grp_, work[i].ct, uk, *work[i].ui); });
+  return work.size();
 }
 
 size_t CloudServer::storage_bytes() const {

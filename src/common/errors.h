@@ -17,8 +17,12 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
-/// Arithmetic misuse: overflow of fixed bignum capacity, division by zero,
-/// non-invertible element, malformed numeric encoding.
+/// Arithmetic or pairing-layer misuse: overflow of fixed bignum capacity,
+/// division by zero, non-invertible element, malformed numeric encoding,
+/// and group-element misuse (uninitialized elements, mixing elements or
+/// exponents from different Groups). The math/ and pairing/ layers throw
+/// only MathError (or WireError for decoding) — never the ABE layer's
+/// SchemeError, which belongs to the scheme layers above them.
 class MathError : public Error {
  public:
   using Error::Error;
@@ -37,8 +41,9 @@ class PolicyError : public Error {
   using Error::Error;
 };
 
-/// ABE-scheme misuse or failure: mismatched groups, attributes that do not
-/// satisfy the access structure, key/ciphertext version mismatches.
+/// ABE-scheme misuse or failure: missing key material, attributes that do
+/// not satisfy the access structure, key/ciphertext version mismatches.
+/// Thrown by the abe/, baseline/, cloud/ and tools/ layers only.
 class SchemeError : public Error {
  public:
   using Error::Error;

@@ -1,0 +1,392 @@
+#include "engine/engine.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <thread>
+
+#include "common/errors.h"
+
+namespace maabe::engine {
+
+using pairing::G1;
+using pairing::Group;
+using pairing::GT;
+using pairing::Zr;
+
+namespace {
+
+// Set inside pool workers so reentrant parallel_for calls run inline
+// instead of deadlocking on the (busy) pool.
+thread_local bool tl_in_worker = false;
+
+std::atomic<int> g_default_override{0};
+
+}  // namespace
+
+EngineStats EngineStats::operator-(const EngineStats& e) const {
+  EngineStats d;
+  d.pairings = pairings - e.pairings;
+  d.g1_exps = g1_exps - e.g1_exps;
+  d.gt_exps = gt_exps - e.gt_exps;
+  d.batches = batches - e.batches;
+  d.tasks = tasks - e.tasks;
+  d.table_builds = table_builds - e.table_builds;
+  d.table_hits = table_hits - e.table_hits;
+  d.wall_ns = wall_ns - e.wall_ns;
+  return d;
+}
+
+EngineStats& EngineStats::operator+=(const EngineStats& o) {
+  pairings += o.pairings;
+  g1_exps += o.g1_exps;
+  gt_exps += o.gt_exps;
+  batches += o.batches;
+  tasks += o.tasks;
+  table_builds += o.table_builds;
+  table_hits += o.table_hits;
+  wall_ns += o.wall_ns;
+  return *this;
+}
+
+// ---------------------------------------------------------------- Pool --
+
+struct CryptoEngine::Pool {
+  explicit Pool(int workers) {
+    threads.reserve(static_cast<size_t>(workers));
+    for (int i = 0; i < workers; ++i) threads.emplace_back([this] { worker(); });
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      stop = true;
+    }
+    cv_work.notify_all();
+    for (auto& t : threads) t.join();
+  }
+
+  /// Runs fn over [0, total); the caller participates alongside the
+  /// workers. One job at a time (job_mu); blocks until every index is
+  /// done, then rethrows the first captured exception, if any.
+  void run(size_t job_total, const std::function<void(size_t)>& job_fn) {
+    std::lock_guard<std::mutex> job_lk(job_mu);
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      fn = &job_fn;
+      total = job_total;
+      next.store(0, std::memory_order_relaxed);
+      error = nullptr;
+      pending = threads.size();
+      ++job_id;
+    }
+    cv_work.notify_all();
+    process();
+    {
+      std::unique_lock<std::mutex> lk(mu);
+      cv_done.wait(lk, [&] { return pending == 0; });
+      fn = nullptr;
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+  void process() {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) return;
+      try {
+        (*fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(mu);
+        if (!error) error = std::current_exception();
+        next.store(total, std::memory_order_relaxed);  // abandon the rest
+      }
+    }
+  }
+
+  void worker() {
+    tl_in_worker = true;
+    uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lk(mu);
+        cv_work.wait(lk, [&] { return stop || job_id != seen; });
+        if (stop) return;
+        seen = job_id;
+      }
+      process();
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        if (--pending == 0) cv_done.notify_all();
+      }
+    }
+  }
+
+  std::mutex job_mu;  // serializes run() callers
+  std::mutex mu;
+  std::condition_variable cv_work, cv_done;
+  std::vector<std::thread> threads;
+  const std::function<void(size_t)>* fn = nullptr;
+  size_t total = 0;
+  std::atomic<size_t> next{0};
+  size_t pending = 0;
+  uint64_t job_id = 0;
+  std::exception_ptr error;
+  bool stop = false;
+};
+
+// ------------------------------------------------------------ LruCache --
+
+/// LRU of window tables for variable bases, keyed by the base's
+/// serialized form. A base only pays for table construction after it has
+/// been submitted kBuildThreshold times (break-even vs plain
+/// exponentiation); until then the entry just tracks its use count.
+struct CryptoEngine::LruCache {
+  static constexpr size_t kCapacity = 64;
+  static constexpr uint64_t kBuildThreshold = 4;
+
+  struct Node {
+    Bytes key;
+    uint64_t uses = 0;
+    std::shared_ptr<const pairing::G1FixedBase> g1;
+    std::shared_ptr<const pairing::GtFixedBase> gt;
+  };
+  using List = std::list<Node>;
+
+  std::mutex mu;
+  List order;  // front = most recently used
+  std::map<Bytes, List::iterator> index;
+
+  /// Bumps the entry for `key` (inserting/evicting as needed) and
+  /// returns it, moved to the front.
+  Node& touch(const Bytes& key) {
+    auto it = index.find(key);
+    if (it != index.end()) {
+      order.splice(order.begin(), order, it->second);
+    } else {
+      order.push_front(Node{key, 0, nullptr, nullptr});
+      index[key] = order.begin();
+      if (index.size() > kCapacity) {
+        index.erase(order.back().key);
+        order.pop_back();
+      }
+    }
+    ++order.front().uses;
+    return order.front();
+  }
+};
+
+// --------------------------------------------------------- CryptoEngine --
+
+CryptoEngine::CryptoEngine(const Group& grp, int threads)
+    : grp_(&grp), threads_(1), cache_(std::make_unique<LruCache>()) {
+  set_threads(threads);
+}
+
+CryptoEngine::~CryptoEngine() = default;
+
+int CryptoEngine::default_threads() {
+  const int o = g_default_override.load(std::memory_order_relaxed);
+  if (o > 0) return o;
+  if (const char* env = std::getenv("MAABE_THREADS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void CryptoEngine::set_default_threads(int threads) {
+  g_default_override.store(threads > 0 ? threads : 0, std::memory_order_relaxed);
+}
+
+CryptoEngine& CryptoEngine::for_group(const Group& grp) {
+  struct Slot {
+    uint64_t id = 0;
+    std::unique_ptr<CryptoEngine> engine;
+  };
+  static std::mutex reg_mu;
+  static std::map<const Group*, Slot> registry;
+  std::lock_guard<std::mutex> lk(reg_mu);
+  Slot& slot = registry[&grp];
+  if (!slot.engine || slot.id != grp.instance_id()) {
+    // First sighting, or the address was reused by a new Group after the
+    // old one died — either way the engine (and its cached tables, which
+    // reference the dead Group's contexts) must be rebuilt.
+    slot.engine = std::make_unique<CryptoEngine>(grp);
+    slot.id = grp.instance_id();
+  }
+  return *slot.engine;
+}
+
+void CryptoEngine::set_threads(int threads) {
+  const int n = threads > 0 ? threads : default_threads();
+  std::lock_guard<std::mutex> lk(mu_);
+  if (n == threads_ && (pool_ || n == 1)) return;
+  pool_.reset();  // joins workers; must not race a running batch
+  threads_ = n;
+  // Pool holds threads_ - 1 workers; the submitting thread participates.
+  if (threads_ > 1) pool_ = std::make_unique<Pool>(threads_ - 1);
+}
+
+void CryptoEngine::parallel_for(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stats_.tasks += n;
+  }
+  if (pool_ == nullptr || n < 2 || tl_in_worker) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  pool_->run(n, fn);
+}
+
+namespace {
+
+class BatchTimer {
+ public:
+  explicit BatchTimer(std::mutex& mu, EngineStats& stats)
+      : mu_(mu), stats_(stats), start_(std::chrono::steady_clock::now()) {}
+  ~BatchTimer() {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    std::lock_guard<std::mutex> lk(mu_);
+    stats_.batches += 1;
+    stats_.wall_ns += static_cast<uint64_t>(ns);
+  }
+
+ private:
+  std::mutex& mu_;
+  EngineStats& stats_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+std::vector<GT> CryptoEngine::pair_batch(const std::vector<PairTerm>& terms) {
+  BatchTimer timer(mu_, stats_);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stats_.pairings += terms.size();
+  }
+  std::vector<GT> out(terms.size());
+  parallel_for(terms.size(),
+               [&](size_t i) { out[i] = grp_->pair(terms[i].a, terms[i].b); });
+  return out;
+}
+
+GT CryptoEngine::pairing_product(const std::vector<PairTerm>& terms) {
+  std::vector<GT> parts = pair_batch(terms);
+  // Exact group arithmetic: folding in submission order reproduces the
+  // serial loop's value bit for bit regardless of evaluation order.
+  GT acc = grp_->gt_one();
+  for (const GT& p : parts) acc = acc * p;
+  return acc;
+}
+
+std::vector<G1> CryptoEngine::multi_exp_g1(const std::vector<G1Term>& terms,
+                                           bool cache_bases) {
+  BatchTimer timer(mu_, stats_);
+  const size_t n = terms.size();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stats_.g1_exps += n;
+  }
+  // Serial resolve phase: consult/update the LRU under one lock so the
+  // parallel phase below touches only immutable tables.
+  std::vector<std::shared_ptr<const pairing::G1FixedBase>> tables(n);
+  if (cache_bases) {
+    uint64_t builds = 0, hits = 0;
+    std::lock_guard<std::mutex> lk(cache_->mu);
+    for (size_t i = 0; i < n; ++i) {
+      if (terms[i].base.is_identity()) continue;
+      LruCache::Node& node = cache_->touch(terms[i].base.to_bytes());
+      if (!node.g1 && node.uses >= LruCache::kBuildThreshold) {
+        node.g1 = grp_->g1_precompute(terms[i].base);
+        ++builds;
+      }
+      if (node.g1) ++hits;
+      tables[i] = node.g1;
+    }
+    std::lock_guard<std::mutex> slk(mu_);
+    stats_.table_builds += builds;
+    stats_.table_hits += hits;
+  }
+  std::vector<G1> out(n);
+  parallel_for(n, [&](size_t i) {
+    out[i] = tables[i] ? grp_->g1_pow_with(*tables[i], terms[i].exp)
+                       : terms[i].base.mul(terms[i].exp);
+  });
+  return out;
+}
+
+std::vector<GT> CryptoEngine::multi_exp_gt(const std::vector<GtTerm>& terms,
+                                           bool cache_bases) {
+  BatchTimer timer(mu_, stats_);
+  const size_t n = terms.size();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stats_.gt_exps += n;
+  }
+  std::vector<std::shared_ptr<const pairing::GtFixedBase>> tables(n);
+  if (cache_bases) {
+    uint64_t builds = 0, hits = 0;
+    std::lock_guard<std::mutex> lk(cache_->mu);
+    for (size_t i = 0; i < n; ++i) {
+      if (terms[i].base.is_one()) continue;
+      LruCache::Node& node = cache_->touch(terms[i].base.to_bytes());
+      if (!node.gt && node.uses >= LruCache::kBuildThreshold) {
+        node.gt = grp_->gt_precompute(terms[i].base);
+        ++builds;
+      }
+      if (node.gt) ++hits;
+      tables[i] = node.gt;
+    }
+    std::lock_guard<std::mutex> slk(mu_);
+    stats_.table_builds += builds;
+    stats_.table_hits += hits;
+  }
+  std::vector<GT> out(n);
+  parallel_for(n, [&](size_t i) {
+    out[i] = tables[i] ? grp_->gt_pow_with(*tables[i], terms[i].exp)
+                       : terms[i].base.pow(terms[i].exp);
+  });
+  return out;
+}
+
+std::vector<G1> CryptoEngine::g_pow_batch(const std::vector<Zr>& exps) {
+  BatchTimer timer(mu_, stats_);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stats_.g1_exps += exps.size();
+  }
+  std::vector<G1> out(exps.size());
+  parallel_for(exps.size(), [&](size_t i) { out[i] = grp_->g_pow(exps[i]); });
+  return out;
+}
+
+std::vector<GT> CryptoEngine::egg_pow_batch(const std::vector<Zr>& exps) {
+  BatchTimer timer(mu_, stats_);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stats_.gt_exps += exps.size();
+  }
+  std::vector<GT> out(exps.size());
+  parallel_for(exps.size(), [&](size_t i) { out[i] = grp_->egg_pow(exps[i]); });
+  return out;
+}
+
+EngineStats CryptoEngine::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+void CryptoEngine::reset_stats() {
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_ = EngineStats{};
+}
+
+}  // namespace maabe::engine

@@ -1,0 +1,144 @@
+// Batched crypto-op engine — the layer every hot path submits group
+// operations through.
+//
+// The paper's cost model is dominated by pairings and exponentiations
+// (decrypt alone evaluates 2l + N_A pairings); a CryptoEngine turns
+// those serial loops into batches executed on a fixed-size thread pool:
+//
+//   * pairing_product / pair_batch — evaluate many e(a_i, b_i) in
+//     parallel; the GT product is folded in submission order.
+//   * multi_exp_g1 / multi_exp_gt — batched variable-base
+//     exponentiation with a per-Group LRU precomputation cache:
+//     bases seen repeatedly across batches (PK_UID in KeyGen, the
+//     per-attribute PK_{x,AID} in Encrypt, authority blinds) get a
+//     window table built once and reused, the same machinery Group
+//     already uses for g and e(g,g).
+//   * g_pow_batch / egg_pow_batch — batches over the two fixed bases.
+//   * parallel_for — generic data-parallel sweep (CloudServer uses it
+//     to re-encrypt stored ciphertexts concurrently).
+//
+// Determinism guarantee: all group arithmetic is exact, every output
+// slot is computed independently, and folds run in submission order on
+// the calling thread — results are byte-identical to the serial path at
+// any thread count. `threads == 1` (or MAABE_THREADS=1) bypasses the
+// pool entirely and executes the legacy serial sequence inline.
+//
+// Thread count resolution: explicit constructor arg > set_threads() >
+// MAABE_THREADS env var > std::thread::hardware_concurrency().
+//
+// The engine relies on Group's documented const-thread-safety (see
+// pairing/group.h). Engine methods themselves are safe to call from
+// multiple threads; batches are serialized on the pool.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "pairing/group.h"
+
+namespace maabe::engine {
+
+/// Operation counters + wall time, surfaced to benches the same way
+/// cloud::ChannelMeter surfaces wire bytes. Snapshot with
+/// CryptoEngine::stats(); per-phase deltas via operator-.
+struct EngineStats {
+  uint64_t pairings = 0;   ///< e(a,b) evaluations submitted
+  uint64_t g1_exps = 0;    ///< G1 exponentiations (fixed + variable base)
+  uint64_t gt_exps = 0;    ///< GT exponentiations (fixed + variable base)
+  uint64_t batches = 0;    ///< batch API calls
+  uint64_t tasks = 0;      ///< parallel_for items processed
+  uint64_t table_builds = 0;  ///< LRU window tables constructed
+  uint64_t table_hits = 0;    ///< exponentiations served from a cached table
+  uint64_t wall_ns = 0;    ///< wall time spent inside batch APIs
+
+  EngineStats operator-(const EngineStats& earlier) const;
+  EngineStats& operator+=(const EngineStats& o);
+  double wall_ms() const { return static_cast<double>(wall_ns) / 1e6; }
+};
+
+class CryptoEngine {
+ public:
+  /// `threads == 0` resolves via MAABE_THREADS / hardware_concurrency.
+  /// The Group must outlive the engine.
+  explicit CryptoEngine(const pairing::Group& grp, int threads = 0);
+  ~CryptoEngine();
+
+  CryptoEngine(const CryptoEngine&) = delete;
+  CryptoEngine& operator=(const CryptoEngine&) = delete;
+
+  /// The process-wide engine for `grp`, created on first use with the
+  /// default thread count. Detects Group address reuse via
+  /// Group::instance_id(). Engines live for the process lifetime.
+  static CryptoEngine& for_group(const pairing::Group& grp);
+
+  /// MAABE_THREADS env var, else hardware_concurrency, min 1. A value
+  /// set with set_default_threads() overrides both (CLI --threads).
+  static int default_threads();
+  /// Override the default for engines created after this call;
+  /// `0` restores env/hardware resolution.
+  static void set_default_threads(int threads);
+
+  int threads() const { return threads_; }
+  /// Resize the pool (joins and respawns workers). `0` = default.
+  void set_threads(int threads);
+
+  // ---- Batched operations ------------------------------------------
+  struct PairTerm {
+    pairing::G1 a, b;
+  };
+  struct G1Term {
+    pairing::G1 base;
+    pairing::Zr exp;
+  };
+  struct GtTerm {
+    pairing::GT base;
+    pairing::Zr exp;
+  };
+
+  /// prod_i e(a_i, b_i), pairings evaluated in parallel, product folded
+  /// in submission order starting from 1.
+  pairing::GT pairing_product(const std::vector<PairTerm>& terms);
+  /// Each e(a_i, b_i) individually (no fold).
+  std::vector<pairing::GT> pair_batch(const std::vector<PairTerm>& terms);
+
+  /// base_i ^ exp_i for variable bases. `cache_bases = false` skips the
+  /// LRU entirely — pass it when the bases are one-offs (e.g. the pairing
+  /// products decrypt exponentiates) so they don't evict hot tables.
+  std::vector<pairing::G1> multi_exp_g1(const std::vector<G1Term>& terms,
+                                        bool cache_bases = true);
+  std::vector<pairing::GT> multi_exp_gt(const std::vector<GtTerm>& terms,
+                                        bool cache_bases = true);
+
+  /// g ^ exp_i / e(g,g) ^ exp_i via the Group's fixed-base tables.
+  std::vector<pairing::G1> g_pow_batch(const std::vector<pairing::Zr>& exps);
+  std::vector<pairing::GT> egg_pow_batch(const std::vector<pairing::Zr>& exps);
+
+  /// Runs fn(0..n-1), work-stealing across the pool; blocks until all
+  /// items finish. Exceptions from fn are rethrown on the caller (first
+  /// one wins). Reentrant calls from inside a worker run inline.
+  void parallel_for(size_t n, const std::function<void(size_t)>& fn);
+
+  // ---- Accounting --------------------------------------------------
+  EngineStats stats() const;
+  void reset_stats();
+
+ private:
+  struct Pool;
+  struct LruCache;
+
+  void ensure_pool();
+
+  const pairing::Group* grp_;
+  int threads_;
+  std::unique_ptr<Pool> pool_;        // created lazily; null when threads_ == 1
+  std::unique_ptr<LruCache> cache_;   // variable-base window tables
+  mutable std::mutex mu_;             // guards pool_ resize + stats_
+  EngineStats stats_;
+};
+
+}  // namespace maabe::engine

@@ -1,5 +1,7 @@
 #include "pairing/group.h"
 
+#include <atomic>
+
 #include "common/errors.h"
 #include "common/wire.h"
 #include "crypto/sha256.h"
@@ -10,9 +12,12 @@ using math::Bignum;
 
 namespace {
 
+// Pairing-layer misuse is a MathError: this layer sits below the ABE
+// schemes and must not reach up into their exception types (see
+// common/errors.h).
 void require_same_group(const void* a, const void* b, const char* op) {
-  if (a == nullptr || b == nullptr) throw SchemeError(std::string(op) + ": uninitialized element");
-  if (a != b) throw SchemeError(std::string(op) + ": elements from different groups");
+  if (a == nullptr || b == nullptr) throw MathError(std::string(op) + ": uninitialized element");
+  if (a != b) throw MathError(std::string(op) + ": elements from different groups");
 }
 
 // Domain-separated expansion of `data` to `out_len` bytes.
@@ -53,17 +58,17 @@ Zr Zr::mul(const Zr& o) const {
 }
 
 Zr Zr::neg() const {
-  if (g_ == nullptr) throw SchemeError("Zr::neg: uninitialized element");
+  if (g_ == nullptr) throw MathError("Zr::neg: uninitialized element");
   return Zr(g_, Bignum::mod_sub(Bignum(), v_, g_->order()));
 }
 
 Zr Zr::inverse() const {
-  if (g_ == nullptr) throw SchemeError("Zr::inverse: uninitialized element");
+  if (g_ == nullptr) throw MathError("Zr::inverse: uninitialized element");
   return Zr(g_, Bignum::mod_inverse(v_, g_->order()));
 }
 
 Bytes Zr::to_bytes() const {
-  if (g_ == nullptr) throw SchemeError("Zr::to_bytes: uninitialized element");
+  if (g_ == nullptr) throw MathError("Zr::to_bytes: uninitialized element");
   return v_.to_bytes_be(g_->zr_size());
 }
 
@@ -75,7 +80,7 @@ G1 G1::add(const G1& o) const {
 }
 
 G1 G1::neg() const {
-  if (g_ == nullptr) throw SchemeError("G1::neg: uninitialized element");
+  if (g_ == nullptr) throw MathError("G1::neg: uninitialized element");
   return G1(g_, g_->ctx().curve().neg(pt_));
 }
 
@@ -90,13 +95,13 @@ bool operator==(const G1& a, const G1& b) {
 }
 
 bool G1::in_subgroup() const {
-  if (g_ == nullptr) throw SchemeError("G1::in_subgroup: uninitialized element");
+  if (g_ == nullptr) throw MathError("G1::in_subgroup: uninitialized element");
   if (pt_.inf) return true;
   return g_->ctx().curve().mul(pt_, g_->order()).inf;
 }
 
 Bytes G1::to_bytes() const {
-  if (g_ == nullptr) throw SchemeError("G1::to_bytes: uninitialized element");
+  if (g_ == nullptr) throw MathError("G1::to_bytes: uninitialized element");
   const FpCtx& fq = g_->ctx().fq();
   Bytes out;
   if (pt_.inf) {
@@ -112,7 +117,7 @@ Bytes G1::to_bytes() const {
 // ---------------------------------------------------------------- GT --
 
 bool GT::is_one() const {
-  if (g_ == nullptr) throw SchemeError("GT::is_one: uninitialized element");
+  if (g_ == nullptr) throw MathError("GT::is_one: uninitialized element");
   return g_->ctx().fq2().is_one(v_);
 }
 
@@ -122,7 +127,7 @@ GT GT::mul(const GT& o) const {
 }
 
 GT GT::inverse() const {
-  if (g_ == nullptr) throw SchemeError("GT::inverse: uninitialized element");
+  if (g_ == nullptr) throw MathError("GT::inverse: uninitialized element");
   // Elements of the order-r subgroup have norm 1, so conjugation inverts.
   return GT(g_, g_->ctx().fq2().conj(v_));
 }
@@ -138,18 +143,20 @@ bool operator==(const GT& a, const GT& b) {
 }
 
 bool GT::in_subgroup() const {
-  if (g_ == nullptr) throw SchemeError("GT::in_subgroup: uninitialized element");
+  if (g_ == nullptr) throw MathError("GT::in_subgroup: uninitialized element");
   return g_->ctx().fq2().is_one(g_->ctx().fq2().pow(v_, g_->order()));
 }
 
 Bytes GT::to_bytes() const {
-  if (g_ == nullptr) throw SchemeError("GT::to_bytes: uninitialized element");
+  if (g_ == nullptr) throw MathError("GT::to_bytes: uninitialized element");
   return g_->ctx().fq2().to_bytes(v_);
 }
 
 // ------------------------------------------------------------- Group --
 
 Group::Group(const TypeAParams& params) : ctx_(params) {
+  static std::atomic<uint64_t> next_instance_id{1};
+  instance_id_ = next_instance_id.fetch_add(1, std::memory_order_relaxed);
   params.validate();
   // Deterministic generator: hash to the curve, clear the cofactor.
   generator_ = hash_to_g1(std::string_view("maabe/type-a/generator/v1"));
@@ -164,13 +171,35 @@ Group::Group(const TypeAParams& params) : ctx_(params) {
 }
 
 G1 Group::g_pow(const Zr& k) const {
-  if (k.group() != this) throw SchemeError("g_pow: exponent from another group");
+  if (k.group() != this) throw MathError("g_pow: exponent from another group");
   return G1(this, g_table_->pow(k.value()));
 }
 
 GT Group::egg_pow(const Zr& k) const {
-  if (k.group() != this) throw SchemeError("egg_pow: exponent from another group");
+  if (k.group() != this) throw MathError("egg_pow: exponent from another group");
   return GT(this, egg_table_->pow(k.value()));
+}
+
+std::unique_ptr<G1FixedBase> Group::g1_precompute(const G1& base) const {
+  require_same_group(this, base.g_, "g1_precompute");
+  return std::make_unique<G1FixedBase>(ctx_.curve(), base.pt_,
+                                       params().r.bit_length());
+}
+
+G1 Group::g1_pow_with(const G1FixedBase& table, const Zr& k) const {
+  if (k.group() != this) throw MathError("g1_pow_with: exponent from another group");
+  return G1(this, table.pow(k.value()));
+}
+
+std::unique_ptr<GtFixedBase> Group::gt_precompute(const GT& base) const {
+  require_same_group(this, base.g_, "gt_precompute");
+  return std::make_unique<GtFixedBase>(ctx_.fq2(), base.v_,
+                                       params().r.bit_length());
+}
+
+GT Group::gt_pow_with(const GtFixedBase& table, const Zr& k) const {
+  if (k.group() != this) throw MathError("gt_pow_with: exponent from another group");
+  return GT(this, table.pow(k.value()));
 }
 
 std::shared_ptr<const Group> Group::pbc_a512() {

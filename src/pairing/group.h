@@ -10,8 +10,19 @@
 // All serialization is fixed-width: |Zr| = r-bytes, |G1| = q-bytes + 1
 // (compressed point), |GT| = 2 * q-bytes. These are the element sizes the
 // paper's Tables II-IV count symbolically as |p|, |G|, |GT|.
+//
+// Thread-safety contract (relied on by engine::CryptoEngine): a fully
+// constructed Group is immutable. Every const method — pair(), g_pow(),
+// egg_pow(), hash_to_*, *_from_bytes, element arithmetic through the
+// contexts — may be called concurrently from any number of threads
+// without external synchronization. The only mutable state the pairing
+// stack touches after construction lives in caller-owned values (the
+// elements being produced) and in crypto::Drbg, which is NOT
+// synchronized: methods taking a Drbg& (zr_random, g1_random, ...) are
+// safe only if each thread uses its own rng instance.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string_view>
 
@@ -178,6 +189,20 @@ class Group {
   /// The bilinear map e: G1 x G1 -> GT.
   GT pair(const G1& a, const G1& b) const;
 
+  // ---- Precomputation hooks (engine layer) -------------------------
+  // Window tables for *variable* bases, used by engine::CryptoEngine's
+  // multi-exponentiation cache for repeatedly-seen bases (PK_UID,
+  // PK_{x,AID}, C', ...). The table references this Group's contexts and
+  // must not outlive it. `base` must not be the identity.
+  std::unique_ptr<G1FixedBase> g1_precompute(const G1& base) const;
+  G1 g1_pow_with(const G1FixedBase& table, const Zr& k) const;
+  std::unique_ptr<GtFixedBase> gt_precompute(const GT& base) const;
+  GT gt_pow_with(const GtFixedBase& table, const Zr& k) const;
+
+  /// Process-unique id of this Group instance (monotonic counter).
+  /// Lets caches keyed by Group* detect address reuse after destruction.
+  uint64_t instance_id() const { return instance_id_; }
+
  private:
   friend class Zr;
   friend class G1;
@@ -188,6 +213,7 @@ class Group {
   GT e_gg_;
   std::unique_ptr<G1FixedBase> g_table_;
   std::unique_ptr<GtFixedBase> egg_table_;
+  uint64_t instance_id_ = 0;
 };
 
 }  // namespace maabe::pairing

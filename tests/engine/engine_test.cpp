@@ -1,0 +1,186 @@
+// CryptoEngine batch APIs must agree bit-for-bit with the naive serial
+// fold/loop they replace, for any thread count.
+#include "engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+
+namespace maabe::engine {
+namespace {
+
+using pairing::G1;
+using pairing::Group;
+using pairing::GT;
+using pairing::Zr;
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest() : grp(Group::test_small()), rng(std::string_view("engine-test")) {}
+
+  std::shared_ptr<const Group> grp;
+  crypto::Drbg rng;
+};
+
+TEST_F(EngineTest, PairingProductMatchesSerialFold) {
+  CryptoEngine eng(*grp, 4);
+  for (const size_t n : {size_t{0}, size_t{1}, size_t{5}, size_t{16}}) {
+    std::vector<CryptoEngine::PairTerm> terms;
+    for (size_t i = 0; i < n; ++i)
+      terms.push_back({grp->g1_random(rng), grp->g1_random(rng)});
+
+    GT expected = grp->gt_one();
+    for (const auto& t : terms) expected = expected * grp->pair(t.a, t.b);
+
+    const GT got = eng.pairing_product(terms);
+    EXPECT_EQ(got.to_bytes(), expected.to_bytes()) << "n=" << n;
+  }
+}
+
+TEST_F(EngineTest, PairBatchMatchesIndividualPairings) {
+  CryptoEngine eng(*grp, 3);
+  std::vector<CryptoEngine::PairTerm> terms;
+  for (int i = 0; i < 7; ++i)
+    terms.push_back({grp->g1_random(rng), grp->g1_random(rng)});
+  const std::vector<GT> got = eng.pair_batch(terms);
+  ASSERT_EQ(got.size(), terms.size());
+  for (size_t i = 0; i < terms.size(); ++i)
+    EXPECT_EQ(got[i].to_bytes(), grp->pair(terms[i].a, terms[i].b).to_bytes());
+}
+
+TEST_F(EngineTest, MultiExpG1MatchesSerialAcrossCachePromotion) {
+  CryptoEngine eng(*grp, 4);
+  // One base repeated often enough to cross the table-build threshold
+  // mid-batch, plus unique bases that stay on the plain-mul path.
+  const G1 hot = grp->g1_random(rng);
+  std::vector<CryptoEngine::G1Term> terms;
+  for (int i = 0; i < 10; ++i) terms.push_back({hot, grp->zr_random(rng)});
+  for (int i = 0; i < 3; ++i)
+    terms.push_back({grp->g1_random(rng), grp->zr_random(rng)});
+  terms.push_back({grp->g1_identity(), grp->zr_random(rng)});
+
+  // Twice: first run builds the hot base's table, second is all hits.
+  for (int round = 0; round < 2; ++round) {
+    const std::vector<G1> got = eng.multi_exp_g1(terms);
+    ASSERT_EQ(got.size(), terms.size());
+    for (size_t i = 0; i < terms.size(); ++i) {
+      EXPECT_EQ(got[i].to_bytes(), terms[i].base.mul(terms[i].exp).to_bytes())
+          << "round=" << round << " i=" << i;
+    }
+  }
+  const EngineStats s = eng.stats();
+  EXPECT_GE(s.table_builds, 1u);
+  EXPECT_GT(s.table_hits, 0u);
+}
+
+TEST_F(EngineTest, MultiExpGtMatchesSerial) {
+  CryptoEngine eng(*grp, 4);
+  const GT hot = grp->gt_random(rng);
+  std::vector<CryptoEngine::GtTerm> terms;
+  for (int i = 0; i < 8; ++i) terms.push_back({hot, grp->zr_random(rng)});
+  terms.push_back({grp->gt_random(rng), grp->zr_random(rng)});
+  terms.push_back({grp->gt_one(), grp->zr_random(rng)});
+
+  for (int round = 0; round < 2; ++round) {
+    const std::vector<GT> got = eng.multi_exp_gt(terms);
+    ASSERT_EQ(got.size(), terms.size());
+    for (size_t i = 0; i < terms.size(); ++i) {
+      EXPECT_EQ(got[i].to_bytes(), terms[i].base.pow(terms[i].exp).to_bytes())
+          << "round=" << round << " i=" << i;
+    }
+  }
+}
+
+TEST_F(EngineTest, UncachedMultiExpMatchesToo) {
+  CryptoEngine eng(*grp, 2);
+  std::vector<CryptoEngine::GtTerm> terms;
+  for (int i = 0; i < 5; ++i)
+    terms.push_back({grp->gt_random(rng), grp->zr_random(rng)});
+  const std::vector<GT> got = eng.multi_exp_gt(terms, /*cache_bases=*/false);
+  for (size_t i = 0; i < terms.size(); ++i)
+    EXPECT_EQ(got[i].to_bytes(), terms[i].base.pow(terms[i].exp).to_bytes());
+  EXPECT_EQ(eng.stats().table_builds, 0u);
+}
+
+TEST_F(EngineTest, FixedBaseBatchesMatchGroupTables) {
+  CryptoEngine eng(*grp, 4);
+  std::vector<Zr> exps;
+  for (int i = 0; i < 9; ++i) exps.push_back(grp->zr_random(rng));
+  const std::vector<G1> g = eng.g_pow_batch(exps);
+  const std::vector<GT> egg = eng.egg_pow_batch(exps);
+  for (size_t i = 0; i < exps.size(); ++i) {
+    EXPECT_EQ(g[i].to_bytes(), grp->g_pow(exps[i]).to_bytes());
+    EXPECT_EQ(egg[i].to_bytes(), grp->egg_pow(exps[i]).to_bytes());
+  }
+}
+
+TEST_F(EngineTest, SerialEngineBypassesPool) {
+  CryptoEngine eng(*grp, 1);
+  EXPECT_EQ(eng.threads(), 1);
+  std::vector<CryptoEngine::PairTerm> terms;
+  for (int i = 0; i < 4; ++i)
+    terms.push_back({grp->g1_random(rng), grp->g1_random(rng)});
+  GT expected = grp->gt_one();
+  for (const auto& t : terms) expected = expected * grp->pair(t.a, t.b);
+  EXPECT_EQ(eng.pairing_product(terms).to_bytes(), expected.to_bytes());
+}
+
+TEST_F(EngineTest, ParallelForCoversEveryIndexExactlyOnce) {
+  CryptoEngine eng(*grp, 4);
+  constexpr size_t kN = 257;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  eng.parallel_for(kN, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST_F(EngineTest, ParallelForPropagatesExceptions) {
+  CryptoEngine eng(*grp, 4);
+  EXPECT_THROW(eng.parallel_for(64,
+                                [&](size_t i) {
+                                  if (i == 13) throw MathError("boom");
+                                }),
+               MathError);
+  // The pool must survive a failed job.
+  std::atomic<size_t> count{0};
+  eng.parallel_for(16, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 16u);
+}
+
+TEST_F(EngineTest, StatsCountOpsAndPhasesDiff) {
+  CryptoEngine eng(*grp, 2);
+  const EngineStats before = eng.stats();
+  std::vector<CryptoEngine::PairTerm> terms;
+  for (int i = 0; i < 3; ++i)
+    terms.push_back({grp->g1_random(rng), grp->g1_random(rng)});
+  (void)eng.pairing_product(terms);
+  (void)eng.g_pow_batch({grp->zr_random(rng), grp->zr_random(rng)});
+  const EngineStats delta = eng.stats() - before;
+  EXPECT_EQ(delta.pairings, 3u);
+  EXPECT_EQ(delta.g1_exps, 2u);
+  EXPECT_EQ(delta.batches, 2u);
+  eng.reset_stats();
+  EXPECT_EQ(eng.stats().pairings, 0u);
+}
+
+TEST_F(EngineTest, SetThreadsResizesAndStaysCorrect) {
+  CryptoEngine eng(*grp, 1);
+  std::vector<CryptoEngine::PairTerm> terms;
+  for (int i = 0; i < 6; ++i)
+    terms.push_back({grp->g1_random(rng), grp->g1_random(rng)});
+  const Bytes serial = eng.pairing_product(terms).to_bytes();
+  eng.set_threads(8);
+  EXPECT_EQ(eng.threads(), 8);
+  EXPECT_EQ(eng.pairing_product(terms).to_bytes(), serial);
+  eng.set_threads(1);
+  EXPECT_EQ(eng.pairing_product(terms).to_bytes(), serial);
+}
+
+TEST_F(EngineTest, ForGroupReturnsSameEnginePerGroup) {
+  CryptoEngine& a = CryptoEngine::for_group(*grp);
+  CryptoEngine& b = CryptoEngine::for_group(*grp);
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace maabe::engine

@@ -131,17 +131,17 @@ TEST_F(CurveTest, MixedGroupOperationsRejected) {
   const G1 p = grp->g1_random(rng);
   crypto::Drbg rng2("other");
   const G1 q = other->g1_random(rng2);
-  EXPECT_THROW((void)(p + q), SchemeError);
-  EXPECT_THROW((void)(p == q), SchemeError);
-  EXPECT_THROW((void)p.mul(other->zr_one()), SchemeError);
+  EXPECT_THROW((void)(p + q), MathError);
+  EXPECT_THROW((void)(p == q), MathError);
+  EXPECT_THROW((void)p.mul(other->zr_one()), MathError);
 }
 
 TEST_F(CurveTest, UninitializedElementsRejected) {
   G1 p;
-  EXPECT_THROW((void)p.to_bytes(), SchemeError);
-  EXPECT_THROW((void)p.neg(), SchemeError);
+  EXPECT_THROW((void)p.to_bytes(), MathError);
+  EXPECT_THROW((void)p.neg(), MathError);
   Zr z;
-  EXPECT_THROW((void)z.to_bytes(), SchemeError);
+  EXPECT_THROW((void)z.to_bytes(), MathError);
 }
 
 }  // namespace

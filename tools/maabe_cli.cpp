@@ -18,6 +18,7 @@
 //   maabe-cli --home demo revoke MedOrg alice Doctor
 //   maabe-cli --home demo decrypt alice note1 out.txt   # now denied
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -27,6 +28,7 @@
 #include "cloud/hybrid.h"
 #include "common/errors.h"
 #include "crypto/random.h"
+#include "engine/engine.h"
 #include "keystore.h"
 #include "lsss/parser.h"
 
@@ -320,7 +322,9 @@ struct Cli {
 int usage() {
   std::fprintf(stderr,
                "maabe-cli — multi-authority attribute-based access control\n"
-               "usage: maabe-cli [--home DIR] <command> [args]\n\n"
+               "usage: maabe-cli [--home DIR] [--threads N] <command> [args]\n\n"
+               "  --threads N   crypto engine thread count (default: MAABE_THREADS\n"
+               "                env var, else hardware concurrency; 1 = serial)\n\n"
                "commands:\n"
                "  init [--test-curve]                  create the keystore\n"
                "  add-authority <aid> <attr>...        register an attribute authority\n"
@@ -342,6 +346,13 @@ int run(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--home") == 0 && i + 1 < argc) {
       home = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      const int n = std::atoi(argv[++i]);
+      if (n < 1) {
+        std::fprintf(stderr, "--threads expects a positive integer\n");
+        return usage();
+      }
+      engine::CryptoEngine::set_default_threads(n);
     } else {
       args.emplace_back(argv[i]);
     }
