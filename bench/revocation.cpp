@@ -14,6 +14,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
+#include "cloud/server.h"
 
 namespace maabe::bench {
 namespace {
@@ -102,6 +103,42 @@ void BM_ReEncrypt_Full_Owner(benchmark::State& state) {
   state.counters["authorities"] = static_cast<double>(state.range(0));
 }
 
+// A whole server-side revocation epoch over a populated sharded store:
+// stage every affected slot (CryptoEngine fan-out), then commit under
+// the shard write locks. Times the epoch only — the store is rebuilt at
+// version 1 between iterations (an epoch is not idempotent: the strict
+// version checks reject a second application).
+void BM_ReEncrypt_Epoch_Server(benchmark::State& state) {
+  const int n_files = static_cast<int>(state.range(0));
+  const RevocationFixture& f = RevocationFixture::get(2);
+  const pairing::Group& grp = *f.w->grp;
+  crypto::Drbg rng(std::string_view("epoch-bench"));
+
+  std::vector<cloud::StoredFile> files;
+  std::vector<abe::UpdateInfo> infos;
+  for (int i = 0; i < n_files; ++i) {
+    const std::string file_id = "f" + std::to_string(i);
+    const std::string ct_id = cloud::slot_ct_id(file_id, "key");
+    abe::EncryptionResult enc = abe::encrypt(grp, f.w->mk, ct_id, f.w->message,
+                                             f.w->policy, f.w->apks, f.w->attr_pks, rng);
+    infos.push_back(abe::owner_update_info(grp, f.w->mk, enc.record, enc.ct,
+                                           f.w->attr_pks, f.new_attr_pks, aid_of(0)));
+    files.push_back({file_id, f.w->mk.owner_id, {{"key", std::move(enc.ct), Bytes{}}}});
+  }
+
+  uint64_t slots = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    cloud::CloudServer server(f.w->grp);
+    for (const cloud::StoredFile& file : files) server.store(file);
+    state.ResumeTiming();
+    slots += server.reencrypt(f.uk, infos);
+  }
+  state.counters["files"] = static_cast<double>(n_files);
+  state.counters["slots_per_epoch"] =
+      static_cast<double>(slots) / static_cast<double>(state.iterations());
+}
+
 void sweep(benchmark::internal::Benchmark* b) {
   for (int n : {2, 5, 10}) b->Arg(n);
   b->Unit(benchmark::kMillisecond)->MinTime(0.05);
@@ -112,6 +149,11 @@ BENCHMARK(BM_KeyUpdate_User)->Apply(sweep);
 BENCHMARK(BM_UpdateInfo_Owner)->Apply(sweep);
 BENCHMARK(BM_ReEncrypt_Partial_Server)->Apply(sweep);
 BENCHMARK(BM_ReEncrypt_Full_Owner)->Apply(sweep);
+BENCHMARK(BM_ReEncrypt_Epoch_Server)
+    ->Arg(4)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.05);
 
 }  // namespace
 }  // namespace maabe::bench

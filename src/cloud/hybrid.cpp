@@ -14,6 +14,12 @@ std::string slot_ct_id(const std::string& file_id, const std::string& component_
   return file_id + "/" + component_name;
 }
 
+std::pair<std::string, std::string> split_slot_ct_id(const std::string& ct_id) {
+  const size_t slash = ct_id.find('/');
+  if (slash == std::string::npos) return {ct_id, ""};
+  return {ct_id.substr(0, slash), ct_id.substr(slash + 1)};
+}
+
 Bytes slot_aad(const std::string& file_id, const std::string& component_name) {
   Writer w;
   w.str(file_id);

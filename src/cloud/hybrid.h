@@ -44,6 +44,11 @@ Bytes content_key_from_gt(const pairing::GT& seed);
 /// Stable ciphertext id for a component: "<file_id>/<component_name>".
 std::string slot_ct_id(const std::string& file_id, const std::string& component_name);
 
+/// Splits a slot ciphertext id back into {file_id, component_name} at
+/// the first '/' (file ids themselves never contain one). An id with no
+/// separator maps to {id, ""} — pre-hybrid single-component ids.
+std::pair<std::string, std::string> split_slot_ct_id(const std::string& ct_id);
+
 /// Additional authenticated data binding a sealed box to its slot.
 Bytes slot_aad(const std::string& file_id, const std::string& component_name);
 

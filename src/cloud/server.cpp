@@ -1,76 +1,203 @@
 #include "cloud/server.h"
 
+#include <algorithm>
+#include <mutex>
+
 #include "abe/serial.h"
 #include "common/errors.h"
 #include "engine/engine.h"
 
 namespace maabe::cloud {
 
-void CloudServer::store(StoredFile file) {
-  if (file.file_id.empty()) throw SchemeError("CloudServer: empty file id");
-  files_.insert_or_assign(file.file_id, std::move(file));
+ShardStats& ShardStats::operator+=(const ShardStats& o) {
+  files += o.files;
+  bytes += o.bytes;
+  stores += o.stores;
+  fetches += o.fetches;
+  reencrypted_slots += o.reencrypted_slots;
+  return *this;
 }
 
-const StoredFile& CloudServer::fetch(const std::string& file_id) const {
-  const auto it = files_.find(file_id);
-  if (it == files_.end()) throw SchemeError("CloudServer: no file '" + file_id + "'");
-  return it->second;
+ShardStats ServerStats::totals() const {
+  ShardStats t;
+  for (const ShardStats& s : shards) t += s;
+  return t;
+}
+
+CloudServer::CloudServer(std::shared_ptr<const pairing::Group> grp, size_t shard_count)
+    : grp_(std::move(grp)), shards_(shard_count == 0 ? 1 : shard_count) {}
+
+size_t CloudServer::shard_of(const std::string& file_id) const {
+  return std::hash<std::string>{}(file_id) % shards_.size();
+}
+
+void CloudServer::store(StoredFile file) {
+  if (file.file_id.empty()) throw SchemeError("CloudServer: empty file id");
+  if (file.owner_id.empty())
+    throw SchemeError("CloudServer: file '" + file.file_id +
+                      "' has empty owner id (would escape revocation)");
+  const size_t bytes = serialize(*grp_, file).size();
+  Shard& sh = shards_[shard_of(file.file_id)];
+  auto snapshot = std::make_shared<const StoredFile>(std::move(file));
+  std::unique_lock lk(sh.mu);
+  Entry& entry = sh.files[snapshot->file_id];
+  sh.bytes = sh.bytes - entry.bytes + bytes;
+  entry = Entry{std::move(snapshot), bytes};
+  ++sh.stores;
+}
+
+bool CloudServer::has_file(const std::string& file_id) const {
+  const Shard& sh = shards_[shard_of(file_id)];
+  std::shared_lock lk(sh.mu);
+  return sh.files.contains(file_id);
+}
+
+std::shared_ptr<const StoredFile> CloudServer::fetch(const std::string& file_id) const {
+  const Shard& sh = shards_[shard_of(file_id)];
+  std::shared_lock lk(sh.mu);
+  const auto it = sh.files.find(file_id);
+  if (it == sh.files.end())
+    throw SchemeError("CloudServer: no file '" + file_id + "'");
+  sh.fetches.fetch_add(1, std::memory_order_relaxed);
+  return it->second.file;
 }
 
 std::vector<std::string> CloudServer::file_ids() const {
   std::vector<std::string> out;
-  out.reserve(files_.size());
-  for (const auto& [id, file] : files_) out.push_back(id);
+  for (const Shard& sh : shards_) {
+    std::shared_lock lk(sh.mu);
+    for (const auto& [id, entry] : sh.files) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
   return out;
 }
 
 size_t CloudServer::reencrypt(const abe::UpdateKey& uk,
                               const std::vector<abe::UpdateInfo>& infos) {
-  // Index the update infos by ciphertext id.
+  // Index the update infos by ciphertext id. Two infos for the same
+  // ciphertext are a protocol violation — applying an arbitrary one
+  // would corrupt the slot, so fail loudly instead.
   std::map<std::string, const abe::UpdateInfo*> by_ct;
-  for (const abe::UpdateInfo& ui : infos) by_ct.emplace(ui.ct_id, &ui);
-
-  // Serial pass: select and validate the affected slots in store order.
-  struct Work {
-    abe::Ciphertext* ct;
-    const abe::UpdateInfo* ui;
-  };
-  std::vector<Work> work;
-  for (auto& [file_id, file] : files_) {
-    if (file.owner_id != uk.owner_id) continue;
-    for (SealedSlot& slot : file.slots) {
-      const auto ver = slot.key_ct.versions.find(uk.aid);
-      if (ver == slot.key_ct.versions.end() || ver->second != uk.from_version) continue;
-      const auto ui = by_ct.find(slot.key_ct.id);
-      if (ui == by_ct.end())
-        throw SchemeError("CloudServer: missing update info for ciphertext '" +
-                          slot.key_ct.id + "'");
-      work.push_back({&slot.key_ct, ui->second});
-    }
+  for (const abe::UpdateInfo& ui : infos) {
+    if (!by_ct.emplace(ui.ct_id, &ui).second)
+      throw SchemeError("CloudServer: duplicate update info for ciphertext '" +
+                        ui.ct_id + "'");
   }
 
-  // Parallel pass: ciphertexts are independent, so the proxy
-  // re-encryption (one pairing + per-row point additions each) fans out
-  // across the engine's pool. Per-slot results don't depend on order.
-  engine::CryptoEngine::for_group(*grp_).parallel_for(
-      work.size(),
-      [&](size_t i) { abe::reencrypt(*grp_, work[i].ct, uk, *work[i].ui); });
-  return work.size();
+  // ---- Stage: select affected files under shard read locks and deep-
+  // copy them. All re-encryption below mutates only these private
+  // copies, so any failure leaves the store byte-identical.
+  struct StagedFile {
+    size_t shard;
+    std::shared_ptr<const StoredFile> original;  // for commit-time identity check
+    std::shared_ptr<StoredFile> staged;
+    std::vector<size_t> slot_indices;
+  };
+  std::vector<StagedFile> staged;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::shared_lock lk(shards_[s].mu);
+    for (const auto& [file_id, entry] : shards_[s].files) {
+      const StoredFile& file = *entry.file;
+      if (file.owner_id != uk.owner_id) continue;
+      std::vector<size_t> slots;
+      for (size_t i = 0; i < file.slots.size(); ++i) {
+        const abe::Ciphertext& ct = file.slots[i].key_ct;
+        const auto ver = ct.versions.find(uk.aid);
+        if (ver == ct.versions.end() || ver->second != uk.from_version) continue;
+        if (!by_ct.contains(ct.id))
+          throw SchemeError("CloudServer: missing update info for ciphertext '" +
+                            ct.id + "'");
+        slots.push_back(i);
+      }
+      if (slots.empty()) continue;
+      staged.push_back({s, entry.file, std::make_shared<StoredFile>(file),
+                        std::move(slots)});
+    }
+  }
+  if (staged.empty()) return 0;
+
+  // Flatten to per-slot work items and fan the proxy re-encryption (one
+  // pairing + per-row point additions each) across the engine's pool.
+  // Slots are independent; results don't depend on order.
+  struct SlotRef {
+    size_t file, slot;
+  };
+  std::vector<SlotRef> work;
+  for (size_t f = 0; f < staged.size(); ++f) {
+    for (size_t i : staged[f].slot_indices) work.push_back({f, i});
+  }
+  try {
+    engine::CryptoEngine::for_group(*grp_).parallel_for(
+        work.size(), [&](size_t w) {
+          abe::Ciphertext& ct =
+              staged[work[w].file].staged->slots[work[w].slot].key_ct;
+          if (fault_hook_) fault_hook_(ct.id);
+          abe::reencrypt(*grp_, &ct, uk, *by_ct.at(ct.id));
+        });
+  } catch (...) {
+    // parallel_for rethrows the first failure and may abandon remaining
+    // slots — both fine here: the staged copies are simply dropped.
+    epochs_aborted_.fetch_add(1, std::memory_order_relaxed);
+    throw;
+  }
+
+  // ---- Commit: every slot succeeded; swap the snapshots in under the
+  // shard write locks. A file replaced by a concurrent store() since
+  // staging keeps the replacement (the epoch covered the files present
+  // at stage time).
+  size_t committed = 0;
+  for (StagedFile& sf : staged) {
+    Shard& sh = shards_[sf.shard];
+    std::unique_lock lk(sh.mu);
+    const auto it = sh.files.find(sf.staged->file_id);
+    if (it == sh.files.end() || it->second.file != sf.original) continue;
+    const size_t bytes = serialize(*grp_, *sf.staged).size();
+    sh.bytes = sh.bytes - it->second.bytes + bytes;
+    it->second = Entry{std::move(sf.staged), bytes};
+    sh.reencrypted_slots += sf.slot_indices.size();
+    committed += sf.slot_indices.size();
+  }
+  epochs_committed_.fetch_add(1, std::memory_order_relaxed);
+  return committed;
 }
 
 size_t CloudServer::storage_bytes() const {
   size_t total = 0;
-  for (const auto& [id, file] : files_) total += serialize(*grp_, file).size();
+  for (const Shard& sh : shards_) {
+    std::shared_lock lk(sh.mu);
+    total += sh.bytes;
+  }
   return total;
 }
 
 size_t CloudServer::ciphertext_group_material_bytes() const {
   size_t total = 0;
-  for (const auto& [id, file] : files_) {
-    for (const SealedSlot& slot : file.slots)
-      total += abe::ciphertext_group_material_bytes(*grp_, slot.key_ct);
+  for (const Shard& sh : shards_) {
+    std::shared_lock lk(sh.mu);
+    for (const auto& [id, entry] : sh.files) {
+      for (const SealedSlot& slot : entry.file->slots)
+        total += abe::ciphertext_group_material_bytes(*grp_, slot.key_ct);
+    }
   }
   return total;
+}
+
+ServerStats CloudServer::stats() const {
+  ServerStats out;
+  out.shards.reserve(shards_.size());
+  for (const Shard& sh : shards_) {
+    std::shared_lock lk(sh.mu);
+    ShardStats s;
+    s.files = sh.files.size();
+    s.bytes = sh.bytes;
+    s.stores = sh.stores;
+    s.fetches = sh.fetches.load(std::memory_order_relaxed);
+    s.reencrypted_slots = sh.reencrypted_slots;
+    out.shards.push_back(s);
+  }
+  out.epochs_committed = epochs_committed_.load(std::memory_order_relaxed);
+  out.epochs_aborted = epochs_aborted_.load(std::memory_order_relaxed);
+  return out;
 }
 
 }  // namespace maabe::cloud

@@ -107,9 +107,9 @@ void CloudSystem::upload(const std::string& owner_id, const std::string& file_id
 std::map<std::string, Bytes> CloudSystem::download(const std::string& uid,
                                                    const std::string& file_id) {
   Consumer& consumer = user(uid);
-  const StoredFile& file = server_.fetch(file_id);
-  meter_.record(kServer, user_name(uid), serialize(*grp_, file).size());
-  return consumer.open_file(file);
+  const std::shared_ptr<const StoredFile> file = server_.fetch(file_id);
+  meter_.record(kServer, user_name(uid), serialize(*grp_, *file).size());
+  return consumer.open_file(*file);
 }
 
 size_t CloudSystem::revoke_attribute(const std::string& aid, const std::string& uid,

@@ -120,7 +120,13 @@ class CryptoEngine {
 
   /// Runs fn(0..n-1), work-stealing across the pool; blocks until all
   /// items finish. Exceptions from fn are rethrown on the caller (first
-  /// one wins). Reentrant calls from inside a worker run inline.
+  /// one wins), and once one item has thrown the remaining unstarted
+  /// items are ABANDONED — a failed sweep is neither all nor nothing.
+  /// Callers needing failure atomicity must write into staging copies
+  /// and commit only after parallel_for returns (the contract
+  /// CloudServer::reencrypt's epoch protocol builds on). The pool stays
+  /// usable after a throwing sweep. Reentrant calls from inside a
+  /// worker run inline.
   void parallel_for(size_t n, const std::function<void(size_t)>& fn);
 
   // ---- Accounting --------------------------------------------------

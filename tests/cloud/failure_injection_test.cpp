@@ -31,8 +31,8 @@ class FailureInjection : public ::testing::Test {
 };
 
 TEST_F(FailureInjection, BitflipsNeverYieldWrongPlaintext) {
-  const StoredFile& original = sys.server().fetch("f1");
-  const Bytes wire = serialize(*grp, original);
+  const std::shared_ptr<const StoredFile> original = sys.server().fetch("f1");
+  const Bytes wire = serialize(*grp, *original);
   const Consumer& alice = sys.user("alice");
 
   // Flip one byte at a spread of positions across the whole encoding.
@@ -70,7 +70,7 @@ TEST_F(FailureInjection, BitflipsNeverYieldWrongPlaintext) {
 TEST_F(FailureInjection, SwappedSealedPayloadsDetected) {
   // Swap the two components' symmetric payloads: AAD binding (file id +
   // component name) must make both fail authentication.
-  StoredFile file = sys.server().fetch("f1");
+  StoredFile file = *sys.server().fetch("f1");
   std::swap(file.slots[0].sealed_data, file.slots[1].sealed_data);
   EXPECT_THROW(sys.user("alice").open_file(file), CryptoError);
 }
@@ -78,13 +78,13 @@ TEST_F(FailureInjection, SwappedSealedPayloadsDetected) {
 TEST_F(FailureInjection, SplicedKeyCiphertextDetected) {
   // Replace component a's key-ciphertext with component b's: the KEM
   // seed then derives b's content key, which cannot open a's box.
-  StoredFile file = sys.server().fetch("f1");
+  StoredFile file = *sys.server().fetch("f1");
   file.slots[0].key_ct = file.slots[1].key_ct;
   EXPECT_THROW(sys.user("alice").open_file(file), CryptoError);
 }
 
 TEST_F(FailureInjection, TruncatedWireAlwaysThrows) {
-  const Bytes wire = serialize(*grp, sys.server().fetch("f1"));
+  const Bytes wire = serialize(*grp, *sys.server().fetch("f1"));
   for (size_t len = 0; len < wire.size(); len += 7) {
     EXPECT_THROW(deserialize_stored_file(*grp, ByteView(wire.data(), len)), WireError)
         << len;

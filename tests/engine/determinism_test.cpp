@@ -99,12 +99,12 @@ Trace run_scheme(const Group& grp, int threads) {
   EXPECT_EQ(server.reencrypt(uk, infos), 3u);
   for (int f = 0; f < 3; ++f)
     t.artifacts.push_back(cloud::serialize(
-        grp, server.fetch("f" + std::to_string(f))));
+        grp, *server.fetch("f" + std::to_string(f))));
 
   // The updated user key still decrypts the re-encrypted ciphertext.
   sks.at("A") = abe::apply_update_to_secret_key(grp, sks.at("A"), uk);
   t.artifacts.push_back(abe::serialize(grp, sks.at("A")));
-  const abe::Ciphertext& new_ct = server.fetch("f0").slots[0].key_ct;
+  const abe::Ciphertext new_ct = server.fetch("f0")->slots[0].key_ct;
   t.artifacts.push_back(abe::decrypt(grp, new_ct, user, sks).to_bytes());
   return t;
 }

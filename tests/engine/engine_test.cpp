@@ -147,6 +147,29 @@ TEST_F(EngineTest, ParallelForPropagatesExceptions) {
   EXPECT_EQ(count.load(), 16u);
 }
 
+TEST_F(EngineTest, ParallelForAbandonsRemainingItemsAfterThrow) {
+  // Documented contract: after the first exception the sweep abandons
+  // unstarted items rather than draining them — a failed sweep is
+  // neither all nor nothing. Failure-atomic callers (CloudServer's
+  // revocation epoch) must stage copies and commit only on success.
+  CryptoEngine eng(*grp, 2);
+  constexpr size_t kN = 10000;
+  std::atomic<size_t> ran{0};
+  EXPECT_THROW(eng.parallel_for(kN,
+                                [&](size_t) {
+                                  ran.fetch_add(1);
+                                  throw MathError("every item throws");
+                                }),
+               MathError);
+  // Only items already claimed when the first throw hit can have run.
+  EXPECT_GE(ran.load(), 1u);
+  EXPECT_LT(ran.load(), kN);
+  // And the pool is still usable afterwards.
+  std::atomic<size_t> count{0};
+  eng.parallel_for(32, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 32u);
+}
+
 TEST_F(EngineTest, StatsCountOpsAndPhasesDiff) {
   CryptoEngine eng(*grp, 2);
   const EngineStats before = eng.stats();

@@ -113,6 +113,39 @@ TEST_F(CliTest, ErrorsAndUsage) {
   EXPECT_EQ(run("status"), 0);
 }
 
+TEST_F(CliTest, HybridCiphertextIdsSurviveTheKeystore) {
+  // Regression: hybrid slot ct ids are "<file_id>/<component>"; the '/'
+  // used to be rejected by Keystore::validate_id when the owner's
+  // record was saved, breaking encrypt. The id must round-trip the
+  // keystore (percent-encoded on disk) through encrypt, decrypt and a
+  // revocation epoch.
+  ASSERT_EQ(run("init --test-curve"), 0);
+  ASSERT_EQ(run("add-authority Med Doctor"), 0);
+  ASSERT_EQ(run("add-owner hosp"), 0);
+  ASSERT_EQ(run("add-user alice"), 0);
+  ASSERT_EQ(run("add-user carol"), 0);
+  ASSERT_EQ(run("grant Med alice Doctor"), 0);
+  ASSERT_EQ(run("grant Med carol Doctor"), 0);
+  ASSERT_EQ(run("issue-key Med alice hosp"), 0);
+  ASSERT_EQ(run("issue-key Med carol hosp"), 0);
+  write_file("in.txt", "slot id has a slash");
+  ASSERT_EQ(run("encrypt hosp f1 \"Doctor@Med\" " + (home_ / "in.txt").string()), 0);
+
+  // The owner-side record/ciphertext for "f1/data" landed on disk as a
+  // percent-encoded leaf, not a nested directory.
+  EXPECT_TRUE(fs::exists(home_ / "owners" / "hosp" / "records" / "f1%2Fdata"));
+  EXPECT_TRUE(fs::exists(home_ / "owners" / "hosp" / "cts" / "f1%2Fdata"));
+  EXPECT_FALSE(fs::exists(home_ / "owners" / "hosp" / "records" / "f1" / "data"));
+
+  ASSERT_EQ(run("decrypt alice f1 " + (home_ / "o1.txt").string()), 0);
+  EXPECT_EQ(read_file("o1.txt"), "slot id has a slash");
+  // Revocation must find the record under the encoded id too.
+  ASSERT_EQ(run("revoke Med alice Doctor"), 0);
+  EXPECT_EQ(run("decrypt alice f1 " + (home_ / "o2.txt").string()), 2);
+  EXPECT_EQ(run("decrypt carol f1 " + (home_ / "o3.txt").string()), 0);
+  EXPECT_EQ(read_file("o3.txt"), "slot id has a slash");
+}
+
 TEST_F(CliTest, DuplicateFileRejected) {
   ASSERT_EQ(run("init --test-curve"), 0);
   ASSERT_EQ(run("add-authority Med Doctor"), 0);

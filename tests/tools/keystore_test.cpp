@@ -6,6 +6,7 @@
 
 #include "abe/scheme.h"
 #include "common/errors.h"
+#include "lsss/parser.h"
 
 namespace maabe::tools {
 namespace {
@@ -38,6 +39,56 @@ TEST_F(KeystoreTest, IdentifierValidation) {
   EXPECT_THROW(Keystore::validate_id("a b"), SchemeError);
   EXPECT_THROW(Keystore::validate_id("a\nb"), SchemeError);
   EXPECT_THROW(Keystore::validate_id(std::string(200, 'a')), SchemeError);
+}
+
+TEST_F(KeystoreTest, CiphertextIdValidationAndEncoding) {
+  // Hybrid slot ids carry a '/', which plain ids must not.
+  Keystore::validate_ct_id("f1/data");
+  Keystore::validate_ct_id("plain-id");
+  EXPECT_THROW(Keystore::validate_ct_id(""), SchemeError);
+  EXPECT_THROW(Keystore::validate_ct_id("."), SchemeError);
+  EXPECT_THROW(Keystore::validate_ct_id(".."), SchemeError);
+  EXPECT_THROW(Keystore::validate_ct_id("a b"), SchemeError);
+  EXPECT_THROW(Keystore::validate_ct_id(std::string(200, 'a')), SchemeError);
+
+  EXPECT_EQ(Keystore::encode_ct_id("f1/data"), "f1%2Fdata");
+  EXPECT_EQ(Keystore::encode_ct_id("plain-id_0.9"), "plain-id_0.9");
+  EXPECT_EQ(Keystore::encode_ct_id("a%b"), "a%25b");  // '%' itself escapes
+  for (const std::string id : {"f1/data", "plain", "a/b/c", "a%2Fb"})
+    EXPECT_EQ(Keystore::decode_ct_id(Keystore::encode_ct_id(id)), id) << id;
+  EXPECT_THROW(Keystore::decode_ct_id("bad%"), SchemeError);
+  EXPECT_THROW(Keystore::decode_ct_id("bad%2"), SchemeError);
+  EXPECT_THROW(Keystore::decode_ct_id("bad%ZZ"), SchemeError);
+}
+
+TEST_F(KeystoreTest, HybridCiphertextIdsRoundTrip) {
+  // Regression: "<file_id>/<component>" ct ids used to be rejected by
+  // validate_id when used as keystore path leaves.
+  store_->init_group(pairing::TypeAParams::test_small());
+  auto grp = store_->group();
+  const auto mk = abe::owner_gen(*grp, "hosp", rng_);
+  store_->save_owner(mk, abe::owner_share(*grp, mk));
+
+  const auto vk = abe::aa_setup(*grp, "Med", rng_);
+  std::map<std::string, abe::AuthorityPublicKey> apks;
+  apks.emplace("Med", abe::aa_public_key(*grp, vk));
+  std::map<std::string, abe::PublicAttributeKey> attr_pks;
+  const auto apk = abe::aa_attribute_key(*grp, vk, "Doctor");
+  attr_pks.emplace(apk.attr.qualified(), apk);
+
+  const std::string ct_id = "records/data";  // contains '/'
+  const auto enc = abe::encrypt(
+      *grp, mk, ct_id, grp->gt_random(rng_),
+      lsss::LsssMatrix::from_policy(lsss::parse_policy("Doctor@Med")), apks,
+      attr_pks, rng_);
+  store_->save_record("hosp", enc.record);
+  store_->save_owner_ciphertext("hosp", enc.ct);
+
+  EXPECT_EQ(store_->load_record("hosp", ct_id).ct_id, ct_id);
+  EXPECT_EQ(store_->load_owner_ciphertext("hosp", ct_id).id, ct_id);
+  // Listing decodes the escaped path leaves back to the raw ids.
+  EXPECT_EQ(store_->list_owner_ciphertexts("hosp"),
+            std::vector<std::string>{ct_id});
 }
 
 TEST_F(KeystoreTest, UninitializedGroupThrows) {

@@ -25,6 +25,65 @@ void Keystore::validate_id(const std::string& id) {
   if (id == "." || id == "..") throw SchemeError("keystore: reserved identifier");
 }
 
+namespace {
+
+bool plain_id_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+         c == '_' || c == '.' || c == '-';
+}
+
+}  // namespace
+
+void Keystore::validate_ct_id(const std::string& id) {
+  if (id.empty() || id.size() > 192)
+    throw SchemeError("keystore: ciphertext id must be 1..192 characters");
+  for (char c : id) {
+    if (!plain_id_char(c) && c != '/')
+      throw SchemeError("keystore: ciphertext id '" + id +
+                        "' contains characters outside [A-Za-z0-9_.-/]");
+  }
+  if (id == "." || id == "..") throw SchemeError("keystore: reserved identifier");
+}
+
+std::string Keystore::encode_ct_id(const std::string& id) {
+  static const char* hex = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(id.size());
+  for (char c : id) {
+    if (plain_id_char(c)) {
+      out.push_back(c);
+    } else {
+      const auto b = static_cast<unsigned char>(c);
+      out.push_back('%');
+      out.push_back(hex[b >> 4]);
+      out.push_back(hex[b & 0xF]);
+    }
+  }
+  return out;
+}
+
+std::string Keystore::decode_ct_id(const std::string& name) {
+  const auto nibble = [&](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    throw SchemeError("keystore: malformed %-escape in '" + name + "'");
+  };
+  std::string out;
+  out.reserve(name.size());
+  for (size_t i = 0; i < name.size(); ++i) {
+    if (name[i] != '%') {
+      out.push_back(name[i]);
+      continue;
+    }
+    if (i + 2 >= name.size())
+      throw SchemeError("keystore: truncated %-escape in '" + name + "'");
+    out.push_back(static_cast<char>((nibble(name[i + 1]) << 4) | nibble(name[i + 2])));
+    i += 2;
+  }
+  return out;
+}
+
 Bytes Keystore::read(const fs::path& rel) const {
   const fs::path path = home_ / rel;
   std::ifstream in(path, std::ios::binary);
@@ -181,37 +240,41 @@ std::vector<std::string> Keystore::list_owners() const { return list_dir("owners
 
 void Keystore::save_record(const std::string& owner_id, const abe::EncryptionRecord& rec) {
   validate_id(owner_id);
-  validate_id(rec.ct_id);
-  write(fs::path("owners") / owner_id / "records" / rec.ct_id,
+  validate_ct_id(rec.ct_id);
+  write(fs::path("owners") / owner_id / "records" / encode_ct_id(rec.ct_id),
         abe::serialize(*group(), rec));
 }
 
 abe::EncryptionRecord Keystore::load_record(const std::string& owner_id,
                                             const std::string& ct_id) {
   validate_id(owner_id);
-  validate_id(ct_id);
+  validate_ct_id(ct_id);
   return abe::deserialize_encryption_record(
-      *group(), read(fs::path("owners") / owner_id / "records" / ct_id));
+      *group(), read(fs::path("owners") / owner_id / "records" / encode_ct_id(ct_id)));
 }
 
 void Keystore::save_owner_ciphertext(const std::string& owner_id,
                                      const abe::Ciphertext& ct) {
   validate_id(owner_id);
-  validate_id(ct.id);
-  write(fs::path("owners") / owner_id / "cts" / ct.id, abe::serialize(*group(), ct));
+  validate_ct_id(ct.id);
+  write(fs::path("owners") / owner_id / "cts" / encode_ct_id(ct.id),
+        abe::serialize(*group(), ct));
 }
 
 abe::Ciphertext Keystore::load_owner_ciphertext(const std::string& owner_id,
                                                 const std::string& ct_id) {
   validate_id(owner_id);
-  validate_id(ct_id);
-  return abe::deserialize_ciphertext(*group(),
-                                     read(fs::path("owners") / owner_id / "cts" / ct_id));
+  validate_ct_id(ct_id);
+  return abe::deserialize_ciphertext(
+      *group(), read(fs::path("owners") / owner_id / "cts" / encode_ct_id(ct_id)));
 }
 
 std::vector<std::string> Keystore::list_owner_ciphertexts(
     const std::string& owner_id) const {
-  return list_dir(fs::path("owners") / owner_id / "cts");
+  std::vector<std::string> out;
+  for (const std::string& name : list_dir(fs::path("owners") / owner_id / "cts"))
+    out.push_back(decode_ct_id(name));
+  return out;
 }
 
 // ---- user secret keys ------------------------------------------------------------

@@ -13,8 +13,12 @@
 //   users/<uid>/keys/<owner>__<aid>  UserSecretKey         (secret)
 //   server/<file_id>                 StoredFile
 //
-// Identifiers are restricted to [A-Za-z0-9_.-] so they can double as
-// path components without escaping.
+// Entity identifiers are restricted to [A-Za-z0-9_.-] so they can
+// double as path components without escaping. Ciphertext ids are the
+// exception: hybrid slot ids are "<file_id>/<component>" (see
+// cloud::slot_ct_id), so they additionally allow '/' and are
+// percent-encoded (encode_ct_id) before being used as a path leaf —
+// "f1/data" is stored as "f1%2Fdata".
 #pragma once
 
 #include <filesystem>
@@ -43,6 +47,17 @@ class Keystore {
   /// Throws SchemeError when the id contains characters unsafe for a
   /// path component.
   static void validate_id(const std::string& id);
+
+  /// Ciphertext-id variant: also accepts '/' (hybrid slot ids are
+  /// "<file_id>/<component>"); such ids must be percent-encoded before
+  /// use in a path.
+  static void validate_ct_id(const std::string& id);
+
+  /// Bijective percent-encoding of a ct id into a safe path leaf:
+  /// characters outside [A-Za-z0-9_.-] (and '%' itself) become %XX.
+  static std::string encode_ct_id(const std::string& id);
+  /// Inverse of encode_ct_id; throws SchemeError on malformed %-escapes.
+  static std::string decode_ct_id(const std::string& name);
 
   // ---- group -----------------------------------------------------------
   void init_group(const pairing::TypeAParams& params);

@@ -162,9 +162,13 @@ struct Cli {
     collect_public_keys(policy, &apks, &attr_pks);
 
     // Hybrid encryption (Fig. 2), single component per file in the CLI.
+    // The ciphertext carries the canonical hybrid slot id
+    // "<file_id>/<component>" (cloud::slot_ct_id) — the keystore
+    // percent-encodes it for record/ciphertext paths.
+    const std::string ct_id = cloud::slot_ct_id(file_id, "data");
     const pairing::GT seed = grp->gt_random(rng);
     abe::EncryptionResult enc =
-        abe::encrypt(*grp, mk, file_id, seed, policy, apks, attr_pks, rng);
+        abe::encrypt(*grp, mk, ct_id, seed, policy, apks, attr_pks, rng);
     cloud::StoredFile file;
     file.file_id = file_id;
     file.owner_id = args[0];
@@ -263,13 +267,15 @@ struct Cli {
             abe::owner_update_info(*grp, mk, rec, ct, old_pks, new_pks, aid);
         abe::reencrypt(*grp, &ct, uk, ui);
         store.save_owner_ciphertext(owner_id, ct);
-        // Propagate into the stored file.
+        // Propagate into the stored file (slot ids are
+        // "<file_id>/<component>").
+        const std::string file_id = cloud::split_slot_ct_id(ct_id).first;
         cloud::StoredFile file =
-            cloud::deserialize_stored_file(*grp, store.load_server_file(ct_id));
+            cloud::deserialize_stored_file(*grp, store.load_server_file(file_id));
         for (cloud::SealedSlot& slot : file.slots) {
           if (slot.key_ct.id == ct_id) slot.key_ct = ct;
         }
-        store.save_server_file(ct_id, cloud::serialize(*grp, file));
+        store.save_server_file(file_id, cloud::serialize(*grp, file));
         ++cts_reencrypted;
       }
     }
