@@ -42,8 +42,17 @@ UserSecretKey deserialize_user_secret_key(const pairing::Group& grp, ByteView da
 Bytes serialize(const pairing::Group& grp, const Ciphertext& v);
 Ciphertext deserialize_ciphertext(const pairing::Group& grp, ByteView data);
 
+/// Receiver-dependent validation depth for update keys. Users folding a
+/// UK into their secret key must insist on the order-r subgroup
+/// (kKeyMaterial); the server only injects uk1 into ciphertext
+/// components, where — like per-row ciphertext points — an off-subgroup
+/// value degrades to a typed decryption failure, so the on-curve check
+/// suffices and the epoch skips a scalar multiplication (kCiphertextPath).
+enum class UkCheck { kKeyMaterial, kCiphertextPath };
+
 Bytes serialize(const pairing::Group& grp, const UpdateKey& v);
-UpdateKey deserialize_update_key(const pairing::Group& grp, ByteView data);
+UpdateKey deserialize_update_key(const pairing::Group& grp, ByteView data,
+                                 UkCheck check = UkCheck::kKeyMaterial);
 
 Bytes serialize(const pairing::Group& grp, const UpdateInfo& v);
 UpdateInfo deserialize_update_info(const pairing::Group& grp, ByteView data);

@@ -266,13 +266,17 @@ std::map<std::string, Bytes> Consumer::open_file(const StoredFile& file) const {
   const std::map<std::string, UserSecretKey> keys = keys_for_owner(file.owner_id);
   for (const SealedSlot& slot : file.slots) {
     if (!abe::can_decrypt(*grp_, slot.key_ct, keys)) continue;
-    const GT seed = abe::decrypt(*grp_, slot.key_ct, pk_, keys);
-    const Bytes key = content_key_from_gt(seed);
-    out.emplace(slot.component_name,
-                crypto::open(key, slot.sealed_data,
-                             slot_aad(file.file_id, slot.component_name)));
+    out.emplace(slot.component_name, open_slot(file, slot));
   }
   return out;
+}
+
+Bytes Consumer::open_slot(const StoredFile& file, const SealedSlot& slot) const {
+  const std::map<std::string, UserSecretKey> keys = keys_for_owner(file.owner_id);
+  const GT seed = abe::decrypt(*grp_, slot.key_ct, pk_, keys);
+  const Bytes key = content_key_from_gt(seed);
+  return crypto::open(key, slot.sealed_data,
+                      slot_aad(file.file_id, slot.component_name));
 }
 
 size_t Consumer::key_storage_bytes() const {

@@ -172,6 +172,11 @@ class Consumer {
   /// different-granularity property).
   std::map<std::string, Bytes> open_file(const StoredFile& file) const;
 
+  /// Decrypts one slot the consumer's keys satisfy. Throws SchemeError
+  /// when the keys do not satisfy the slot's policy/version, and
+  /// CryptoError when the sealed payload fails authentication.
+  Bytes open_slot(const StoredFile& file, const SealedSlot& slot) const;
+
   /// True when the consumer's keys can open the given slot.
   bool can_open(const SealedSlot& slot) const;
 

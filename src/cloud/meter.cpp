@@ -2,13 +2,46 @@
 
 namespace maabe::cloud {
 
+ChannelStats& ChannelStats::operator+=(const ChannelStats& o) {
+  payload_bytes += o.payload_bytes;
+  frame_bytes += o.frame_bytes;
+  frames += o.frames;
+  deliveries += o.deliveries;
+  drops += o.drops;
+  duplicates += o.duplicates;
+  corruptions += o.corruptions;
+  ack_losses += o.ack_losses;
+  delays += o.delays;
+  delay_ms += o.delay_ms;
+  script_failures += o.script_failures;
+  retries += o.retries;
+  redeliveries += o.redeliveries;
+  return *this;
+}
+
 void ChannelMeter::record(const std::string& from, const std::string& to, size_t bytes) {
-  totals_[{from, to}] += bytes;
+  totals_[{from, to}].payload_bytes += bytes;
 }
 
 size_t ChannelMeter::sent(const std::string& from, const std::string& to) const {
   const auto it = totals_.find({from, to});
-  return it == totals_.end() ? 0 : it->second;
+  return it == totals_.end() ? 0 : it->second.payload_bytes;
+}
+
+ChannelStats ChannelMeter::stats(const std::string& from, const std::string& to) const {
+  const auto it = totals_.find({from, to});
+  return it == totals_.end() ? ChannelStats{} : it->second;
+}
+
+ChannelStats& ChannelMeter::mutable_stats(const std::string& from,
+                                          const std::string& to) {
+  return totals_[{from, to}];
+}
+
+ChannelStats ChannelMeter::totals() const {
+  ChannelStats out;
+  for (const auto& [channel, stats] : totals_) out += stats;
+  return out;
 }
 
 size_t ChannelMeter::between(const std::string& a, const std::string& b) const {
@@ -17,8 +50,9 @@ size_t ChannelMeter::between(const std::string& a, const std::string& b) const {
 
 size_t ChannelMeter::involving(const std::string& entity) const {
   size_t total = 0;
-  for (const auto& [channel, bytes] : totals_) {
-    if (channel.first == entity || channel.second == entity) total += bytes;
+  for (const auto& [channel, stats] : totals_) {
+    if (channel.first == entity || channel.second == entity)
+      total += stats.payload_bytes;
   }
   return total;
 }

@@ -19,12 +19,40 @@
 
 namespace maabe::cloud {
 
+/// Per-directed-channel counters. payload_bytes keeps the Table IV
+/// semantics (application artefact bytes); everything else is transport
+/// accounting: frames/frame_bytes count every transmission attempt
+/// (including dropped and duplicated copies), the fault counters mirror
+/// what the FaultPlan injected on the channel, retries counts sender
+/// re-attempts after a TransportError, and redeliveries counts duplicate
+/// copies suppressed by receiver-side request-id dedup.
+struct ChannelStats {
+  uint64_t payload_bytes = 0;  ///< artefact bytes handed to the transport
+  uint64_t frame_bytes = 0;    ///< on-the-wire bytes incl. header + checksum
+  uint64_t frames = 0;         ///< transmission attempts
+  uint64_t deliveries = 0;     ///< frame copies that arrived intact
+  uint64_t drops = 0;
+  uint64_t duplicates = 0;
+  uint64_t corruptions = 0;
+  uint64_t ack_losses = 0;
+  uint64_t delays = 0;
+  uint64_t delay_ms = 0;          ///< total injected latency
+  uint64_t script_failures = 0;   ///< fail_next() script hits
+  uint64_t retries = 0;
+  uint64_t redeliveries = 0;
+
+  uint64_t faults() const {
+    return drops + duplicates + corruptions + ack_losses + delays + script_failures;
+  }
+  ChannelStats& operator+=(const ChannelStats& o);
+};
+
 class ChannelMeter {
  public:
-  /// Records `bytes` sent from `from` to `to`.
+  /// Records `bytes` of payload sent from `from` to `to`.
   void record(const std::string& from, const std::string& to, size_t bytes);
 
-  /// Directional total from -> to.
+  /// Directional payload total from -> to (Table IV numbers).
   size_t sent(const std::string& from, const std::string& to) const;
 
   /// Sum of both directions between two entities.
@@ -33,14 +61,21 @@ class ChannelMeter {
   /// Everything sent or received by one entity.
   size_t involving(const std::string& entity) const;
 
+  /// Full counters for one directed channel (zeroes if never used).
+  ChannelStats stats(const std::string& from, const std::string& to) const;
+  /// Mutable counters — the transport layer's accounting hook.
+  ChannelStats& mutable_stats(const std::string& from, const std::string& to);
+  /// Aggregate over every channel.
+  ChannelStats totals() const;
+
   void reset();
 
-  const std::map<std::pair<std::string, std::string>, size_t>& entries() const {
+  const std::map<std::pair<std::string, std::string>, ChannelStats>& entries() const {
     return totals_;
   }
 
  private:
-  std::map<std::pair<std::string, std::string>, size_t> totals_;
+  std::map<std::pair<std::string, std::string>, ChannelStats> totals_;
 };
 
 /// Accumulates engine-stat deltas per named phase.

@@ -17,10 +17,17 @@ constexpr const char* kCa = "ca";
 
 CloudSystem::CloudSystem(std::shared_ptr<const pairing::Group> grp,
                          const std::string& seed)
+    : CloudSystem(std::move(grp), seed, std::make_unique<LoopbackTransport>()) {}
+
+CloudSystem::CloudSystem(std::shared_ptr<const pairing::Group> grp,
+                         const std::string& seed, std::unique_ptr<Transport> transport,
+                         RetryPolicy retry)
     : grp_(std::move(grp)),
       rng_(std::string_view(seed)),
       ca_(grp_, crypto::Drbg(std::string_view(seed + "/ca"))),
-      server_(grp_) {}
+      server_(grp_),
+      transport_(std::move(transport)),
+      link_(*transport_, retry) {}
 
 crypto::Drbg CloudSystem::fork_rng(const std::string& label) {
   crypto::Drbg fork(rng_.bytes(48));
@@ -28,29 +35,119 @@ crypto::Drbg CloudSystem::fork_rng(const std::string& label) {
   return fork;
 }
 
+// ---------------------------------------------------- reliable sends --
+
+void CloudSystem::send_reliable(const std::string& from, const std::string& to,
+                                ByteView payload, const Apply& apply) {
+  link_.send(from, to, payload, apply);
+}
+
+bool CloudSystem::send_or_park(const std::string& from, const std::string& to,
+                               Bytes payload, Apply apply, const std::string& label) {
+  // Order must be preserved per destination: never jump a parked queue.
+  flush_queue(to);
+  auto& queue = pending_[to];
+  if (!queue.empty()) {
+    queue.push_back({link_.allocate_request_id(), from, std::move(payload),
+                     std::move(apply), label});
+    return false;
+  }
+  const uint64_t rid = link_.allocate_request_id();
+  try {
+    link_.send_as(rid, from, to, payload, apply);
+  } catch (const TransportError&) {
+    queue.push_back({rid, from, std::move(payload), std::move(apply), label});
+    return false;
+  }
+  pending_.erase(to);  // drop the empty deque we may have created
+  return true;
+}
+
+void CloudSystem::flush_queue(const std::string& to) {
+  const auto it = pending_.find(to);
+  if (it == pending_.end()) return;
+  auto& queue = it->second;
+  while (!queue.empty()) {
+    Pending& head = queue.front();
+    try {
+      link_.send_as(head.request_id, head.from, to, head.payload, head.apply);
+    } catch (const TransportError&) {
+      return;  // keep order; retry on the next call
+    }
+    queue.pop_front();
+  }
+  pending_.erase(it);
+}
+
+size_t CloudSystem::pending_count() const {
+  size_t n = 0;
+  for (const auto& [to, queue] : pending_) n += queue.size();
+  return n;
+}
+
+size_t CloudSystem::flush_pending() {
+  std::vector<std::string> destinations;
+  destinations.reserve(pending_.size());
+  for (const auto& [to, queue] : pending_) destinations.push_back(to);
+  for (const std::string& to : destinations) flush_queue(to);
+  return pending_count();
+}
+
+CloudSystem::Health CloudSystem::health() const {
+  Health h;
+  h.transport = transport_->meter().totals();
+  h.sends_ok = link_.sends_ok();
+  h.sends_failed = link_.sends_failed();
+  h.retries = link_.retries();
+  h.applied_requests = link_.applied_requests();
+  h.pending_deliveries = pending_count();
+  for (const auto& [to, queue] : pending_) {
+    if (!queue.empty()) h.pending_by_destination[to] = queue.size();
+  }
+  h.virtual_ms = transport_->now_ms();
+  return h;
+}
+
+// -------------------------------------------------------- enrollment --
+
 AttributeAuthority& CloudSystem::add_authority(const std::string& aid,
                                                const std::set<std::string>& attributes) {
   if (authorities_.contains(aid))
     throw SchemeError("CloudSystem: authority '" + aid + "' already exists");
-  ca_.register_authority(aid);
-  meter_.record(kCa, aa_name(aid), aid.size());  // AID assignment
-  auto [it, inserted] =
-      authorities_.emplace(aid, AttributeAuthority(grp_, aid, fork_rng("aa/" + aid)));
-  for (const std::string& name : attributes) it->second.define_attribute(name);
+  // Idempotent against a retried call whose AID-assignment frame was
+  // lost: the CA registration may already exist.
+  if (!ca_.has_authority(aid)) ca_.register_authority(aid);
+  // AID assignment: the authority comes alive only when the CA's
+  // notification actually arrives.
+  send_reliable(kCa, aa_name(aid), bytes_of(aid), [&](ByteView payload) {
+    const std::string assigned(payload.begin(), payload.end());
+    auto [it, inserted] = authorities_.emplace(
+        assigned, AttributeAuthority(grp_, assigned, fork_rng("aa/" + assigned)));
+    for (const std::string& name : attributes) it->second.define_attribute(name);
+  });
   // Late-joining authorities still need every existing owner's SK_o.
+  // Shares park if the authority is unreachable and replay later.
   for (auto& [owner_id, owner] : owners_) {
-    it->second.accept_owner_share(owner.share());
-    meter_.record(owner_name(owner_id), aa_name(aid),
-                  abe::serialize(*grp_, owner.share()).size());
+    send_or_park(owner_name(owner_id), aa_name(aid),
+                 abe::serialize(*grp_, owner.share()),
+                 [this, aid](ByteView payload) {
+                   authorities_.at(aid).accept_owner_share(
+                       abe::deserialize_owner_secret_share(*grp_, payload));
+                 },
+                 "owner share");
   }
-  return it->second;
+  return authorities_.at(aid);
 }
 
 Consumer& CloudSystem::add_user(const std::string& uid) {
   if (users_.contains(uid)) throw SchemeError("CloudSystem: user '" + uid + "' already exists");
-  const abe::UserPublicKey& pk = ca_.register_user(uid);
-  meter_.record(kCa, user_name(uid), abe::serialize(*grp_, pk).size());
-  return users_.emplace(uid, Consumer(grp_, pk)).first->second;
+  const abe::UserPublicKey& pk =
+      ca_.has_user(uid) ? ca_.user_public_key(uid) : ca_.register_user(uid);
+  send_reliable(kCa, user_name(uid), abe::serialize(*grp_, pk), [&](ByteView payload) {
+    users_.emplace(uid,
+                   Consumer(grp_, abe::deserialize_user_public_key(*grp_, payload)));
+  });
+  return users_.at(uid);
 }
 
 DataOwner& CloudSystem::add_owner(const std::string& owner_id) {
@@ -58,19 +155,40 @@ DataOwner& CloudSystem::add_owner(const std::string& owner_id) {
     throw SchemeError("CloudSystem: owner '" + owner_id + "' already exists");
   auto [it, inserted] =
       owners_.emplace(owner_id, DataOwner(grp_, owner_id, fork_rng("owner/" + owner_id)));
-  // SK_o goes to every authority over a secure channel.
+  // SK_o goes to every authority over a secure channel; undeliverable
+  // shares park (the authority cannot issue keys for this owner until
+  // its share arrives — a typed SchemeError, not silent success).
   const Bytes share_bytes = abe::serialize(*grp_, it->second.share());
   for (auto& [aid, aa] : authorities_) {
-    aa.accept_owner_share(it->second.share());
-    meter_.record(owner_name(owner_id), aa_name(aid), share_bytes.size());
+    send_or_park(owner_name(owner_id), aa_name(aid), share_bytes,
+                 [this, aid](ByteView payload) {
+                   authorities_.at(aid).accept_owner_share(
+                       abe::deserialize_owner_secret_share(*grp_, payload));
+                 },
+                 "owner share");
   }
   return it->second;
 }
 
+// ------------------------------------------------- attribute & keys --
+
 void CloudSystem::assign_attributes(const std::string& aid, const std::string& uid,
                                     const std::set<std::string>& attributes) {
   if (!users_.contains(uid)) throw SchemeError("CloudSystem: unknown user '" + uid + "'");
-  authority(aid).assign(uid, attributes);
+  AttributeAuthority& aa = authority(aid);
+  Writer w;
+  w.str(uid);
+  w.u32(static_cast<uint32_t>(attributes.size()));
+  for (const std::string& name : attributes) w.str(name);
+  send_reliable(kCa, aa_name(aid), w.bytes(), [&](ByteView payload) {
+    Reader r(payload);
+    const std::string target = r.str();
+    std::set<std::string> names;
+    const uint32_t n = r.u32();
+    for (uint32_t i = 0; i < n; ++i) names.insert(r.str());
+    r.expect_done();
+    aa.assign(target, names);
+  });
 }
 
 void CloudSystem::issue_user_key(const std::string& aid, const std::string& uid,
@@ -78,39 +196,140 @@ void CloudSystem::issue_user_key(const std::string& aid, const std::string& uid,
   AttributeAuthority& aa = authority(aid);
   Consumer& consumer = user(uid);
   const abe::UserSecretKey sk = aa.issue_key(consumer.public_key(), owner_id);
-  meter_.record(aa_name(aid), user_name(uid), abe::serialize(*grp_, sk).size());
-  consumer.add_key(sk);
+  send_reliable(aa_name(aid), user_name(uid), abe::serialize(*grp_, sk),
+                [&](ByteView payload) {
+                  consumer.add_key(abe::deserialize_user_secret_key(*grp_, payload));
+                });
 }
 
 void CloudSystem::publish_authority_keys(const std::string& aid,
                                          const std::string& owner_id) {
   AttributeAuthority& aa = authority(aid);
   DataOwner& data_owner = owner(owner_id);
-  const abe::AuthorityPublicKey apk = aa.public_key();
-  size_t bytes = abe::serialize(*grp_, apk).size();
-  data_owner.learn_authority_key(apk);
-  for (const auto& [handle, pk] : aa.attribute_public_keys()) {
-    bytes += abe::serialize(*grp_, pk).size();
-    data_owner.learn_attribute_key(pk);
-  }
-  meter_.record(aa_name(aid), owner_name(owner_id), bytes);
+  Writer w;
+  w.var_bytes(abe::serialize(*grp_, aa.public_key()));
+  const auto attr_pks = aa.attribute_public_keys();
+  w.u32(static_cast<uint32_t>(attr_pks.size()));
+  for (const auto& [handle, pk] : attr_pks) w.var_bytes(abe::serialize(*grp_, pk));
+  send_reliable(aa_name(aid), owner_name(owner_id), w.bytes(), [&](ByteView payload) {
+    Reader r(payload);
+    data_owner.learn_authority_key(
+        abe::deserialize_authority_public_key(*grp_, r.var_bytes()));
+    const uint32_t n = r.u32();
+    for (uint32_t i = 0; i < n; ++i) {
+      data_owner.learn_attribute_key(
+          abe::deserialize_public_attribute_key(*grp_, r.var_bytes()));
+    }
+    r.expect_done();
+  });
 }
+
+// --------------------------------------------------------- data path --
 
 void CloudSystem::upload(const std::string& owner_id, const std::string& file_id,
                          const std::vector<DataComponent>& components) {
   DataOwner& data_owner = owner(owner_id);
   StoredFile file = data_owner.protect(file_id, components);
-  meter_.record(owner_name(owner_id), kServer, serialize(*grp_, file).size());
-  server_.store(std::move(file));
+  send_or_park(owner_name(owner_id), kServer, serialize(*grp_, file),
+               [this](ByteView payload) {
+                 server_.store(deserialize_stored_file(*grp_, payload));
+               },
+               "upload " + file_id);
+}
+
+std::map<std::string, Bytes> CloudSystem::DownloadReport::opened() const {
+  std::map<std::string, Bytes> out;
+  for (const SlotReport& slot : slots) {
+    if (slot.state == SlotState::kOk) out.emplace(slot.component, slot.plaintext);
+  }
+  return out;
+}
+
+bool CloudSystem::DownloadReport::all_ok() const {
+  for (const SlotReport& slot : slots) {
+    if (slot.state != SlotState::kOk) return false;
+  }
+  return true;
+}
+
+bool CloudSystem::DownloadReport::any_corrupt() const {
+  for (const SlotReport& slot : slots) {
+    if (slot.state == SlotState::kCorrupt) return true;
+  }
+  return false;
+}
+
+CloudSystem::DownloadReport CloudSystem::download_report(const std::string& uid,
+                                                         const std::string& file_id) {
+  Consumer& consumer = user(uid);
+  // Fail closed: never serve reads while revocation epochs (or earlier
+  // uploads) are parked for the server — a stale ciphertext could still
+  // open under a revoked key.
+  flush_queue(kServer);
+  if (pending_.contains(kServer)) {
+    throw TransportError(
+        TransportError::Kind::kDegraded,
+        "CloudSystem: server has " + std::to_string(pending_.at(kServer).size()) +
+            " pending deliveries; refusing download of '" + file_id + "'");
+  }
+  // Best effort: deliver any parked key material for this user first so
+  // it can open everything it is entitled to.
+  flush_queue(user_name(uid));
+
+  // Request leg: the user asks the server for the file by id.
+  std::shared_ptr<const StoredFile> snapshot;
+  send_reliable(user_name(uid), kServer, bytes_of(file_id), [&](ByteView payload) {
+    snapshot = server_.fetch(std::string(payload.begin(), payload.end()));
+  });
+
+  // Response leg: the file travels back as bytes, serialized once — the
+  // transport meters the actual frame, there is no second serialization.
+  DownloadReport report;
+  report.file_id = file_id;
+  const Bytes wire = serialize(*grp_, *snapshot);
+  send_reliable(kServer, user_name(uid), wire, [&](ByteView payload) {
+    const StoredFile file = deserialize_stored_file(*grp_, payload);
+    report.slots.clear();  // redundant on dedup'd applies, cheap insurance
+    for (const SealedSlot& slot : file.slots) {
+      SlotReport sr;
+      sr.component = slot.component_name;
+      if (!consumer.can_open(slot)) {
+        sr.state = SlotState::kNoKey;
+        sr.detail = "no usable key (authority unreachable, attributes "
+                    "insufficient, or key version stale)";
+      } else {
+        try {
+          sr.plaintext = consumer.open_slot(file, slot);
+          sr.state = SlotState::kOk;
+        } catch (const CryptoError& e) {
+          sr.state = SlotState::kCorrupt;
+          sr.detail = e.what();
+        } catch (const Error& e) {
+          sr.state = SlotState::kError;
+          sr.detail = e.what();
+        }
+      }
+      report.slots.push_back(std::move(sr));
+    }
+  });
+  return report;
 }
 
 std::map<std::string, Bytes> CloudSystem::download(const std::string& uid,
                                                    const std::string& file_id) {
-  Consumer& consumer = user(uid);
-  const std::shared_ptr<const StoredFile> file = server_.fetch(file_id);
-  meter_.record(kServer, user_name(uid), serialize(*grp_, *file).size());
-  return consumer.open_file(*file);
+  const DownloadReport report = download_report(uid, file_id);
+  for (const SlotReport& slot : report.slots) {
+    if (slot.state == SlotState::kCorrupt)
+      throw CryptoError("CloudSystem: slot '" + slot.component + "' of '" + file_id +
+                        "': " + slot.detail);
+    if (slot.state == SlotState::kError)
+      throw SchemeError("CloudSystem: slot '" + slot.component + "' of '" + file_id +
+                        "': " + slot.detail);
+  }
+  return report.opened();
 }
+
+// -------------------------------------------------------- revocation --
 
 size_t CloudSystem::revoke_attribute(const std::string& aid, const std::string& uid,
                                      const std::string& attribute) {
@@ -136,46 +355,82 @@ size_t CloudSystem::distribute_revocation(
     const std::string& aid, const std::string& uid, uint32_t from_version,
     const AttributeAuthority::RevocationBundle& bundle) {
   Consumer& revoked = user(uid);
+  const uint64_t slots_before = server_.stats().totals().reencrypted_slots;
 
   // 1) Fresh (reduced) secret keys to the revoked user — only for owners
-  //    whose data the user actually holds keys for.
+  //    whose data the user actually holds keys for. Undeliverable keys
+  //    park; until they land the user still fails closed, because the
+  //    server-side epoch (step 3) version-locks the old key out.
   for (const auto& [owner_id, sk] : bundle.regenerated_keys) {
     if (!revoked.has_key(owner_id, aid)) continue;
-    meter_.record(aa_name(aid), user_name(uid), abe::serialize(*grp_, sk).size());
-    revoked.replace_key(sk);
+    send_or_park(aa_name(aid), user_name(uid), abe::serialize(*grp_, sk),
+                 [this, uid](ByteView payload) {
+                   users_.at(uid).replace_key(
+                       abe::deserialize_user_secret_key(*grp_, payload));
+                 },
+                 "regenerated key");
   }
 
   // 2) Update keys to every other user holding keys from this AA.
+  //    Applied exactly once per request id — a duplicated frame must not
+  //    fold UK2 into the key twice.
   for (auto& [other_uid, consumer] : users_) {
     if (other_uid == uid) continue;
     for (const auto& [owner_id, uk] : bundle.update_keys) {
       if (!consumer.has_key(owner_id, aid)) continue;
-      if (consumer.apply_update(uk))
-        meter_.record(aa_name(aid), user_name(other_uid),
-                      abe::serialize(*grp_, uk).size());
+      send_or_park(aa_name(aid), user_name(other_uid), abe::serialize(*grp_, uk),
+                   [this, other = other_uid](ByteView payload) {
+                     users_.at(other).apply_update(
+                         abe::deserialize_update_key(*grp_, payload));
+                   },
+                   "update key");
     }
   }
 
-  // 3) Update keys to every owner; owners refresh their cached public
-  //    keys and emit UpdateInfo for affected ciphertexts.
-  size_t reencrypted = 0;
+  // 3) Update keys to every owner; each owner refreshes its cached
+  //    public keys, emits UpdateInfo for affected ciphertexts and ships
+  //    {UK, UpdateInfo*} to the server as one epoch message. Both hops
+  //    park-and-replay, so an epoch that cannot reach the server is
+  //    applied (in version order) before any later server delivery.
   for (auto& [owner_id, data_owner] : owners_) {
     const auto uk_it = bundle.update_keys.find(owner_id);
     if (uk_it == bundle.update_keys.end()) continue;
-    const abe::UpdateKey& uk = uk_it->second;
-    if (!data_owner.apply_update(uk)) continue;
-    meter_.record(aa_name(aid), owner_name(owner_id), abe::serialize(*grp_, uk).size());
-
-    // ---- Phase 2: Data Re-encryption ---------------------------------
-    const std::vector<abe::UpdateInfo> infos = data_owner.update_infos(aid, from_version);
-    if (infos.empty()) continue;
-    size_t bytes = abe::serialize(*grp_, uk).size();
-    for (const abe::UpdateInfo& ui : infos) bytes += abe::serialize(*grp_, ui).size();
-    meter_.record(owner_name(owner_id), kServer, bytes);
-    reencrypted += server_.reencrypt(uk, infos);
+    send_or_park(
+        aa_name(aid), owner_name(owner_id), abe::serialize(*grp_, uk_it->second),
+        [this, aid, from_version, owner_id](ByteView payload) {
+          DataOwner& o = owners_.at(owner_id);
+          const abe::UpdateKey uk = abe::deserialize_update_key(*grp_, payload);
+          if (!o.apply_update(uk)) return;
+          // ---- Phase 2: Data Re-encryption -----------------------------
+          const std::vector<abe::UpdateInfo> infos = o.update_infos(aid, from_version);
+          if (infos.empty()) return;
+          Writer w;
+          w.var_bytes(abe::serialize(*grp_, uk));
+          w.u32(static_cast<uint32_t>(infos.size()));
+          for (const abe::UpdateInfo& ui : infos) w.var_bytes(abe::serialize(*grp_, ui));
+          send_or_park(owner_name(owner_id), kServer, w.take(),
+                       [this](ByteView epoch) {
+                         Reader r(epoch);
+                         const abe::UpdateKey server_uk = abe::deserialize_update_key(
+                             *grp_, r.var_bytes(), abe::UkCheck::kCiphertextPath);
+                         std::vector<abe::UpdateInfo> server_infos;
+                         const uint32_t n = r.u32();
+                         server_infos.reserve(n);
+                         for (uint32_t i = 0; i < n; ++i) {
+                           server_infos.push_back(
+                               abe::deserialize_update_info(*grp_, r.var_bytes()));
+                         }
+                         r.expect_done();
+                         server_.reencrypt(server_uk, server_infos);
+                       },
+                       "revocation epoch v" + std::to_string(from_version + 1));
+        },
+        "owner update key");
   }
-  return reencrypted;
+  return static_cast<size_t>(server_.stats().totals().reencrypted_slots - slots_before);
 }
+
+// ------------------------------------------------------ introspection --
 
 AttributeAuthority& CloudSystem::authority(const std::string& aid) {
   const auto it = authorities_.find(aid);

@@ -1,16 +1,21 @@
 // CloudSystem: the full multi-authority access-control deployment.
 //
 // Wires the CA, attribute authorities, data owners, consumers and the
-// cloud server together, moving every artefact through serialized
-// channels with byte metering (ChannelMeter) — the basis of the
-// communication-cost reproduction (Table IV) and the end-to-end
-// examples. Canonical entity names used for metering:
+// cloud server together. Every artefact that crosses an entity boundary
+// travels through a Transport as serialized bytes (DESIGN.md §10):
+// serialize -> frame -> deliver -> verify -> deserialize. Sends use a
+// ReliableLink (capped exponential backoff, per-request ids, receiver
+// dedup); revocation and upload traffic additionally parks in per-
+// destination FIFO queues when the destination stays unreachable and
+// replays on the next successful call, so a revocation epoch that could
+// not reach the server is applied before any later read. Canonical
+// entity names used for channels and metering:
 //   "ca", "aa:<AID>", "owner:<id>", "user:<UID>", "server".
 #pragma once
 
 #include "cloud/entities.h"
-#include "cloud/meter.h"
 #include "cloud/server.h"
+#include "cloud/transport.h"
 
 namespace maabe::cloud {
 
@@ -18,18 +23,26 @@ class CloudSystem {
  public:
   explicit CloudSystem(std::shared_ptr<const pairing::Group> grp,
                        const std::string& seed = "maabe-system");
+  /// Full control: inject a transport (typically a LoopbackTransport
+  /// with a FaultPlan) and a retry policy.
+  CloudSystem(std::shared_ptr<const pairing::Group> grp, const std::string& seed,
+              std::unique_ptr<Transport> transport, RetryPolicy retry = RetryPolicy());
 
   // ---- Enrollment ----------------------------------------------------
-  /// Registers an AA with the CA and creates its entity.
+  /// Registers an AA with the CA and creates its entity. Owner shares
+  /// are delivered through the transport; shares that cannot be
+  /// delivered park and replay later (issue_user_key reports a typed
+  /// error until the share arrives).
   AttributeAuthority& add_authority(const std::string& aid,
                                     const std::set<std::string>& attributes);
-  /// Registers a user with the CA and creates its consumer entity.
+  /// Registers a user with the CA and creates its consumer entity from
+  /// the transported PK bytes. Safe to retry after a TransportError.
   Consumer& add_user(const std::string& uid);
   /// Creates an owner and distributes SK_o to every existing authority.
   DataOwner& add_owner(const std::string& owner_id);
 
   // ---- Attribute & key management -------------------------------------
-  /// AA-side role assignment.
+  /// AA-side role assignment (admin request routed ca -> aa).
   void assign_attributes(const std::string& aid, const std::string& uid,
                          const std::set<std::string>& attributes);
   /// User pulls SK_{UID,AID} for one owner's data from one authority.
@@ -39,18 +52,55 @@ class CloudSystem {
   void publish_authority_keys(const std::string& aid, const std::string& owner_id);
 
   // ---- Data path -------------------------------------------------------
-  /// Owner protects and uploads a file.
+  /// Owner protects and uploads a file. If the server is unreachable the
+  /// upload parks and replays before any later server delivery.
   void upload(const std::string& owner_id, const std::string& file_id,
               const std::vector<DataComponent>& components);
-  /// User downloads and decrypts whatever slots its keys allow.
+
+  /// Per-slot outcome of a degraded-mode download.
+  enum class SlotState {
+    kOk,       ///< decrypted; plaintext present
+    kNoKey,    ///< keys do not satisfy the slot (authority unreachable
+               ///< at issuance time, insufficient attributes, or stale
+               ///< version) — indistinguishable by design
+    kCorrupt,  ///< keys satisfy the slot but authentication failed
+    kError,    ///< other typed failure (detail has the message)
+  };
+  struct SlotReport {
+    std::string component;
+    SlotState state = SlotState::kNoKey;
+    Bytes plaintext;     ///< only for kOk
+    std::string detail;  ///< human-readable cause for non-kOk states
+  };
+  struct DownloadReport {
+    std::string file_id;
+    std::vector<SlotReport> slots;
+    /// The kOk slots, keyed by component name.
+    std::map<std::string, Bytes> opened() const;
+    bool all_ok() const;
+    bool any_corrupt() const;
+  };
+
+  /// Degraded-mode download: decrypts the slots it can and reports the
+  /// rest as kNoKey/kCorrupt/kError per slot, instead of failing the
+  /// whole file. Reads are fail-closed against parked revocation epochs:
+  /// throws TransportError(kDegraded) while server deliveries are
+  /// pending and the flush could not drain them.
+  DownloadReport download_report(const std::string& uid, const std::string& file_id);
+
+  /// Legacy strict download: the opened slots; re-throws the first
+  /// kCorrupt/kError slot's failure as a typed error.
   std::map<std::string, Bytes> download(const std::string& uid,
                                         const std::string& file_id);
 
   // ---- Revocation (paper Section V-C, both phases) ---------------------
   /// Runs the complete protocol: AA re-keys, the revoked user receives
   /// regenerated keys, all other holders update, owners update public
-  /// keys and emit UpdateInfo, the server re-encrypts. Returns the
-  /// number of ciphertexts re-encrypted.
+  /// keys and emit UpdateInfo, the server re-encrypts. Deliveries that
+  /// cannot complete park per destination and replay later (the epoch
+  /// extends PR 2's failure atomicity across the network boundary).
+  /// Returns the number of ciphertext slots re-encrypted *and committed
+  /// on the server during this call* — parked work shows in health().
   size_t revoke_attribute(const std::string& aid, const std::string& uid,
                           const std::string& attribute);
 
@@ -59,14 +109,36 @@ class CloudSystem {
   /// update/re-encryption pipeline.
   size_t revoke_user(const std::string& aid, const std::string& uid);
 
+  // ---- Degraded-mode plumbing ------------------------------------------
+  /// Attempts to replay every parked delivery, in per-destination FIFO
+  /// order. Stops a queue at its first transport failure (order must be
+  /// preserved). Returns the number of deliveries still parked.
+  size_t flush_pending();
+
+  /// Liveness/robustness counters for operators and the chaos harness.
+  struct Health {
+    ChannelStats transport;         ///< aggregate over every channel
+    uint64_t sends_ok = 0;          ///< reliable sends that succeeded
+    uint64_t sends_failed = 0;      ///< reliable sends that exhausted retries
+    uint64_t retries = 0;           ///< re-attempts across all sends
+    uint64_t applied_requests = 0;  ///< distinct request ids applied
+    uint64_t pending_deliveries = 0;
+    std::map<std::string, size_t> pending_by_destination;
+    uint64_t virtual_ms = 0;  ///< transport clock (delays + backoff)
+  };
+  Health health() const;
+
   // ---- Introspection ----------------------------------------------------
   AttributeAuthority& authority(const std::string& aid);
   DataOwner& owner(const std::string& owner_id);
   Consumer& user(const std::string& uid);
   CloudServer& server() { return server_; }
-  const ChannelMeter& meter() const { return meter_; }
-  ChannelMeter& meter() { return meter_; }
+  Transport& transport() { return *transport_; }
+  const ChannelMeter& meter() const { return transport_->meter(); }
+  ChannelMeter& meter() { return transport_->meter(); }
   const pairing::Group& group() const { return *grp_; }
+  RetryPolicy retry_policy() const { return link_.policy(); }
+  void set_retry_policy(const RetryPolicy& policy) { link_.set_policy(policy); }
 
   /// Table III storage accounting. AA storage is the version key |p|;
   /// owner storage is MK_o + cached public keys; user storage is held
@@ -77,16 +149,39 @@ class CloudSystem {
   StorageReport storage_report() const;
 
  private:
+  using Apply = ReliableLink::Apply;
+  struct Pending {
+    uint64_t request_id = 0;
+    std::string from;
+    Bytes payload;
+    Apply apply;
+    std::string label;  ///< for error messages / health
+  };
+
   crypto::Drbg fork_rng(const std::string& label);
   size_t distribute_revocation(const std::string& aid, const std::string& uid,
                                uint32_t from_version,
                                const AttributeAuthority::RevocationBundle& bundle);
 
+  /// Reliable send; throws TransportError(kExhausted) on failure.
+  void send_reliable(const std::string& from, const std::string& to, ByteView payload,
+                     const Apply& apply);
+  /// Ordered durable send: queues behind earlier parked deliveries to
+  /// `to`; parks instead of throwing on transport failure. Returns true
+  /// when the delivery was applied now.
+  bool send_or_park(const std::string& from, const std::string& to, Bytes payload,
+                    Apply apply, const std::string& label);
+  /// Replays `to`'s queue head-first; stops at the first failure.
+  void flush_queue(const std::string& to);
+  size_t pending_count() const;
+
   std::shared_ptr<const pairing::Group> grp_;
   crypto::Drbg rng_;
   CertificateAuthority ca_;
   CloudServer server_;
-  ChannelMeter meter_;
+  std::unique_ptr<Transport> transport_;
+  ReliableLink link_;
+  std::map<std::string, std::deque<Pending>> pending_;  // keyed by destination
   std::map<std::string, AttributeAuthority> authorities_;
   std::map<std::string, DataOwner> owners_;
   std::map<std::string, Consumer> users_;

@@ -1,0 +1,275 @@
+#include "cloud/transport.h"
+
+#include <algorithm>
+
+#include "crypto/sha256.h"
+
+namespace maabe::cloud {
+
+namespace {
+
+constexpr uint8_t kFrameTag = 0x7A;
+constexpr size_t kChecksumSize = 4;
+
+Bytes frame_checksum(ByteView framed_prefix) {
+  Bytes digest = crypto::Sha256::digest(framed_prefix);
+  digest.resize(kChecksumSize);
+  return digest;
+}
+
+/// Uniform double in [0, 1) from 8 Drbg bytes (53-bit mantissa).
+double uniform01(crypto::Drbg& rng) {
+  const Bytes b = rng.bytes(8);
+  uint64_t v = 0;
+  for (uint8_t byte : b) v = (v << 8) | byte;
+  return static_cast<double>(v >> 11) * 0x1.0p-53;
+}
+
+uint64_t uniform_u64(crypto::Drbg& rng) {
+  const Bytes b = rng.bytes(8);
+  uint64_t v = 0;
+  for (uint8_t byte : b) v = (v << 8) | byte;
+  return v;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- Frames --
+
+Bytes encode_frame(const Frame& f) {
+  Writer w;
+  w.u8(kFrameTag);
+  w.str(f.from);
+  w.str(f.to);
+  w.u64(f.request_id);
+  w.u64(f.seq);
+  w.var_bytes(f.payload);
+  Bytes out = w.take();
+  const Bytes sum = frame_checksum(out);
+  out.insert(out.end(), sum.begin(), sum.end());
+  return out;
+}
+
+Frame decode_frame(ByteView wire) {
+  if (wire.size() < 1 + kChecksumSize)
+    throw TransportError(TransportError::Kind::kMalformed,
+                         "transport: frame shorter than header + checksum");
+  const ByteView body(wire.data(), wire.size() - kChecksumSize);
+  const ByteView sum(wire.data() + body.size(), kChecksumSize);
+  const Bytes expect = frame_checksum(body);
+  // The checksum covers every body byte, so any in-flight flip lands
+  // here; constant-time comparison is unnecessary (integrity, not auth —
+  // the sealed payloads carry their own MACs).
+  if (!std::equal(expect.begin(), expect.end(), sum.begin(), sum.end()))
+    throw TransportError(TransportError::Kind::kChecksum,
+                         "transport: frame checksum mismatch");
+  try {
+    Reader r(body);
+    if (r.u8() != kFrameTag)
+      throw TransportError(TransportError::Kind::kMalformed,
+                           "transport: bad frame tag");
+    Frame f;
+    f.from = r.str();
+    f.to = r.str();
+    f.request_id = r.u64();
+    f.seq = r.u64();
+    f.payload = r.var_bytes();
+    r.expect_done();
+    return f;
+  } catch (const WireError& e) {
+    throw TransportError(TransportError::Kind::kMalformed,
+                         std::string("transport: malformed frame: ") + e.what());
+  }
+}
+
+// -------------------------------------------------------- FaultPlan --
+
+FaultPlan::FaultPlan(uint64_t seed) : seeded_(true), seed_(seed) {}
+
+void FaultPlan::set_channel(const std::string& from, const std::string& to,
+                            const FaultSpec& spec) {
+  channel_specs_[{from, to}] = spec;
+}
+
+void FaultPlan::fail_next(const std::string& from, const std::string& to, uint32_t n) {
+  scripts_[{from, to}] += n;
+}
+
+const FaultSpec& FaultPlan::spec_for(const std::string& from,
+                                     const std::string& to) const {
+  const auto it = channel_specs_.find({from, to});
+  return it == channel_specs_.end() ? default_spec_ : it->second;
+}
+
+crypto::Drbg& FaultPlan::channel_rng(const std::string& from, const std::string& to) {
+  const auto key = std::make_pair(from, to);
+  auto it = rngs_.find(key);
+  if (it == rngs_.end()) {
+    const std::string label =
+        "maabe/fault-plan/" + std::to_string(seed_) + "/" + from + ">" + to;
+    it = rngs_.emplace(key, crypto::Drbg(std::string_view(label))).first;
+  }
+  return it->second;
+}
+
+FaultPlan::Decision FaultPlan::decide(const std::string& from, const std::string& to,
+                                      size_t frame_size) {
+  Decision d;
+  // Scripts fire before (and independent of) the probabilistic spec.
+  const auto script = scripts_.find({from, to});
+  if (script != scripts_.end() && script->second > 0) {
+    --script->second;
+    d.script_failure = true;
+    ++injected_.script_failures;
+    return d;
+  }
+  const FaultSpec& spec = spec_for(from, to);
+  if (!seeded_ || spec.fault_free()) return d;
+
+  // Always draw every field in a fixed order, so the channel stream is a
+  // pure function of (seed, channel, transmission index).
+  crypto::Drbg& rng = channel_rng(from, to);
+  const double p_drop = uniform01(rng);
+  const double p_dup = uniform01(rng);
+  const double p_corrupt = uniform01(rng);
+  const double p_ack = uniform01(rng);
+  const double p_delay = uniform01(rng);
+  const uint64_t corrupt_pos = uniform_u64(rng);
+  const uint8_t corrupt_mask = rng.bytes(1)[0];
+
+  d.drop = p_drop < spec.drop;
+  d.duplicate = p_dup < spec.duplicate;
+  d.corrupt = p_corrupt < spec.corrupt;
+  d.ack_loss = p_ack < spec.ack_loss;
+  if (p_delay < spec.delay) d.delay_ms = spec.delay_ms;
+  d.corrupt_offset = frame_size == 0 ? 0 : static_cast<size_t>(corrupt_pos % frame_size);
+  d.corrupt_xor = static_cast<uint8_t>(corrupt_mask | 0x01);  // never a no-op flip
+
+  if (d.delay_ms > 0) ++injected_.delays;
+  if (d.drop) {
+    // A dropped frame never reaches the receiver; the other outcomes
+    // are moot (but their randomness was consumed, keeping the stream
+    // aligned across spec changes).
+    d.duplicate = d.corrupt = d.ack_loss = false;
+    ++injected_.drops;
+    return d;
+  }
+  if (d.corrupt) {
+    d.duplicate = d.ack_loss = false;
+    ++injected_.corruptions;
+    return d;
+  }
+  if (d.duplicate) ++injected_.duplicates;
+  if (d.ack_loss) ++injected_.ack_losses;
+  return d;
+}
+
+// ------------------------------------------------ LoopbackTransport --
+
+LoopbackTransport::LoopbackTransport(FaultPlan plan) : plan_(std::move(plan)) {}
+
+void LoopbackTransport::deliver(const std::string& from, const std::string& to,
+                                uint64_t request_id, ByteView payload,
+                                const Sink& sink) {
+  Frame frame;
+  frame.from = from;
+  frame.to = to;
+  frame.request_id = request_id;
+  frame.seq = ++seq_[{from, to}];
+  frame.payload.assign(payload.begin(), payload.end());
+  Bytes wire = encode_frame(frame);
+
+  ChannelStats& stats = meter_.mutable_stats(from, to);
+  stats.frames += 1;
+  stats.frame_bytes += wire.size();
+  stats.payload_bytes += payload.size();
+
+  const FaultPlan::Decision d = plan_.decide(from, to, wire.size());
+  if (d.script_failure) {
+    ++stats.script_failures;
+    throw TransportError(TransportError::Kind::kLost,
+                         "transport: scripted failure on " + from + " -> " + to);
+  }
+  if (d.delay_ms > 0) {
+    ++stats.delays;
+    stats.delay_ms += d.delay_ms;
+    now_ms_ += d.delay_ms;
+  }
+  if (d.drop) {
+    ++stats.drops;
+    throw TransportError(TransportError::Kind::kLost,
+                         "transport: frame lost on " + from + " -> " + to);
+  }
+  if (d.corrupt) wire[d.corrupt_offset] ^= d.corrupt_xor;
+
+  // Receiver side: verify and parse; a corrupted frame dies here.
+  Frame received;
+  try {
+    received = decode_frame(wire);
+  } catch (const TransportError&) {
+    ++stats.corruptions;
+    throw;
+  }
+  sink(received.request_id, received.payload);
+  ++stats.deliveries;
+  if (d.duplicate) {
+    ++stats.duplicates;
+    stats.frames += 1;
+    stats.frame_bytes += wire.size();
+    sink(received.request_id, received.payload);
+    ++stats.deliveries;
+  }
+  if (d.ack_loss) {
+    ++stats.ack_losses;
+    throw TransportError(TransportError::Kind::kLost,
+                         "transport: acknowledgement lost on " + from + " -> " + to);
+  }
+}
+
+// ----------------------------------------------------- ReliableLink --
+
+ReliableLink::ReliableLink(Transport& transport, RetryPolicy policy)
+    : transport_(transport), policy_(policy) {}
+
+void ReliableLink::send(const std::string& from, const std::string& to,
+                        ByteView payload, const Apply& apply) {
+  send_as(allocate_request_id(), from, to, payload, apply);
+}
+
+void ReliableLink::send_as(uint64_t request_id, const std::string& from,
+                           const std::string& to, ByteView payload,
+                           const Apply& apply) {
+  const uint64_t deadline = transport_.now_ms() + policy_.deadline_ms;
+  std::string last_error = "no attempt made";
+  for (uint32_t attempt = 0; attempt < policy_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      const uint64_t backoff = std::min(
+          policy_.base_backoff_ms << (attempt - 1), policy_.max_backoff_ms);
+      transport_.advance_clock(backoff);
+      transport_.meter().mutable_stats(from, to).retries += 1;
+      ++retries_;
+      if (transport_.now_ms() > deadline) break;
+    }
+    try {
+      transport_.deliver(from, to, request_id, payload,
+                         [&](uint64_t rid, ByteView delivered) {
+                           if (applied_.contains(rid)) {
+                             transport_.meter().mutable_stats(from, to).redeliveries += 1;
+                             return;
+                           }
+                           apply(delivered);
+                           applied_.insert(rid);
+                         });
+      ++sends_ok_;
+      return;
+    } catch (const TransportError& e) {
+      last_error = e.what();
+    }
+  }
+  ++sends_failed_;
+  throw TransportError(TransportError::Kind::kExhausted,
+                       "transport: giving up on " + from + " -> " + to +
+                           " after retries (last: " + last_error + ")");
+}
+
+}  // namespace maabe::cloud

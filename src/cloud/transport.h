@@ -1,0 +1,242 @@
+// Byte-level transport for the framework protocol (DESIGN.md §10).
+//
+// Every artefact a CloudSystem entity sends — keys, ciphertexts, stored
+// files, update keys — travels through a Transport as serialized bytes:
+// the sender serializes, the transport frames (sequence number +
+// checksum) and delivers, the receiver verifies and deserializes.
+// Nothing crosses an entity boundary by reference anymore, so the
+// protocol can be exercised against dropped, duplicated, corrupted and
+// delayed messages.
+//
+// Fault injection is deterministic: a FaultPlan derives one Drbg stream
+// per directed channel from a single seed, so a failing run reproduces
+// byte-identically from its seed, independent of how other channels
+// interleave. ReliableLink adds capped exponential backoff with a
+// deadline on the transport's virtual clock, and request-id
+// deduplication at the receiver so a redelivered or retried request is
+// applied exactly once.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <set>
+
+#include "cloud/meter.h"
+#include "common/errors.h"
+#include "common/wire.h"
+#include "crypto/drbg.h"
+
+namespace maabe::cloud {
+
+// ----------------------------------------------------------- Frames --
+
+/// A decoded transport frame. The wire form is
+///   u8 tag (0x7A) | str from | str to | u64 request_id | u64 seq |
+///   var_bytes payload | raw[4] checksum
+/// where the checksum is the first 4 bytes of SHA-256 over everything
+/// before it. decode_frame verifies the checksum before parsing, so any
+/// in-flight corruption surfaces as TransportError(kChecksum).
+struct Frame {
+  std::string from;
+  std::string to;
+  uint64_t request_id = 0;  ///< sender-unique logical request id
+  uint64_t seq = 0;         ///< per-channel transmission counter
+  Bytes payload;
+};
+
+Bytes encode_frame(const Frame& f);
+Frame decode_frame(ByteView wire);  ///< throws TransportError
+
+// -------------------------------------------------------- FaultPlan --
+
+/// Per-channel fault probabilities. All probabilities are independent
+/// per transmission; a frame can be both delayed and dropped.
+struct FaultSpec {
+  double drop = 0.0;       ///< P(frame lost before delivery)
+  double duplicate = 0.0;  ///< P(frame delivered twice)
+  double corrupt = 0.0;    ///< P(one frame byte flipped in flight)
+  double ack_loss = 0.0;   ///< P(delivered, but the sender sees failure)
+  double delay = 0.0;      ///< P(frame held up delay_ms on the clock)
+  uint64_t delay_ms = 25;  ///< latency added when a delay fires
+
+  bool fault_free() const {
+    return drop == 0 && duplicate == 0 && corrupt == 0 && ack_loss == 0 && delay == 0;
+  }
+};
+
+/// Deterministic fault schedule, reproducible from a seed. Each directed
+/// channel gets its own Drbg stream (derived from seed + channel name),
+/// so the decisions on one channel do not depend on traffic elsewhere.
+/// On top of the probabilistic spec, fail_next() scripts "fail the next
+/// N transmissions on this channel, then succeed" — the shape most
+/// outage tests want.
+class FaultPlan {
+ public:
+  /// Everything the plan injected, for reconciling against the
+  /// ChannelMeter: every injected fault must be accounted for.
+  struct Injected {
+    uint64_t drops = 0;
+    uint64_t duplicates = 0;
+    uint64_t corruptions = 0;
+    uint64_t ack_losses = 0;
+    uint64_t delays = 0;
+    uint64_t script_failures = 0;
+    uint64_t total() const {
+      return drops + duplicates + corruptions + ack_losses + delays + script_failures;
+    }
+  };
+
+  /// What happens to one transmission.
+  struct Decision {
+    bool drop = false;
+    bool duplicate = false;
+    bool corrupt = false;
+    bool ack_loss = false;
+    bool script_failure = false;
+    uint64_t delay_ms = 0;
+    size_t corrupt_offset = 0;  ///< which frame byte to flip
+    uint8_t corrupt_xor = 0;    ///< nonzero xor mask for that byte
+  };
+
+  FaultPlan() = default;               ///< fault-free, no randomness
+  explicit FaultPlan(uint64_t seed);
+
+  /// Spec for channels without a channel-specific override.
+  void set_default(const FaultSpec& spec) { default_spec_ = spec; }
+  void set_channel(const std::string& from, const std::string& to,
+                   const FaultSpec& spec);
+  /// Script: the next `n` transmissions from->to fail outright.
+  void fail_next(const std::string& from, const std::string& to, uint32_t n);
+
+  Decision decide(const std::string& from, const std::string& to, size_t frame_size);
+  const Injected& injected() const { return injected_; }
+
+ private:
+  const FaultSpec& spec_for(const std::string& from, const std::string& to) const;
+  crypto::Drbg& channel_rng(const std::string& from, const std::string& to);
+
+  bool seeded_ = false;
+  uint64_t seed_ = 0;
+  FaultSpec default_spec_;
+  std::map<std::pair<std::string, std::string>, FaultSpec> channel_specs_;
+  std::map<std::pair<std::string, std::string>, uint32_t> scripts_;
+  std::map<std::pair<std::string, std::string>, crypto::Drbg> rngs_;
+  Injected injected_;
+};
+
+// -------------------------------------------------------- Transport --
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Called once per frame copy that arrives intact — zero times for a
+  /// dropped frame, twice for a duplicated one. Receivers must dedup by
+  /// request id: in the ack-loss case the sink has already run when the
+  /// sender sees the failure and retries.
+  using Sink = std::function<void(uint64_t request_id, ByteView payload)>;
+
+  /// One transmission attempt from->to. Throws TransportError when the
+  /// frame is lost (kLost), fails its checksum (kChecksum), or its
+  /// acknowledgement is lost after delivery (kLost).
+  virtual void deliver(const std::string& from, const std::string& to,
+                       uint64_t request_id, ByteView payload, const Sink& sink) = 0;
+
+  /// Per-channel byte and fault accounting lives inside the transport —
+  /// it is the only layer that sees real wire bytes.
+  virtual ChannelMeter& meter() = 0;
+  const ChannelMeter& meter() const {
+    return const_cast<Transport*>(this)->meter();
+  }
+
+  /// Virtual clock (milliseconds). Delay faults and retry backoff
+  /// advance it; nothing ever sleeps, so chaos runs are fast and
+  /// deterministic.
+  virtual uint64_t now_ms() const = 0;
+  virtual void advance_clock(uint64_t ms) = 0;
+};
+
+/// In-process transport: frames are encoded, run through the FaultPlan,
+/// and decoded on the spot. The real serialize -> frame -> verify ->
+/// deserialize path is exercised even though no socket is involved.
+class LoopbackTransport : public Transport {
+ public:
+  explicit LoopbackTransport(FaultPlan plan = FaultPlan());
+
+  void deliver(const std::string& from, const std::string& to, uint64_t request_id,
+               ByteView payload, const Sink& sink) override;
+  using Transport::meter;  // keep the const overload visible
+  ChannelMeter& meter() override { return meter_; }
+  uint64_t now_ms() const override { return now_ms_; }
+  void advance_clock(uint64_t ms) override { now_ms_ += ms; }
+
+  FaultPlan& faults() { return plan_; }
+  const FaultPlan& faults() const { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  ChannelMeter meter_;
+  std::map<std::pair<std::string, std::string>, uint64_t> seq_;
+  uint64_t now_ms_ = 0;
+};
+
+// ----------------------------------------------------- ReliableLink --
+
+/// Retry/backoff parameters for one logical send. Backoff is capped
+/// exponential: base, 2*base, 4*base, ... up to max, charged to the
+/// transport's virtual clock; the deadline bounds the whole send.
+struct RetryPolicy {
+  uint32_t max_attempts = 4;
+  uint64_t base_backoff_ms = 10;
+  uint64_t max_backoff_ms = 500;
+  uint64_t deadline_ms = 4000;
+};
+
+/// Reliable unicast over an unreliable Transport: retries with capped
+/// exponential backoff until the policy is exhausted, and guarantees the
+/// receiver-side apply runs at most once per request id even when frames
+/// are duplicated or an applied request is retried after an ack loss
+/// (idempotent request handling). Suppressed duplicate copies are
+/// counted as redeliveries on the channel.
+class ReliableLink {
+ public:
+  explicit ReliableLink(Transport& transport, RetryPolicy policy = RetryPolicy());
+
+  /// Hands out sender-unique request ids (so a parked delivery can be
+  /// replayed later under its original id).
+  uint64_t allocate_request_id() { return ++next_request_id_; }
+
+  using Apply = std::function<void(ByteView payload)>;
+
+  /// Sends `payload` under a fresh request id. `apply` runs exactly once
+  /// on success. Throws TransportError(kExhausted) when every attempt
+  /// failed; non-transport exceptions from `apply` propagate unretried.
+  void send(const std::string& from, const std::string& to, ByteView payload,
+            const Apply& apply);
+
+  /// Same, under a caller-held request id: if an earlier attempt already
+  /// applied this id (ack lost), the replay is a no-op that still counts
+  /// as success.
+  void send_as(uint64_t request_id, const std::string& from, const std::string& to,
+               ByteView payload, const Apply& apply);
+
+  const RetryPolicy& policy() const { return policy_; }
+  void set_policy(const RetryPolicy& policy) { policy_ = policy; }
+
+  uint64_t sends_ok() const { return sends_ok_; }
+  uint64_t sends_failed() const { return sends_failed_; }
+  uint64_t retries() const { return retries_; }
+  uint64_t applied_requests() const { return applied_.size(); }
+
+ private:
+  Transport& transport_;
+  RetryPolicy policy_;
+  uint64_t next_request_id_ = 0;
+  std::set<uint64_t> applied_;
+  uint64_t sends_ok_ = 0;
+  uint64_t sends_failed_ = 0;
+  uint64_t retries_ = 0;
+};
+
+}  // namespace maabe::cloud

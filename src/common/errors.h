@@ -55,4 +55,25 @@ class WireError : public Error {
   using Error::Error;
 };
 
+/// Byte-transport failures (cloud/transport.h): lost or corrupted
+/// frames, exhausted retry budgets, and reads refused while revocation
+/// epochs are still parked in a pending queue. The kind distinguishes
+/// the failure classes so tests and retry policies can react without
+/// string matching.
+class TransportError : public Error {
+ public:
+  enum class Kind {
+    kLost,       ///< frame (or its acknowledgement) never arrived
+    kChecksum,   ///< frame arrived but failed integrity verification
+    kMalformed,  ///< frame structure invalid (bad magic, bad lengths)
+    kExhausted,  ///< retry attempts or the send deadline ran out
+    kDegraded,   ///< operation refused fail-closed (pending deliveries)
+  };
+  TransportError(Kind kind, const std::string& what) : Error(what), kind_(kind) {}
+  Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
 }  // namespace maabe

@@ -126,6 +126,43 @@ TEST_F(SerialTest, UpdateKeyAndInfoRoundTrip) {
   EXPECT_EQ(ui2.ui.at("Doctor@Med"), ui.ui.at("Doctor@Med"));
 }
 
+TEST_F(SerialTest, UpdateKeySubgroupCheckDependsOnReceiver) {
+  const AuthorityVersionKey new_vk = aa_rekey(*grp, vk, rng).new_vk;
+  UpdateKey uk = aa_make_update_key(*grp, vk, new_vk, share);
+
+  // Forge an on-curve point outside the order-r subgroup (decompression
+  // never checks membership, and a random x lands in the subgroup only
+  // with probability r / (q+1)).
+  pairing::G1 rogue;
+  for (uint8_t i = 1;; ++i) {
+    Bytes enc(grp->g1_size(), 0);
+    enc[enc.size() - 2] = i;  // low x byte; sign flag 0
+    try {
+      rogue = grp->g1_from_bytes(enc);
+    } catch (const WireError&) {
+      continue;  // x not on the curve, try the next one
+    }
+    if (!rogue.in_subgroup()) break;
+  }
+  uk.uk1 = rogue;
+  const Bytes b = serialize(*grp, uk);
+
+  // Users fold the UK into key material: off-subgroup points rejected.
+  EXPECT_THROW(deserialize_update_key(*grp, b), WireError);
+  // The server only injects uk1 into ciphertext components — same trust
+  // model as per-row ciphertext points, so on-curve suffices.
+  const UpdateKey accepted = deserialize_update_key(*grp, b, UkCheck::kCiphertextPath);
+  EXPECT_EQ(accepted.uk1, rogue);
+
+  // A point off the curve entirely is rejected on both paths.
+  Bytes off = b;
+  // uk1's y coordinate sits just before its flag byte inside the
+  // uncompressed encoding; flipping it breaks the curve equation.
+  const size_t zr = grp->zr_size();
+  off[off.size() - zr - 2] ^= 0x5a;
+  EXPECT_THROW(deserialize_update_key(*grp, off, UkCheck::kCiphertextPath), WireError);
+}
+
 TEST_F(SerialTest, SecretMaterialRoundTrips) {
   const OwnerMasterKey mk2 = deserialize_owner_master_key(*grp, serialize(*grp, mk));
   EXPECT_EQ(mk2.owner_id, mk.owner_id);

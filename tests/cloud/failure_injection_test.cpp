@@ -91,6 +91,123 @@ TEST_F(FailureInjection, TruncatedWireAlwaysThrows) {
   }
 }
 
+// ---- Transport faults on protocol channels ---------------------------
+// A faulty channel must surface as TransportError (or a typed
+// SchemeError) and degrade access — never yield wrong plaintext and
+// never let a revoked user keep reading.
+
+LoopbackTransport& loopback(CloudSystem& sys) {
+  return dynamic_cast<LoopbackTransport&>(sys.transport());
+}
+
+/// World like the fixture's, but on a seeded (faultable) transport and
+/// WITHOUT alice's key issued yet. Channels are fault-free until a test
+/// dials a FaultSpec in.
+class TransportFaults : public ::testing::Test {
+ protected:
+  TransportFaults()
+      : grp(Group::test_small()),
+        sys(grp, "inject-transport",
+            std::make_unique<LoopbackTransport>(FaultPlan(1234))) {
+    sys.add_authority("Med", {"Doctor"});
+    sys.add_owner("hosp");
+    sys.publish_authority_keys("Med", "hosp");
+    sys.add_user("alice");
+    sys.assign_attributes("Med", "alice", {"Doctor"});
+    sys.upload("hosp", "f1",
+               {{"a", bytes_of("component A plaintext"), "Doctor@Med"},
+                {"b", bytes_of("component B plaintext"), "Doctor@Med"}});
+  }
+
+  std::shared_ptr<const Group> grp;
+  CloudSystem sys;
+};
+
+TEST_F(TransportFaults, CorruptKeyIssuanceChannelFailsTypedThenRecovers) {
+  FaultSpec corrupting;
+  corrupting.corrupt = 1.0;
+  loopback(sys).faults().set_channel("aa:Med", "user:alice", corrupting);
+  try {
+    sys.issue_user_key("Med", "alice", "hosp");
+    FAIL() << "issuance over an always-corrupting channel succeeded";
+  } catch (const TransportError& e) {
+    EXPECT_EQ(e.kind(), TransportError::Kind::kExhausted);
+  }
+  // Degraded, not wrong: without the key every slot reads kNoKey.
+  const auto report = sys.download_report("alice", "f1");
+  EXPECT_TRUE(report.opened().empty());
+  EXPECT_GT(sys.meter().stats("aa:Med", "user:alice").corruptions, 0u);
+
+  // Heal the channel: the retried operation converges.
+  loopback(sys).faults().set_channel("aa:Med", "user:alice", FaultSpec());
+  sys.issue_user_key("Med", "alice", "hosp");
+  EXPECT_TRUE(sys.download_report("alice", "f1").all_ok());
+}
+
+TEST_F(TransportFaults, DuplicatedIssuanceAppliedOnce) {
+  FaultSpec duplicating;
+  duplicating.duplicate = 1.0;
+  loopback(sys).faults().set_channel("aa:Med", "user:alice", duplicating);
+  sys.issue_user_key("Med", "alice", "hosp");
+  EXPECT_EQ(sys.meter().stats("aa:Med", "user:alice").redeliveries, 1u);
+  EXPECT_TRUE(sys.download_report("alice", "f1").all_ok());
+}
+
+TEST_F(TransportFaults, UnreachableServerParksEpochAndFailsReadsClosed) {
+  sys.issue_user_key("Med", "alice", "hosp");
+  ASSERT_TRUE(sys.download_report("alice", "f1").all_ok());
+
+  FaultSpec dropping;
+  dropping.drop = 1.0;
+  loopback(sys).faults().set_channel("owner:hosp", "server", dropping);
+  // The revocation runs, but the epoch cannot reach the server yet.
+  const size_t committed = sys.revoke_attribute("Med", "alice", "Doctor");
+  EXPECT_EQ(committed, 0u);
+  EXPECT_GT(sys.health().pending_deliveries, 0u);
+
+  // Reads fail closed while the epoch is parked: the server would still
+  // serve pre-revocation ciphertext.
+  try {
+    (void)sys.download_report("alice", "f1");
+    FAIL() << "download served stale data during a parked epoch";
+  } catch (const TransportError& e) {
+    EXPECT_EQ(e.kind(), TransportError::Kind::kDegraded);
+  }
+
+  // Heal and drain: the epoch commits and the revoked user is locked out.
+  loopback(sys).faults().set_channel("owner:hosp", "server", FaultSpec());
+  EXPECT_EQ(sys.flush_pending(), 0u);
+  const auto report = sys.download_report("alice", "f1");
+  EXPECT_TRUE(report.opened().empty());
+  for (const auto& slot : report.slots) {
+    EXPECT_EQ(slot.state, CloudSystem::SlotState::kNoKey);
+  }
+}
+
+TEST_F(TransportFaults, DuplicatedUpdateKeyFoldedOnce) {
+  sys.issue_user_key("Med", "alice", "hosp");
+  sys.add_user("bob");
+  sys.assign_attributes("Med", "bob", {"Doctor"});
+  sys.issue_user_key("Med", "bob", "hosp");
+
+  // Revoking bob sends alice an update key; duplicate every frame on
+  // that channel. Folding UK2 twice would brick alice's key — the
+  // request-id dedup must apply it exactly once.
+  FaultSpec duplicating;
+  duplicating.duplicate = 1.0;
+  loopback(sys).faults().set_channel("aa:Med", "user:alice", duplicating);
+  EXPECT_GT(sys.revoke_attribute("Med", "bob", "Doctor"), 0u);
+  EXPECT_GT(sys.meter().stats("aa:Med", "user:alice").redeliveries, 0u);
+
+  const auto report = sys.download_report("alice", "f1");
+  EXPECT_TRUE(report.all_ok());
+  for (const auto& [name, data] : report.opened()) {
+    EXPECT_TRUE(string_of(data) == "component A plaintext" ||
+                string_of(data) == "component B plaintext");
+  }
+  EXPECT_TRUE(sys.download_report("bob", "f1").opened().empty());
+}
+
 TEST_F(FailureInjection, ForeignGroupElementsRejected) {
   // A ciphertext whose points were generated on a DIFFERENT curve
   // instance must fail to deserialize (x not on curve / value too big)

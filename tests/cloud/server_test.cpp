@@ -283,7 +283,10 @@ TEST(ServerTest, ConcurrentFetchStoreReencryptStress) {
   // check.
   auto writer = [&] {
     int n = 0;
-    while (!stop.load(std::memory_order_relaxed)) {
+    // Run at least 8 iterations so every "w" file exists even when the
+    // epoch commits (and sets `stop`) before the writer has warmed up —
+    // the final file-count check assumes all 8 landed.
+    while (n < 8 || !stop.load(std::memory_order_relaxed)) {
       StoredFile fresh = replacement_template;
       fresh.file_id = "w" + std::to_string(n % 8);
       fresh.owner_id = "bystander";  // never matched by the epoch

@@ -1,0 +1,133 @@
+// Deserializer truncation fuzz: every artefact type that crosses a
+// channel or rests on disk must reject a truncation at EVERY byte
+// boundary, and trailing garbage, with a typed WireError — never a
+// crash, and never a silently-successful partial parse (all readers end
+// with expect_done()).
+#include <gtest/gtest.h>
+
+#include "abe/scheme.h"
+#include "abe/serial.h"
+#include "baseline/lewko.h"
+#include "baseline/lewko_serial.h"
+#include "cloud/system.h"
+#include "common/errors.h"
+#include "lsss/parser.h"
+
+namespace maabe::cloud {
+namespace {
+
+using lsss::LsssMatrix;
+using lsss::parse_policy;
+using pairing::Group;
+
+/// Deserializing any strict prefix, and the encoding plus one trailing
+/// byte, must throw WireError.
+template <typename Deser>
+void fuzz_boundaries(const std::string& what, const Bytes& wire, Deser&& deser) {
+  ASSERT_FALSE(wire.empty()) << what;
+  for (size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_THROW((void)deser(ByteView(wire.data(), len)), WireError)
+        << what << " truncated to " << len << " of " << wire.size();
+  }
+  Bytes longer = wire;
+  longer.push_back(0x5C);
+  EXPECT_THROW((void)deser(longer), WireError) << what << " with trailing garbage";
+}
+
+TEST(TruncationFuzz, EveryAbeArtefact) {
+  auto grp = Group::test_small();
+  crypto::Drbg rng(std::string_view("truncation-fuzz"));
+
+  const abe::UserPublicKey user = abe::ca_register_user(*grp, "alice", rng);
+  const abe::OwnerMasterKey mk = abe::owner_gen(*grp, "hosp", rng);
+  const abe::OwnerSecretShare share = abe::owner_share(*grp, mk);
+  const abe::AuthorityVersionKey vk = abe::aa_setup(*grp, "Med", rng);
+  const abe::AuthorityPublicKey apk = abe::aa_public_key(*grp, vk);
+  const abe::PublicAttributeKey attr_pk = abe::aa_attribute_key(*grp, vk, "Doctor");
+  const abe::UserSecretKey sk = abe::aa_keygen(*grp, vk, share, user, {"Doctor"});
+
+  const LsssMatrix policy = LsssMatrix::from_policy(parse_policy("Doctor@Med"));
+  const abe::EncryptionResult enc =
+      abe::encrypt(*grp, mk, "ct1", grp->gt_random(rng), policy, {{"Med", apk}},
+                   {{attr_pk.attr.qualified(), attr_pk}}, rng);
+
+  const abe::ReKeyResult rekey = abe::aa_rekey(*grp, vk, rng);
+  const abe::UpdateKey uk = abe::aa_make_update_key(*grp, vk, rekey.new_vk, share);
+  const abe::PublicAttributeKey new_attr_pk =
+      abe::apply_update_to_attribute_pk(*grp, attr_pk, uk);
+  const abe::UpdateInfo ui = abe::owner_update_info(
+      *grp, mk, enc.record, enc.ct, {{attr_pk.attr.qualified(), attr_pk}},
+      {{new_attr_pk.attr.qualified(), new_attr_pk}}, "Med");
+
+  const Group& g = *grp;
+  fuzz_boundaries("UserPublicKey", abe::serialize(g, user), [&](ByteView b) {
+    return abe::deserialize_user_public_key(g, b);
+  });
+  fuzz_boundaries("OwnerMasterKey", abe::serialize(g, mk), [&](ByteView b) {
+    return abe::deserialize_owner_master_key(g, b);
+  });
+  fuzz_boundaries("OwnerSecretShare", abe::serialize(g, share), [&](ByteView b) {
+    return abe::deserialize_owner_secret_share(g, b);
+  });
+  fuzz_boundaries("AuthorityVersionKey", abe::serialize(g, vk), [&](ByteView b) {
+    return abe::deserialize_authority_version_key(g, b);
+  });
+  fuzz_boundaries("AuthorityPublicKey", abe::serialize(g, apk), [&](ByteView b) {
+    return abe::deserialize_authority_public_key(g, b);
+  });
+  fuzz_boundaries("PublicAttributeKey", abe::serialize(g, attr_pk), [&](ByteView b) {
+    return abe::deserialize_public_attribute_key(g, b);
+  });
+  fuzz_boundaries("UserSecretKey", abe::serialize(g, sk), [&](ByteView b) {
+    return abe::deserialize_user_secret_key(g, b);
+  });
+  fuzz_boundaries("Ciphertext", abe::serialize(g, enc.ct), [&](ByteView b) {
+    return abe::deserialize_ciphertext(g, b);
+  });
+  fuzz_boundaries("EncryptionRecord", abe::serialize(g, enc.record), [&](ByteView b) {
+    return abe::deserialize_encryption_record(g, b);
+  });
+  fuzz_boundaries("UpdateKey", abe::serialize(g, uk), [&](ByteView b) {
+    return abe::deserialize_update_key(g, b);
+  });
+  fuzz_boundaries("UpdateInfo", abe::serialize(g, ui), [&](ByteView b) {
+    return abe::deserialize_update_info(g, b);
+  });
+}
+
+TEST(TruncationFuzz, StoredFile) {
+  auto grp = Group::test_small();
+  CloudSystem sys(grp, "truncation-fuzz");
+  sys.add_authority("Med", {"Doctor"});
+  sys.add_owner("hosp");
+  sys.publish_authority_keys("Med", "hosp");
+  sys.upload("hosp", "f1", {{"a", bytes_of("payload bytes"), "Doctor@Med"}});
+  const Bytes wire = serialize(*grp, *sys.server().fetch("f1"));
+  fuzz_boundaries("StoredFile", wire,
+                  [&](ByteView b) { return deserialize_stored_file(*grp, b); });
+}
+
+TEST(TruncationFuzz, LewkoBaselineArtefacts) {
+  auto grp = Group::test_small();
+  crypto::Drbg rng(std::string_view("truncation-fuzz-lewko"));
+  const baseline::LewkoAuthorityKeys auth =
+      baseline::lewko_authority_setup(*grp, "Med", {"Doctor"}, rng);
+  const baseline::LewkoAttributePublicKey pk =
+      baseline::lewko_attribute_pk(*grp, auth, "Doctor");
+  baseline::LewkoUserKey key;
+  baseline::lewko_keygen(*grp, auth, "alice", {"Doctor"}, &key);
+  const LsssMatrix policy = LsssMatrix::from_policy(parse_policy("Doctor@Med"));
+  const baseline::LewkoCiphertext ct = baseline::lewko_encrypt(
+      *grp, grp->gt_random(rng), policy, {{pk.attr.qualified(), pk}}, rng);
+
+  const Group& g = *grp;
+  fuzz_boundaries("LewkoAttributePublicKey", baseline::serialize(g, pk),
+                  [&](ByteView b) { return baseline::deserialize_lewko_attribute_pk(g, b); });
+  fuzz_boundaries("LewkoUserKey", baseline::serialize(g, key),
+                  [&](ByteView b) { return baseline::deserialize_lewko_user_key(g, b); });
+  fuzz_boundaries("LewkoCiphertext", baseline::serialize(g, ct),
+                  [&](ByteView b) { return baseline::deserialize_lewko_ciphertext(g, b); });
+}
+
+}  // namespace
+}  // namespace maabe::cloud

@@ -105,6 +105,34 @@ TEST_F(CurveTest, SerializationNegatesWithSignBit) {
   EXPECT_EQ(grp->g1_from_bytes(b), p.neg());
 }
 
+TEST_F(CurveTest, UncompressedSerializationRoundTrip) {
+  for (int i = 0; i < 10; ++i) {
+    const G1 p = grp->g1_random(rng);
+    const Bytes b = p.to_bytes_uncompressed();
+    EXPECT_EQ(b.size(), grp->g1_uncompressed_size());
+    EXPECT_EQ(grp->g1_from_bytes_uncompressed(b), p);
+  }
+  const Bytes id = grp->g1_identity().to_bytes_uncompressed();
+  EXPECT_EQ(id.size(), grp->g1_uncompressed_size());
+  EXPECT_TRUE(grp->g1_from_bytes_uncompressed(id).is_identity());
+}
+
+TEST_F(CurveTest, UncompressedDeserializationRejectsMalformed) {
+  const G1 p = grp->g1_random(rng);
+  const Bytes good = p.to_bytes_uncompressed();
+  EXPECT_THROW(grp->g1_from_bytes_uncompressed(Bytes(good.size() - 1)), WireError);
+  Bytes flag = good;
+  flag.back() = 1;  // only 0 (point) and 2 (infinity) are valid
+  EXPECT_THROW(grp->g1_from_bytes_uncompressed(flag), WireError);
+  Bytes off = good;
+  off[good.size() / 2] ^= 0x5a;  // break y: (x, y) leaves the curve
+  EXPECT_THROW(grp->g1_from_bytes_uncompressed(off), WireError);
+  Bytes inf(grp->g1_uncompressed_size(), 0);
+  inf.back() = 2;
+  inf[0] = 1;  // nonzero coordinate bytes in an infinity encoding
+  EXPECT_THROW(grp->g1_from_bytes_uncompressed(inf), WireError);
+}
+
 TEST_F(CurveTest, DeserializationRejectsMalformed) {
   EXPECT_THROW(grp->g1_from_bytes(Bytes(grp->g1_size() - 1)), WireError);
   Bytes bad(grp->g1_size(), 0);

@@ -156,4 +156,43 @@ TEST_F(CliTest, DuplicateFileRejected) {
   EXPECT_EQ(run("inspect f1"), 0);
 }
 
+TEST_F(CliTest, ChaosFlagsDegradeTyped) {
+  ASSERT_EQ(run("init --test-curve"), 0);
+  ASSERT_EQ(run("add-authority Med Doctor"), 0);
+  ASSERT_EQ(run("add-owner hosp"), 0);
+  ASSERT_EQ(run("add-user alice"), 0);
+  ASSERT_EQ(run("grant Med alice Doctor"), 0);
+  ASSERT_EQ(run("issue-key Med alice hosp"), 0);
+  write_file("in.txt", "chaos payload");
+  ASSERT_EQ(run("encrypt hosp f1 \"Doctor@Med\" " + (home_ / "in.txt").string()), 0);
+
+  // A channel that drops everything: the upload exhausts its retries and
+  // exits with the generic (typed-error) code, and nothing is stored.
+  write_file("in2.txt", "never arrives");
+  EXPECT_EQ(run("--drop-rate 1.0 encrypt hosp f2 \"Doctor@Med\" " +
+                (home_ / "in2.txt").string()),
+            1);
+  EXPECT_EQ(run("inspect f2"), 1);
+
+  // Corruption on the download leg is caught by the frame checksum: a
+  // typed failure, never wrong plaintext on disk.
+  EXPECT_EQ(run("--corrupt-rate 1.0 --fault-seed 9 decrypt alice f1 " +
+                (home_ / "bad.txt").string()),
+            1);
+  EXPECT_FALSE(fs::exists(home_ / "bad.txt"));
+
+  // Moderate faults: retries recover, the plaintext is exact, and
+  // --transport-stats reporting does not disturb the exit code.
+  EXPECT_EQ(run("--drop-rate 0.4 --fault-seed 3 --transport-stats decrypt "
+                "alice f1 " +
+                (home_ / "out.txt").string()),
+            0);
+  EXPECT_EQ(read_file("out.txt"), "chaos payload");
+}
+
+TEST_F(CliTest, ChaosFlagsValidated) {
+  EXPECT_EQ(run("--drop-rate 1.5 status"), 64);
+  EXPECT_EQ(run("--corrupt-rate banana status"), 64);
+}
+
 }  // namespace

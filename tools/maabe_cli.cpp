@@ -26,6 +26,7 @@
 #include "abe/scheme.h"
 #include "abe/serial.h"
 #include "cloud/hybrid.h"
+#include "cloud/transport.h"
 #include "common/errors.h"
 #include "crypto/random.h"
 #include "engine/engine.h"
@@ -50,11 +51,70 @@ void write_whole_file(const std::string& path, ByteView data) {
             static_cast<std::streamsize>(data.size()));
 }
 
+/// Chaos-testing knobs (see README "Chaos testing"): the server data
+/// path (encrypt/decrypt/revoke) runs over a byte-level loopback
+/// transport with deterministic fault injection.
+struct TransportConfig {
+  uint64_t fault_seed = 1;
+  double drop_rate = 0.0;
+  double corrupt_rate = 0.0;
+  bool show_stats = false;
+};
+
 struct Cli {
   Keystore store;
   crypto::Drbg rng = crypto::make_system_drbg();
+  cloud::LoopbackTransport transport;
+  cloud::ReliableLink link{transport};
 
-  explicit Cli(fsys::path home) : store(std::move(home)) {}
+  Cli(fsys::path home, const TransportConfig& cfg)
+      : store(std::move(home)), transport(make_plan(cfg)) {}
+
+  static cloud::FaultPlan make_plan(const TransportConfig& cfg) {
+    cloud::FaultPlan plan(cfg.fault_seed);
+    cloud::FaultSpec spec;
+    spec.drop = cfg.drop_rate;
+    spec.corrupt = cfg.corrupt_rate;
+    plan.set_default(spec);
+    return plan;
+  }
+
+  /// Upload leg: the serialized StoredFile travels owner -> server.
+  void server_put(const std::string& owner_id, const std::string& file_id,
+                  ByteView wire) {
+    link.send("owner:" + owner_id, "server", wire, [&](ByteView delivered) {
+      store.save_server_file(file_id, Bytes(delivered.begin(), delivered.end()));
+    });
+  }
+
+  /// Download leg: the stored bytes travel server -> `to`.
+  Bytes server_get(const std::string& to, const std::string& file_id) {
+    Bytes wire;
+    link.send("server", to, store.load_server_file(file_id),
+              [&](ByteView delivered) {
+                wire.assign(delivered.begin(), delivered.end());
+              });
+    return wire;
+  }
+
+  void print_transport_stats() const {
+    std::printf("transport stats:\n");
+    for (const auto& [channel, s] : transport.meter().entries()) {
+      std::printf(
+          "  %s -> %s: payload %ju B, frames %ju (%ju B), deliveries %ju, "
+          "drops %ju, corruptions %ju, retries %ju, redeliveries %ju\n",
+          channel.first.c_str(), channel.second.c_str(),
+          static_cast<uintmax_t>(s.payload_bytes), static_cast<uintmax_t>(s.frames),
+          static_cast<uintmax_t>(s.frame_bytes), static_cast<uintmax_t>(s.deliveries),
+          static_cast<uintmax_t>(s.drops), static_cast<uintmax_t>(s.corruptions),
+          static_cast<uintmax_t>(s.retries), static_cast<uintmax_t>(s.redeliveries));
+    }
+    const cloud::FaultPlan::Injected& injected = transport.faults().injected();
+    std::printf("  injected faults: %ju (sends ok %ju, failed %ju)\n",
+                static_cast<uintmax_t>(injected.total()),
+                static_cast<uintmax_t>(link.sends_ok()),
+                static_cast<uintmax_t>(link.sends_failed()));
+  }
 
   int init(const std::vector<std::string>& args) {
     const bool small = !args.empty() && args[0] == "--test-curve";
@@ -181,7 +241,7 @@ struct Cli {
     file.slots.push_back(std::move(slot));
 
     const Bytes wire = cloud::serialize(*grp, file);
-    store.save_server_file(file_id, wire);
+    server_put(args[0], file_id, wire);
     store.save_record(args[0], enc.record);
     store.save_owner_ciphertext(args[0], enc.ct);
     std::printf("stored '%s' (%zu bytes) under policy %s\n", file_id.c_str(),
@@ -194,7 +254,7 @@ struct Cli {
       throw SchemeError("usage: decrypt <uid> <file-id> <output-file>");
     auto grp = store.group();
     const cloud::StoredFile file =
-        cloud::deserialize_stored_file(*grp, store.load_server_file(args[1]));
+        cloud::deserialize_stored_file(*grp, server_get("user:" + args[0], args[1]));
     const abe::UserPublicKey user = store.load_user_pk(args[0]);
     const auto keys = store.load_user_keys_for_owner(args[0], file.owner_id);
     const cloud::SealedSlot& slot = file.slots.at(0);
@@ -270,12 +330,12 @@ struct Cli {
         // Propagate into the stored file (slot ids are
         // "<file_id>/<component>").
         const std::string file_id = cloud::split_slot_ct_id(ct_id).first;
-        cloud::StoredFile file =
-            cloud::deserialize_stored_file(*grp, store.load_server_file(file_id));
+        cloud::StoredFile file = cloud::deserialize_stored_file(
+            *grp, server_get("owner:" + owner_id, file_id));
         for (cloud::SealedSlot& slot : file.slots) {
           if (slot.key_ct.id == ct_id) slot.key_ct = ct;
         }
-        store.save_server_file(file_id, cloud::serialize(*grp, file));
+        server_put(owner_id, file_id, cloud::serialize(*grp, file));
         ++cts_reencrypted;
       }
     }
@@ -328,9 +388,14 @@ struct Cli {
 int usage() {
   std::fprintf(stderr,
                "maabe-cli — multi-authority attribute-based access control\n"
-               "usage: maabe-cli [--home DIR] [--threads N] <command> [args]\n\n"
-               "  --threads N   crypto engine thread count (default: MAABE_THREADS\n"
-               "                env var, else hardware concurrency; 1 = serial)\n\n"
+               "usage: maabe-cli [--home DIR] [--threads N] [chaos flags] <command> [args]\n\n"
+               "  --threads N       crypto engine thread count (default: MAABE_THREADS\n"
+               "                    env var, else hardware concurrency; 1 = serial)\n"
+               "chaos flags (deterministic fault injection on the server data path):\n"
+               "  --fault-seed N    seed for the fault schedule (default 1)\n"
+               "  --drop-rate P     P(frame lost), 0 <= P <= 1 (default 0)\n"
+               "  --corrupt-rate P  P(frame byte flipped), 0 <= P <= 1 (default 0)\n"
+               "  --transport-stats print per-channel transport counters on exit\n\n"
                "commands:\n"
                "  init [--test-curve]                  create the keystore\n"
                "  add-authority <aid> <attr>...        register an attribute authority\n"
@@ -348,7 +413,17 @@ int usage() {
 
 int run(int argc, char** argv) {
   fsys::path home = "maabe-home";
+  TransportConfig transport_cfg;
   std::vector<std::string> args;
+  const auto parse_rate = [](const char* flag, const char* value, double* out) {
+    char* end = nullptr;
+    *out = std::strtod(value, &end);
+    if (end == value || *end != '\0' || *out < 0.0 || *out > 1.0) {
+      std::fprintf(stderr, "%s expects a probability in [0, 1]\n", flag);
+      return false;
+    }
+    return true;
+  };
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--home") == 0 && i + 1 < argc) {
       home = argv[++i];
@@ -359,6 +434,16 @@ int run(int argc, char** argv) {
         return usage();
       }
       engine::CryptoEngine::set_default_threads(n);
+    } else if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc) {
+      transport_cfg.fault_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--drop-rate") == 0 && i + 1 < argc) {
+      if (!parse_rate("--drop-rate", argv[++i], &transport_cfg.drop_rate))
+        return usage();
+    } else if (std::strcmp(argv[i], "--corrupt-rate") == 0 && i + 1 < argc) {
+      if (!parse_rate("--corrupt-rate", argv[++i], &transport_cfg.corrupt_rate))
+        return usage();
+    } else if (std::strcmp(argv[i], "--transport-stats") == 0) {
+      transport_cfg.show_stats = true;
     } else {
       args.emplace_back(argv[i]);
     }
@@ -367,20 +452,30 @@ int run(int argc, char** argv) {
   const std::string cmd = args.front();
   args.erase(args.begin());
 
-  Cli cli(home);
-  if (cmd == "init") return cli.init(args);
-  if (cmd == "add-authority") return cli.add_authority(args);
-  if (cmd == "add-owner") return cli.add_owner(args);
-  if (cmd == "add-user") return cli.add_user(args);
-  if (cmd == "grant") return cli.grant(args);
-  if (cmd == "issue-key") return cli.issue_key(args);
-  if (cmd == "encrypt") return cli.encrypt(args);
-  if (cmd == "decrypt") return cli.decrypt(args);
-  if (cmd == "revoke") return cli.revoke(args);
-  if (cmd == "inspect") return cli.inspect(args);
-  if (cmd == "status") return cli.status(args);
-  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
-  return usage();
+  Cli cli(home, transport_cfg);
+  const auto dispatch = [&]() -> int {
+    if (cmd == "init") return cli.init(args);
+    if (cmd == "add-authority") return cli.add_authority(args);
+    if (cmd == "add-owner") return cli.add_owner(args);
+    if (cmd == "add-user") return cli.add_user(args);
+    if (cmd == "grant") return cli.grant(args);
+    if (cmd == "issue-key") return cli.issue_key(args);
+    if (cmd == "encrypt") return cli.encrypt(args);
+    if (cmd == "decrypt") return cli.decrypt(args);
+    if (cmd == "revoke") return cli.revoke(args);
+    if (cmd == "inspect") return cli.inspect(args);
+    if (cmd == "status") return cli.status(args);
+    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+    return usage();
+  };
+  try {
+    const int rc = dispatch();
+    if (transport_cfg.show_stats) cli.print_transport_stats();
+    return rc;
+  } catch (const Error&) {
+    if (transport_cfg.show_stats) cli.print_transport_stats();
+    throw;
+  }
 }
 
 }  // namespace
