@@ -10,12 +10,14 @@
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "engine/engine.h"
+#include "telemetry/metrics.h"
 
 namespace maabe::bench {
 
@@ -98,6 +100,37 @@ inline Json stats_json(const engine::EngineStats& s) {
       .put("table_builds", s.table_builds)
       .put("table_hits", s.table_hits)
       .put("wall_ms", s.wall_ms());
+  return j;
+}
+
+/// Per-phase engine-op breakdown (the shape cloud::OpMeter::phases()
+/// returns): one nested stats record per phase name.
+inline Json phases_json(const std::map<std::string, engine::EngineStats>& phases) {
+  Json j;
+  for (const auto& [name, stats] : phases) j.put(name, stats_json(stats));
+  return j;
+}
+
+/// Telemetry registry snapshot: counters and gauges verbatim,
+/// histograms reduced to count / sum / mean (full bucket vectors stay
+/// in the Prometheus exposition; a bench JSON wants the summary).
+inline Json snapshot_json(const telemetry::Snapshot& snap) {
+  Json counters;
+  for (const auto& [name, v] : snap.counters) counters.put(name, v);
+  Json gauges;
+  for (const auto& [name, v] : snap.gauges)
+    gauges.put_raw(name, std::to_string(v));
+  Json histograms;
+  for (const auto& [name, data] : snap.histograms) {
+    Json h;
+    h.put("count", data.count).put("sum", data.sum);
+    h.put("mean", data.count == 0
+                      ? 0.0
+                      : static_cast<double>(data.sum) / static_cast<double>(data.count));
+    histograms.put(name, h);
+  }
+  Json j;
+  j.put("counters", counters).put("gauges", gauges).put("histograms", histograms);
   return j;
 }
 

@@ -13,8 +13,12 @@
 // UpdateInfo generation (owner).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "abe/serial.h"
 #include "bench_common.h"
+#include "bench_json.h"
+#include "cloud/meter.h"
 #include "cloud/server.h"
 #include "cloud/transport.h"
 
@@ -226,6 +230,100 @@ BENCHMARK(BM_ReEncrypt_Epoch_Transport)
     ->Unit(benchmark::kMillisecond)
     ->MinTime(0.05);
 
+// One instrumented pass over the whole protocol, phase by phase, with
+// per-op timing on: BENCH_revocation.json gets a per-phase wall-ms +
+// engine-op breakdown (OpMeter deltas) plus the registry snapshot, so
+// a sweep diff shows *where* a regression landed, not just that the
+// epoch got slower.
+void emit_phase_breakdown() {
+  telemetry::set_op_timing(true);
+  const RevocationFixture& f = RevocationFixture::get(2);
+  const pairing::Group& grp = *f.w->grp;
+  engine::CryptoEngine& eng = engine::CryptoEngine::for_group(grp);
+  crypto::Drbg rng(std::string_view("phase-breakdown"));
+  cloud::OpMeter meter;
+  Json phase_wall_ms;
+  const auto timed = [&](const char* phase, const auto& body) {
+    cloud::OpMeter::Scope scope(meter, eng, phase);
+    const auto start = std::chrono::steady_clock::now();
+    body();
+    phase_wall_ms.put(phase,
+                      std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count());
+  };
+
+  timed("rekey_aa", [&] {
+    const auto new_vk = abe::aa_rekey(grp, f.old_vk, rng).new_vk;
+    benchmark::DoNotOptimize(abe::aa_make_update_key(grp, f.old_vk, new_vk, f.w->sk_o));
+  });
+  timed("key_update_user", [&] {
+    benchmark::DoNotOptimize(apply_update_to_secret_key(
+        grp, f.w->user_keys.at(aid_of(0)), f.uk));
+  });
+  timed("update_info_owner", [&] {
+    benchmark::DoNotOptimize(abe::owner_update_info(grp, f.w->mk, f.w->enc.record,
+                                                    f.w->enc.ct, f.w->attr_pks,
+                                                    f.new_attr_pks, aid_of(0)));
+  });
+
+  // Transported epoch over 4 files, the full serialized round trip.
+  constexpr int kFiles = 4;
+  std::vector<cloud::StoredFile> files;
+  std::vector<abe::UpdateInfo> infos;
+  for (int i = 0; i < kFiles; ++i) {
+    const std::string file_id = "f" + std::to_string(i);
+    const std::string ct_id = cloud::slot_ct_id(file_id, "key");
+    abe::EncryptionResult enc = abe::encrypt(grp, f.w->mk, ct_id, f.w->message,
+                                             f.w->policy, f.w->apks, f.w->attr_pks, rng);
+    infos.push_back(abe::owner_update_info(grp, f.w->mk, enc.record, enc.ct,
+                                           f.w->attr_pks, f.new_attr_pks, aid_of(0)));
+    files.push_back({file_id, f.w->mk.owner_id, {{"key", std::move(enc.ct), Bytes{}}}});
+  }
+  cloud::LoopbackTransport transport;
+  cloud::ReliableLink link(transport);
+  cloud::CloudServer server(f.w->grp);
+  for (const cloud::StoredFile& file : files) server.store(file);
+  uint64_t slots = 0;
+  timed("epoch_transport", [&] {
+    Writer w;
+    w.var_bytes(abe::serialize(grp, f.uk));
+    w.u32(static_cast<uint32_t>(infos.size()));
+    for (const abe::UpdateInfo& ui : infos) w.var_bytes(abe::serialize(grp, ui));
+    link.send("owner:owner", "server", w.bytes(), [&](ByteView payload) {
+      Reader r(payload);
+      const abe::UpdateKey uk =
+          abe::deserialize_update_key(grp, r.var_bytes(), abe::UkCheck::kCiphertextPath);
+      std::vector<abe::UpdateInfo> delivered;
+      const uint32_t n = r.u32();
+      delivered.reserve(n);
+      for (uint32_t i = 0; i < n; ++i)
+        delivered.push_back(abe::deserialize_update_info(grp, r.var_bytes()));
+      r.expect_done();
+      slots += server.reencrypt(uk, delivered);
+    });
+  });
+
+  const cloud::ChannelStats stats = transport.meter().stats("owner:owner", "server");
+  Json wire;
+  wire.put("payload_bytes", stats.payload_bytes)
+      .put("frame_bytes", stats.frame_bytes)
+      .put("frames", stats.frames)
+      .put("bytes_delivered", stats.bytes_delivered)
+      .put("bytes_accepted", stats.bytes_accepted);
+  Json root;
+  root.put("bench", "revocation")
+      .put("group", bench_group_label())
+      .put("attrs_per_authority", kAttrsPerAuthority)
+      .put("epoch_files", kFiles)
+      .put("epoch_slots", slots)
+      .put("phase_wall_ms", phase_wall_ms)
+      .put("phases", phases_json(meter.phases()))
+      .put("epoch_wire", wire)
+      .put("telemetry", snapshot_json(telemetry::MetricsRegistry::global().collect()));
+  write_bench_json("revocation", root);
+}
+
 }  // namespace
 }  // namespace maabe::bench
 
@@ -236,5 +334,6 @@ int main(int argc, char** argv) {
               maabe::bench::kAttrsPerAuthority);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  maabe::bench::emit_phase_breakdown();
   return 0;
 }

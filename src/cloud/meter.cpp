@@ -16,39 +16,48 @@ ChannelStats& ChannelStats::operator+=(const ChannelStats& o) {
   script_failures += o.script_failures;
   retries += o.retries;
   redeliveries += o.redeliveries;
+  bytes_delivered += o.bytes_delivered;
+  bytes_accepted += o.bytes_accepted;
   return *this;
 }
 
 void ChannelMeter::record(const std::string& from, const std::string& to, size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
   totals_[{from, to}].payload_bytes += bytes;
 }
 
 size_t ChannelMeter::sent(const std::string& from, const std::string& to) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = totals_.find({from, to});
   return it == totals_.end() ? 0 : it->second.payload_bytes;
 }
 
 ChannelStats ChannelMeter::stats(const std::string& from, const std::string& to) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = totals_.find({from, to});
   return it == totals_.end() ? ChannelStats{} : it->second;
 }
 
-ChannelStats& ChannelMeter::mutable_stats(const std::string& from,
-                                          const std::string& to) {
-  return totals_[{from, to}];
-}
-
 ChannelStats ChannelMeter::totals() const {
+  std::lock_guard<std::mutex> lock(mu_);
   ChannelStats out;
   for (const auto& [channel, stats] : totals_) out += stats;
   return out;
 }
 
 size_t ChannelMeter::between(const std::string& a, const std::string& b) const {
-  return sent(a, b) + sent(b, a);
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& [channel, stats] : totals_) {
+    if ((channel.first == a && channel.second == b) ||
+        (channel.first == b && channel.second == a))
+      total += stats.payload_bytes;
+  }
+  return total;
 }
 
 size_t ChannelMeter::involving(const std::string& entity) const {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t total = 0;
   for (const auto& [channel, stats] : totals_) {
     if (channel.first == entity || channel.second == entity)
@@ -57,7 +66,16 @@ size_t ChannelMeter::involving(const std::string& entity) const {
   return total;
 }
 
-void ChannelMeter::reset() { totals_.clear(); }
+std::map<std::pair<std::string, std::string>, ChannelStats> ChannelMeter::entries()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return totals_;
+}
+
+void ChannelMeter::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  totals_.clear();
+}
 
 void OpMeter::record(const std::string& phase, const engine::EngineStats& delta) {
   phases_[phase] += delta;

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "engine/engine.h"
@@ -40,6 +41,14 @@ struct ChannelStats {
   uint64_t script_failures = 0;   ///< fail_next() script hits
   uint64_t retries = 0;
   uint64_t redeliveries = 0;
+  /// Payload bytes of every intact frame copy handed to the receiver —
+  /// duplicate and redelivered copies count each time they arrive.
+  uint64_t bytes_delivered = 0;
+  /// Payload bytes the receiver actually APPLIED (goodput): request
+  /// payloads that passed request-id dedup. Redelivered copies of an
+  /// already-applied request count toward bytes_delivered but never
+  /// toward bytes_accepted; on a fault-free channel the two are equal.
+  uint64_t bytes_accepted = 0;
 
   uint64_t faults() const {
     return drops + duplicates + corruptions + ack_losses + delays + script_failures;
@@ -47,10 +56,26 @@ struct ChannelStats {
   ChannelStats& operator+=(const ChannelStats& o);
 };
 
+/// Thread-safe: every accessor takes the meter mutex, so concurrent
+/// senders and health()/telemetry readers see coherent per-channel
+/// rows. The transport layer updates counters through apply(), whose
+/// callback runs under the lock — it must be a handful of field
+/// increments, never something that can re-enter the meter (delivery
+/// sinks nest sends, so the transport is careful to call apply()
+/// outside sink invocations).
 class ChannelMeter {
  public:
   /// Records `bytes` of payload sent from `from` to `to`.
   void record(const std::string& from, const std::string& to, size_t bytes);
+
+  /// Runs `fn(ChannelStats&)` for the directed channel under the meter
+  /// lock — the transport layer's accounting hook (replaces the old
+  /// unsynchronized mutable_stats()).
+  template <typename Fn>
+  void apply(const std::string& from, const std::string& to, Fn&& fn) {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn(totals_[{from, to}]);
+  }
 
   /// Directional payload total from -> to (Table IV numbers).
   size_t sent(const std::string& from, const std::string& to) const;
@@ -63,18 +88,16 @@ class ChannelMeter {
 
   /// Full counters for one directed channel (zeroes if never used).
   ChannelStats stats(const std::string& from, const std::string& to) const;
-  /// Mutable counters — the transport layer's accounting hook.
-  ChannelStats& mutable_stats(const std::string& from, const std::string& to);
   /// Aggregate over every channel.
   ChannelStats totals() const;
 
   void reset();
 
-  const std::map<std::pair<std::string, std::string>, ChannelStats>& entries() const {
-    return totals_;
-  }
+  /// Copy of every per-channel row (a snapshot, not a live reference).
+  std::map<std::pair<std::string, std::string>, ChannelStats> entries() const;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::pair<std::string, std::string>, ChannelStats> totals_;
 };
 

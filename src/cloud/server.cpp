@@ -1,13 +1,44 @@
 #include "cloud/server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <mutex>
 
 #include "abe/serial.h"
 #include "common/errors.h"
 #include "engine/engine.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace maabe::cloud {
+
+namespace {
+
+/// Registry handles for the server's global counters. fetch() is the
+/// shard-lookup hot path — a single sharded-atomic add, no extra locks.
+struct ServerMetrics {
+  telemetry::Counter& stores;
+  telemetry::Counter& fetches;
+  telemetry::Counter& reencrypted_slots;
+  telemetry::Counter& epochs_committed;
+  telemetry::Counter& epochs_aborted;
+  telemetry::Histogram& epoch_ns;
+
+  static ServerMetrics& get() {
+    auto& reg = telemetry::MetricsRegistry::global();
+    static ServerMetrics* m = new ServerMetrics{
+        reg.counter("maabe_server_stores_total"),
+        reg.counter("maabe_server_fetches_total"),
+        reg.counter("maabe_server_reencrypted_slots_total"),
+        reg.counter("maabe_server_epochs_committed_total"),
+        reg.counter("maabe_server_epochs_aborted_total"),
+        reg.histogram("maabe_server_epoch_ns"),
+    };
+    return *m;
+  }
+};
+
+}  // namespace
 
 ShardStats& ShardStats::operator+=(const ShardStats& o) {
   files += o.files;
@@ -44,6 +75,7 @@ void CloudServer::store(StoredFile file) {
   sh.bytes = sh.bytes - entry.bytes + bytes;
   entry = Entry{std::move(snapshot), bytes};
   ++sh.stores;
+  ServerMetrics::get().stores.inc();
 }
 
 bool CloudServer::has_file(const std::string& file_id) const {
@@ -59,6 +91,7 @@ std::shared_ptr<const StoredFile> CloudServer::fetch(const std::string& file_id)
   if (it == sh.files.end())
     throw SchemeError("CloudServer: no file '" + file_id + "'");
   sh.fetches.fetch_add(1, std::memory_order_relaxed);
+  ServerMetrics::get().fetches.inc();
   return it->second.file;
 }
 
@@ -74,6 +107,15 @@ std::vector<std::string> CloudServer::file_ids() const {
 
 size_t CloudServer::reencrypt(const abe::UpdateKey& uk,
                               const std::vector<abe::UpdateInfo>& infos) {
+  ServerMetrics& sm = ServerMetrics::get();
+  const auto epoch_start = std::chrono::steady_clock::now();
+  telemetry::Span epoch_span =
+      telemetry::Tracer::global().start_span("server.reencrypt_epoch");
+  if (epoch_span.active()) {
+    epoch_span.attr("aid", uk.aid);
+    epoch_span.attr("owner", uk.owner_id);
+    epoch_span.attr("from_version", static_cast<uint64_t>(uk.from_version));
+  }
   // Index the update infos by ciphertext id. Two infos for the same
   // ciphertext are a protocol violation — applying an arbitrary one
   // would corrupt the slot, so fail loudly instead.
@@ -126,11 +168,17 @@ size_t CloudServer::reencrypt(const abe::UpdateKey& uk,
   for (size_t f = 0; f < staged.size(); ++f) {
     for (size_t i : staged[f].slot_indices) work.push_back({f, i});
   }
+  // Per-slot spans run on pool workers, so they parent on the epoch
+  // span's captured context rather than thread-local propagation.
+  const telemetry::SpanContext epoch_ctx = epoch_span.context();
   try {
     engine::CryptoEngine::for_group(*grp_).parallel_for(
         work.size(), [&](size_t w) {
           abe::Ciphertext& ct =
               staged[work[w].file].staged->slots[work[w].slot].key_ct;
+          telemetry::Span slot_span = telemetry::Tracer::global().start_child(
+              "server.reencrypt_slot", epoch_ctx);
+          if (slot_span.active()) slot_span.attr("ct_id", ct.id);
           if (fault_hook_) fault_hook_(ct.id);
           abe::reencrypt(*grp_, &ct, uk, *by_ct.at(ct.id));
         });
@@ -138,6 +186,8 @@ size_t CloudServer::reencrypt(const abe::UpdateKey& uk,
     // parallel_for rethrows the first failure and may abandon remaining
     // slots — both fine here: the staged copies are simply dropped.
     epochs_aborted_.fetch_add(1, std::memory_order_relaxed);
+    sm.epochs_aborted.inc();
+    if (epoch_span.active()) epoch_span.attr("outcome", "aborted");
     throw;
   }
 
@@ -158,6 +208,16 @@ size_t CloudServer::reencrypt(const abe::UpdateKey& uk,
     committed += sf.slot_indices.size();
   }
   epochs_committed_.fetch_add(1, std::memory_order_relaxed);
+  sm.epochs_committed.inc();
+  sm.reencrypted_slots.add(committed);
+  sm.epoch_ns.observe(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_start)
+          .count()));
+  if (epoch_span.active()) {
+    epoch_span.attr("slots", static_cast<uint64_t>(committed));
+    epoch_span.attr("outcome", "committed");
+  }
   return committed;
 }
 

@@ -2,6 +2,7 @@
 
 #include "abe/serial.h"
 #include "common/errors.h"
+#include "telemetry/trace.h"
 
 namespace maabe::cloud {
 
@@ -27,7 +28,38 @@ CloudSystem::CloudSystem(std::shared_ptr<const pairing::Group> grp,
       ca_(grp_, crypto::Drbg(std::string_view(seed + "/ca"))),
       server_(grp_),
       transport_(std::move(transport)),
-      link_(*transport_, retry) {}
+      link_(*transport_, retry) {
+  // Snapshot-time gauges for state that lives in structured stats
+  // rather than registry counters. add_gauge sums, so several systems
+  // in one process contribute naturally. The token (last member) is
+  // destroyed first, and reset() blocks on any in-flight collect(), so
+  // the callback never reads a dying system.
+  collector_ = telemetry::MetricsRegistry::global().register_collector(
+      [this](telemetry::Snapshot& snap) {
+        snap.add_gauge("maabe_system_pending_deliveries",
+                       static_cast<int64_t>(pending_count()));
+        snap.add_gauge("maabe_system_sends_ok",
+                       static_cast<int64_t>(link_.sends_ok()));
+        snap.add_gauge("maabe_system_sends_failed",
+                       static_cast<int64_t>(link_.sends_failed()));
+        snap.add_gauge("maabe_system_retries",
+                       static_cast<int64_t>(link_.retries()));
+        snap.add_gauge("maabe_system_applied_requests",
+                       static_cast<int64_t>(link_.applied_requests()));
+        const ChannelStats t = transport_->meter().totals();
+        snap.add_gauge("maabe_system_channel_payload_bytes",
+                       static_cast<int64_t>(t.payload_bytes));
+        snap.add_gauge("maabe_system_channel_frame_bytes",
+                       static_cast<int64_t>(t.frame_bytes));
+        snap.add_gauge("maabe_system_channel_bytes_delivered",
+                       static_cast<int64_t>(t.bytes_delivered));
+        snap.add_gauge("maabe_system_channel_bytes_accepted",
+                       static_cast<int64_t>(t.bytes_accepted));
+        const ShardStats s = server_.stats().totals();
+        snap.add_gauge("maabe_system_server_files", static_cast<int64_t>(s.files));
+        snap.add_gauge("maabe_system_server_bytes", static_cast<int64_t>(s.bytes));
+      });
+}
 
 crypto::Drbg CloudSystem::fork_rng(const std::string& label) {
   crypto::Drbg fork(rng_.bytes(48));
@@ -44,6 +76,9 @@ void CloudSystem::send_reliable(const std::string& from, const std::string& to,
 
 bool CloudSystem::send_or_park(const std::string& from, const std::string& to,
                                Bytes payload, Apply apply, const std::string& label) {
+  // Recursive: an apply replayed by flush_queue below may nest another
+  // send_or_park (the revocation epoch hop does).
+  std::lock_guard<std::recursive_mutex> lock(pending_mu_);
   // Order must be preserved per destination: never jump a parked queue.
   flush_queue(to);
   auto& queue = pending_[to];
@@ -64,6 +99,7 @@ bool CloudSystem::send_or_park(const std::string& from, const std::string& to,
 }
 
 void CloudSystem::flush_queue(const std::string& to) {
+  std::lock_guard<std::recursive_mutex> lock(pending_mu_);
   const auto it = pending_.find(to);
   if (it == pending_.end()) return;
   auto& queue = it->second;
@@ -80,12 +116,14 @@ void CloudSystem::flush_queue(const std::string& to) {
 }
 
 size_t CloudSystem::pending_count() const {
+  std::lock_guard<std::recursive_mutex> lock(pending_mu_);
   size_t n = 0;
   for (const auto& [to, queue] : pending_) n += queue.size();
   return n;
 }
 
 size_t CloudSystem::flush_pending() {
+  std::lock_guard<std::recursive_mutex> lock(pending_mu_);
   std::vector<std::string> destinations;
   destinations.reserve(pending_.size());
   for (const auto& [to, queue] : pending_) destinations.push_back(to);
@@ -100,18 +138,27 @@ CloudSystem::Health CloudSystem::health() const {
   h.sends_failed = link_.sends_failed();
   h.retries = link_.retries();
   h.applied_requests = link_.applied_requests();
-  h.pending_deliveries = pending_count();
-  for (const auto& [to, queue] : pending_) {
-    if (!queue.empty()) h.pending_by_destination[to] = queue.size();
+  {
+    std::lock_guard<std::recursive_mutex> lock(pending_mu_);
+    for (const auto& [to, queue] : pending_) {
+      if (!queue.empty()) h.pending_by_destination[to] = queue.size();
+      h.pending_deliveries += queue.size();
+    }
   }
   h.virtual_ms = transport_->now_ms();
   return h;
+}
+
+telemetry::Snapshot CloudSystem::telemetry_snapshot() const {
+  return telemetry::MetricsRegistry::global().collect();
 }
 
 // -------------------------------------------------------- enrollment --
 
 AttributeAuthority& CloudSystem::add_authority(const std::string& aid,
                                                const std::set<std::string>& attributes) {
+  telemetry::Span span = telemetry::Tracer::global().start_span("system.add_authority");
+  if (span.active()) span.attr("aid", aid);
   if (authorities_.contains(aid))
     throw SchemeError("CloudSystem: authority '" + aid + "' already exists");
   // Idempotent against a retried call whose AID-assignment frame was
@@ -140,6 +187,8 @@ AttributeAuthority& CloudSystem::add_authority(const std::string& aid,
 }
 
 Consumer& CloudSystem::add_user(const std::string& uid) {
+  telemetry::Span span = telemetry::Tracer::global().start_span("system.add_user");
+  if (span.active()) span.attr("uid", uid);
   if (users_.contains(uid)) throw SchemeError("CloudSystem: user '" + uid + "' already exists");
   const abe::UserPublicKey& pk =
       ca_.has_user(uid) ? ca_.user_public_key(uid) : ca_.register_user(uid);
@@ -151,6 +200,8 @@ Consumer& CloudSystem::add_user(const std::string& uid) {
 }
 
 DataOwner& CloudSystem::add_owner(const std::string& owner_id) {
+  telemetry::Span span = telemetry::Tracer::global().start_span("system.add_owner");
+  if (span.active()) span.attr("owner", owner_id);
   if (owners_.contains(owner_id))
     throw SchemeError("CloudSystem: owner '" + owner_id + "' already exists");
   auto [it, inserted] =
@@ -193,6 +244,12 @@ void CloudSystem::assign_attributes(const std::string& aid, const std::string& u
 
 void CloudSystem::issue_user_key(const std::string& aid, const std::string& uid,
                                  const std::string& owner_id) {
+  telemetry::Span span = telemetry::Tracer::global().start_span("system.issue_user_key");
+  if (span.active()) {
+    span.attr("aid", aid);
+    span.attr("uid", uid);
+    span.attr("owner", owner_id);
+  }
   AttributeAuthority& aa = authority(aid);
   Consumer& consumer = user(uid);
   const abe::UserSecretKey sk = aa.issue_key(consumer.public_key(), owner_id);
@@ -228,6 +285,11 @@ void CloudSystem::publish_authority_keys(const std::string& aid,
 
 void CloudSystem::upload(const std::string& owner_id, const std::string& file_id,
                          const std::vector<DataComponent>& components) {
+  telemetry::Span span = telemetry::Tracer::global().start_span("system.upload");
+  if (span.active()) {
+    span.attr("owner", owner_id);
+    span.attr("file_id", file_id);
+  }
   DataOwner& data_owner = owner(owner_id);
   StoredFile file = data_owner.protect(file_id, components);
   send_or_park(owner_name(owner_id), kServer, serialize(*grp_, file),
@@ -261,6 +323,11 @@ bool CloudSystem::DownloadReport::any_corrupt() const {
 
 CloudSystem::DownloadReport CloudSystem::download_report(const std::string& uid,
                                                          const std::string& file_id) {
+  telemetry::Span span = telemetry::Tracer::global().start_span("system.download");
+  if (span.active()) {
+    span.attr("uid", uid);
+    span.attr("file_id", file_id);
+  }
   Consumer& consumer = user(uid);
   // Fail closed: never serve reads while revocation epochs (or earlier
   // uploads) are parked for the server — a stale ciphertext could still
@@ -333,6 +400,13 @@ std::map<std::string, Bytes> CloudSystem::download(const std::string& uid,
 
 size_t CloudSystem::revoke_attribute(const std::string& aid, const std::string& uid,
                                      const std::string& attribute) {
+  telemetry::Span span =
+      telemetry::Tracer::global().start_span("system.revoke_attribute");
+  if (span.active()) {
+    span.attr("aid", aid);
+    span.attr("uid", uid);
+    span.attr("attribute", attribute);
+  }
   AttributeAuthority& aa = authority(aid);
   Consumer& revoked = user(uid);
   const uint32_t from_version = aa.version();
@@ -343,6 +417,11 @@ size_t CloudSystem::revoke_attribute(const std::string& aid, const std::string& 
 }
 
 size_t CloudSystem::revoke_user(const std::string& aid, const std::string& uid) {
+  telemetry::Span span = telemetry::Tracer::global().start_span("system.revoke_user");
+  if (span.active()) {
+    span.attr("aid", aid);
+    span.attr("uid", uid);
+  }
   AttributeAuthority& aa = authority(aid);
   Consumer& revoked = user(uid);
   const uint32_t from_version = aa.version();

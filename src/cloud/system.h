@@ -16,6 +16,7 @@
 #include "cloud/entities.h"
 #include "cloud/server.h"
 #include "cloud/transport.h"
+#include "telemetry/metrics.h"
 
 namespace maabe::cloud {
 
@@ -126,7 +127,17 @@ class CloudSystem {
     std::map<std::string, size_t> pending_by_destination;
     uint64_t virtual_ms = 0;  ///< transport clock (delays + backoff)
   };
+  /// health() may be called concurrently with operations on other
+  /// threads: the meter, link counters and pending queues synchronize
+  /// themselves, and every row of the result is internally coherent.
   Health health() const;
+
+  /// Point-in-time view of the process-wide telemetry registry
+  /// (maabe_engine_*, maabe_transport_*, maabe_server_*, ... counters
+  /// and histograms), including this system's collector contributions
+  /// (per-channel totals, pending queues, server occupancy). Render
+  /// with Snapshot::prometheus_text().
+  telemetry::Snapshot telemetry_snapshot() const;
 
   // ---- Introspection ----------------------------------------------------
   AttributeAuthority& authority(const std::string& aid);
@@ -181,10 +192,17 @@ class CloudSystem {
   CloudServer server_;
   std::unique_ptr<Transport> transport_;
   ReliableLink link_;
+  /// Guards pending_. Recursive because a parked delivery's apply can
+  /// nest another send_or_park (distribute_revocation's owner hop
+  /// ships the epoch message to the server from inside its apply).
+  mutable std::recursive_mutex pending_mu_;
   std::map<std::string, std::deque<Pending>> pending_;  // keyed by destination
   std::map<std::string, AttributeAuthority> authorities_;
   std::map<std::string, DataOwner> owners_;
   std::map<std::string, Consumer> users_;
+  /// Declared last: deregisters on destruction before any member the
+  /// collector callback reads goes away.
+  telemetry::MetricsRegistry::CollectorToken collector_;
 };
 
 }  // namespace maabe::cloud

@@ -3,10 +3,40 @@
 #include <algorithm>
 
 #include "crypto/sha256.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace maabe::cloud {
 
 namespace {
+
+/// Registry handles for the transport's global counters (frame sends
+/// are a telemetry hot path: one sharded-atomic add each, no locks).
+struct TransportMetrics {
+  telemetry::Counter& frames;
+  telemetry::Counter& frame_bytes;
+  telemetry::Counter& deliveries;
+  telemetry::Counter& faults;
+  telemetry::Counter& retries;
+  telemetry::Counter& redeliveries;
+  telemetry::Counter& sends_ok;
+  telemetry::Counter& sends_failed;
+
+  static TransportMetrics& get() {
+    auto& reg = telemetry::MetricsRegistry::global();
+    static TransportMetrics* m = new TransportMetrics{
+        reg.counter("maabe_transport_frames_total"),
+        reg.counter("maabe_transport_frame_bytes_total"),
+        reg.counter("maabe_transport_deliveries_total"),
+        reg.counter("maabe_transport_faults_total"),
+        reg.counter("maabe_transport_retries_total"),
+        reg.counter("maabe_transport_redeliveries_total"),
+        reg.counter("maabe_transport_sends_ok_total"),
+        reg.counter("maabe_transport_sends_failed_total"),
+    };
+    return *m;
+  }
+};
 
 constexpr uint8_t kFrameTag = 0x7A;
 constexpr size_t kChecksumSize = 4;
@@ -175,28 +205,62 @@ void LoopbackTransport::deliver(const std::string& from, const std::string& to,
   frame.from = from;
   frame.to = to;
   frame.request_id = request_id;
-  frame.seq = ++seq_[{from, to}];
   frame.payload.assign(payload.begin(), payload.end());
+  FaultPlan::Decision d;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    frame.seq = ++seq_[{from, to}];
+  }
   Bytes wire = encode_frame(frame);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    d = plan_.decide(from, to, wire.size());
+  }
 
-  ChannelStats& stats = meter_.mutable_stats(from, to);
-  stats.frames += 1;
-  stats.frame_bytes += wire.size();
-  stats.payload_bytes += payload.size();
+  TransportMetrics& tm = TransportMetrics::get();
+  tm.frames.inc();
+  tm.frame_bytes.add(wire.size());
 
-  const FaultPlan::Decision d = plan_.decide(from, to, wire.size());
+  // One span per transmission attempt. Ends (and emits) even when the
+  // attempt throws below, with the outcome attribute already recorded —
+  // this is how a traced revocation epoch shows every injected fault.
+  telemetry::Span span = telemetry::Tracer::global().start_span("transport.frame");
+  if (span.active()) {
+    span.attr("from", from);
+    span.attr("to", to);
+    span.attr("request_id", request_id);
+    span.attr("seq", frame.seq);
+    span.attr("frame_bytes", static_cast<uint64_t>(wire.size()));
+  }
+
+  // Meter commits happen in short lock scopes between protocol steps —
+  // never while the sink runs, since sinks may nest further sends.
+  meter_.apply(from, to, [&](ChannelStats& s) {
+    s.frames += 1;
+    s.frame_bytes += wire.size();
+    s.payload_bytes += payload.size();
+  });
+
   if (d.script_failure) {
-    ++stats.script_failures;
+    meter_.apply(from, to, [](ChannelStats& s) { ++s.script_failures; });
+    tm.faults.inc();
+    span.attr("outcome", "scripted_failure");
     throw TransportError(TransportError::Kind::kLost,
                          "transport: scripted failure on " + from + " -> " + to);
   }
   if (d.delay_ms > 0) {
-    ++stats.delays;
-    stats.delay_ms += d.delay_ms;
-    now_ms_ += d.delay_ms;
+    meter_.apply(from, to, [&](ChannelStats& s) {
+      ++s.delays;
+      s.delay_ms += d.delay_ms;
+    });
+    tm.faults.inc();
+    now_ms_.fetch_add(d.delay_ms, std::memory_order_relaxed);
+    span.attr("delay_ms", d.delay_ms);
   }
   if (d.drop) {
-    ++stats.drops;
+    meter_.apply(from, to, [](ChannelStats& s) { ++s.drops; });
+    tm.faults.inc();
+    span.attr("outcome", "dropped");
     throw TransportError(TransportError::Kind::kLost,
                          "transport: frame lost on " + from + " -> " + to);
   }
@@ -207,23 +271,43 @@ void LoopbackTransport::deliver(const std::string& from, const std::string& to,
   try {
     received = decode_frame(wire);
   } catch (const TransportError&) {
-    ++stats.corruptions;
+    meter_.apply(from, to, [](ChannelStats& s) { ++s.corruptions; });
+    tm.faults.inc();
+    span.attr("outcome", "corrupted");
     throw;
   }
+  // Delivery is counted at hand-off, before the sink runs: the intact
+  // copy has reached the receiver at that point, and counting first
+  // keeps bytes_delivered >= bytes_accepted at every instant (the sink
+  // is what credits bytes_accepted).
+  meter_.apply(from, to, [&](ChannelStats& s) {
+    ++s.deliveries;
+    s.bytes_delivered += received.payload.size();
+  });
+  tm.deliveries.inc();
   sink(received.request_id, received.payload);
-  ++stats.deliveries;
   if (d.duplicate) {
-    ++stats.duplicates;
-    stats.frames += 1;
-    stats.frame_bytes += wire.size();
+    meter_.apply(from, to, [&](ChannelStats& s) {
+      ++s.duplicates;
+      s.frames += 1;
+      s.frame_bytes += wire.size();
+      ++s.deliveries;
+      s.bytes_delivered += received.payload.size();
+    });
+    tm.faults.inc();
+    tm.frames.inc();
+    tm.frame_bytes.add(wire.size());
+    tm.deliveries.inc();
     sink(received.request_id, received.payload);
-    ++stats.deliveries;
   }
   if (d.ack_loss) {
-    ++stats.ack_losses;
+    meter_.apply(from, to, [](ChannelStats& s) { ++s.ack_losses; });
+    tm.faults.inc();
+    span.attr("outcome", "ack_lost");
     throw TransportError(TransportError::Kind::kLost,
                          "transport: acknowledgement lost on " + from + " -> " + to);
   }
+  span.attr("outcome", "delivered");
 }
 
 // ----------------------------------------------------- ReliableLink --
@@ -239,34 +323,71 @@ void ReliableLink::send(const std::string& from, const std::string& to,
 void ReliableLink::send_as(uint64_t request_id, const std::string& from,
                            const std::string& to, ByteView payload,
                            const Apply& apply) {
+  TransportMetrics& tm = TransportMetrics::get();
+  // The logical-send span parents every transmission-attempt span the
+  // transport emits below, so one trace links a send to its retries.
+  telemetry::Span span = telemetry::Tracer::global().start_span("transport.send");
+  if (span.active()) {
+    span.attr("from", from);
+    span.attr("to", to);
+    span.attr("request_id", request_id);
+  }
   const uint64_t deadline = transport_.now_ms() + policy_.deadline_ms;
   std::string last_error = "no attempt made";
-  for (uint32_t attempt = 0; attempt < policy_.max_attempts; ++attempt) {
+  uint32_t attempt = 0;
+  for (; attempt < policy_.max_attempts; ++attempt) {
     if (attempt > 0) {
       const uint64_t backoff = std::min(
           policy_.base_backoff_ms << (attempt - 1), policy_.max_backoff_ms);
       transport_.advance_clock(backoff);
-      transport_.meter().mutable_stats(from, to).retries += 1;
-      ++retries_;
+      transport_.meter().apply(from, to, [](ChannelStats& s) { s.retries += 1; });
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      tm.retries.inc();
       if (transport_.now_ms() > deadline) break;
     }
     try {
-      transport_.deliver(from, to, request_id, payload,
-                         [&](uint64_t rid, ByteView delivered) {
-                           if (applied_.contains(rid)) {
-                             transport_.meter().mutable_stats(from, to).redeliveries += 1;
-                             return;
-                           }
-                           apply(delivered);
-                           applied_.insert(rid);
-                         });
-      ++sends_ok_;
+      transport_.deliver(
+          from, to, request_id, payload, [&](uint64_t rid, ByteView delivered) {
+            // Check/insert scopes are split around apply(): the dedup
+            // mutex must not be held while apply runs, because applies
+            // nest further sends back through this link. A request id
+            // is only in flight once per logical send, so the split is
+            // not a race window.
+            bool fresh;
+            {
+              std::lock_guard<std::mutex> lock(applied_mu_);
+              fresh = !applied_.contains(rid);
+            }
+            if (!fresh) {
+              transport_.meter().apply(
+                  from, to, [](ChannelStats& s) { s.redeliveries += 1; });
+              tm.redeliveries.inc();
+              return;
+            }
+            apply(delivered);
+            transport_.meter().apply(from, to, [&](ChannelStats& s) {
+              s.bytes_accepted += delivered.size();
+            });
+            std::lock_guard<std::mutex> lock(applied_mu_);
+            applied_.insert(rid);
+          });
+      sends_ok_.fetch_add(1, std::memory_order_relaxed);
+      tm.sends_ok.inc();
+      if (span.active()) {
+        span.attr("attempts", attempt + 1);
+        span.attr("outcome", "ok");
+      }
       return;
     } catch (const TransportError& e) {
       last_error = e.what();
     }
   }
-  ++sends_failed_;
+  sends_failed_.fetch_add(1, std::memory_order_relaxed);
+  tm.sends_failed.inc();
+  if (span.active()) {
+    span.attr("attempts", attempt);
+    span.attr("outcome", "exhausted");
+  }
   throw TransportError(TransportError::Kind::kExhausted,
                        "transport: giving up on " + from + " -> " + to +
                            " after retries (last: " + last_error + ")");

@@ -17,9 +17,11 @@
 // applied exactly once.
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <set>
 
 #include "cloud/meter.h"
@@ -160,6 +162,12 @@ class Transport {
 /// In-process transport: frames are encoded, run through the FaultPlan,
 /// and decoded on the spot. The real serialize -> frame -> verify ->
 /// deserialize path is exercised even though no socket is involved.
+///
+/// Thread-safety: deliver() may be called concurrently (the fault plan
+/// and sequence counters are mutex-guarded, the clock is atomic, and
+/// the meter synchronizes itself); no lock is held while the receiver
+/// sink runs, so sinks may nest further sends. faults() hands out the
+/// plan unsynchronized — configure it before concurrent traffic starts.
 class LoopbackTransport : public Transport {
  public:
   explicit LoopbackTransport(FaultPlan plan = FaultPlan());
@@ -168,17 +176,22 @@ class LoopbackTransport : public Transport {
                ByteView payload, const Sink& sink) override;
   using Transport::meter;  // keep the const overload visible
   ChannelMeter& meter() override { return meter_; }
-  uint64_t now_ms() const override { return now_ms_; }
-  void advance_clock(uint64_t ms) override { now_ms_ += ms; }
+  uint64_t now_ms() const override {
+    return now_ms_.load(std::memory_order_relaxed);
+  }
+  void advance_clock(uint64_t ms) override {
+    now_ms_.fetch_add(ms, std::memory_order_relaxed);
+  }
 
   FaultPlan& faults() { return plan_; }
   const FaultPlan& faults() const { return plan_; }
 
  private:
+  std::mutex mu_;  // guards plan_ decisions + seq_ allocation
   FaultPlan plan_;
   ChannelMeter meter_;
   std::map<std::pair<std::string, std::string>, uint64_t> seq_;
-  uint64_t now_ms_ = 0;
+  std::atomic<uint64_t> now_ms_{0};
 };
 
 // ----------------------------------------------------- ReliableLink --
@@ -205,7 +218,9 @@ class ReliableLink {
 
   /// Hands out sender-unique request ids (so a parked delivery can be
   /// replayed later under its original id).
-  uint64_t allocate_request_id() { return ++next_request_id_; }
+  uint64_t allocate_request_id() {
+    return next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
 
   using Apply = std::function<void(ByteView payload)>;
 
@@ -224,19 +239,27 @@ class ReliableLink {
   const RetryPolicy& policy() const { return policy_; }
   void set_policy(const RetryPolicy& policy) { policy_ = policy; }
 
-  uint64_t sends_ok() const { return sends_ok_; }
-  uint64_t sends_failed() const { return sends_failed_; }
-  uint64_t retries() const { return retries_; }
-  uint64_t applied_requests() const { return applied_.size(); }
+  // Counters are atomics and the dedup set is mutex-guarded, so these
+  // accessors (and concurrent sends) are safe from any thread.
+  uint64_t sends_ok() const { return sends_ok_.load(std::memory_order_relaxed); }
+  uint64_t sends_failed() const {
+    return sends_failed_.load(std::memory_order_relaxed);
+  }
+  uint64_t retries() const { return retries_.load(std::memory_order_relaxed); }
+  uint64_t applied_requests() const {
+    std::lock_guard<std::mutex> lock(applied_mu_);
+    return applied_.size();
+  }
 
  private:
   Transport& transport_;
   RetryPolicy policy_;
-  uint64_t next_request_id_ = 0;
+  std::atomic<uint64_t> next_request_id_{0};
+  mutable std::mutex applied_mu_;  // never held across apply/sink calls
   std::set<uint64_t> applied_;
-  uint64_t sends_ok_ = 0;
-  uint64_t sends_failed_ = 0;
-  uint64_t retries_ = 0;
+  std::atomic<uint64_t> sends_ok_{0};
+  std::atomic<uint64_t> sends_failed_{0};
+  std::atomic<uint64_t> retries_{0};
 };
 
 }  // namespace maabe::cloud

@@ -7,6 +7,8 @@
 #include <thread>
 
 #include "common/errors.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace maabe::engine {
 
@@ -22,6 +24,44 @@ namespace {
 thread_local bool tl_in_worker = false;
 
 std::atomic<int> g_default_override{0};
+
+/// Registry handles for the engine's global counters/histograms,
+/// interned once (the registry returns process-lifetime references).
+struct EngineMetrics {
+  telemetry::Counter& pairings;
+  telemetry::Counter& g1_exps;
+  telemetry::Counter& gt_exps;
+  telemetry::Counter& batches;
+  telemetry::Counter& tasks;
+  telemetry::Counter& table_builds;
+  telemetry::Counter& table_hits;
+  telemetry::Counter& batch_wall_ns;
+  telemetry::Histogram& pair_batch_ns;
+  telemetry::Histogram& multi_exp_g1_ns;
+  telemetry::Histogram& multi_exp_gt_ns;
+  telemetry::Histogram& g_pow_batch_ns;
+  telemetry::Histogram& egg_pow_batch_ns;
+
+  static EngineMetrics& get() {
+    auto& reg = telemetry::MetricsRegistry::global();
+    static EngineMetrics* m = new EngineMetrics{
+        reg.counter("maabe_engine_pairings_total"),
+        reg.counter("maabe_engine_g1_exps_total"),
+        reg.counter("maabe_engine_gt_exps_total"),
+        reg.counter("maabe_engine_batches_total"),
+        reg.counter("maabe_engine_tasks_total"),
+        reg.counter("maabe_engine_table_builds_total"),
+        reg.counter("maabe_engine_table_hits_total"),
+        reg.counter("maabe_engine_batch_wall_ns_total"),
+        reg.histogram("maabe_engine_pair_batch_ns"),
+        reg.histogram("maabe_engine_multi_exp_g1_ns"),
+        reg.histogram("maabe_engine_multi_exp_gt_ns"),
+        reg.histogram("maabe_engine_g_pow_batch_ns"),
+        reg.histogram("maabe_engine_egg_pow_batch_ns"),
+    };
+    return *m;
+  }
+};
 
 }  // namespace
 
@@ -179,8 +219,94 @@ struct CryptoEngine::LruCache {
 
 // --------------------------------------------------------- CryptoEngine --
 
+// ----------------------------------------------------------- StatCells --
+
+/// Per-engine stat store behind a seqlock: commit_stats() bumps the
+/// sequence to odd, applies every field, then bumps back to even;
+/// stats() retries until it reads the same even sequence on both sides
+/// of the field loads. All accesses are atomics (TSan-clean); the
+/// write mutex serializes committers so the odd window stays short.
+struct CryptoEngine::StatCells {
+  std::mutex write_mu;
+  std::atomic<uint64_t> seq{0};
+  std::atomic<uint64_t> pairings{0}, g1_exps{0}, gt_exps{0}, batches{0},
+      tasks{0}, table_builds{0}, table_hits{0}, wall_ns{0};
+};
+
+void CryptoEngine::commit_stats(const EngineStats& d) {
+  StatCells& c = *stat_cells_;
+  {
+    std::lock_guard<std::mutex> lk(c.write_mu);
+    const uint64_t s = c.seq.load(std::memory_order_relaxed);
+    c.seq.store(s + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    const auto bump = [](std::atomic<uint64_t>& f, uint64_t v) {
+      f.store(f.load(std::memory_order_relaxed) + v, std::memory_order_relaxed);
+    };
+    bump(c.pairings, d.pairings);
+    bump(c.g1_exps, d.g1_exps);
+    bump(c.gt_exps, d.gt_exps);
+    bump(c.batches, d.batches);
+    bump(c.tasks, d.tasks);
+    bump(c.table_builds, d.table_builds);
+    bump(c.table_hits, d.table_hits);
+    bump(c.wall_ns, d.wall_ns);
+    c.seq.store(s + 2, std::memory_order_release);
+  }
+  EngineMetrics& m = EngineMetrics::get();
+  if (d.pairings) m.pairings.add(d.pairings);
+  if (d.g1_exps) m.g1_exps.add(d.g1_exps);
+  if (d.gt_exps) m.gt_exps.add(d.gt_exps);
+  if (d.batches) m.batches.add(d.batches);
+  if (d.tasks) m.tasks.add(d.tasks);
+  if (d.table_builds) m.table_builds.add(d.table_builds);
+  if (d.table_hits) m.table_hits.add(d.table_hits);
+  if (d.wall_ns) m.batch_wall_ns.add(d.wall_ns);
+}
+
+// ------------------------------------------------------------ BatchScope --
+
+/// Accumulates one batch's stat delta and commits it atomically on
+/// scope exit, alongside the per-batch latency histogram observation
+/// and (when tracing is on) a span child of the caller's current span.
+class CryptoEngine::BatchScope {
+ public:
+  BatchScope(CryptoEngine& eng, telemetry::Histogram& hist, const char* span_name)
+      : eng_(eng), hist_(hist),
+        span_(telemetry::Tracer::global().start_span(span_name)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ~BatchScope() {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    delta.batches += 1;
+    delta.wall_ns += static_cast<uint64_t>(ns);
+    hist_.observe(static_cast<uint64_t>(ns));
+    if (span_.active()) span_.attr("items", items_);
+    eng_.commit_stats(delta);
+  }
+
+  void set_items(uint64_t n) { items_ = n; }
+  /// Context for pool workers to parent their work on (unused today —
+  /// batch items are too fine-grained to span individually).
+  telemetry::SpanContext context() const { return span_.context(); }
+
+  EngineStats delta;
+
+ private:
+  CryptoEngine& eng_;
+  telemetry::Histogram& hist_;
+  telemetry::Span span_;
+  uint64_t items_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// --------------------------------------------------------- construction --
+
 CryptoEngine::CryptoEngine(const Group& grp, int threads)
-    : grp_(&grp), threads_(1), cache_(std::make_unique<LruCache>()) {
+    : grp_(&grp), threads_(1), cache_(std::make_unique<LruCache>()),
+      stat_cells_(std::make_unique<StatCells>()) {
   set_threads(threads);
 }
 
@@ -230,12 +356,8 @@ void CryptoEngine::set_threads(int threads) {
   if (threads_ > 1) pool_ = std::make_unique<Pool>(threads_ - 1);
 }
 
-void CryptoEngine::parallel_for(size_t n, const std::function<void(size_t)>& fn) {
+void CryptoEngine::run_items(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    stats_.tasks += n;
-  }
   if (pool_ == nullptr || n < 2 || tl_in_worker) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
@@ -243,38 +365,24 @@ void CryptoEngine::parallel_for(size_t n, const std::function<void(size_t)>& fn)
   pool_->run(n, fn);
 }
 
-namespace {
-
-class BatchTimer {
- public:
-  explicit BatchTimer(std::mutex& mu, EngineStats& stats)
-      : mu_(mu), stats_(stats), start_(std::chrono::steady_clock::now()) {}
-  ~BatchTimer() {
-    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                        std::chrono::steady_clock::now() - start_)
-                        .count();
-    std::lock_guard<std::mutex> lk(mu_);
-    stats_.batches += 1;
-    stats_.wall_ns += static_cast<uint64_t>(ns);
-  }
-
- private:
-  std::mutex& mu_;
-  EngineStats& stats_;
-  std::chrono::steady_clock::time_point start_;
-};
-
-}  // namespace
+void CryptoEngine::parallel_for(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  telemetry::Span span = telemetry::Tracer::global().start_span("engine.parallel_for");
+  if (span.active()) span.attr("items", static_cast<uint64_t>(n));
+  EngineStats d;
+  d.tasks = n;
+  commit_stats(d);
+  run_items(n, fn);
+}
 
 std::vector<GT> CryptoEngine::pair_batch(const std::vector<PairTerm>& terms) {
-  BatchTimer timer(mu_, stats_);
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    stats_.pairings += terms.size();
-  }
+  BatchScope scope(*this, EngineMetrics::get().pair_batch_ns, "engine.pair_batch");
+  scope.delta.pairings = terms.size();
+  scope.delta.tasks = terms.size();
+  scope.set_items(terms.size());
   std::vector<GT> out(terms.size());
-  parallel_for(terms.size(),
-               [&](size_t i) { out[i] = grp_->pair(terms[i].a, terms[i].b); });
+  run_items(terms.size(),
+            [&](size_t i) { out[i] = grp_->pair(terms[i].a, terms[i].b); });
   return out;
 }
 
@@ -289,34 +397,30 @@ GT CryptoEngine::pairing_product(const std::vector<PairTerm>& terms) {
 
 std::vector<G1> CryptoEngine::multi_exp_g1(const std::vector<G1Term>& terms,
                                            bool cache_bases) {
-  BatchTimer timer(mu_, stats_);
+  BatchScope scope(*this, EngineMetrics::get().multi_exp_g1_ns,
+                   "engine.multi_exp_g1");
   const size_t n = terms.size();
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    stats_.g1_exps += n;
-  }
+  scope.delta.g1_exps = n;
+  scope.delta.tasks = n;
+  scope.set_items(n);
   // Serial resolve phase: consult/update the LRU under one lock so the
   // parallel phase below touches only immutable tables.
   std::vector<std::shared_ptr<const pairing::G1FixedBase>> tables(n);
   if (cache_bases) {
-    uint64_t builds = 0, hits = 0;
     std::lock_guard<std::mutex> lk(cache_->mu);
     for (size_t i = 0; i < n; ++i) {
       if (terms[i].base.is_identity()) continue;
       LruCache::Node& node = cache_->touch(terms[i].base.to_bytes());
       if (!node.g1 && node.uses >= LruCache::kBuildThreshold) {
         node.g1 = grp_->g1_precompute(terms[i].base);
-        ++builds;
+        ++scope.delta.table_builds;
       }
-      if (node.g1) ++hits;
+      if (node.g1) ++scope.delta.table_hits;
       tables[i] = node.g1;
     }
-    std::lock_guard<std::mutex> slk(mu_);
-    stats_.table_builds += builds;
-    stats_.table_hits += hits;
   }
   std::vector<G1> out(n);
-  parallel_for(n, [&](size_t i) {
+  run_items(n, [&](size_t i) {
     out[i] = tables[i] ? grp_->g1_pow_with(*tables[i], terms[i].exp)
                        : terms[i].base.mul(terms[i].exp);
   });
@@ -325,32 +429,28 @@ std::vector<G1> CryptoEngine::multi_exp_g1(const std::vector<G1Term>& terms,
 
 std::vector<GT> CryptoEngine::multi_exp_gt(const std::vector<GtTerm>& terms,
                                            bool cache_bases) {
-  BatchTimer timer(mu_, stats_);
+  BatchScope scope(*this, EngineMetrics::get().multi_exp_gt_ns,
+                   "engine.multi_exp_gt");
   const size_t n = terms.size();
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    stats_.gt_exps += n;
-  }
+  scope.delta.gt_exps = n;
+  scope.delta.tasks = n;
+  scope.set_items(n);
   std::vector<std::shared_ptr<const pairing::GtFixedBase>> tables(n);
   if (cache_bases) {
-    uint64_t builds = 0, hits = 0;
     std::lock_guard<std::mutex> lk(cache_->mu);
     for (size_t i = 0; i < n; ++i) {
       if (terms[i].base.is_one()) continue;
       LruCache::Node& node = cache_->touch(terms[i].base.to_bytes());
       if (!node.gt && node.uses >= LruCache::kBuildThreshold) {
         node.gt = grp_->gt_precompute(terms[i].base);
-        ++builds;
+        ++scope.delta.table_builds;
       }
-      if (node.gt) ++hits;
+      if (node.gt) ++scope.delta.table_hits;
       tables[i] = node.gt;
     }
-    std::lock_guard<std::mutex> slk(mu_);
-    stats_.table_builds += builds;
-    stats_.table_hits += hits;
   }
   std::vector<GT> out(n);
-  parallel_for(n, [&](size_t i) {
+  run_items(n, [&](size_t i) {
     out[i] = tables[i] ? grp_->gt_pow_with(*tables[i], terms[i].exp)
                        : terms[i].base.pow(terms[i].exp);
   });
@@ -358,35 +458,60 @@ std::vector<GT> CryptoEngine::multi_exp_gt(const std::vector<GtTerm>& terms,
 }
 
 std::vector<G1> CryptoEngine::g_pow_batch(const std::vector<Zr>& exps) {
-  BatchTimer timer(mu_, stats_);
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    stats_.g1_exps += exps.size();
-  }
+  BatchScope scope(*this, EngineMetrics::get().g_pow_batch_ns,
+                   "engine.g_pow_batch");
+  scope.delta.g1_exps = exps.size();
+  scope.delta.tasks = exps.size();
+  scope.set_items(exps.size());
   std::vector<G1> out(exps.size());
-  parallel_for(exps.size(), [&](size_t i) { out[i] = grp_->g_pow(exps[i]); });
+  run_items(exps.size(), [&](size_t i) { out[i] = grp_->g_pow(exps[i]); });
   return out;
 }
 
 std::vector<GT> CryptoEngine::egg_pow_batch(const std::vector<Zr>& exps) {
-  BatchTimer timer(mu_, stats_);
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    stats_.gt_exps += exps.size();
-  }
+  BatchScope scope(*this, EngineMetrics::get().egg_pow_batch_ns,
+                   "engine.egg_pow_batch");
+  scope.delta.gt_exps = exps.size();
+  scope.delta.tasks = exps.size();
+  scope.set_items(exps.size());
   std::vector<GT> out(exps.size());
-  parallel_for(exps.size(), [&](size_t i) { out[i] = grp_->egg_pow(exps[i]); });
+  run_items(exps.size(), [&](size_t i) { out[i] = grp_->egg_pow(exps[i]); });
   return out;
 }
 
 EngineStats CryptoEngine::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return stats_;
+  const StatCells& c = *stat_cells_;
+  for (;;) {
+    const uint64_t s1 = c.seq.load(std::memory_order_acquire);
+    if ((s1 & 1) == 0) {
+      EngineStats out;
+      out.pairings = c.pairings.load(std::memory_order_relaxed);
+      out.g1_exps = c.g1_exps.load(std::memory_order_relaxed);
+      out.gt_exps = c.gt_exps.load(std::memory_order_relaxed);
+      out.batches = c.batches.load(std::memory_order_relaxed);
+      out.tasks = c.tasks.load(std::memory_order_relaxed);
+      out.table_builds = c.table_builds.load(std::memory_order_relaxed);
+      out.table_hits = c.table_hits.load(std::memory_order_relaxed);
+      out.wall_ns = c.wall_ns.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (c.seq.load(std::memory_order_relaxed) == s1) return out;
+    }
+    std::this_thread::yield();
+  }
 }
 
 void CryptoEngine::reset_stats() {
-  std::lock_guard<std::mutex> lk(mu_);
-  stats_ = EngineStats{};
+  StatCells& c = *stat_cells_;
+  std::lock_guard<std::mutex> lk(c.write_mu);
+  const uint64_t s = c.seq.load(std::memory_order_relaxed);
+  c.seq.store(s + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  for (std::atomic<uint64_t>* f :
+       {&c.pairings, &c.g1_exps, &c.gt_exps, &c.batches, &c.tasks,
+        &c.table_builds, &c.table_hits, &c.wall_ns}) {
+    f->store(0, std::memory_order_relaxed);
+  }
+  c.seq.store(s + 2, std::memory_order_release);
 }
 
 }  // namespace maabe::engine

@@ -130,21 +130,34 @@ class CryptoEngine {
   void parallel_for(size_t n, const std::function<void(size_t)>& fn);
 
   // ---- Accounting --------------------------------------------------
+  /// Coherent snapshot: every batch commits its counters, wall time and
+  /// batch count as one atomic unit (seqlock), so a snapshot taken
+  /// while batches run never shows a half-recorded batch (e.g. its
+  /// pairings without its wall_ns). The same deltas feed the global
+  /// telemetry::MetricsRegistry under maabe_engine_* names.
   EngineStats stats() const;
   void reset_stats();
 
  private:
   struct Pool;
   struct LruCache;
+  struct StatCells;  // seqlock-guarded per-engine stat store (engine.cpp)
+  class BatchScope;  // RAII per-batch delta accumulator (engine.cpp)
 
   void ensure_pool();
+  /// parallel_for's dispatch without the task accounting — batch APIs
+  /// fold their item count into the batch's atomic stat commit instead.
+  void run_items(size_t n, const std::function<void(size_t)>& fn);
+  /// Applies a delta to the per-engine seqlock store and mirrors it
+  /// into the global metrics registry.
+  void commit_stats(const EngineStats& delta);
 
   const pairing::Group* grp_;
   int threads_;
   std::unique_ptr<Pool> pool_;        // created lazily; null when threads_ == 1
   std::unique_ptr<LruCache> cache_;   // variable-base window tables
-  mutable std::mutex mu_;             // guards pool_ resize + stats_
-  EngineStats stats_;
+  std::unique_ptr<StatCells> stat_cells_;
+  mutable std::mutex mu_;             // guards pool_ resize
 };
 
 }  // namespace maabe::engine

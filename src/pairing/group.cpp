@@ -1,16 +1,67 @@
 #include "pairing/group.h"
 
 #include <atomic>
+#include <chrono>
 
 #include "common/errors.h"
 #include "common/wire.h"
 #include "crypto/sha256.h"
+#include "telemetry/metrics.h"
 
 namespace maabe::pairing {
 
 using math::Bignum;
 
 namespace {
+
+// Per-op instrumentation for the five group operations every cost model
+// in the paper counts (pairings, G1/GT exponentiations). The counters
+// run unconditionally (one relaxed fetch_add each); the latency
+// histograms read the clock per call and are gated behind
+// telemetry::op_timing_enabled() to keep the default path cheap.
+struct PairingMetrics {
+  telemetry::Counter& pairings;
+  telemetry::Counter& g1_exps;
+  telemetry::Counter& gt_exps;
+  telemetry::Histogram& pair_ns;
+  telemetry::Histogram& g1_exp_ns;
+  telemetry::Histogram& gt_exp_ns;
+
+  static PairingMetrics& get() {
+    auto& reg = telemetry::MetricsRegistry::global();
+    static PairingMetrics* m = new PairingMetrics{
+        reg.counter("maabe_pairing_pairings_total"),
+        reg.counter("maabe_pairing_g1_exps_total"),
+        reg.counter("maabe_pairing_gt_exps_total"),
+        reg.histogram("maabe_pairing_pair_ns"),
+        reg.histogram("maabe_pairing_g1_exp_ns"),
+        reg.histogram("maabe_pairing_gt_exp_ns"),
+    };
+    return *m;
+  }
+};
+
+/// Observes wall time into `hist` on destruction when op timing is on;
+/// a no-op (no clock read) otherwise.
+class OpTimer {
+ public:
+  explicit OpTimer(telemetry::Histogram& hist)
+      : hist_(telemetry::op_timing_enabled() ? &hist : nullptr) {
+    if (hist_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~OpTimer() {
+    if (hist_ != nullptr) {
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+      hist_->observe(static_cast<uint64_t>(ns));
+    }
+  }
+
+ private:
+  telemetry::Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 // Pairing-layer misuse is a MathError: this layer sits below the ABE
 // schemes and must not reach up into their exception types (see
@@ -86,6 +137,9 @@ G1 G1::neg() const {
 
 G1 G1::mul(const Zr& k) const {
   require_same_group(g_, k.group(), "G1::mul");
+  PairingMetrics& m = PairingMetrics::get();
+  m.g1_exps.inc();
+  OpTimer t(m.g1_exp_ns);
   return G1(g_, g_->ctx().curve().mul(pt_, k.value()));
 }
 
@@ -150,6 +204,9 @@ GT GT::inverse() const {
 
 GT GT::pow(const Zr& k) const {
   require_same_group(g_, k.group(), "GT::pow");
+  PairingMetrics& m = PairingMetrics::get();
+  m.gt_exps.inc();
+  OpTimer t(m.gt_exp_ns);
   return GT(g_, g_->ctx().fq2().pow(v_, k.value()));
 }
 
@@ -188,11 +245,17 @@ Group::Group(const TypeAParams& params) : ctx_(params) {
 
 G1 Group::g_pow(const Zr& k) const {
   if (k.group() != this) throw MathError("g_pow: exponent from another group");
+  PairingMetrics& m = PairingMetrics::get();
+  m.g1_exps.inc();
+  OpTimer t(m.g1_exp_ns);
   return G1(this, g_table_->pow(k.value()));
 }
 
 GT Group::egg_pow(const Zr& k) const {
   if (k.group() != this) throw MathError("egg_pow: exponent from another group");
+  PairingMetrics& m = PairingMetrics::get();
+  m.gt_exps.inc();
+  OpTimer t(m.gt_exp_ns);
   return GT(this, egg_table_->pow(k.value()));
 }
 
@@ -204,6 +267,9 @@ std::unique_ptr<G1FixedBase> Group::g1_precompute(const G1& base) const {
 
 G1 Group::g1_pow_with(const G1FixedBase& table, const Zr& k) const {
   if (k.group() != this) throw MathError("g1_pow_with: exponent from another group");
+  PairingMetrics& m = PairingMetrics::get();
+  m.g1_exps.inc();
+  OpTimer t(m.g1_exp_ns);
   return G1(this, table.pow(k.value()));
 }
 
@@ -215,6 +281,9 @@ std::unique_ptr<GtFixedBase> Group::gt_precompute(const GT& base) const {
 
 GT Group::gt_pow_with(const GtFixedBase& table, const Zr& k) const {
   if (k.group() != this) throw MathError("gt_pow_with: exponent from another group");
+  PairingMetrics& m = PairingMetrics::get();
+  m.gt_exps.inc();
+  OpTimer t(m.gt_exp_ns);
   return GT(this, table.pow(k.value()));
 }
 
@@ -345,6 +414,9 @@ GT Group::gt_from_bytes(ByteView data) const {
 GT Group::pair(const G1& a, const G1& b) const {
   require_same_group(this, a.g_, "Group::pair");
   require_same_group(this, b.g_, "Group::pair");
+  PairingMetrics& m = PairingMetrics::get();
+  m.pairings.inc();
+  OpTimer t(m.pair_ns);
   return GT(this, ctx_.pair(a.pt_, b.pt_));
 }
 

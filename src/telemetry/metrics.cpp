@@ -1,0 +1,179 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace maabe::telemetry {
+namespace {
+
+std::atomic<size_t> g_next_thread_slot{0};
+std::atomic<bool> g_op_timing{false};
+
+}  // namespace
+
+size_t Counter::cell_index() noexcept {
+  // Round-robin slot assignment at first use per thread: cheaper and
+  // better distributed than hashing std::thread::id.
+  static thread_local const size_t slot =
+      g_next_thread_slot.fetch_add(1, std::memory_order_relaxed) % kCells;
+  return slot;
+}
+
+Histogram::Histogram(std::vector<uint64_t> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_ = latency_ns_bounds();
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(uint64_t v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const size_t idx = static_cast<size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+Histogram::Data Histogram::data() const {
+  Data d;
+  d.bounds = bounds_;
+  d.counts.resize(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i)
+    d.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  d.count = count_.load(std::memory_order_relaxed);
+  d.sum = sum_.load(std::memory_order_relaxed);
+  return d;
+}
+
+std::vector<uint64_t> Histogram::latency_ns_bounds() {
+  std::vector<uint64_t> b;
+  for (uint64_t v = 1000; v <= 1'000'000'000ull; v *= 4) b.push_back(v);
+  return b;
+}
+
+uint64_t Snapshot::counter(const std::string& name) const {
+  const auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+int64_t Snapshot::gauge(const std::string& name) const {
+  const auto it = gauges.find(name);
+  return it == gauges.end() ? 0 : it->second;
+}
+
+void Snapshot::add_gauge(const std::string& name, int64_t v) {
+  gauges[name] += v;
+}
+
+std::string Snapshot::prometheus_text() const {
+  std::ostringstream out;
+  for (const auto& [name, v] : counters) {
+    out << "# TYPE " << name << " counter\n" << name << " " << v << "\n";
+  }
+  for (const auto& [name, v] : gauges) {
+    out << "# TYPE " << name << " gauge\n" << name << " " << v << "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    out << "# TYPE " << name << " histogram\n";
+    uint64_t cum = 0;
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      cum += h.counts[i];
+      out << name << "_bucket{le=\"" << h.bounds[i] << "\"} " << cum << "\n";
+    }
+    out << name << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    out << name << "_sum " << h.sum << "\n";
+    out << name << "_count " << h.count << "\n";
+  }
+  return out.str();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* reg = new MetricsRegistry();  // intentionally leaked
+  return *reg;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::unique_ptr<Counter>(new Counter()))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::unique_ptr<Gauge>(new Gauge()))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<uint64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::unique_ptr<Histogram>(new Histogram(std::move(bounds))))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsRegistry::CollectorToken::CollectorToken(CollectorToken&& o) noexcept
+    : reg_(o.reg_), id_(o.id_) {
+  o.reg_ = nullptr;
+  o.id_ = 0;
+}
+
+MetricsRegistry::CollectorToken& MetricsRegistry::CollectorToken::operator=(
+    CollectorToken&& o) noexcept {
+  if (this != &o) {
+    reset();
+    reg_ = o.reg_;
+    id_ = o.id_;
+    o.reg_ = nullptr;
+    o.id_ = 0;
+  }
+  return *this;
+}
+
+void MetricsRegistry::CollectorToken::reset() {
+  if (reg_ != nullptr) {
+    std::lock_guard<std::mutex> lock(reg_->mu_);
+    reg_->collectors_.erase(id_);
+    reg_ = nullptr;
+    id_ = 0;
+  }
+}
+
+MetricsRegistry::CollectorToken MetricsRegistry::register_collector(Collector fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t id = next_collector_id_++;
+  collectors_.emplace(id, std::move(fn));
+  return CollectorToken(this, id);
+}
+
+Snapshot MetricsRegistry::collect() const {
+  Snapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) snap.histograms[name] = h->data();
+  for (const auto& [id, fn] : collectors_) fn(snap);
+  return snap;
+}
+
+bool op_timing_enabled() noexcept {
+  return g_op_timing.load(std::memory_order_relaxed);
+}
+
+void set_op_timing(bool on) noexcept {
+  g_op_timing.store(on, std::memory_order_relaxed);
+}
+
+}  // namespace maabe::telemetry

@@ -1,0 +1,173 @@
+#include "telemetry/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace maabe::telemetry {
+namespace {
+
+thread_local SpanContext tl_current;
+
+void json_escape_to(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string SpanRecord::to_json_line() const {
+  std::string out = "{";
+  out += "\"trace_id\":\"" + std::to_string(trace_id) + "\"";
+  out += ",\"span_id\":\"" + std::to_string(span_id) + "\"";
+  out += ",\"parent_id\":\"" + std::to_string(parent_id) + "\"";
+  out += ",\"name\":\"";
+  json_escape_to(out, name);
+  out += "\",\"start_ns\":" + std::to_string(start_ns);
+  out += ",\"end_ns\":" + std::to_string(end_ns);
+  out += ",\"attrs\":{";
+  bool first = true;
+  for (const auto& [k, v] : attrs) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    json_escape_to(out, k);
+    out += "\":\"";
+    json_escape_to(out, v);
+    out += "\"";
+  }
+  out += "}}";
+  return out;
+}
+
+Span::Span(Span&& o) noexcept
+    : tracer_(o.tracer_), rec_(std::move(o.rec_)), prev_(o.prev_),
+      scoped_(o.scoped_) {
+  o.tracer_ = nullptr;
+  o.scoped_ = false;
+}
+
+Span& Span::operator=(Span&& o) noexcept {
+  if (this != &o) {
+    end();
+    tracer_ = o.tracer_;
+    rec_ = std::move(o.rec_);
+    prev_ = o.prev_;
+    scoped_ = o.scoped_;
+    o.tracer_ = nullptr;
+    o.scoped_ = false;
+  }
+  return *this;
+}
+
+SpanContext Span::context() const {
+  if (!rec_) return {};
+  return {rec_->trace_id, rec_->span_id};
+}
+
+void Span::attr(std::string_view key, std::string_view value) {
+  if (rec_) rec_->attrs.emplace_back(std::string(key), std::string(value));
+}
+
+void Span::attr(std::string_view key, uint64_t value) {
+  if (rec_) rec_->attrs.emplace_back(std::string(key), std::to_string(value));
+}
+
+void Span::end() {
+  if (!rec_) return;
+  if (scoped_) tl_current = prev_;
+  rec_->end_ns = Tracer::now_ns();
+  tracer_->emit(*rec_);
+  rec_.reset();
+  tracer_ = nullptr;
+  scoped_ = false;
+}
+
+Tracer& Tracer::global() {
+  static Tracer* tracer = new Tracer();  // intentionally leaked
+  return *tracer;
+}
+
+void Tracer::enable(Sink sink) {
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  sink_ = std::move(sink);
+  enabled_.store(sink_ != nullptr, std::memory_order_relaxed);
+}
+
+void Tracer::disable() {
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  enabled_.store(false, std::memory_order_relaxed);
+  sink_ = nullptr;
+}
+
+Span Tracer::start_span(std::string_view name) {
+  if (!enabled()) return {};
+  return make_span(name, tl_current, /*scoped=*/true);
+}
+
+Span Tracer::start_child(std::string_view name, const SpanContext& parent) {
+  if (!enabled() || !parent.valid()) return {};
+  return make_span(name, parent, /*scoped=*/false);
+}
+
+SpanContext Tracer::current() { return tl_current; }
+
+Span Tracer::make_span(std::string_view name, const SpanContext& parent,
+                       bool scoped) {
+  auto rec = std::make_unique<SpanRecord>();
+  rec->span_id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  rec->trace_id = parent.valid() ? parent.trace_id : rec->span_id;
+  rec->parent_id = parent.valid() ? parent.span_id : 0;
+  rec->name = std::string(name);
+  rec->start_ns = now_ns();
+  const SpanContext prev = tl_current;
+  if (scoped) tl_current = {rec->trace_id, rec->span_id};
+  return Span(this, std::move(rec), prev, scoped);
+}
+
+void Tracer::emit(const SpanRecord& rec) {
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  // Late-ending spans after disable() are dropped, not crashed on.
+  if (sink_) sink_(rec);
+}
+
+uint64_t Tracer::now_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct JsonLinesSink::Impl {
+  std::ofstream out;
+};
+
+JsonLinesSink::JsonLinesSink(const std::string& path)
+    : impl_(std::make_shared<Impl>()) {
+  impl_->out.open(path, std::ios::out | std::ios::trunc);
+  if (!impl_->out.is_open())
+    throw std::runtime_error("cannot open trace output file: " + path);
+}
+
+void JsonLinesSink::operator()(const SpanRecord& rec) {
+  impl_->out << rec.to_json_line() << '\n';
+  impl_->out.flush();
+}
+
+}  // namespace maabe::telemetry

@@ -1,0 +1,154 @@
+// Operation tracing (DESIGN.md §11): Span/Tracer with trace + span ids
+// propagated through CloudSystem operations down into CryptoEngine
+// batches, CloudServer shard ops and Transport frames, so one
+// revocation epoch yields a causally-linked span tree including every
+// per-retry transport event.
+//
+// Propagation model: starting a span makes it the calling thread's
+// *current* span; spans started later on the same call stack become its
+// children automatically. Work handed to another thread (CryptoEngine
+// pool workers) captures `Tracer::current()` before the hop and starts
+// the child with the explicit-parent overload. Ending a span restores
+// the previous current span, so strict RAII nesting holds per thread.
+//
+// Cost model: tracing is off by default. A disabled tracer hands out
+// inert spans — no id allocation, no clock read, one relaxed atomic
+// load — so instrumented hot paths stay within the <1% overhead budget.
+// When enabled, finished spans are serialized to the sink under a
+// mutex; the stock sink is JSON-lines (one object per line).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace maabe::telemetry {
+
+/// Ids that link a span into its trace. span_id 0 means "no span".
+struct SpanContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  bool valid() const { return span_id != 0; }
+};
+
+/// A finished span as handed to the sink.
+struct SpanRecord {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;  ///< 0 for a trace root
+  std::string name;
+  uint64_t start_ns = 0;  ///< steady-clock, process-relative
+  uint64_t end_ns = 0;
+  std::vector<std::pair<std::string, std::string>> attrs;
+
+  /// One JSON object, no trailing newline. Numeric ids are emitted as
+  /// decimal strings so 64-bit values survive lossy JSON readers.
+  std::string to_json_line() const;
+};
+
+class Tracer;
+
+/// RAII span handle. Default-constructed or disabled-tracer spans are
+/// inert: every method is a no-op. Ends (and emits) on destruction,
+/// including during exception unwinding — a faulted transport frame
+/// still records its span with the outcome attribute already set.
+class Span {
+ public:
+  Span() = default;
+  Span(Span&& o) noexcept;
+  Span& operator=(Span&& o) noexcept;
+  ~Span() { end(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  bool active() const { return rec_ != nullptr; }
+  /// Context for explicit-parent propagation across threads. Invalid
+  /// (all-zero) when inert, so cross-thread children of an untraced
+  /// operation are themselves inert roots.
+  SpanContext context() const;
+
+  void attr(std::string_view key, std::string_view value);
+  void attr(std::string_view key, uint64_t value);
+
+  /// Emit now (idempotent). Restores the thread's previous current
+  /// span; must be called on the thread that started the span.
+  void end();
+
+ private:
+  friend class Tracer;
+  Span(Tracer* tracer, std::unique_ptr<SpanRecord> rec, SpanContext prev,
+       bool scoped)
+      : tracer_(tracer), rec_(std::move(rec)), prev_(prev), scoped_(scoped) {}
+
+  Tracer* tracer_ = nullptr;
+  std::unique_ptr<SpanRecord> rec_;
+  SpanContext prev_;    // thread-local current to restore on end()
+  bool scoped_ = false; // whether this span installed itself as current
+};
+
+class Tracer {
+ public:
+  /// The process-wide tracer (never destroyed).
+  static Tracer& global();
+
+  using Sink = std::function<void(const SpanRecord&)>;
+
+  /// Turn tracing on, routing finished spans to `sink`. Replaces any
+  /// previous sink. Sink calls are serialized by the tracer.
+  void enable(Sink sink);
+  /// Turn tracing off and drop the sink (flushes file sinks that close
+  /// on destruction). Spans still alive keep recording and are
+  /// silently discarded when they end.
+  void disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Child of the calling thread's current span; a new trace root when
+  /// there is none. Becomes the thread's current span until it ends.
+  Span start_span(std::string_view name);
+  /// Child of an explicit parent (cross-thread propagation). Does NOT
+  /// become the thread's current span. An invalid parent yields an
+  /// inert span: untraced callers stay untraced across thread hops.
+  Span start_child(std::string_view name, const SpanContext& parent);
+
+  /// The calling thread's current span context (invalid when none).
+  static SpanContext current();
+
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+ private:
+  friend class Span;
+
+  Span make_span(std::string_view name, const SpanContext& parent, bool scoped);
+  void emit(const SpanRecord& rec);
+  static uint64_t now_ns();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_id_{1};
+  std::mutex sink_mu_;
+  Sink sink_;
+};
+
+/// Span sink appending one JSON object per line to a file. Copyable
+/// (shares the underlying stream); the file closes when the last copy
+/// is destroyed — i.e. on Tracer::disable() for the installed copy.
+class JsonLinesSink {
+ public:
+  /// Truncates `path`. Throws std::runtime_error if it cannot be opened.
+  explicit JsonLinesSink(const std::string& path);
+  void operator()(const SpanRecord& rec);
+
+ private:
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+};
+
+}  // namespace maabe::telemetry

@@ -32,6 +32,39 @@ TEST(Meter, InvolvingSumsAllChannels) {
   EXPECT_EQ(m.involving("d"), 0u);
 }
 
+TEST(Meter, ApplyAccumulatesDeliveredVsAcceptedSplit) {
+  ChannelMeter m;
+  m.apply("a", "b", [](ChannelStats& s) {
+    s.deliveries = 2;
+    s.bytes_delivered = 20;  // both copies arrived
+    s.bytes_accepted = 10;   // only the first one applied
+    s.redeliveries = 1;
+  });
+  const ChannelStats row = m.stats("a", "b");
+  EXPECT_EQ(row.bytes_delivered, 20u);
+  EXPECT_EQ(row.bytes_accepted, 10u);
+  // totals() folds the split through operator+= like every other field.
+  m.apply("b", "c", [](ChannelStats& s) {
+    s.bytes_delivered = 5;
+    s.bytes_accepted = 5;
+  });
+  const ChannelStats t = m.totals();
+  EXPECT_EQ(t.bytes_delivered, 25u);
+  EXPECT_EQ(t.bytes_accepted, 15u);
+  EXPECT_EQ(t.redeliveries, 1u);
+}
+
+TEST(Meter, EntriesReturnsSnapshotCopy) {
+  ChannelMeter m;
+  m.record("a", "b", 3);
+  auto snap = m.entries();
+  ASSERT_EQ(snap.size(), 1u);
+  m.record("a", "b", 4);  // later writes must not leak into the snapshot
+  const std::pair<std::string, std::string> key{"a", "b"};
+  EXPECT_EQ(snap[key].payload_bytes, 3u);
+  EXPECT_EQ(m.entries()[key].payload_bytes, 7u);
+}
+
 TEST(Meter, Reset) {
   ChannelMeter m;
   m.record("a", "b", 10);

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "common/errors.h"
 
 namespace maabe::cloud {
@@ -235,6 +238,92 @@ TEST_F(SystemTest, StorageReportShape) {
   EXPECT_GT(report.per_entity.at("owner:hospital"), 2 * sys.group().zr_size());
   EXPECT_GT(report.per_entity.at("user:alice"), 0u);
   EXPECT_GT(report.per_entity.at("server"), 0u);
+}
+
+// health() is documented safe to call concurrently with operations on
+// other threads. Reader threads hammer it during a mixed workload
+// (uploads, downloads, a revocation, parked deliveries under scripted
+// faults) and every snapshot must be internally reconciled: the
+// per-destination pending map sums to pending_deliveries, counters
+// never run backwards, and send accounting stays consistent.
+TEST_F(SystemTest, HealthReconcilesUnderConcurrentMixedWorkload) {
+  upload_patient_record();
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&] {
+      uint64_t prev_ok = 0, prev_applied = 0, prev_ms = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const CloudSystem::Health h = sys.health();
+        uint64_t by_dest = 0;
+        for (const auto& [to, n] : h.pending_by_destination) by_dest += n;
+        if (by_dest != h.pending_deliveries ||  // map and total from one lock scope
+            h.sends_ok < prev_ok ||             // counters are monotonic
+            h.applied_requests < prev_applied || h.virtual_ms < prev_ms ||
+            h.transport.frames < h.transport.deliveries ||
+            h.transport.bytes_accepted > h.transport.bytes_delivered) {
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+        prev_ok = h.sends_ok;
+        prev_applied = h.applied_requests;
+        prev_ms = h.virtual_ms;
+      }
+    });
+  }
+
+  // Mixed workload on this thread, including a faulty stretch that
+  // parks deliveries so pending_by_destination is actually exercised.
+  for (int round = 0; round < 4; ++round) {
+    sys.upload("hospital", "load-" + std::to_string(round),
+               {{"v", bytes_of("payload"), "Doctor@MedOrg"}});
+    (void)sys.download_report("alice", "load-" + std::to_string(round));
+  }
+  auto& loopback = dynamic_cast<LoopbackTransport&>(sys.transport());
+  loopback.faults().fail_next("owner:hospital", "server", 50);
+  sys.upload("hospital", "parked", {{"v", bytes_of("late"), "Doctor@MedOrg"}});
+  EXPECT_GT(sys.health().pending_deliveries, 0u);
+  (void)sys.revoke_attribute("MedOrg", "bob", "Nurse");
+  while (sys.flush_pending() != 0) {
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers) t.join();
+  EXPECT_FALSE(failed.load()) << "a health() snapshot failed reconciliation";
+
+  const CloudSystem::Health h = sys.health();
+  EXPECT_EQ(h.pending_deliveries, 0u);
+  EXPECT_TRUE(h.pending_by_destination.empty());
+  EXPECT_GT(h.sends_ok, 0u);
+}
+
+// telemetry_snapshot() surfaces both the process-wide counters and this
+// system's collector gauges, reconciled against health()/server stats.
+TEST_F(SystemTest, TelemetrySnapshotMatchesStructuredStats) {
+  upload_patient_record();
+  (void)sys.download_report("alice", "patient-42");
+
+  const telemetry::Snapshot snap = sys.telemetry_snapshot();
+  const CloudSystem::Health h = sys.health();
+  const ShardStats server = sys.server().stats().totals();
+
+  // Collector gauges: this system is the only one alive in the fixture,
+  // but the registry is process-wide, so assert lower bounds.
+  EXPECT_GE(snap.gauge("maabe_system_sends_ok"), 0);
+  EXPECT_GE(static_cast<uint64_t>(snap.gauge("maabe_system_sends_ok")), h.sends_ok);
+  EXPECT_GE(static_cast<uint64_t>(snap.gauge("maabe_system_server_files")),
+            server.files);
+  EXPECT_GE(static_cast<uint64_t>(snap.gauge("maabe_system_channel_payload_bytes")),
+            h.transport.payload_bytes);
+  // Registry counters move with the same traffic.
+  EXPECT_GT(snap.counter("maabe_transport_frames_total"), 0u);
+  EXPECT_GT(snap.counter("maabe_server_stores_total"), 0u);
+  EXPECT_GT(snap.counter("maabe_server_fetches_total"), 0u);
+  // And the exposition renders them.
+  const std::string text = snap.prometheus_text();
+  EXPECT_NE(text.find("# TYPE maabe_system_pending_deliveries gauge"),
+            std::string::npos);
 }
 
 TEST_F(SystemTest, LateAuthorityGetsOwnerShares) {

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "common/errors.h"
 
 namespace maabe::engine {
@@ -203,6 +206,45 @@ TEST_F(EngineTest, ForGroupReturnsSameEnginePerGroup) {
   CryptoEngine& a = CryptoEngine::for_group(*grp);
   CryptoEngine& b = CryptoEngine::for_group(*grp);
   EXPECT_EQ(&a, &b);
+}
+
+// Snapshot coherency regression: stats() must never tear. Counters
+// commit atomically per batch (seqlock), so under a concurrent batch
+// workload every snapshot satisfies the exact per-batch arithmetic —
+// a torn read (e.g. g1_exps updated but batches not yet) breaks it.
+TEST_F(EngineTest, StatsSnapshotsNeverTearUnderConcurrentBatches) {
+  CryptoEngine eng(*grp, 2);
+  constexpr size_t kBatchSize = 3;
+  std::vector<Zr> exps;
+  for (size_t i = 0; i < kBatchSize; ++i) exps.push_back(grp->zr_random(rng));
+
+  // The writer runs a fixed batch count and signals completion; the
+  // reader hammers stats() until then, so the loop is guaranteed to
+  // observe committed batches even when the threads barely overlap.
+  constexpr uint64_t kBatches = 300;
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    for (uint64_t i = 0; i < kBatches; ++i) (void)eng.g_pow_batch(exps);
+    done.store(true, std::memory_order_release);
+  });
+
+  EngineStats prev;
+  while (!done.load(std::memory_order_acquire)) {
+    const EngineStats s = eng.stats();
+    // Per-batch atomicity: every committed g_pow_batch adds exactly
+    // kBatchSize g1_exps, kBatchSize tasks and 1 batch, all at once.
+    ASSERT_EQ(s.g1_exps, kBatchSize * s.batches);
+    ASSERT_EQ(s.tasks, s.g1_exps);
+    // Monotonicity across snapshots.
+    ASSERT_GE(s.batches, prev.batches);
+    ASSERT_GE(s.wall_ns, prev.wall_ns);
+    prev = s;
+  }
+  writer.join();
+
+  const EngineStats end = eng.stats();
+  EXPECT_EQ(end.batches, kBatches);
+  EXPECT_EQ(end.g1_exps, kBatchSize * end.batches);
 }
 
 }  // namespace

@@ -1,0 +1,163 @@
+// MetricsRegistry: sharded counters, histograms, interning, collector
+// tokens and the Prometheus text exposition (DESIGN.md §11).
+//
+// The registry is process-wide, so every assertion on a shared metric
+// is delta-based: snapshot before, act, snapshot after.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "crypto/drbg.h"
+#include "engine/engine.h"
+#include "pairing/group.h"
+#include "telemetry/metrics.h"
+
+namespace maabe::telemetry {
+namespace {
+
+TEST(Metrics, CounterSumsAcrossThreads) {
+  Counter& c = MetricsRegistry::global().counter("test_counter_threads_total");
+  const uint64_t before = c.value();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value() - before, static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Metrics, InterningReturnsSameHandle) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  EXPECT_EQ(&reg.counter("test_interned_total"), &reg.counter("test_interned_total"));
+  EXPECT_EQ(&reg.gauge("test_interned_gauge"), &reg.gauge("test_interned_gauge"));
+  EXPECT_EQ(&reg.histogram("test_interned_hist"), &reg.histogram("test_interned_hist"));
+}
+
+TEST(Metrics, GaugeSetAndAdd) {
+  Gauge& g = MetricsRegistry::global().gauge("test_gauge");
+  g.set(42);
+  EXPECT_EQ(g.value(), 42);
+  g.add(-50);
+  EXPECT_EQ(g.value(), -8);
+}
+
+TEST(Metrics, HistogramBucketsFollowPrometheusLeSemantics) {
+  Histogram& h = MetricsRegistry::global().histogram("test_hist_buckets", {10, 100});
+  // le=10 catches 3 and 10; le=100 catches 55; +Inf catches 1000.
+  for (uint64_t v : {3u, 10u, 55u, 1000u}) h.observe(v);
+  const Histogram::Data data = h.data();
+  ASSERT_EQ(data.bounds, (std::vector<uint64_t>{10, 100}));
+  ASSERT_EQ(data.counts.size(), 3u);
+  EXPECT_EQ(data.counts[0], 2u);
+  EXPECT_EQ(data.counts[1], 1u);
+  EXPECT_EQ(data.counts[2], 1u);
+  EXPECT_EQ(data.count, 4u);
+  EXPECT_EQ(data.sum, 3u + 10 + 55 + 1000);
+}
+
+TEST(Metrics, HistogramBoundsFixedByFirstCaller) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  Histogram& h = reg.histogram("test_hist_first_bounds", {7});
+  // A second intern with different bounds returns the existing handle.
+  EXPECT_EQ(&reg.histogram("test_hist_first_bounds", {1, 2, 3}), &h);
+  EXPECT_EQ(h.bounds(), std::vector<uint64_t>{7});
+}
+
+TEST(Metrics, PrometheusTextExposition) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  reg.counter("test_prom_total").add(3);
+  reg.gauge("test_prom_gauge").set(-5);
+  reg.histogram("test_prom_hist", {10}).observe(4);
+  const std::string text = reg.collect().prometheus_text();
+  EXPECT_NE(text.find("# TYPE test_prom_total counter"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_prom_gauge gauge"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_gauge -5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_prom_hist histogram"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_bucket{le=\"10\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_bucket{le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_sum 4"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_count 1"), std::string::npos);
+}
+
+TEST(Metrics, CollectorRunsUntilTokenReset) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  MetricsRegistry::CollectorToken token = reg.register_collector(
+      [](Snapshot& snap) { snap.add_gauge("test_collector_gauge", 11); });
+  EXPECT_EQ(reg.collect().gauge("test_collector_gauge"), 11);
+  token.reset();
+  EXPECT_EQ(reg.collect().gauge("test_collector_gauge"), 0);
+}
+
+TEST(Metrics, AddGaugeMergesAcrossCollectors) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  MetricsRegistry::CollectorToken a = reg.register_collector(
+      [](Snapshot& snap) { snap.add_gauge("test_merged_gauge", 2); });
+  MetricsRegistry::CollectorToken b = reg.register_collector(
+      [](Snapshot& snap) { snap.add_gauge("test_merged_gauge", 3); });
+  EXPECT_EQ(reg.collect().gauge("test_merged_gauge"), 5);
+}
+
+TEST(Metrics, SnapshotLookupsAreAbsentSafe) {
+  const Snapshot snap = MetricsRegistry::global().collect();
+  EXPECT_EQ(snap.counter("test_never_registered_total"), 0u);
+  EXPECT_EQ(snap.gauge("test_never_registered_gauge"), 0);
+}
+
+// The registry's engine counters move in lockstep with EngineStats: the
+// two views of the same batch must agree (the CLI's --metrics-out
+// acceptance check relies on this).
+TEST(Metrics, EngineCountersMatchEngineStats) {
+  auto grp = pairing::Group::test_small();
+  engine::CryptoEngine& eng = engine::CryptoEngine::for_group(*grp);
+  const Snapshot before = MetricsRegistry::global().collect();
+  const engine::EngineStats stats_before = eng.stats();
+
+  crypto::Drbg rng(std::string_view("metrics-match"));
+  std::vector<pairing::Zr> exps;
+  for (int i = 0; i < 6; ++i) exps.push_back(grp->zr_random(rng));
+  (void)eng.g_pow_batch(exps);
+  (void)eng.egg_pow_batch(exps);
+
+  const Snapshot after = MetricsRegistry::global().collect();
+  const engine::EngineStats delta = eng.stats() - stats_before;
+  EXPECT_EQ(delta.g1_exps, 6u);
+  EXPECT_EQ(delta.gt_exps, 6u);
+  EXPECT_EQ(after.counter("maabe_engine_g1_exps_total") -
+                before.counter("maabe_engine_g1_exps_total"),
+            delta.g1_exps);
+  EXPECT_EQ(after.counter("maabe_engine_gt_exps_total") -
+                before.counter("maabe_engine_gt_exps_total"),
+            delta.gt_exps);
+  EXPECT_EQ(after.counter("maabe_engine_batches_total") -
+                before.counter("maabe_engine_batches_total"),
+            delta.batches);
+}
+
+// Per-op pairing histograms only record when op timing is on; the
+// always-on op counters move either way.
+TEST(Metrics, OpTimingFlagGatesPairingHistograms) {
+  auto grp = pairing::Group::test_small();
+  crypto::Drbg rng(std::string_view("op-timing"));
+  MetricsRegistry& reg = MetricsRegistry::global();
+
+  ASSERT_FALSE(op_timing_enabled());  // default off
+  const uint64_t hist_before = reg.collect().histograms["maabe_pairing_g1_exp_ns"].count;
+  const uint64_t ctr_before = reg.collect().counter("maabe_pairing_g1_exps_total");
+  (void)grp->g_pow(grp->zr_random(rng));
+  EXPECT_EQ(reg.collect().histograms["maabe_pairing_g1_exp_ns"].count, hist_before);
+  EXPECT_GT(reg.collect().counter("maabe_pairing_g1_exps_total"), ctr_before);
+
+  set_op_timing(true);
+  (void)grp->g_pow(grp->zr_random(rng));
+  set_op_timing(false);
+  EXPECT_GT(reg.collect().histograms["maabe_pairing_g1_exp_ns"].count, hist_before);
+}
+
+}  // namespace
+}  // namespace maabe::telemetry

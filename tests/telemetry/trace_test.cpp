@@ -1,0 +1,238 @@
+// Span/Tracer semantics plus the end-to-end acceptance scenario: one
+// fault-injected revocation epoch produces a causally-linked span tree
+// — revocation root -> transport send/frames (including every scripted
+// retry) -> server epoch -> per-slot re-encrypts — under a single
+// trace id (DESIGN.md §11).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "cloud/system.h"
+#include "common/errors.h"
+#include "telemetry/trace.h"
+
+namespace maabe::telemetry {
+namespace {
+
+using cloud::CloudSystem;
+using cloud::FaultPlan;
+using cloud::LoopbackTransport;
+using pairing::Group;
+
+/// Installs a vector-collecting sink for the test's lifetime.
+class SpanCollector {
+ public:
+  SpanCollector() {
+    Tracer::global().enable(
+        [this](const SpanRecord& rec) { records_.push_back(rec); });
+  }
+  ~SpanCollector() { Tracer::global().disable(); }
+  const std::vector<SpanRecord>& records() const { return records_; }
+
+ private:
+  std::vector<SpanRecord> records_;
+};
+
+std::string attr_of(const SpanRecord& rec, const std::string& key) {
+  for (const auto& [k, v] : rec.attrs) {
+    if (k == key) return v;
+  }
+  return "";
+}
+
+TEST(Trace, DisabledTracerHandsOutInertSpans) {
+  ASSERT_FALSE(Tracer::global().enabled());
+  Span span = Tracer::global().start_span("untraced");
+  EXPECT_FALSE(span.active());
+  EXPECT_FALSE(span.context().valid());
+  span.attr("k", "v");  // all no-ops
+  span.end();
+}
+
+TEST(Trace, SameThreadNestingLinksParentAndChild) {
+  SpanCollector sink;
+  {
+    Span root = Tracer::global().start_span("root");
+    ASSERT_TRUE(root.active());
+    {
+      Span child = Tracer::global().start_span("child");
+      ASSERT_TRUE(child.active());
+      EXPECT_EQ(child.context().trace_id, root.context().trace_id);
+    }
+  }
+  ASSERT_EQ(sink.records().size(), 2u);  // child emitted first (ends first)
+  const SpanRecord& child = sink.records()[0];
+  const SpanRecord& root = sink.records()[1];
+  EXPECT_EQ(child.name, "child");
+  EXPECT_EQ(root.name, "root");
+  EXPECT_EQ(root.parent_id, 0u);
+  EXPECT_EQ(child.parent_id, root.span_id);
+  EXPECT_EQ(child.trace_id, root.trace_id);
+  EXPECT_LE(root.start_ns, child.start_ns);
+}
+
+TEST(Trace, EndRestoresPreviousCurrentSpan) {
+  SpanCollector sink;
+  Span root = Tracer::global().start_span("root");
+  const SpanContext root_ctx = root.context();
+  {
+    Span child = Tracer::global().start_span("child");
+    EXPECT_EQ(Tracer::current().span_id, child.context().span_id);
+  }
+  EXPECT_EQ(Tracer::current().span_id, root_ctx.span_id);
+}
+
+TEST(Trace, ExplicitParentCrossesThreads) {
+  SpanCollector sink;
+  SpanContext parent_ctx;
+  {
+    Span parent = Tracer::global().start_span("parent");
+    parent_ctx = parent.context();
+    std::thread worker([&] {
+      Span child = Tracer::global().start_child("worker", parent_ctx);
+      ASSERT_TRUE(child.active());
+      // Non-scoped: the worker thread's current span stays empty.
+      EXPECT_FALSE(Tracer::current().valid());
+    });
+    worker.join();
+  }
+  ASSERT_EQ(sink.records().size(), 2u);
+  EXPECT_EQ(sink.records()[0].name, "worker");
+  EXPECT_EQ(sink.records()[0].parent_id, parent_ctx.span_id);
+  EXPECT_EQ(sink.records()[0].trace_id, parent_ctx.trace_id);
+}
+
+TEST(Trace, InvalidExplicitParentYieldsInertSpan) {
+  SpanCollector sink;
+  Span span = Tracer::global().start_child("orphan", SpanContext{});
+  EXPECT_FALSE(span.active());
+  span.end();
+  EXPECT_TRUE(sink.records().empty());
+}
+
+TEST(Trace, JsonLineFormat) {
+  SpanRecord rec;
+  rec.trace_id = 7;
+  rec.span_id = 8;
+  rec.parent_id = 7;
+  rec.name = "op \"quoted\"";
+  rec.start_ns = 100;
+  rec.end_ns = 250;
+  rec.attrs.emplace_back("outcome", "delivered");
+  const std::string line = rec.to_json_line();
+  EXPECT_NE(line.find("\"trace_id\":\"7\""), std::string::npos);
+  EXPECT_NE(line.find("\"span_id\":\"8\""), std::string::npos);
+  EXPECT_NE(line.find("\"parent_id\":\"7\""), std::string::npos);
+  EXPECT_NE(line.find("\"name\":\"op \\\"quoted\\\"\""), std::string::npos);
+  EXPECT_NE(line.find("\"start_ns\":100"), std::string::npos);
+  EXPECT_NE(line.find("\"end_ns\":250"), std::string::npos);
+  EXPECT_NE(line.find("\"outcome\":\"delivered\""), std::string::npos);
+}
+
+// ---- The acceptance scenario -----------------------------------------
+// A revocation epoch whose server hop fails twice (scripted) before
+// succeeding must yield ONE trace containing: the revoke root span, a
+// transport.send with three attempts, three transport.frame spans (two
+// scripted failures + one delivery), the server epoch span, and one
+// slot span per re-encrypted ciphertext slot — every parent chain
+// terminating at the root.
+TEST(Trace, FaultInjectedRevocationEpochYieldsLinkedSpanTree) {
+  auto grp = Group::test_small();
+  CloudSystem sys(grp, "trace-acceptance");
+  sys.add_authority("Med", {"Doctor"});
+  sys.add_owner("hosp");
+  sys.publish_authority_keys("Med", "hosp");
+  for (const char* uid : {"alice", "bob"}) {
+    sys.add_user(uid);
+    sys.assign_attributes("Med", uid, {"Doctor"});
+    sys.issue_user_key("Med", uid, "hosp");
+  }
+  sys.upload("hosp", "f1",
+             {{"a", bytes_of("alpha"), "Doctor@Med"},
+              {"b", bytes_of("bravo"), "Doctor@Med"}});
+
+  auto& loopback = dynamic_cast<LoopbackTransport&>(sys.transport());
+  loopback.faults().fail_next("owner:hosp", "server", 2);
+
+  size_t slots = 0;
+  std::vector<SpanRecord> records;
+  {
+    SpanCollector sink;
+    slots = sys.revoke_attribute("Med", "bob", "Doctor");
+    records = sink.records();
+  }
+  ASSERT_EQ(slots, 2u);  // both slots of f1 re-encrypted in this call
+
+  // Index the tree and find the root.
+  std::map<uint64_t, const SpanRecord*> by_id;
+  const SpanRecord* root = nullptr;
+  for (const SpanRecord& rec : records) {
+    by_id[rec.span_id] = &rec;
+    if (rec.name == "system.revoke_attribute") {
+      ASSERT_EQ(root, nullptr) << "two revocation roots";
+      root = &rec;
+    }
+  }
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->parent_id, 0u);
+  EXPECT_EQ(attr_of(*root, "attribute"), "Doctor");
+
+  // One trace id everywhere; every parent chain reaches the root.
+  for (const SpanRecord& rec : records) {
+    EXPECT_EQ(rec.trace_id, root->trace_id) << rec.name;
+    const SpanRecord* cur = &rec;
+    int hops = 0;
+    while (cur->parent_id != 0 && hops < 64) {
+      const auto it = by_id.find(cur->parent_id);
+      ASSERT_NE(it, by_id.end()) << rec.name << ": dangling parent";
+      cur = it->second;
+      ++hops;
+    }
+    EXPECT_EQ(cur->span_id, root->span_id) << rec.name << ": chain misses root";
+  }
+
+  // The epoch hop: a send with 3 attempts, whose channel saw two
+  // scripted failures and then one delivery.
+  const SpanRecord* epoch_send = nullptr;
+  size_t scripted = 0, delivered = 0;
+  for (const SpanRecord& rec : records) {
+    if (rec.name == "transport.send" && attr_of(rec, "from") == "owner:hosp" &&
+        attr_of(rec, "to") == "server") {
+      epoch_send = &rec;
+    }
+    if (rec.name == "transport.frame" && attr_of(rec, "from") == "owner:hosp" &&
+        attr_of(rec, "to") == "server") {
+      if (attr_of(rec, "outcome") == "scripted_failure") ++scripted;
+      if (attr_of(rec, "outcome") == "delivered") ++delivered;
+    }
+  }
+  ASSERT_NE(epoch_send, nullptr);
+  EXPECT_EQ(attr_of(*epoch_send, "attempts"), "3");
+  EXPECT_EQ(attr_of(*epoch_send, "outcome"), "ok");
+  EXPECT_EQ(scripted, 2u);
+  EXPECT_EQ(delivered, 1u);
+
+  // The server epoch and its per-slot children (pool workers, explicit
+  // parent) are in the same tree.
+  const SpanRecord* epoch = nullptr;
+  std::vector<const SpanRecord*> slot_spans;
+  for (const SpanRecord& rec : records) {
+    if (rec.name == "server.reencrypt_epoch") {
+      ASSERT_EQ(epoch, nullptr) << "two epochs";
+      epoch = &rec;
+    }
+    if (rec.name == "server.reencrypt_slot") slot_spans.push_back(&rec);
+  }
+  ASSERT_NE(epoch, nullptr);
+  EXPECT_EQ(attr_of(*epoch, "outcome"), "committed");
+  EXPECT_EQ(attr_of(*epoch, "slots"), "2");
+  ASSERT_EQ(slot_spans.size(), 2u);
+  for (const SpanRecord* slot : slot_spans) {
+    EXPECT_EQ(slot->parent_id, epoch->span_id);
+  }
+}
+
+}  // namespace
+}  // namespace maabe::telemetry

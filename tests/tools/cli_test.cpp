@@ -2,9 +2,11 @@
 // workflows against a temporary keystore.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #ifndef MAABE_CLI_PATH
@@ -193,6 +195,80 @@ TEST_F(CliTest, ChaosFlagsDegradeTyped) {
 TEST_F(CliTest, ChaosFlagsValidated) {
   EXPECT_EQ(run("--drop-rate 1.5 status"), 64);
   EXPECT_EQ(run("--corrupt-rate banana status"), 64);
+}
+
+TEST_F(CliTest, TelemetryExportFlags) {
+  ASSERT_EQ(run("init --test-curve"), 0);
+  ASSERT_EQ(run("add-authority Med Doctor"), 0);
+  ASSERT_EQ(run("add-owner hosp"), 0);
+  ASSERT_EQ(run("add-user alice"), 0);
+  ASSERT_EQ(run("grant Med alice Doctor"), 0);
+  ASSERT_EQ(run("issue-key Med alice hosp"), 0);
+  write_file("in.txt", "observed payload");
+  ASSERT_EQ(run("encrypt hosp f1 \"Doctor@Med\" " + (home_ / "in.txt").string()), 0);
+
+  ASSERT_EQ(run("--metrics-out " + (home_ / "metrics.prom").string() +
+                " --trace-out " + (home_ / "trace.jsonl").string() +
+                " decrypt alice f1 " + (home_ / "out.txt").string()),
+            0);
+  EXPECT_EQ(read_file("out.txt"), "observed payload");
+
+  // The metrics file is a parseable Prometheus text snapshot: every
+  // non-comment line is "<series> <integer>".
+  const std::string prom = read_file("metrics.prom");
+  ASSERT_FALSE(prom.empty());
+  uint64_t pairings = 0;
+  std::istringstream lines(prom);
+  for (std::string line; std::getline(lines, line);) {
+    if (line.empty() || line[0] == '#') continue;
+    const size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    size_t parsed = 0;
+    (void)std::stoll(line.substr(sp + 1), &parsed);  // throws on garbage
+    EXPECT_EQ(parsed, line.size() - sp - 1) << line;
+    if (line.compare(0, sp, "maabe_pairing_pairings_total") == 0)
+      pairings = std::stoull(line.substr(sp + 1));
+  }
+  EXPECT_NE(prom.find("# TYPE maabe_pairing_pairings_total counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE maabe_engine_pairings_total counter"),
+            std::string::npos);
+  // A decrypt evaluates the access structure: pairings must have run.
+  EXPECT_GT(pairings, 0u);
+  // --metrics-out also switches per-op timing on, so the pairing
+  // latency histogram recorded samples.
+  EXPECT_NE(prom.find("# TYPE maabe_pairing_pair_ns histogram"),
+            std::string::npos);
+  EXPECT_EQ(prom.find("maabe_pairing_pair_ns_count 0\n"), std::string::npos);
+
+  // The trace file holds the command's root span with its exit code.
+  const std::string trace = read_file("trace.jsonl");
+  EXPECT_NE(trace.find("\"name\":\"cli.decrypt\""), std::string::npos);
+  EXPECT_NE(trace.find("\"exit_code\":\"0\""), std::string::npos);
+  // The CLI drives the transport directly, so the root's children are
+  // the send/frame spans of the server fetch.
+  EXPECT_NE(trace.find("\"name\":\"transport.send\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"transport.frame\""), std::string::npos);
+  EXPECT_NE(trace.find("\"outcome\":\"delivered\""), std::string::npos);
+}
+
+TEST_F(CliTest, TelemetryExportSurvivesCommandFailure) {
+  ASSERT_EQ(run("init --test-curve"), 0);
+  ASSERT_EQ(run("add-authority Med Doctor"), 0);
+  ASSERT_EQ(run("add-owner hosp"), 0);
+  ASSERT_EQ(run("add-user bob"), 0);
+  ASSERT_EQ(run("grant Med bob Doctor"), 0);
+  ASSERT_EQ(run("issue-key Med bob hosp"), 0);
+  write_file("in.txt", "x");
+  ASSERT_EQ(run("encrypt hosp f1 \"Doctor@Med\" " + (home_ / "in.txt").string()), 0);
+  // Revoking bob makes his decrypt fail typed (exit 2); the metrics
+  // snapshot must still be written on the error path.
+  ASSERT_EQ(run("revoke Med bob Doctor"), 0);
+  EXPECT_EQ(run("--metrics-out " + (home_ / "metrics.prom").string() +
+                " decrypt bob f1 " + (home_ / "out.txt").string()),
+            2);
+  EXPECT_NE(read_file("metrics.prom").find("maabe_pairing_pairings_total"),
+            std::string::npos);
 }
 
 }  // namespace

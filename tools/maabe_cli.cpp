@@ -32,6 +32,8 @@
 #include "engine/engine.h"
 #include "keystore.h"
 #include "lsss/parser.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace maabe::tools {
 namespace {
@@ -59,6 +61,12 @@ struct TransportConfig {
   double drop_rate = 0.0;
   double corrupt_rate = 0.0;
   bool show_stats = false;
+};
+
+/// Telemetry export destinations (README "Telemetry"). Empty = off.
+struct TelemetryConfig {
+  std::string metrics_out;  ///< Prometheus text snapshot, written on exit
+  std::string trace_out;    ///< JSON-lines span stream, written live
 };
 
 struct Cli {
@@ -395,7 +403,11 @@ int usage() {
                "  --fault-seed N    seed for the fault schedule (default 1)\n"
                "  --drop-rate P     P(frame lost), 0 <= P <= 1 (default 0)\n"
                "  --corrupt-rate P  P(frame byte flipped), 0 <= P <= 1 (default 0)\n"
-               "  --transport-stats print per-channel transport counters on exit\n\n"
+               "  --transport-stats print per-channel transport counters on exit\n"
+               "telemetry flags:\n"
+               "  --metrics-out F   write a Prometheus-style metrics snapshot to F\n"
+               "                    on exit (also enables per-op pairing timing)\n"
+               "  --trace-out F     stream operation spans to F as JSON lines\n\n"
                "commands:\n"
                "  init [--test-curve]                  create the keystore\n"
                "  add-authority <aid> <attr>...        register an attribute authority\n"
@@ -414,6 +426,7 @@ int usage() {
 int run(int argc, char** argv) {
   fsys::path home = "maabe-home";
   TransportConfig transport_cfg;
+  TelemetryConfig telemetry_cfg;
   std::vector<std::string> args;
   const auto parse_rate = [](const char* flag, const char* value, double* out) {
     char* end = nullptr;
@@ -444,6 +457,10 @@ int run(int argc, char** argv) {
         return usage();
     } else if (std::strcmp(argv[i], "--transport-stats") == 0) {
       transport_cfg.show_stats = true;
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      telemetry_cfg.metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      telemetry_cfg.trace_out = argv[++i];
     } else {
       args.emplace_back(argv[i]);
     }
@@ -451,6 +468,21 @@ int run(int argc, char** argv) {
   if (args.empty()) return usage();
   const std::string cmd = args.front();
   args.erase(args.begin());
+
+  // Telemetry setup before any crypto runs: per-op pairing timing feeds
+  // the histogram series in the metrics snapshot, and the tracer streams
+  // spans (flushed per line) even if the command throws.
+  if (!telemetry_cfg.metrics_out.empty()) telemetry::set_op_timing(true);
+  if (!telemetry_cfg.trace_out.empty())
+    telemetry::Tracer::global().enable(telemetry::JsonLinesSink(telemetry_cfg.trace_out));
+  const auto export_telemetry = [&]() {
+    if (!telemetry_cfg.trace_out.empty()) telemetry::Tracer::global().disable();
+    if (!telemetry_cfg.metrics_out.empty()) {
+      write_whole_file(telemetry_cfg.metrics_out,
+                       bytes_of(telemetry::MetricsRegistry::global().collect()
+                                    .prometheus_text()));
+    }
+  };
 
   Cli cli(home, transport_cfg);
   const auto dispatch = [&]() -> int {
@@ -469,11 +501,20 @@ int run(int argc, char** argv) {
     return usage();
   };
   try {
-    const int rc = dispatch();
+    int rc;
+    {
+      // Root span around the command so every nested engine/transport
+      // span shares one trace id.
+      telemetry::Span root = telemetry::Tracer::global().start_span("cli." + cmd);
+      rc = dispatch();
+      if (root.active()) root.attr("exit_code", static_cast<uint64_t>(rc));
+    }
     if (transport_cfg.show_stats) cli.print_transport_stats();
+    export_telemetry();
     return rc;
   } catch (const Error&) {
     if (transport_cfg.show_stats) cli.print_transport_stats();
+    export_telemetry();
     throw;
   }
 }
