@@ -1,0 +1,89 @@
+// Tiny threshold checker for the bench-smoke ctest target.
+//
+// Reads the flat BENCH_*.json files the bench harness writes (see
+// bench_json.h) and enforces one numeric constraint per invocation:
+//
+//   bench_guard floor   <json> <key> <min>
+//       fail when json[key] < min                (e.g. kernel_speedup)
+//   bench_guard regress <fresh> <baseline> <key> <max_pct>
+//       fail when fresh[key] > baseline[key] * (1 + max_pct/100)
+//                                                (e.g. epoch wall time)
+//
+// The "parser" is a text scan for `"key":` followed by a number — the
+// harness emits flat records with ordered keys, so the first numeric
+// occurrence of a key is the one the guard wants (occurrences whose
+// value is a nested object are skipped).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+bool find_number(const std::string& text, const std::string& key, double* out) {
+  const std::string needle = "\"" + key + "\":";
+  size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    size_t v = pos + needle.size();
+    while (v < text.size() && (text[v] == ' ' || text[v] == '\t')) ++v;
+    char* end = nullptr;
+    const double parsed = std::strtod(text.c_str() + v, &end);
+    if (end != text.c_str() + v) {
+      *out = parsed;
+      return true;
+    }
+    pos = v;  // value was not a number (nested object) — keep looking
+  }
+  return false;
+}
+
+bool load(const char* path, const char* key, double* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_guard: cannot open %s\n", path);
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (!find_number(ss.str(), key, out)) {
+    std::fprintf(stderr, "bench_guard: no numeric key \"%s\" in %s\n", key, path);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 5 && std::strcmp(argv[1], "floor") == 0) {
+    double value = 0;
+    if (!load(argv[2], argv[3], &value)) return 2;
+    const double min = std::atof(argv[4]);
+    std::printf("bench_guard: %s %s = %.4f (floor %.4f)\n", argv[2], argv[3], value, min);
+    if (value < min) {
+      std::fprintf(stderr, "bench_guard: FAIL — %s below floor\n", argv[3]);
+      return 1;
+    }
+    return 0;
+  }
+  if (argc == 6 && std::strcmp(argv[1], "regress") == 0) {
+    double fresh = 0, base = 0;
+    if (!load(argv[2], argv[4], &fresh) || !load(argv[3], argv[4], &base)) return 2;
+    const double max_pct = std::atof(argv[5]);
+    const double limit = base * (1.0 + max_pct / 100.0);
+    std::printf("bench_guard: %s = %.4f fresh vs %.4f baseline (limit %.4f, +%s%%)\n",
+                argv[4], fresh, base, limit, argv[5]);
+    if (fresh > limit) {
+      std::fprintf(stderr, "bench_guard: FAIL — %s regressed more than %s%%\n",
+                   argv[4], argv[5]);
+      return 1;
+    }
+    return 0;
+  }
+  std::fprintf(stderr,
+               "usage: bench_guard floor <json> <key> <min>\n"
+               "       bench_guard regress <fresh_json> <baseline_json> <key> <max_pct>\n");
+  return 2;
+}

@@ -96,9 +96,13 @@ inline Json stats_json(const engine::EngineStats& s) {
   j.put("pairings", s.pairings)
       .put("g1_exps", s.g1_exps)
       .put("gt_exps", s.gt_exps)
+      .put("miller_loops", s.miller_loops)
+      .put("final_exps", s.final_exps)
       .put("batches", s.batches)
       .put("table_builds", s.table_builds)
       .put("table_hits", s.table_hits)
+      .put("precomp_builds", s.precomp_builds)
+      .put("precomp_hits", s.precomp_hits)
       .put("wall_ms", s.wall_ms());
   return j;
 }

@@ -1,0 +1,36 @@
+#!/bin/sh
+# Perf smoke for ctest (label: perf). Runs the pairing microbench and
+# the re-encryption epoch bench on the small test curve with tiny
+# iteration counts, then checks the two headline numbers against the
+# committed baselines in bench/baselines/:
+#
+#   * BENCH_pairing_micro.json kernel_speedup must stay >= the floor —
+#     the shared-final-exponentiation kernel must beat the legacy
+#     pair-then-multiply fold regardless of host speed (it is a ratio,
+#     so load noise largely cancels).
+#   * BENCH_revocation.json's fault-free epoch_transport wall time must
+#     not regress more than 25% against the committed baseline.
+#
+# Usage: bench_smoke.sh <pairing_micro> <revocation> <bench_guard> <baseline_dir>
+set -e
+PAIRING_MICRO=${1:?pairing_micro binary}
+REVOCATION=${2:?revocation binary}
+GUARD=${3:?bench_guard binary}
+BASELINES=${4:?baseline dir}
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+cd "$WORK"
+
+export MAABE_BENCH_SMALL=1
+
+# Cheap google-benchmark filters; the JSON reports each bench always
+# emits (engine_batch_report / emit_phase_breakdown) are the real work.
+"$PAIRING_MICRO" --benchmark_filter='BM_FinalExp$'
+"$REVOCATION" --benchmark_filter='BM_KeyUpdate_User/2$'
+
+"$GUARD" floor BENCH_pairing_micro.json kernel_speedup 1.3
+"$GUARD" regress BENCH_revocation.json "$BASELINES/BENCH_revocation.json" \
+  epoch_transport 25
+
+echo "bench-smoke: OK"

@@ -22,6 +22,34 @@ void BM_Pairing(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(grp->pair(p, q));
 }
 
+// The multi-pairing kernel's three cost centers, measured separately:
+// pair() == miller + reduce; the kernel pays miller per term but reduce
+// once per product, and precomputed line tables cut the miller cost for
+// repeated first arguments.
+void BM_MillerLoop(benchmark::State& state) {
+  auto grp = bench_group();
+  crypto::Drbg rng(std::string_view("micro"));
+  const auto p = grp->g1_random(rng);
+  const auto q = grp->g1_random(rng);
+  for (auto _ : state) benchmark::DoNotOptimize(grp->miller(p, q));
+}
+
+void BM_MillerLoop_Precomp(benchmark::State& state) {
+  auto grp = bench_group();
+  crypto::Drbg rng(std::string_view("micro"));
+  const auto p = grp->g1_random(rng);
+  const auto q = grp->g1_random(rng);
+  const auto pre = grp->pair_precompute(p);
+  for (auto _ : state) benchmark::DoNotOptimize(grp->miller_with(*pre, q));
+}
+
+void BM_FinalExp(benchmark::State& state) {
+  auto grp = bench_group();
+  crypto::Drbg rng(std::string_view("micro"));
+  const auto m = grp->miller(grp->g1_random(rng), grp->g1_random(rng));
+  for (auto _ : state) benchmark::DoNotOptimize(grp->miller_reduce(m));
+}
+
 void BM_G1_Exp(benchmark::State& state) {
   auto grp = bench_group();
   crypto::Drbg rng(std::string_view("micro"));
@@ -107,6 +135,9 @@ void BM_FieldInverse(benchmark::State& state) {
 }
 
 BENCHMARK(BM_Pairing)->Unit(benchmark::kMicrosecond)->MinTime(0.1);
+BENCHMARK(BM_MillerLoop)->Unit(benchmark::kMicrosecond)->MinTime(0.1);
+BENCHMARK(BM_MillerLoop_Precomp)->Unit(benchmark::kMicrosecond)->MinTime(0.1);
+BENCHMARK(BM_FinalExp)->Unit(benchmark::kMicrosecond)->MinTime(0.1);
 BENCHMARK(BM_G1_Exp)->Unit(benchmark::kMicrosecond)->MinTime(0.1);
 BENCHMARK(BM_G1_Exp_FixedBase)->Unit(benchmark::kMicrosecond)->MinTime(0.1);
 BENCHMARK(BM_GT_Exp)->Unit(benchmark::kMicrosecond)->MinTime(0.1);
@@ -148,9 +179,30 @@ void engine_batch_report() {
   const double pool_ms = time_reps(pool_eng, kReps);
   const double speedup = pool_ms > 0 ? serial_ms / pool_ms : 0.0;
 
+  // The kernel's algorithmic headline, independent of thread count: the
+  // legacy pair-then-multiply fold pays one final exponentiation per
+  // term, the kernel pays one for the whole product.
+  const auto fold_once = [&] {
+    pairing::GT acc = grp->gt_one();
+    for (const auto& t : terms) acc = acc * grp->pair(t.a, t.b);
+    return acc;
+  };
+  const auto time_fold = [&](int reps) {
+    (void)fold_once();
+    const auto t0 = Clock::now();
+    for (int i = 0; i < reps; ++i) benchmark::DoNotOptimize(fold_once());
+    const auto t1 = Clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0).count() / reps;
+  };
+  const double fold_ms = time_fold(kReps);
+  const double kernel_ms = serial_ms;  // same work, pool bypassed
+  const double kernel_speedup = kernel_ms > 0 ? fold_ms / kernel_ms : 0.0;
+
   std::printf("\n%zu-pairing product batch (%d reps):\n", kTerms, kReps);
-  std::printf("  serial (1 thread)   : %8.3f ms\n", serial_ms);
-  std::printf("  engine (%d threads) : %8.3f ms   speedup %.2fx\n", pool_threads,
+  std::printf("  pair-then-multiply  : %8.3f ms   (%zu final exps)\n", fold_ms, kTerms);
+  std::printf("  kernel (1 thread)   : %8.3f ms   (1 final exp)  speedup %.2fx\n",
+              kernel_ms, kernel_speedup);
+  std::printf("  kernel (%d threads) : %8.3f ms   pool-vs-serial %.2fx\n", pool_threads,
               pool_ms, speedup);
   if (std::thread::hardware_concurrency() <= 1)
     std::printf("  (host exposes 1 hardware thread; no parallel gain is possible)\n");
@@ -168,6 +220,9 @@ void engine_batch_report() {
       .put("serial_wall_ms", serial_ms)
       .put("pool_wall_ms", pool_ms)
       .put("speedup", speedup)
+      .put("fold_wall_ms", fold_ms)
+      .put("kernel_wall_ms", kernel_ms)
+      .put("kernel_speedup", kernel_speedup)
       .put("serial_stats", stats_json(serial_eng.stats()))
       .put("pool_stats", stats_json(pool_eng.stats()));
   write_bench_json("pairing_micro", root);

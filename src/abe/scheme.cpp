@@ -214,42 +214,37 @@ GT decrypt(const Group& grp, const Ciphertext& ct, const UserPublicKey& user,
   const Zr n_a = grp.zr_from_u64(involved.size());
   CryptoEngine& eng = CryptoEngine::for_group(grp);
 
-  // Numerator: prod_k e(C', K_{UID,AID_k}).
-  std::vector<CryptoEngine::PairTerm> num_terms;
-  num_terms.reserve(involved.size());
-  for (const std::string& aid : involved)
-    num_terms.push_back({ct.c_prime, secret_keys.at(aid).k});
-  const GT numerator = eng.pairing_product(num_terms);
-
-  // Denominator: prod_i (e(C_i, PK_UID) * e(C', K_{rho(i)}))^{w_i * n_A}.
-  // The 2l pairings are the decryption bottleneck (DESIGN.md section 5);
-  // evaluate them as one batch, then batch the GT exponentiations and
-  // fold in row order.
-  std::vector<CryptoEngine::PairTerm> den_terms;
-  std::vector<Zr> den_exps;
-  den_terms.reserve(2 * coeffs->size());
-  den_exps.reserve(coeffs->size());
+  // The whole decryption is ONE multi-pairing product: the denominator
+  // rows (e(PK_UID, C_i) * e(C', K_{rho(i)}))^{w_i * n_A} and the
+  // numerator terms prod_k e(C', K_{UID,AID_k}) folded with a negated
+  // argument (e(a, -b) is exactly e(a, b)^{-1}). The 2l + N_A pairings
+  // — the decryption bottleneck (DESIGN.md sections 5, 12) — run their
+  // Miller loops in parallel and share a single final exponentiation;
+  // the repeated first arguments (PK_UID across rows, C' everywhere)
+  // hit the engine's line-table cache.
+  std::vector<CryptoEngine::PairTerm> terms;
+  std::vector<Zr> exps;
+  terms.reserve(2 * coeffs->size() + involved.size());
+  exps.reserve(2 * coeffs->size() + involved.size());
   for (const auto& [row, w] : *coeffs) {
     const Attribute& attr = ct.policy.row_attribute(row);
     const UserSecretKey& sk = secret_keys.at(attr.aid);
     const auto kx = sk.kx.find(attr.qualified());
     if (kx == sk.kx.end())
       throw SchemeError("decrypt: secret key lacks K_x for '" + attr.qualified() + "'");
-    den_terms.push_back({ct.ci[row], user.pk});
-    den_terms.push_back({ct.c_prime, kx->second});
-    den_exps.push_back(w * n_a);
+    const Zr e = w * n_a;
+    terms.push_back({user.pk, ct.ci[row]});
+    terms.push_back({ct.c_prime, kx->second});
+    exps.push_back(e);
+    exps.push_back(e);
   }
-  const std::vector<GT> den_pairs = eng.pair_batch(den_terms);
-  std::vector<CryptoEngine::GtTerm> den_pows;
-  den_pows.reserve(den_exps.size());
-  for (size_t i = 0; i < den_exps.size(); ++i)
-    den_pows.push_back({den_pairs[2 * i] * den_pairs[2 * i + 1], den_exps[i]});
-  GT denominator = grp.gt_one();
-  for (const GT& t : eng.multi_exp_gt(den_pows, /*cache_bases=*/false))
-    denominator = denominator * t;
-
-  // C / (numerator / denominator) = m.
-  return ct.c * denominator / numerator;
+  const Zr one = grp.zr_one();
+  for (const std::string& aid : involved) {
+    terms.push_back({ct.c_prime, secret_keys.at(aid).k.neg()});
+    exps.push_back(one);
+  }
+  // C * denominator / numerator = m.
+  return ct.c * eng.pairing_power_product(terms, exps);
 }
 
 ReKeyResult aa_rekey(const Group& grp, const AuthorityVersionKey& vk,
@@ -364,8 +359,10 @@ void reencrypt(const Group& grp, Ciphertext* ct, const UpdateKey& uk,
     throw SchemeError("reencrypt: ciphertext at version " + std::to_string(ver->second) +
                       ", update expects " + std::to_string(uk.from_version));
 
-  // C~ = C * e(UK1, C').
-  ct->c = ct->c * grp.pair(uk.uk1, ct->c_prime);
+  // C~ = C * e(UK1, C') — through the engine, so the epoch's shared UK1
+  // hits the pairing line-table cache (CloudServer warms it before
+  // fanning slots across the pool).
+  ct->c = ct->c * CryptoEngine::for_group(grp).pair(uk.uk1, ct->c_prime);
   // C~_i = C_i * UI_{rho(i)} for rows labeled by this authority.
   for (int i = 0; i < ct->policy.rows(); ++i) {
     const lsss::Attribute& attr = ct->policy.row_attribute(i);

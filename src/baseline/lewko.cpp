@@ -145,31 +145,31 @@ GT lewko_decrypt(const Group& grp, const LewkoCiphertext& ct, const LewkoUserKey
     throw SchemeError("lewko_decrypt: attributes do not satisfy the access structure");
 
   const G1 h_gid = lewko_hash_gid(grp, key.gid);
-  // Batch the 2l pairings, then the l GT exponentiations; fold in row
-  // order.
+  // The 2l pairings go through the shared-final-exp kernel:
+  // (e(H(GID), C3_i) / e(K_x, C2_i))^{w_i} becomes two kernel terms with
+  // exponent w_i, the divisor's point negated (e(K_x, -C2_i) is exactly
+  // e(K_x, C2_i)^{-1}). H(GID) repeats as first argument -> line-table
+  // cache. The C1_i^{w_i} factors stay a GT multi-exponentiation.
   CryptoEngine& eng = CryptoEngine::for_group(grp);
   std::vector<CryptoEngine::PairTerm> pair_terms;
-  std::vector<size_t> rows;
+  std::vector<CryptoEngine::GtTerm> pows;
   std::vector<Zr> exps;
   pair_terms.reserve(2 * coeffs->size());
+  exps.reserve(2 * coeffs->size());
+  pows.reserve(coeffs->size());
   for (const auto& [row, w] : *coeffs) {
     const std::string handle = ct.policy.row_attribute(row).qualified();
     const auto kx = key.k.find(handle);
     if (kx == key.k.end())
       throw SchemeError("lewko_decrypt: key lacks '" + handle + "'");
-    pair_terms.push_back({h_gid, ct.c3[row]});
-    pair_terms.push_back({kx->second, ct.c2[row]});
-    rows.push_back(static_cast<size_t>(row));
-    exps.push_back(w);
-  }
-  const std::vector<GT> pairs = eng.pair_batch(pair_terms);
-  std::vector<CryptoEngine::GtTerm> pows;
-  pows.reserve(exps.size());
-  for (size_t i = 0; i < exps.size(); ++i) {
     // C1_i * e(H(GID), C3_i) / e(K_x, C2_i) = e(g,g)^{lambda_i} e(H,g)^{omega_i}.
-    pows.push_back({ct.c1[rows[i]] * pairs[2 * i] / pairs[2 * i + 1], exps[i]});
+    pair_terms.push_back({h_gid, ct.c3[row]});
+    pair_terms.push_back({kx->second, ct.c2[row].neg()});
+    exps.push_back(w);
+    exps.push_back(w);
+    pows.push_back({ct.c1[row], w});
   }
-  GT acc = grp.gt_one();
+  GT acc = eng.pairing_power_product(pair_terms, exps);
   for (const GT& t : eng.multi_exp_gt(pows, /*cache_bases=*/false)) acc = acc * t;
   return ct.c0 / acc;
 }

@@ -109,34 +109,30 @@ GT waters_decrypt(const Group& grp, const WatersCiphertext& ct,
   if (!coeffs)
     throw SchemeError("waters_decrypt: attributes do not satisfy the access structure");
 
-  // Batch the 2l + 1 pairings, then the l GT exponentiations; fold in
-  // row order (exact arithmetic keeps this byte-identical to the serial
-  // loop at any thread count).
+  // One multi-pairing product for the 2l + 1 pairings: row terms raised
+  // to w_i on the unreduced Miller values, the blinding pairing folded
+  // with a negated argument (e(C', -K) = e(C', K)^{-1}), a single
+  // shared final exponentiation. L repeats across rows as the first
+  // argument, so it hits the engine's line-table cache.
   CryptoEngine& eng = CryptoEngine::for_group(grp);
   std::vector<CryptoEngine::PairTerm> pair_terms;
   std::vector<Zr> exps;
   pair_terms.reserve(2 * coeffs->size() + 1);
-  exps.reserve(coeffs->size());
+  exps.reserve(2 * coeffs->size() + 1);
   for (const auto& [row, w] : *coeffs) {
     const std::string handle = ct.policy.row_attribute(row).qualified();
     const auto kx = sk.kx.find(handle);
     if (kx == sk.kx.end())
       throw SchemeError("waters_decrypt: key lacks '" + handle + "'");
-    pair_terms.push_back({ct.ci[row], sk.l});
+    pair_terms.push_back({sk.l, ct.ci[row]});
     pair_terms.push_back({ct.di[row], kx->second});
     exps.push_back(w);
+    exps.push_back(w);
   }
-  pair_terms.push_back({ct.c_prime, sk.k});
-  const std::vector<GT> pairs = eng.pair_batch(pair_terms);
-  std::vector<CryptoEngine::GtTerm> pows;
-  pows.reserve(exps.size());
-  for (size_t i = 0; i < exps.size(); ++i)
-    pows.push_back({pairs[2 * i] * pairs[2 * i + 1], exps[i]});
-  GT denom = grp.gt_one();
-  for (const GT& t : eng.multi_exp_gt(pows, /*cache_bases=*/false))
-    denom = denom * t;
-  const GT blind = pairs.back() / denom;
-  return ct.c / blind;
+  pair_terms.push_back({ct.c_prime, sk.k.neg()});
+  exps.push_back(grp.zr_one());
+  // C * denom / e(C', K) = m.
+  return ct.c * eng.pairing_power_product(pair_terms, exps);
 }
 
 }  // namespace maabe::baseline

@@ -168,6 +168,9 @@ size_t CloudServer::reencrypt(const abe::UpdateKey& uk,
   for (size_t f = 0; f < staged.size(); ++f) {
     for (size_t i : staged[f].slot_indices) work.push_back({f, i});
   }
+  // Every slot pairs against the same UK1; build its pairing line table
+  // once before fanning out so all slots take the precomputed path.
+  engine::CryptoEngine::for_group(*grp_).warm_pair_precomp(uk.uk1);
   // Per-slot spans run on pool workers, so they parent on the epoch
   // span's captured context rather than thread-local propagation.
   const telemetry::SpanContext epoch_ctx = epoch_span.context();

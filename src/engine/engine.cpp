@@ -31,10 +31,14 @@ struct EngineMetrics {
   telemetry::Counter& pairings;
   telemetry::Counter& g1_exps;
   telemetry::Counter& gt_exps;
+  telemetry::Counter& miller_loops;
+  telemetry::Counter& final_exps;
   telemetry::Counter& batches;
   telemetry::Counter& tasks;
   telemetry::Counter& table_builds;
   telemetry::Counter& table_hits;
+  telemetry::Counter& precomp_builds;
+  telemetry::Counter& precomp_hits;
   telemetry::Counter& batch_wall_ns;
   telemetry::Histogram& pair_batch_ns;
   telemetry::Histogram& multi_exp_g1_ns;
@@ -48,10 +52,14 @@ struct EngineMetrics {
         reg.counter("maabe_engine_pairings_total"),
         reg.counter("maabe_engine_g1_exps_total"),
         reg.counter("maabe_engine_gt_exps_total"),
+        reg.counter("maabe_engine_miller_loops_total"),
+        reg.counter("maabe_engine_final_exps_total"),
         reg.counter("maabe_engine_batches_total"),
         reg.counter("maabe_engine_tasks_total"),
         reg.counter("maabe_engine_table_builds_total"),
         reg.counter("maabe_engine_table_hits_total"),
+        reg.counter("maabe_engine_precomp_builds_total"),
+        reg.counter("maabe_engine_precomp_hits_total"),
         reg.counter("maabe_engine_batch_wall_ns_total"),
         reg.histogram("maabe_engine_pair_batch_ns"),
         reg.histogram("maabe_engine_multi_exp_g1_ns"),
@@ -70,10 +78,14 @@ EngineStats EngineStats::operator-(const EngineStats& e) const {
   d.pairings = pairings - e.pairings;
   d.g1_exps = g1_exps - e.g1_exps;
   d.gt_exps = gt_exps - e.gt_exps;
+  d.miller_loops = miller_loops - e.miller_loops;
+  d.final_exps = final_exps - e.final_exps;
   d.batches = batches - e.batches;
   d.tasks = tasks - e.tasks;
   d.table_builds = table_builds - e.table_builds;
   d.table_hits = table_hits - e.table_hits;
+  d.precomp_builds = precomp_builds - e.precomp_builds;
+  d.precomp_hits = precomp_hits - e.precomp_hits;
   d.wall_ns = wall_ns - e.wall_ns;
   return d;
 }
@@ -82,10 +94,14 @@ EngineStats& EngineStats::operator+=(const EngineStats& o) {
   pairings += o.pairings;
   g1_exps += o.g1_exps;
   gt_exps += o.gt_exps;
+  miller_loops += o.miller_loops;
+  final_exps += o.final_exps;
   batches += o.batches;
   tasks += o.tasks;
   table_builds += o.table_builds;
   table_hits += o.table_hits;
+  precomp_builds += o.precomp_builds;
+  precomp_hits += o.precomp_hits;
   wall_ns += o.wall_ns;
   return *this;
 }
@@ -191,6 +207,7 @@ struct CryptoEngine::LruCache {
     uint64_t uses = 0;
     std::shared_ptr<const pairing::G1FixedBase> g1;
     std::shared_ptr<const pairing::GtFixedBase> gt;
+    std::shared_ptr<const pairing::PairingPrecomp> pair;  // line table
   };
   using List = std::list<Node>;
 
@@ -205,7 +222,7 @@ struct CryptoEngine::LruCache {
     if (it != index.end()) {
       order.splice(order.begin(), order, it->second);
     } else {
-      order.push_front(Node{key, 0, nullptr, nullptr});
+      order.push_front(Node{key, 0, nullptr, nullptr, nullptr});
       index[key] = order.begin();
       if (index.size() > kCapacity) {
         index.erase(order.back().key);
@@ -229,8 +246,9 @@ struct CryptoEngine::LruCache {
 struct CryptoEngine::StatCells {
   std::mutex write_mu;
   std::atomic<uint64_t> seq{0};
-  std::atomic<uint64_t> pairings{0}, g1_exps{0}, gt_exps{0}, batches{0},
-      tasks{0}, table_builds{0}, table_hits{0}, wall_ns{0};
+  std::atomic<uint64_t> pairings{0}, g1_exps{0}, gt_exps{0}, miller_loops{0},
+      final_exps{0}, batches{0}, tasks{0}, table_builds{0}, table_hits{0},
+      precomp_builds{0}, precomp_hits{0}, wall_ns{0};
 };
 
 void CryptoEngine::commit_stats(const EngineStats& d) {
@@ -246,10 +264,14 @@ void CryptoEngine::commit_stats(const EngineStats& d) {
     bump(c.pairings, d.pairings);
     bump(c.g1_exps, d.g1_exps);
     bump(c.gt_exps, d.gt_exps);
+    bump(c.miller_loops, d.miller_loops);
+    bump(c.final_exps, d.final_exps);
     bump(c.batches, d.batches);
     bump(c.tasks, d.tasks);
     bump(c.table_builds, d.table_builds);
     bump(c.table_hits, d.table_hits);
+    bump(c.precomp_builds, d.precomp_builds);
+    bump(c.precomp_hits, d.precomp_hits);
     bump(c.wall_ns, d.wall_ns);
     c.seq.store(s + 2, std::memory_order_release);
   }
@@ -257,10 +279,14 @@ void CryptoEngine::commit_stats(const EngineStats& d) {
   if (d.pairings) m.pairings.add(d.pairings);
   if (d.g1_exps) m.g1_exps.add(d.g1_exps);
   if (d.gt_exps) m.gt_exps.add(d.gt_exps);
+  if (d.miller_loops) m.miller_loops.add(d.miller_loops);
+  if (d.final_exps) m.final_exps.add(d.final_exps);
   if (d.batches) m.batches.add(d.batches);
   if (d.tasks) m.tasks.add(d.tasks);
   if (d.table_builds) m.table_builds.add(d.table_builds);
   if (d.table_hits) m.table_hits.add(d.table_hits);
+  if (d.precomp_builds) m.precomp_builds.add(d.precomp_builds);
+  if (d.precomp_hits) m.precomp_hits.add(d.precomp_hits);
   if (d.wall_ns) m.batch_wall_ns.add(d.wall_ns);
 }
 
@@ -377,22 +403,147 @@ void CryptoEngine::parallel_for(size_t n, const std::function<void(size_t)>& fn)
 
 std::vector<GT> CryptoEngine::pair_batch(const std::vector<PairTerm>& terms) {
   BatchScope scope(*this, EngineMetrics::get().pair_batch_ns, "engine.pair_batch");
-  scope.delta.pairings = terms.size();
-  scope.delta.tasks = terms.size();
-  scope.set_items(terms.size());
-  std::vector<GT> out(terms.size());
-  run_items(terms.size(),
-            [&](size_t i) { out[i] = grp_->pair(terms[i].a, terms[i].b); });
+  const size_t n = terms.size();
+  scope.delta.pairings = n;
+  scope.delta.tasks = n;
+  scope.set_items(n);
+  // Resolve line tables for repeated first arguments under the LRU
+  // lock; identity terms pair to 1 without touching the cache.
+  std::vector<std::shared_ptr<const pairing::PairingPrecomp>> pre(n);
+  {
+    std::lock_guard<std::mutex> lk(cache_->mu);
+    for (size_t i = 0; i < n; ++i) {
+      if (terms[i].a.is_identity() || terms[i].b.is_identity()) continue;
+      ++scope.delta.miller_loops;
+      ++scope.delta.final_exps;
+      LruCache::Node& node = cache_->touch(terms[i].a.to_bytes());
+      if (!node.pair && node.uses >= LruCache::kBuildThreshold) {
+        node.pair = grp_->pair_precompute(terms[i].a);
+        ++scope.delta.precomp_builds;
+      }
+      if (node.pair) ++scope.delta.precomp_hits;
+      pre[i] = node.pair;
+    }
+  }
+  std::vector<GT> out(n);
+  run_items(n, [&](size_t i) {
+    out[i] = pre[i] ? grp_->miller_reduce(grp_->miller_with(*pre[i], terms[i].b))
+                    : grp_->pair(terms[i].a, terms[i].b);
+  });
   return out;
 }
 
 GT CryptoEngine::pairing_product(const std::vector<PairTerm>& terms) {
-  std::vector<GT> parts = pair_batch(terms);
-  // Exact group arithmetic: folding in submission order reproduces the
-  // serial loop's value bit for bit regardless of evaluation order.
-  GT acc = grp_->gt_one();
-  for (const GT& p : parts) acc = acc * p;
-  return acc;
+  return pairing_power_product(terms, {});
+}
+
+GT CryptoEngine::pairing_power_product(const std::vector<PairTerm>& terms,
+                                       const std::vector<Zr>& exps) {
+  if (!exps.empty() && exps.size() != terms.size())
+    throw MathError("pairing_power_product: terms/exps size mismatch");
+  BatchScope scope(*this, EngineMetrics::get().pair_batch_ns,
+                   "engine.pairing_product");
+  const size_t n = terms.size();
+  scope.delta.pairings = n;
+  scope.set_items(n);
+  // Select the live terms. pair() defines identity inputs as 1, and a
+  // zero exponent makes the factor 1 outright; both would inject
+  // degenerate values into the shared reduction, so they are skipped —
+  // which is exactly what the serial fold multiplies by anyway.
+  std::vector<size_t> live;
+  live.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (terms[i].a.is_identity() || terms[i].b.is_identity()) continue;
+    if (!exps.empty() && exps[i].is_zero()) continue;
+    live.push_back(i);
+  }
+  if (live.empty()) return grp_->gt_one();
+  scope.delta.tasks = live.size();
+  scope.delta.miller_loops = live.size();
+  scope.delta.final_exps = 1;
+
+  std::vector<std::shared_ptr<const pairing::PairingPrecomp>> pre(live.size());
+  {
+    std::lock_guard<std::mutex> lk(cache_->mu);
+    for (size_t k = 0; k < live.size(); ++k) {
+      const pairing::G1& a = terms[live[k]].a;
+      LruCache::Node& node = cache_->touch(a.to_bytes());
+      if (!node.pair && node.uses >= LruCache::kBuildThreshold) {
+        node.pair = grp_->pair_precompute(a);
+        ++scope.delta.precomp_builds;
+      }
+      if (node.pair) ++scope.delta.precomp_hits;
+      pre[k] = node.pair;
+    }
+  }
+
+  // Parallel Miller loops; the reduction below stays on the caller.
+  std::vector<pairing::MillerVal> parts(live.size());
+  run_items(live.size(), [&](size_t k) {
+    const PairTerm& t = terms[live[k]];
+    parts[k] = pre[k] ? grp_->miller_with(*pre[k], t.b) : grp_->miller(t.a, t.b);
+  });
+
+  // Fold unreduced values in submission order — exact arithmetic makes
+  // this byte-identical to the serial pair-then-multiply loop at any
+  // thread count. Runs of equal adjacent exponents fold first and are
+  // raised once ((m1*m2)^e == m1^e * m2^e exactly), which halves the
+  // exponentiations for the decrypt-denominator shape.
+  pairing::MillerVal acc = grp_->miller_one();
+  if (exps.empty()) {
+    for (const pairing::MillerVal& p : parts) acc = acc.mul(p);
+  } else {
+    for (size_t k = 0; k < live.size();) {
+      pairing::MillerVal run = parts[k];
+      const Zr& e = exps[live[k]];
+      size_t j = k + 1;
+      for (; j < live.size() && exps[live[j]] == e; ++j) run = run.mul(parts[j]);
+      ++scope.delta.gt_exps;
+      acc = acc.mul(run.pow(e));
+      k = j;
+    }
+  }
+  // The single shared final exponentiation for the whole product.
+  return grp_->miller_reduce(acc);
+}
+
+GT CryptoEngine::pair(const pairing::G1& a, const pairing::G1& b) {
+  BatchScope scope(*this, EngineMetrics::get().pair_batch_ns, "engine.pair");
+  scope.delta.pairings = 1;
+  scope.set_items(1);
+  if (a.is_identity() || b.is_identity()) return grp_->gt_one();
+  scope.delta.miller_loops = 1;
+  scope.delta.final_exps = 1;
+  std::shared_ptr<const pairing::PairingPrecomp> pre;
+  {
+    std::lock_guard<std::mutex> lk(cache_->mu);
+    LruCache::Node& node = cache_->touch(a.to_bytes());
+    if (!node.pair && node.uses >= LruCache::kBuildThreshold) {
+      node.pair = grp_->pair_precompute(a);
+      ++scope.delta.precomp_builds;
+    }
+    if (node.pair) ++scope.delta.precomp_hits;
+    pre = node.pair;
+  }
+  return pre ? grp_->miller_reduce(grp_->miller_with(*pre, b))
+             : grp_->pair(a, b);
+}
+
+void CryptoEngine::warm_pair_precomp(const pairing::G1& base) {
+  if (base.is_identity()) return;
+  EngineStats d;
+  {
+    std::lock_guard<std::mutex> lk(cache_->mu);
+    LruCache::Node& node = cache_->touch(base.to_bytes());
+    // The caller announced a whole epoch of pairings against this base;
+    // skip the break-even counting and build immediately.
+    if (node.uses < LruCache::kBuildThreshold) node.uses = LruCache::kBuildThreshold;
+    if (!node.pair) {
+      node.pair = grp_->pair_precompute(base);
+      d.precomp_builds = 1;
+    }
+  }
+  if (d.precomp_builds != 0) commit_stats(d);
 }
 
 std::vector<G1> CryptoEngine::multi_exp_g1(const std::vector<G1Term>& terms,
@@ -488,10 +639,14 @@ EngineStats CryptoEngine::stats() const {
       out.pairings = c.pairings.load(std::memory_order_relaxed);
       out.g1_exps = c.g1_exps.load(std::memory_order_relaxed);
       out.gt_exps = c.gt_exps.load(std::memory_order_relaxed);
+      out.miller_loops = c.miller_loops.load(std::memory_order_relaxed);
+      out.final_exps = c.final_exps.load(std::memory_order_relaxed);
       out.batches = c.batches.load(std::memory_order_relaxed);
       out.tasks = c.tasks.load(std::memory_order_relaxed);
       out.table_builds = c.table_builds.load(std::memory_order_relaxed);
       out.table_hits = c.table_hits.load(std::memory_order_relaxed);
+      out.precomp_builds = c.precomp_builds.load(std::memory_order_relaxed);
+      out.precomp_hits = c.precomp_hits.load(std::memory_order_relaxed);
       out.wall_ns = c.wall_ns.load(std::memory_order_relaxed);
       std::atomic_thread_fence(std::memory_order_acquire);
       if (c.seq.load(std::memory_order_relaxed) == s1) return out;
@@ -507,8 +662,9 @@ void CryptoEngine::reset_stats() {
   c.seq.store(s + 1, std::memory_order_relaxed);
   std::atomic_thread_fence(std::memory_order_release);
   for (std::atomic<uint64_t>* f :
-       {&c.pairings, &c.g1_exps, &c.gt_exps, &c.batches, &c.tasks,
-        &c.table_builds, &c.table_hits, &c.wall_ns}) {
+       {&c.pairings, &c.g1_exps, &c.gt_exps, &c.miller_loops, &c.final_exps,
+        &c.batches, &c.tasks, &c.table_builds, &c.table_hits,
+        &c.precomp_builds, &c.precomp_hits, &c.wall_ns}) {
     f->store(0, std::memory_order_relaxed);
   }
   c.seq.store(s + 2, std::memory_order_release);

@@ -5,8 +5,11 @@
 // (decrypt alone evaluates 2l + N_A pairings); a CryptoEngine turns
 // those serial loops into batches executed on a fixed-size thread pool:
 //
-//   * pairing_product / pair_batch — evaluate many e(a_i, b_i) in
-//     parallel; the GT product is folded in submission order.
+//   * pairing_product / pairing_power_product / pair_batch — the
+//     multi-pairing kernel: Miller loops evaluated in parallel (with
+//     fixed-argument line tables cached in the LRU), unreduced values
+//     folded in submission order, one shared final exponentiation per
+//     product.
 //   * multi_exp_g1 / multi_exp_gt — batched variable-base
 //     exponentiation with a per-Group LRU precomputation cache:
 //     bases seen repeatedly across batches (PK_UID in KeyGen, the
@@ -49,11 +52,15 @@ namespace maabe::engine {
 struct EngineStats {
   uint64_t pairings = 0;   ///< e(a,b) evaluations submitted
   uint64_t g1_exps = 0;    ///< G1 exponentiations (fixed + variable base)
-  uint64_t gt_exps = 0;    ///< GT exponentiations (fixed + variable base)
+  uint64_t gt_exps = 0;    ///< GT/target-field exponentiations
+  uint64_t miller_loops = 0;  ///< Miller loops actually evaluated
+  uint64_t final_exps = 0;    ///< final exponentiations actually paid
   uint64_t batches = 0;    ///< batch API calls
   uint64_t tasks = 0;      ///< parallel_for items processed
   uint64_t table_builds = 0;  ///< LRU window tables constructed
   uint64_t table_hits = 0;    ///< exponentiations served from a cached table
+  uint64_t precomp_builds = 0;  ///< pairing line tables constructed
+  uint64_t precomp_hits = 0;    ///< Miller loops served from a cached table
   uint64_t wall_ns = 0;    ///< wall time spent inside batch APIs
 
   EngineStats operator-(const EngineStats& earlier) const;
@@ -100,10 +107,29 @@ class CryptoEngine {
     pairing::Zr exp;
   };
 
-  /// prod_i e(a_i, b_i), pairings evaluated in parallel, product folded
-  /// in submission order starting from 1.
+  /// prod_i e(a_i, b_i) through the multi-pairing kernel: Miller loops
+  /// run in parallel (repeated first arguments hit the LRU's line
+  /// tables), the unreduced values fold in submission order, and the
+  /// whole product pays ONE shared final exponentiation. Identity terms
+  /// are skipped outright — pair() defines them as 1, and a degenerate
+  /// Miller value must never reach the shared reduction. Bit-identical
+  /// to the serial pair-then-multiply fold at any thread count.
   pairing::GT pairing_product(const std::vector<PairTerm>& terms);
-  /// Each e(a_i, b_i) individually (no fold).
+  /// prod_i e(a_i, b_i)^{e_i}, same kernel: exponents apply to the
+  /// unreduced Miller values (runs of equal adjacent exponents are
+  /// raised once, after folding), still one final exponentiation.
+  /// Requires exps.size() == terms.size(); zero exponents skip their
+  /// term. This is the shape of every ABE decrypt denominator.
+  pairing::GT pairing_power_product(const std::vector<PairTerm>& terms,
+                                    const std::vector<pairing::Zr>& exps);
+  /// A single e(a, b) through the precomp cache — repeated first
+  /// arguments (an epoch's UK1 in proxy re-encryption) become table
+  /// hits. Same bits as Group::pair.
+  pairing::GT pair(const pairing::G1& a, const pairing::G1& b);
+  /// Forces the line table for `base` to exist in the LRU (epoch
+  /// warm-up: build once before fanning slots across the pool).
+  void warm_pair_precomp(const pairing::G1& base);
+  /// Each e(a_i, b_i) individually (no fold; one final exp per term).
   std::vector<pairing::GT> pair_batch(const std::vector<PairTerm>& terms);
 
   /// base_i ^ exp_i for variable bases. `cache_bases = false` skips the

@@ -28,7 +28,9 @@ class MontCtx {
 
   /// Montgomery product of two Montgomery-form values.
   Bignum mul(const Bignum& a, const Bignum& b) const;
-  Bignum sqr(const Bignum& a) const { return mul(a, a); }
+  /// Montgomery square: SOS with halved cross products, ~25% fewer
+  /// 64x64 multiplies than mul(a, a). Identical result bits.
+  Bignum sqr(const Bignum& a) const;
 
   // Plain modular add/sub/neg: representation-agnostic (work equally on
   // Montgomery or standard form, as long as both operands match).

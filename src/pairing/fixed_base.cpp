@@ -62,6 +62,12 @@ GtFixedBase::GtFixedBase(const Fp2Ctx& fq2, const Fp2& base, int exp_bits,
   digits_ = (exp_bits + window_bits - 1) / window_bits;
   const int span = 1 << window_bits;
 
+  // GT bases live in the norm-1 cyclotomic subgroup, where squaring
+  // costs two base-field squarings instead of a full multiply; even
+  // table entries are squares of earlier ones, so build them that way.
+  // (Bit-identical either path — the guard only exists for callers that
+  // precompute arbitrary F_{q^2} elements.)
+  const bool norm1 = fq2.is_norm_one(base);
   table_.resize(digits_);
   Fp2 digit_base = base;
   for (int d = 0; d < digits_; ++d) {
@@ -69,8 +75,14 @@ GtFixedBase::GtFixedBase(const Fp2Ctx& fq2, const Fp2& base, int exp_bits,
     row.resize(span);
     row[0] = fq2_.one();
     row[1] = digit_base;
-    for (int j = 2; j < span; ++j) row[j] = fq2_.mul(row[j - 1], digit_base);
-    if (d + 1 < digits_) digit_base = fq2_.mul(row[span - 1], digit_base);
+    for (int j = 2; j < span; ++j) {
+      row[j] = (norm1 && j % 2 == 0) ? fq2_.sqr_cyclotomic(row[j / 2])
+                                     : fq2_.mul(row[j - 1], digit_base);
+    }
+    if (d + 1 < digits_) {
+      digit_base = norm1 ? fq2_.sqr_cyclotomic(row[span / 2])
+                         : fq2_.mul(row[span - 1], digit_base);
+    }
   }
 }
 

@@ -44,6 +44,31 @@ Fp2 Fp2Ctx::pow(const Fp2& base, const Bignum& exp) const {
   return result;
 }
 
+bool Fp2Ctx::is_norm_one(const Fp2& x) const {
+  return fq_.add(fq_.sqr(x.a), fq_.sqr(x.b)) == fq_.one();
+}
+
+Fp2 Fp2Ctx::sqr_cyclotomic(const Fp2& x) const {
+  // With a^2 + b^2 = 1: (a+bi)^2 = (a^2 - b^2) + 2ab i
+  //                             = (2a^2 - 1) + ((a+b)^2 - 1) i.
+  // Exact canonical arithmetic makes this bit-identical to sqr(x).
+  const Bignum a2 = fq_.sqr(x.a);
+  const Bignum s2 = fq_.sqr(fq_.add(x.a, x.b));
+  return {fq_.sub(fq_.dbl(a2), fq_.one()), fq_.sub(s2, fq_.one())};
+}
+
+Fp2 Fp2Ctx::pow_cyclotomic(const Fp2& base, const Bignum& exp) const {
+  // The running value stays in the cyclotomic subgroup (it is a power
+  // of `base`), so every square step may use the cheap form. one() is
+  // norm-1 too, so the identity-prefix squarings are covered.
+  Fp2 result = one();
+  for (int i = exp.bit_length() - 1; i >= 0; --i) {
+    result = sqr_cyclotomic(result);
+    if (exp.bit(i)) result = mul(result, base);
+  }
+  return result;
+}
+
 Fp2 Fp2Ctx::random(crypto::Drbg& rng) const {
   return {fq_.random(rng), fq_.random(rng)};
 }

@@ -41,6 +41,17 @@ class Fp2Ctx {
   Fp2 inv(const Fp2& x) const;
   Fp2 pow(const Fp2& base, const math::Bignum& exp) const;
 
+  /// Norm a^2 + b^2 == 1, i.e. membership in the order-(q+1) cyclotomic
+  /// subgroup (where every pairing value lands after the easy part of
+  /// the final exponentiation, and where all of GT lives).
+  bool is_norm_one(const Fp2& x) const;
+  /// Square of a norm-1 element: (2a^2 - 1) + ((a+b)^2 - 1) i — two
+  /// base-field *squarings* and no multiplications. Only valid when
+  /// is_norm_one(x); produces bits identical to sqr(x) there.
+  Fp2 sqr_cyclotomic(const Fp2& x) const;
+  /// pow() with cyclotomic squarings; base must satisfy is_norm_one.
+  Fp2 pow_cyclotomic(const Fp2& base, const math::Bignum& exp) const;
+
   /// Uniform nonzero-capable random element.
   Fp2 random(crypto::Drbg& rng) const;
 

@@ -104,6 +104,42 @@ class G1 {
   AffinePoint pt_;
 };
 
+/// Unreduced pairing value: the Miller-loop output in F_{q^2}, before
+/// the final exponentiation. Produced by Group::miller() /
+/// miller_with(); fold many with mul() (or raise one with pow()) and
+/// map the product to GT with Group::miller_reduce() — ONE shared final
+/// exponentiation. The final exponentiation is a group homomorphism and
+/// all arithmetic is exact, so reduce(a * b) == reduce(a) * reduce(b)
+/// bit for bit; this is the algebra behind the multi-pairing kernel.
+class MillerVal {
+ public:
+  MillerVal() = default;
+
+  /// True for the fold-neutral value (identity inputs produce it).
+  bool is_one() const;
+
+  MillerVal mul(const MillerVal& o) const;
+  /// Full-field exponentiation (Miller values are generally NOT in the
+  /// norm-1 subgroup; cyclotomic shortcuts do not apply before
+  /// reduction). reduce(m.pow(k)) == reduce(m).pow(k).
+  MillerVal pow(const Zr& k) const;
+
+  friend MillerVal operator*(const MillerVal& a, const MillerVal& b) {
+    return a.mul(b);
+  }
+
+  /// Raw F_{q^2} serialization — lets tests assert bit-level equality
+  /// of unreduced values; not a wire format.
+  Bytes to_bytes() const;
+
+ private:
+  friend class Group;
+  MillerVal(const Group* g, Fp2 v) : g_(g), v_(std::move(v)) {}
+
+  const Group* g_ = nullptr;
+  Fp2 v_;
+};
+
 /// Element of the target group (order-r subgroup of F_{q^2}^*).
 class GT {
  public:
@@ -199,6 +235,25 @@ class Group {
   /// The bilinear map e: G1 x G1 -> GT.
   GT pair(const G1& a, const G1& b) const;
 
+  // ---- Multi-pairing kernel ----------------------------------------
+  /// The fold-neutral Miller value (what an empty product reduces from).
+  MillerVal miller_one() const { return MillerVal(this, ctx_.fq2().one()); }
+  /// Miller loop only — no final exponentiation. Identity inputs yield
+  /// the neutral value, so any term is safe to fold.
+  MillerVal miller(const G1& a, const G1& b) const;
+  /// Reduces a (folded) Miller value to GT: one final exponentiation.
+  /// miller_reduce(miller(a, b)) == pair(a, b) bit for bit.
+  GT miller_reduce(const MillerVal& f) const;
+
+  /// Line-coefficient table for a fixed first pairing argument (the
+  /// pairing analogue of g1_precompute). `base` may be the identity —
+  /// evaluations then return the neutral value. The table references
+  /// this Group's contexts and must not outlive it.
+  std::unique_ptr<PairingPrecomp> pair_precompute(const G1& base) const;
+  /// miller(base, b) through the precomputed table — ~2x faster, same
+  /// bits.
+  MillerVal miller_with(const PairingPrecomp& pre, const G1& b) const;
+
   // ---- Precomputation hooks (engine layer) -------------------------
   // Window tables for *variable* bases, used by engine::CryptoEngine's
   // multi-exponentiation cache for repeatedly-seen bases (PK_UID,
@@ -217,6 +272,7 @@ class Group {
   friend class Zr;
   friend class G1;
   friend class GT;
+  friend class MillerVal;
 
   PairingCtx ctx_;
   G1 generator_;

@@ -45,11 +45,13 @@ Fp2 PairingCtx::final_exponentiation(const Fp2& f) const {
   if (fq2_.is_zero(f)) throw MathError("final_exponentiation: zero input");
   // f^(q-1) = conj(f) / f.
   const Fp2 f1 = fq2_.mul(fq2_.conj(f), fq2_.inv(f));
-  // Then raise to h = (q+1)/r.
-  return fq2_.pow(f1, params_.h);
+  // f1 has norm 1 (f1^(q+1) = f^(q^2-1) = 1 by Fermat), so the hard
+  // part h = (q+1)/r runs on cyclotomic squarings — the same bits as a
+  // generic pow at roughly half the base-field multiplies per square.
+  return fq2_.pow_cyclotomic(f1, params_.h);
 }
 
-Fp2 PairingCtx::pair(const AffinePoint& p, const AffinePoint& q) const {
+Fp2 PairingCtx::miller_loop(const AffinePoint& p, const AffinePoint& q) const {
   if (p.inf || q.inf) return fq2_.one();
 
   Fp2 f = fq2_.one();
@@ -90,7 +92,89 @@ Fp2 PairingCtx::pair(const AffinePoint& p, const AffinePoint& q) const {
       }
     }
   }
-  return final_exponentiation(f);
+  return f;
+}
+
+Fp2 PairingCtx::pair(const AffinePoint& p, const AffinePoint& q) const {
+  if (p.inf || q.inf) return fq2_.one();
+  return final_exponentiation(miller_loop(p, q));
+}
+
+// ---------------------------------------------------------- precomp --
+
+PairingPrecomp::PairingPrecomp(const PairingCtx& ctx, const AffinePoint& p)
+    : ctx_(&ctx) {
+  if (p.inf) {
+    inf_ = true;
+    return;
+  }
+  // Replay miller_loop(p, ·)'s exact control flow — which depends only
+  // on P and r — recording each line's Q-independent coefficients. The
+  // on-line tangent evaluates as M*(Z^2*x_q + X) - 2Y^2; distributing
+  // gives c0 = M*Z^2, c1 = M*X - 2Y^2, and the chord analogously —
+  // exact modular arithmetic keeps the distributed form bit-identical.
+  const FpCtx& fq = ctx.fq();
+  const CurveCtx& curve = ctx.curve();
+  JacPoint t = curve.to_jac(p);
+  const Bignum& r = ctx.params().r;
+  uint32_t pending = 0;
+
+  const auto push_tangent = [&] {
+    const Bignum z2 = fq.sqr(t.z);
+    const Bignum x2 = fq.sqr(t.x);
+    const Bignum m = fq.add(fq.add(fq.dbl(x2), x2), fq.sqr(z2));
+    lines_.push_back({fq.mul(m, z2),
+                      fq.sub(fq.mul(m, t.x), fq.dbl(fq.sqr(t.y))),
+                      fq.dbl(fq.mul(t.y, fq.mul(z2, t.z))), pending});
+    pending = 0;
+  };
+
+  for (int i = r.bit_length() - 2; i >= 0; --i) {
+    ++pending;  // the f = f^2 at the top of each iteration
+    if (!t.z.is_zero()) {
+      push_tangent();
+      t = curve.jac_dbl(t);
+    }
+    if (r.bit(i) && !t.z.is_zero()) {
+      const Bignum z2 = fq.sqr(t.z);
+      const Bignum hh = fq.sub(fq.mul(p.x, z2), t.x);
+      const Bignum rr = fq.sub(fq.mul(p.y, fq.mul(z2, t.z)), t.y);
+      if (hh.is_zero()) {
+        if (rr.is_zero()) {
+          push_tangent();
+          t = curve.jac_dbl(t);
+        } else {
+          t = {fq.one(), fq.one(), fq.zero()};
+        }
+      } else {
+        const Bignum hz = fq.mul(hh, t.z);
+        lines_.push_back({rr, fq.sub(fq.mul(rr, p.x), fq.mul(hz, p.y)), hz,
+                          pending});
+        pending = 0;
+        const Bignum h2 = fq.sqr(hh);
+        const Bignum h3 = fq.mul(hh, h2);
+        const Bignum v = fq.mul(t.x, h2);
+        const Bignum xr = fq.sub(fq.sub(fq.sqr(rr), h3), fq.dbl(v));
+        const Bignum yr = fq.sub(fq.mul(rr, fq.sub(v, xr)), fq.mul(t.y, h3));
+        const Bignum zr = fq.mul(t.z, hh);
+        t = {xr, yr, zr};
+      }
+    }
+  }
+  trailing_sqrs_ = pending;
+}
+
+Fp2 PairingPrecomp::miller(const AffinePoint& q) const {
+  const Fp2Ctx& fq2 = ctx_->fq2();
+  if (inf_ || q.inf) return fq2.one();
+  const FpCtx& fq = ctx_->fq();
+  Fp2 f = fq2.one();
+  for (const Line& l : lines_) {
+    for (uint32_t s = 0; s < l.sqrs_before; ++s) f = fq2.sqr(f);
+    f = fq2.mul(f, {fq.add(fq.mul(l.c0, q.x), l.c1), fq.mul(l.c2, q.y)});
+  }
+  for (uint32_t s = 0; s < trailing_sqrs_; ++s) f = fq2.sqr(f);
+  return f;
 }
 
 }  // namespace maabe::pairing

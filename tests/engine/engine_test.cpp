@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/errors.h"
+#include "telemetry/metrics.h"
 
 namespace maabe::engine {
 namespace {
@@ -27,7 +28,8 @@ class EngineTest : public ::testing::Test {
 
 TEST_F(EngineTest, PairingProductMatchesSerialFold) {
   CryptoEngine eng(*grp, 4);
-  for (const size_t n : {size_t{0}, size_t{1}, size_t{5}, size_t{16}}) {
+  for (const size_t n : {size_t{0}, size_t{1}, size_t{2}, size_t{5}, size_t{16},
+                         size_t{17}}) {
     std::vector<CryptoEngine::PairTerm> terms;
     for (size_t i = 0; i < n; ++i)
       terms.push_back({grp->g1_random(rng), grp->g1_random(rng)});
@@ -38,6 +40,109 @@ TEST_F(EngineTest, PairingProductMatchesSerialFold) {
     const GT got = eng.pairing_product(terms);
     EXPECT_EQ(got.to_bytes(), expected.to_bytes()) << "n=" << n;
   }
+}
+
+TEST_F(EngineTest, PairingProductSkipsIdentityTermsLikeSerialFold) {
+  CryptoEngine eng(*grp, 4);
+  const G1 inf = grp->g1_identity();
+  std::vector<CryptoEngine::PairTerm> terms;
+  terms.push_back({grp->g1_random(rng), grp->g1_random(rng)});
+  terms.push_back({inf, grp->g1_random(rng)});
+  terms.push_back({grp->g1_random(rng), inf});
+  terms.push_back({grp->g1_random(rng), grp->g1_random(rng)});
+  terms.push_back({inf, inf});
+  GT expected = grp->gt_one();
+  for (const auto& t : terms) expected = expected * grp->pair(t.a, t.b);
+  EXPECT_EQ(eng.pairing_product(terms).to_bytes(), expected.to_bytes());
+
+  // All-identity product: GT's one, and no final exponentiation paid.
+  const EngineStats before = eng.stats();
+  const GT one = eng.pairing_product({{inf, inf}, {inf, grp->g1_random(rng)}});
+  EXPECT_EQ(one.to_bytes(), grp->gt_one().to_bytes());
+  EXPECT_EQ((eng.stats() - before).final_exps, 0u);
+  EXPECT_EQ((eng.stats() - before).miller_loops, 0u);
+}
+
+TEST_F(EngineTest, PairingPowerProductMatchesSerialFold) {
+  CryptoEngine eng(*grp, 4);
+  std::vector<CryptoEngine::PairTerm> terms;
+  std::vector<Zr> exps;
+  // Adjacent equal exponents (the decrypt-denominator shape, folded
+  // into one exponentiation per run), then distinct ones.
+  const Zr shared = grp->zr_random(rng);
+  for (int i = 0; i < 6; ++i) {
+    terms.push_back({grp->g1_random(rng), grp->g1_random(rng)});
+    exps.push_back(i < 4 ? shared : grp->zr_random(rng));
+  }
+  // A zero exponent and an identity term must both drop out.
+  terms.push_back({grp->g1_random(rng), grp->g1_random(rng)});
+  exps.push_back(grp->zr_zero());
+  terms.push_back({grp->g1_identity(), grp->g1_random(rng)});
+  exps.push_back(grp->zr_random(rng));
+
+  GT expected = grp->gt_one();
+  for (size_t i = 0; i < terms.size(); ++i)
+    expected = expected * grp->pair(terms[i].a, terms[i].b).pow(exps[i]);
+  EXPECT_EQ(eng.pairing_power_product(terms, exps).to_bytes(),
+            expected.to_bytes());
+  EXPECT_THROW(eng.pairing_power_product(terms, {grp->zr_one()}), MathError);
+}
+
+TEST_F(EngineTest, PairingProductPaysExactlyOneFinalExponentiation) {
+  CryptoEngine eng(*grp, 4);
+  std::vector<CryptoEngine::PairTerm> terms;
+  for (int i = 0; i < 16; ++i)
+    terms.push_back({grp->g1_random(rng), grp->g1_random(rng)});
+  const EngineStats before = eng.stats();
+  const telemetry::Snapshot snap_before = telemetry::MetricsRegistry::global().collect();
+  (void)eng.pairing_product(terms);
+  const telemetry::Snapshot snap_after = telemetry::MetricsRegistry::global().collect();
+  const EngineStats delta = eng.stats() - before;
+  EXPECT_EQ(delta.pairings, 16u);
+  EXPECT_EQ(delta.miller_loops, 16u);
+  EXPECT_EQ(delta.final_exps, 1u);
+  EXPECT_EQ(delta.batches, 1u);
+  // Mirrored at the pairing layer's global telemetry: 16 Miller loops,
+  // ONE shared final exponentiation for the whole product.
+  EXPECT_EQ(snap_after.counter("maabe_pairing_final_exps_total") -
+                snap_before.counter("maabe_pairing_final_exps_total"),
+            1u);
+  EXPECT_EQ(snap_after.counter("maabe_pairing_miller_loops_total") -
+                snap_before.counter("maabe_pairing_miller_loops_total"),
+            16u);
+}
+
+TEST_F(EngineTest, RepeatedFirstArgumentPromotesToLineTable) {
+  CryptoEngine eng(*grp, 2);
+  const G1 hot = grp->g1_random(rng);
+  // Enough single-term products against the same first argument to
+  // cross the build threshold mid-sequence; bits must not change.
+  for (int i = 0; i < 8; ++i) {
+    const G1 q = grp->g1_random(rng);
+    EXPECT_EQ(eng.pairing_product({{hot, q}}).to_bytes(),
+              grp->pair(hot, q).to_bytes())
+        << "round " << i;
+  }
+  const EngineStats s = eng.stats();
+  EXPECT_GE(s.precomp_builds, 1u);
+  EXPECT_GT(s.precomp_hits, 0u);
+}
+
+TEST_F(EngineTest, EnginePairUsesWarmedPrecomp) {
+  CryptoEngine eng(*grp, 1);
+  const G1 base = grp->g1_random(rng);
+  eng.warm_pair_precomp(base);
+  EXPECT_EQ(eng.stats().precomp_builds, 1u);
+  // Warming twice is a no-op.
+  eng.warm_pair_precomp(base);
+  EXPECT_EQ(eng.stats().precomp_builds, 1u);
+  for (int i = 0; i < 3; ++i) {
+    const G1 q = grp->g1_random(rng);
+    EXPECT_EQ(eng.pair(base, q).to_bytes(), grp->pair(base, q).to_bytes());
+  }
+  EXPECT_EQ(eng.stats().precomp_hits, 3u);
+  EXPECT_EQ(eng.pair(base, grp->g1_identity()).to_bytes(),
+            grp->gt_one().to_bytes());
 }
 
 TEST_F(EngineTest, PairBatchMatchesIndividualPairings) {

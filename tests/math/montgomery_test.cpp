@@ -119,6 +119,29 @@ TEST(MontCtx, InverseRoundTrip) {
   }
 }
 
+TEST(MontCtx, SqrMatchesMulSelf) {
+  std::mt19937_64 rng(123);
+  for (const char* mod : {"ffffffffffffffffffffffffffffff61", kQ512}) {
+    const Bignum p = H(mod);
+    const MontCtx m(p);
+    // Edge residues: 0, 1, p-1 (squared in Montgomery form).
+    const Bignum edges[] = {Bignum{}, Bignum::from_u64(1),
+                            Bignum::sub(p, Bignum::from_u64(1))};
+    for (const Bignum& v : edges) {
+      const Bignum a = m.to_mont(v);
+      EXPECT_EQ(m.sqr(a), m.mul(a, a));
+      EXPECT_EQ(m.from_mont(m.sqr(a)), Bignum::mod_mul(v, v, p));
+    }
+    for (int i = 0; i < 50; ++i) {
+      Bytes ab(m.byte_length());
+      for (auto& x : ab) x = static_cast<uint8_t>(rng());
+      const Bignum a = Bignum::mod(Bignum::from_bytes_be(ab), p);
+      const Bignum am = m.to_mont(a);
+      EXPECT_EQ(m.sqr(am), m.mul(am, am));
+    }
+  }
+}
+
 TEST(MontCtx, ByteLength) {
   EXPECT_EQ(MontCtx(H(kQ512)).byte_length(), 64u);
   EXPECT_EQ(MontCtx(H("17")).byte_length(), 1u);

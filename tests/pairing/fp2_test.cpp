@@ -53,6 +53,36 @@ TEST_F(Fp2Test, InverseIsInverse) {
   EXPECT_THROW(fq2.inv(fq2.zero()), MathError);
 }
 
+TEST_F(Fp2Test, CyclotomicSqrMatchesGenericOnNormOne) {
+  EXPECT_TRUE(fq2.is_norm_one(fq2.one()));
+  EXPECT_FALSE(fq2.is_norm_one(fq2.zero()));
+  for (int i = 0; i < 20; ++i) {
+    const Fp2 a = fq2.random(rng);
+    if (fq2.is_zero(a)) continue;
+    // a^(q-1) = conj(a)/a lands in the norm-1 cyclotomic subgroup —
+    // the same easy-part map the final exponentiation applies.
+    const Fp2 u = fq2.mul(fq2.conj(a), fq2.inv(a));
+    ASSERT_TRUE(fq2.is_norm_one(u));
+    EXPECT_EQ(fq2.sqr_cyclotomic(u), fq2.sqr(u));
+    EXPECT_EQ(fq2.sqr_cyclotomic(u), fq2.mul(u, u));
+  }
+}
+
+TEST_F(Fp2Test, CyclotomicPowMatchesGenericPow) {
+  const Bignum q = TypeAParams::test_small().q;
+  for (int i = 0; i < 10; ++i) {
+    const Fp2 a = fq2.random(rng);
+    if (fq2.is_zero(a)) continue;
+    const Fp2 u = fq2.mul(fq2.conj(a), fq2.inv(a));
+    const Bignum k = rng.below(q);
+    EXPECT_EQ(fq2.pow_cyclotomic(u, k), fq2.pow(u, k));
+  }
+  const Fp2 a = fq2.random(rng);
+  const Fp2 u = fq2.mul(fq2.conj(a), fq2.inv(a));
+  EXPECT_EQ(fq2.pow_cyclotomic(u, Bignum{}), fq2.one());
+  EXPECT_EQ(fq2.pow_cyclotomic(u, Bignum::from_u64(1)), u);
+}
+
 TEST_F(Fp2Test, ConjugationProperties) {
   for (int i = 0; i < 10; ++i) {
     const Fp2 a = fq2.random(rng), b = fq2.random(rng);

@@ -1,0 +1,113 @@
+// The multi-pairing kernel's algebra at the Group layer: Miller values
+// (unreduced pairings), the shared final exponentiation, fixed-argument
+// line tables. Every equality here is bit-for-bit — the kernel's whole
+// correctness story is that exact arithmetic makes the homomorphism
+// reduce(a * b) == reduce(a) * reduce(b) an identity of byte strings,
+// not just of group elements.
+#include <gtest/gtest.h>
+
+#include "pairing/group.h"
+
+namespace maabe::pairing {
+namespace {
+
+std::shared_ptr<const Group> shared_group() {
+  static std::shared_ptr<const Group> grp = Group::test_small();
+  return grp;
+}
+
+class MultiPairTest : public ::testing::Test {
+ protected:
+  MultiPairTest() : grp(shared_group()), rng(std::string_view("multi-pair")) {}
+
+  std::shared_ptr<const Group> grp;
+  crypto::Drbg rng;
+};
+
+TEST_F(MultiPairTest, MillerReduceMatchesPair) {
+  for (int i = 0; i < 5; ++i) {
+    const G1 a = grp->g1_random(rng), b = grp->g1_random(rng);
+    EXPECT_EQ(grp->miller_reduce(grp->miller(a, b)).to_bytes(),
+              grp->pair(a, b).to_bytes());
+  }
+}
+
+TEST_F(MultiPairTest, FinalExponentiationIsAHomomorphism) {
+  for (int i = 0; i < 5; ++i) {
+    const MillerVal m1 = grp->miller(grp->g1_random(rng), grp->g1_random(rng));
+    const MillerVal m2 = grp->miller(grp->g1_random(rng), grp->g1_random(rng));
+    EXPECT_EQ(grp->miller_reduce(m1 * m2).to_bytes(),
+              (grp->miller_reduce(m1) * grp->miller_reduce(m2)).to_bytes());
+  }
+}
+
+TEST_F(MultiPairTest, SharedReductionMatchesSerialProduct) {
+  for (const size_t n : {0u, 1u, 2u, 17u}) {
+    MillerVal folded = grp->miller_one();
+    GT serial = grp->gt_one();
+    for (size_t i = 0; i < n; ++i) {
+      const G1 a = grp->g1_random(rng), b = grp->g1_random(rng);
+      folded = folded * grp->miller(a, b);
+      serial = serial * grp->pair(a, b);
+    }
+    EXPECT_EQ(grp->miller_reduce(folded).to_bytes(), serial.to_bytes())
+        << "product size " << n;
+  }
+}
+
+TEST_F(MultiPairTest, MillerValuePowCommutesWithReduction) {
+  for (int i = 0; i < 5; ++i) {
+    const MillerVal m = grp->miller(grp->g1_random(rng), grp->g1_random(rng));
+    const Zr k = grp->zr_random(rng);
+    EXPECT_EQ(grp->miller_reduce(m.pow(k)).to_bytes(),
+              grp->miller_reduce(m).pow(k).to_bytes());
+  }
+}
+
+TEST_F(MultiPairTest, NegatedArgumentInvertsThePairing) {
+  const G1 a = grp->g1_random(rng), b = grp->g1_random(rng);
+  EXPECT_EQ(grp->pair(a, b.neg()).to_bytes(),
+            grp->pair(a, b).inverse().to_bytes());
+  // The fold identity decrypt relies on: m(a,b) * m(a,-b) reduces to 1.
+  EXPECT_EQ(grp->miller_reduce(grp->miller(a, b) * grp->miller(a, b.neg())),
+            grp->gt_one());
+}
+
+TEST_F(MultiPairTest, IdentityInputsYieldNeutralMillerValues) {
+  const G1 a = grp->g1_random(rng);
+  const G1 inf = grp->g1_identity();
+  EXPECT_TRUE(grp->miller(inf, a).is_one());
+  EXPECT_TRUE(grp->miller(a, inf).is_one());
+  EXPECT_TRUE(grp->miller_one().is_one());
+  // An identity term folded into a product leaves it unchanged.
+  const MillerVal m = grp->miller(a, grp->g1_random(rng));
+  EXPECT_EQ((m * grp->miller(inf, a)).to_bytes(), m.to_bytes());
+  // Reducing the neutral value still gives GT's one.
+  EXPECT_EQ(grp->miller_reduce(grp->miller_one()), grp->gt_one());
+}
+
+TEST_F(MultiPairTest, PrecomputedLineTableMatchesPair) {
+  for (int i = 0; i < 3; ++i) {
+    const G1 base = grp->g1_random(rng);
+    const auto pre = grp->pair_precompute(base);
+    ASSERT_FALSE(pre->base_is_infinity());
+    EXPECT_GT(pre->line_count(), 0u);
+    for (int j = 0; j < 3; ++j) {
+      const G1 q = grp->g1_random(rng);
+      // Same bits at both layers: unreduced and reduced.
+      EXPECT_EQ(grp->miller_with(*pre, q).to_bytes(),
+                grp->miller(base, q).to_bytes());
+      EXPECT_EQ(grp->miller_reduce(grp->miller_with(*pre, q)).to_bytes(),
+                grp->pair(base, q).to_bytes());
+    }
+  }
+}
+
+TEST_F(MultiPairTest, PrecomputeHandlesIdentityBase) {
+  const auto pre = grp->pair_precompute(grp->g1_identity());
+  EXPECT_TRUE(pre->base_is_infinity());
+  EXPECT_TRUE(grp->miller_with(*pre, grp->g1_random(rng)).is_one());
+}
+
+}  // namespace
+}  // namespace maabe::pairing
