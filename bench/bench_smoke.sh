@@ -10,6 +10,11 @@
 #     so load noise largely cancels).
 #   * BENCH_revocation.json's fault-free epoch_transport wall time must
 #     not regress more than 25% against the committed baseline.
+#   * BENCH_revocation.json cluster_epoch_efficiency (single-node
+#     transported epoch wall time / 3-node R=2 cluster epoch wall time)
+#     must stay >= 0.4 — the replicated 2PC epoch within 2.5x of the
+#     single-node one. A ratio from the same process, so host speed
+#     cancels.
 #
 # Usage: bench_smoke.sh <pairing_micro> <revocation> <bench_guard> <baseline_dir>
 set -e
@@ -32,5 +37,6 @@ export MAABE_BENCH_SMALL=1
 "$GUARD" floor BENCH_pairing_micro.json kernel_speedup 1.3
 "$GUARD" regress BENCH_revocation.json "$BASELINES/BENCH_revocation.json" \
   epoch_transport 25
+"$GUARD" floor BENCH_revocation.json cluster_epoch_efficiency 0.4
 
 echo "bench-smoke: OK"

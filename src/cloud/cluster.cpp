@@ -1,0 +1,662 @@
+#include "cloud/cluster.h"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "abe/serial.h"
+#include "common/errors.h"
+#include "crypto/sha256.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace maabe::cloud {
+
+namespace {
+
+/// Registry handles for the cluster's global counters (PR 4 registry:
+/// sharded-atomic adds, no locks on the data path).
+struct ClusterMetrics {
+  telemetry::Counter& replication_ops;
+  telemetry::Counter& replication_applied;
+  telemetry::Counter& read_repairs;
+  telemetry::Counter& quorum_reads;
+  telemetry::Counter& quorum_failures;
+  telemetry::Counter& epochs_2pc;
+  telemetry::Counter& epoch_commits;
+  telemetry::Counter& epoch_aborts;
+  telemetry::Counter& epoch_commit_orphans;
+
+  static ClusterMetrics& get() {
+    auto& reg = telemetry::MetricsRegistry::global();
+    static ClusterMetrics* m = new ClusterMetrics{
+        reg.counter("maabe_cluster_replication_ops_total"),
+        reg.counter("maabe_cluster_replication_applied_total"),
+        reg.counter("maabe_cluster_read_repairs_total"),
+        reg.counter("maabe_cluster_quorum_reads_total"),
+        reg.counter("maabe_cluster_quorum_failures_total"),
+        reg.counter("maabe_cluster_epochs_2pc_total"),
+        reg.counter("maabe_cluster_epoch_commits_total"),
+        reg.counter("maabe_cluster_epoch_aborts_total"),
+        reg.counter("maabe_cluster_epoch_commit_orphans_total"),
+    };
+    return *m;
+  }
+};
+
+// Epoch control verbs on the node-to-node channel.
+constexpr uint8_t kEpochStage = 1;
+constexpr uint8_t kEpochCommit = 2;
+constexpr uint8_t kEpochAbort = 3;
+
+Bytes sha256_of(ByteView data) { return crypto::Sha256::digest(data); }
+
+}  // namespace
+
+Cluster::Cluster(std::shared_ptr<const pairing::Group> grp,
+                 const ClusterConfig& config, ReliableLink& link,
+                 DurableLink& durable)
+    : grp_(std::move(grp)), config_(config), link_(link), durable_(durable) {
+  if (config_.nodes == 0) config_.nodes = 1;
+  config_.replication = std::clamp<size_t>(config_.replication, 1, config_.nodes);
+  // One node keeps the PR 3 channel name so every existing script,
+  // meter expectation and trace stays byte-compatible.
+  if (config_.nodes == 1) {
+    names_ = {"server"};
+  } else {
+    for (size_t i = 0; i < config_.nodes; ++i)
+      names_.push_back("node:" + std::to_string(i));
+  }
+  for (const std::string& name : names_) {
+    auto n = std::make_unique<Node>();
+    n->name = name;
+    n->store = std::make_unique<CloudServer>(grp_);
+    nodes_.push_back(std::move(n));
+  }
+  ring_ = HashRing(names_, config_.replication, config_.vnodes);
+}
+
+const std::string& Cluster::node_name(size_t i) const {
+  if (i >= names_.size())
+    throw SchemeError("Cluster: no node index " + std::to_string(i));
+  return names_[i];
+}
+
+bool Cluster::is_node(const std::string& name) const {
+  return std::find(names_.begin(), names_.end(), name) != names_.end();
+}
+
+size_t Cluster::node_index(const std::string& name) const {
+  const auto it = std::find(names_.begin(), names_.end(), name);
+  if (it == names_.end()) throw SchemeError("Cluster: unknown node '" + name + "'");
+  return static_cast<size_t>(it - names_.begin());
+}
+
+CloudServer& Cluster::node_store(size_t i) {
+  if (i >= nodes_.size())
+    throw SchemeError("Cluster: no node index " + std::to_string(i));
+  return *nodes_[i]->store;
+}
+
+CloudServer& Cluster::node_store(const std::string& name) {
+  return *nodes_[node_index(name)]->store;
+}
+
+const CloudServer& Cluster::node_store(const std::string& name) const {
+  return *nodes_[node_index(name)]->store;
+}
+
+size_t Cluster::read_quorum() const {
+  const size_t r = config_.replication;
+  const size_t q = config_.read_quorum == 0 ? r / 2 + 1 : config_.read_quorum;
+  return std::min(q, r);
+}
+
+Cluster::Node& Cluster::node(const std::string& name) {
+  return *nodes_[node_index(name)];
+}
+
+const Cluster::Node& Cluster::node(const std::string& name) const {
+  return *nodes_[node_index(name)];
+}
+
+// ------------------------------------------------------- liveness --
+
+bool Cluster::alive(const std::string& name) const {
+  const Node& n = node(name);
+  std::lock_guard<std::mutex> lock(n.mu);
+  return n.alive;
+}
+
+size_t Cluster::alive_count() const {
+  size_t count = 0;
+  for (const auto& n : nodes_) {
+    std::lock_guard<std::mutex> lock(n->mu);
+    if (n->alive) ++count;
+  }
+  return count;
+}
+
+void Cluster::kill_node(const std::string& name) {
+  Node& n = node(name);
+  {
+    std::lock_guard<std::mutex> lock(n.mu);
+    n.alive = false;
+    // Staged 2PC epochs are memory-only: a restart loses them. The
+    // epoch ids are dropped here so a replayed commit surfaces as an
+    // orphan instead of committing stale staged state.
+    n.staged.clear();
+  }
+  n.store->abort_all_staged();
+}
+
+void Cluster::restart_node(const std::string& name) {
+  Node& n = node(name);
+  std::lock_guard<std::mutex> lock(n.mu);
+  n.alive = true;
+  // Recovery replay is the durable queues' job: everything the node
+  // missed is parked for it in FIFO (= version) order and lands on the
+  // next flush; repair_all() closes any remaining divergence.
+}
+
+void Cluster::ensure_alive(const Node& n) const {
+  std::lock_guard<std::mutex> lock(n.mu);
+  if (!n.alive)
+    throw TransportError(TransportError::Kind::kLost,
+                         "cluster: node '" + n.name + "' is down");
+}
+
+// ------------------------------------------------------ placement --
+
+std::vector<std::string> Cluster::replicas_for(const std::string& file_id) const {
+  return ring_.replicas_for(file_id);
+}
+
+std::string Cluster::route_for(const std::string& file_id) const {
+  const std::vector<std::string> replicas = ring_.replicas_for(file_id);
+  for (const std::string& r : replicas) {
+    if (alive(r)) return r;
+  }
+  // Whole replica set down: address the primary, so sends park there
+  // and replay when it recovers.
+  return replicas.front();
+}
+
+std::string Cluster::coordinator() const {
+  for (const std::string& n : names_) {
+    if (alive(n)) return n;
+  }
+  return names_.front();
+}
+
+// ----------------------------------------------------- write path --
+
+void Cluster::handle_store(const std::string& self, ByteView stored_file_wire) {
+  Node& n = node(self);
+  ensure_alive(n);
+  StoredFile file = deserialize_stored_file(*grp_, stored_file_wire);
+  const std::string file_id = file.file_id;
+  const Bytes wire(stored_file_wire.begin(), stored_file_wire.end());
+  const Bytes hash = sha256_of(wire);
+  uint64_t version = 0;
+  n.store->store(std::move(file));
+  {
+    std::lock_guard<std::mutex> lock(n.mu);
+    Meta& m = n.meta[file_id];
+    version = ++m.version;
+    m.hash = hash;
+  }
+  if (config_.replication == 1) return;
+  // Fan the versioned op out to the other replicas. Unreachable
+  // replicas park; the queue replays in FIFO = version order, so a
+  // recovered replica converges without reordering.
+  ReplicationOp op{file_id, version, hash, wire};
+  const Bytes op_wire = encode_replication_op(op);
+  for (const std::string& replica : ring_.replicas_for(file_id)) {
+    if (replica == self) continue;
+    replication_ops_sent_.fetch_add(1, std::memory_order_relaxed);
+    ClusterMetrics::get().replication_ops.inc();
+    durable_.send_or_park(
+        self, replica, op_wire,
+        [this, replica](ByteView payload) { handle_replication(replica, payload); },
+        "replicate " + file_id + " v" + std::to_string(version));
+  }
+}
+
+void Cluster::apply_replication(Node& n, const ReplicationOp& op) {
+  // Newer versions always apply; an equal version applies only when the
+  // stored bytes differ from the op's (corruption repair). Older
+  // versions are ignored, which makes replays and duplicates idempotent.
+  {
+    std::lock_guard<std::mutex> lock(n.mu);
+    const auto it = n.meta.find(op.file_id);
+    if (it != n.meta.end() && op.version < it->second.version) return;
+    if (it != n.meta.end() && op.version == it->second.version &&
+        n.store->has_file(op.file_id)) {
+      const Bytes local = serialize(*grp_, *n.store->fetch(op.file_id));
+      if (sha256_of(local) == op.hash) return;  // already converged
+    }
+  }
+  n.store->store(deserialize_stored_file(*grp_, op.wire));
+  {
+    std::lock_guard<std::mutex> lock(n.mu);
+    Meta& m = n.meta[op.file_id];
+    m.version = op.version;
+    m.hash = op.hash;
+  }
+  replication_ops_applied_.fetch_add(1, std::memory_order_relaxed);
+  ClusterMetrics::get().replication_applied.inc();
+}
+
+void Cluster::handle_replication(const std::string& self, ByteView op_wire) {
+  Node& n = node(self);
+  ensure_alive(n);
+  apply_replication(n, decode_replication_op(op_wire));
+}
+
+// ------------------------------------------------------ read path --
+
+FetchReply Cluster::local_read(const Node& n, const std::string& file_id) const {
+  FetchReply reply;
+  if (!n.store->has_file(file_id)) return reply;
+  reply.found = true;
+  reply.wire = serialize(*grp_, *n.store->fetch(file_id));
+  std::lock_guard<std::mutex> lock(n.mu);
+  const auto it = n.meta.find(file_id);
+  if (it != n.meta.end()) {
+    reply.version = it->second.version;
+    reply.hash = it->second.hash;
+  } else {
+    // Stored out of band (tests poke node stores directly): treat the
+    // current bytes as authentic at version 0.
+    reply.hash = sha256_of(reply.wire);
+  }
+  return reply;
+}
+
+Bytes Cluster::handle_fetch(const std::string& self, const std::string& file_id) {
+  Node& coord = node(self);
+  ensure_alive(coord);
+  telemetry::Span span;
+  if (size() > 1) {
+    span = telemetry::Tracer::global().start_span("cluster.quorum_fetch");
+    if (span.active()) {
+      span.attr("coordinator", self);
+      span.attr("file_id", file_id);
+    }
+  }
+  const std::vector<std::string> replicas = ring_.replicas_for(file_id);
+  const size_t quorum = std::min(read_quorum(), replicas.size());
+
+  struct ReplicaReply {
+    size_t pref = 0;
+    std::string node;
+    FetchReply reply;
+    bool valid = false;
+  };
+  std::vector<ReplicaReply> replies;
+  for (size_t i = 0; i < replicas.size(); ++i) {
+    const std::string& replica = replicas[i];
+    if (replica == self) {
+      replies.push_back({i, replica, local_read(coord, file_id), false});
+      continue;
+    }
+    if (!alive(replica)) continue;  // failure detector: don't wait on the dead
+    try {
+      // Two legs, like the client download: the request carries the id,
+      // the reply carries the versioned bytes, and the meter sees both.
+      Bytes reply_wire;
+      link_.send(self, replica, bytes_of(file_id),
+                 [this, &replica, &reply_wire](ByteView payload) {
+                   Node& remote = node(replica);
+                   ensure_alive(remote);
+                   reply_wire = encode_fetch_reply(local_read(
+                       remote, std::string(payload.begin(), payload.end())));
+                 });
+      FetchReply reply;
+      link_.send(replica, self, reply_wire, [&reply](ByteView payload) {
+        reply = decode_fetch_reply(payload);
+      });
+      replies.push_back({i, replica, std::move(reply), false});
+    } catch (const TransportError&) {
+      // No reply from this replica; quorum accounting decides below.
+    }
+  }
+
+  if (replies.size() < quorum) {
+    quorum_failures_.fetch_add(1, std::memory_order_relaxed);
+    ClusterMetrics::get().quorum_failures.inc();
+    if (span.active()) span.attr("outcome", "quorum_failed");
+    throw TransportError(TransportError::Kind::kDegraded,
+                         "cluster: quorum read of '" + file_id + "' got " +
+                             std::to_string(replies.size()) + "/" +
+                             std::to_string(quorum) + " replies");
+  }
+  quorum_reads_.fetch_add(1, std::memory_order_relaxed);
+  ClusterMetrics::get().quorum_reads.inc();
+
+  // Winner: authentic (bytes match the recorded hash) beats corrupt,
+  // then the highest version, then ring preference order.
+  ReplicaReply* winner = nullptr;
+  for (ReplicaReply& r : replies) {
+    if (!r.reply.found) continue;
+    r.valid = sha256_of(r.reply.wire) == r.reply.hash;
+    if (winner == nullptr ||
+        std::make_tuple(r.valid, r.reply.version, winner->pref) >
+            std::make_tuple(winner->valid, winner->reply.version, r.pref)) {
+      winner = &r;
+    }
+  }
+  if (winner == nullptr)
+    throw SchemeError("CloudServer: no file '" + file_id + "'");
+
+  // Read-repair: push the winner at divergent replicas, asynchronously.
+  const Bytes true_hash = sha256_of(winner->reply.wire);
+  for (const ReplicaReply& r : replies) {
+    if (&r == winner) continue;
+    if (r.reply.found && r.reply.wire == winner->reply.wire &&
+        r.reply.version == winner->reply.version) {
+      continue;
+    }
+    const ReplicationOp op{file_id, winner->reply.version, true_hash,
+                           winner->reply.wire};
+    read_repairs_.fetch_add(1, std::memory_order_relaxed);
+    ClusterMetrics::get().read_repairs.inc();
+    if (r.node == self) {
+      apply_replication(coord, op);  // repair our own stale/corrupt copy
+      continue;
+    }
+    durable_.send_or_park(
+        self, r.node, encode_replication_op(op),
+        [this, target = r.node](ByteView payload) {
+          handle_replication(target, payload);
+        },
+        "read-repair " + file_id + " v" + std::to_string(winner->reply.version));
+  }
+  if (span.active()) {
+    span.attr("replies", static_cast<uint64_t>(replies.size()));
+    span.attr("outcome", "ok");
+  }
+  return winner->reply.wire;
+}
+
+// ----------------------------------------------------- revocation --
+
+namespace {
+
+struct EpochPayload {
+  abe::UpdateKey uk;
+  std::vector<abe::UpdateInfo> infos;
+};
+
+EpochPayload decode_epoch(const pairing::Group& grp, ByteView wire) {
+  Reader r(wire);
+  EpochPayload out;
+  out.uk =
+      abe::deserialize_update_key(grp, r.var_bytes(), abe::UkCheck::kCiphertextPath);
+  const uint32_t n = r.u32();
+  out.infos.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    out.infos.push_back(abe::deserialize_update_info(grp, r.var_bytes()));
+  }
+  r.expect_done();
+  return out;
+}
+
+}  // namespace
+
+void Cluster::send_epoch_control(const std::string& self, const std::string& peer,
+                                 uint8_t verb, uint64_t epoch_id,
+                                 const std::string& label) {
+  Writer w;
+  w.u8(verb);
+  w.u64(epoch_id);
+  durable_.send_or_park(
+      self, peer, w.take(),
+      [this, peer](ByteView payload) {
+        Reader r(payload);
+        const uint8_t v = r.u8();
+        const uint64_t id = r.u64();
+        r.expect_done();
+        Node& n = node(peer);
+        ensure_alive(n);
+        uint64_t token = 0;
+        bool known = false;
+        {
+          std::lock_guard<std::mutex> lock(n.mu);
+          const auto it = n.staged.find(id);
+          if (it != n.staged.end()) {
+            known = true;
+            token = it->second;
+            n.staged.erase(it);
+          }
+        }
+        if (v == kEpochCommit) {
+          if (!known) {
+            // The node restarted between stage and commit and lost its
+            // staged state: the commit is an orphan. Its copy is stale
+            // until read-repair / repair_all() catches it up — counted,
+            // never silent.
+            epoch_commit_orphans_.fetch_add(1, std::memory_order_relaxed);
+            ClusterMetrics::get().epoch_commit_orphans.inc();
+            return;
+          }
+          std::vector<std::string> committed_files;
+          n.store->commit_reencrypt(token, &committed_files);
+          std::lock_guard<std::mutex> lock(n.mu);
+          for (const std::string& fid : committed_files) {
+            Meta& m = n.meta[fid];
+            ++m.version;
+            m.hash = sha256_of(serialize(*grp_, *n.store->fetch(fid)));
+          }
+        } else {
+          if (known) n.store->abort_reencrypt(token);
+        }
+      },
+      label);
+}
+
+void Cluster::handle_epoch(const std::string& self, ByteView epoch_wire) {
+  Node& coord = node(self);
+  ensure_alive(coord);
+  if (size() == 1) {
+    // Single node: the PR 2 failure-atomic epoch needs no 2PC.
+    const EpochPayload epoch = decode_epoch(*grp_, epoch_wire);
+    coord.store->reencrypt(epoch.uk, epoch.infos);
+    return;
+  }
+
+  epochs_2pc_.fetch_add(1, std::memory_order_relaxed);
+  ClusterMetrics::get().epochs_2pc.inc();
+  const uint64_t epoch_id = next_epoch_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  telemetry::Span span = telemetry::Tracer::global().start_span("cluster.epoch_2pc");
+  if (span.active()) {
+    span.attr("coordinator", self);
+    span.attr("epoch_id", epoch_id);
+  }
+
+  // ---- Phase 1: stage on every node. Each node re-encrypts only the
+  // files it holds; the staged copies touch no store.
+  std::vector<std::string> staged_nodes;
+  try {
+    {
+      const EpochPayload epoch = decode_epoch(*grp_, epoch_wire);
+      const uint64_t token = coord.store->stage_reencrypt(epoch.uk, epoch.infos);
+      std::lock_guard<std::mutex> lock(coord.mu);
+      coord.staged[epoch_id] = token;
+    }
+    staged_nodes.push_back(self);
+    for (const std::string& peer : names_) {
+      if (peer == self) continue;
+      if (!alive(peer)) {
+        throw TransportError(TransportError::Kind::kLost,
+                             "cluster: cannot stage epoch on dead node '" + peer +
+                                 "'");
+      }
+      Writer w;
+      w.u8(kEpochStage);
+      w.u64(epoch_id);
+      w.var_bytes(epoch_wire);
+      link_.send(self, peer, w.bytes(), [this, peer](ByteView payload) {
+        Reader r(payload);
+        if (r.u8() != kEpochStage)
+          throw SchemeError("cluster: bad epoch control verb");
+        const uint64_t id = r.u64();
+        const Bytes wire = r.var_bytes();
+        r.expect_done();
+        Node& n = node(peer);
+        ensure_alive(n);
+        const EpochPayload epoch = decode_epoch(*grp_, wire);
+        const uint64_t token = n.store->stage_reencrypt(epoch.uk, epoch.infos);
+        std::lock_guard<std::mutex> lock(n.mu);
+        n.staged[id] = token;
+      });
+      staged_nodes.push_back(peer);
+    }
+  } catch (...) {
+    // ---- Abort: discard every staged copy so all stores stay byte-
+    // identical to before the epoch, then rethrow. A TransportError
+    // keeps the epoch message parked at the coordinator, so it replays
+    // (and eventually commits everywhere) once the cluster heals.
+    epoch_aborts_.fetch_add(1, std::memory_order_relaxed);
+    ClusterMetrics::get().epoch_aborts.inc();
+    for (const std::string& staged : staged_nodes) {
+      if (staged == self) {
+        uint64_t token = 0;
+        {
+          std::lock_guard<std::mutex> lock(coord.mu);
+          const auto it = coord.staged.find(epoch_id);
+          if (it != coord.staged.end()) {
+            token = it->second;
+            coord.staged.erase(it);
+          }
+        }
+        coord.store->abort_reencrypt(token);
+        continue;
+      }
+      send_epoch_control(self, staged, kEpochAbort, epoch_id,
+                         "epoch abort #" + std::to_string(epoch_id));
+    }
+    if (span.active()) span.attr("outcome", "aborted");
+    throw;
+  }
+
+  // ---- Phase 2: every node staged; commit everywhere. The local
+  // commit happens first, the rest go through the durable queues —
+  // a parked commit is a blocking delivery, replayed before any read.
+  {
+    uint64_t token = 0;
+    {
+      std::lock_guard<std::mutex> lock(coord.mu);
+      token = coord.staged.at(epoch_id);
+      coord.staged.erase(epoch_id);
+    }
+    std::vector<std::string> committed_files;
+    coord.store->commit_reencrypt(token, &committed_files);
+    std::lock_guard<std::mutex> lock(coord.mu);
+    for (const std::string& fid : committed_files) {
+      Meta& m = coord.meta[fid];
+      ++m.version;
+      m.hash = sha256_of(serialize(*grp_, *coord.store->fetch(fid)));
+    }
+  }
+  for (const std::string& peer : names_) {
+    if (peer == self) continue;
+    send_epoch_control(self, peer, kEpochCommit, epoch_id,
+                       "epoch commit #" + std::to_string(epoch_id));
+  }
+  epoch_commits_.fetch_add(1, std::memory_order_relaxed);
+  ClusterMetrics::get().epoch_commits.inc();
+  if (span.active()) {
+    span.attr("staged_nodes", static_cast<uint64_t>(staged_nodes.size()));
+    span.attr("outcome", "committed");
+  }
+}
+
+// --------------------------------------- anti-entropy / inspection --
+
+size_t Cluster::repair_all() {
+  const uint64_t before = read_repairs_.load(std::memory_order_relaxed);
+  std::set<std::string> ids;
+  for (const auto& n : nodes_) {
+    if (!alive(n->name)) continue;
+    for (const std::string& id : n->store->file_ids()) ids.insert(id);
+  }
+  for (const std::string& id : ids) {
+    const std::string coord = route_for(id);
+    if (!alive(coord)) continue;  // whole replica set down
+    try {
+      handle_fetch(coord, id);
+    } catch (const Error&) {
+      // Quorum not met (or the file vanished): nothing to repair now.
+    }
+  }
+  return static_cast<size_t>(read_repairs_.load(std::memory_order_relaxed) - before);
+}
+
+Bytes Cluster::snapshot(const std::string& name) const {
+  const Node& n = node(name);
+  Writer w;
+  const std::vector<std::string> ids = n.store->file_ids();
+  w.u32(static_cast<uint32_t>(ids.size()));
+  for (const std::string& id : ids) {
+    w.str(id);
+    w.u64(version_of(name, id));
+    w.var_bytes(serialize(*grp_, *n.store->fetch(id)));
+  }
+  return w.take();
+}
+
+uint64_t Cluster::version_of(const std::string& name,
+                             const std::string& file_id) const {
+  const Node& n = node(name);
+  std::lock_guard<std::mutex> lock(n.mu);
+  const auto it = n.meta.find(file_id);
+  return it == n.meta.end() ? 0 : it->second.version;
+}
+
+NodeHealth Cluster::node_health(const std::string& name) const {
+  const Node& n = node(name);
+  NodeHealth h;
+  h.node = name;
+  const ServerStats stats = n.store->stats();
+  h.store = stats.totals();
+  h.epochs_committed = stats.epochs_committed;
+  h.epochs_aborted = stats.epochs_aborted;
+  h.epochs_staged_open = stats.epochs_staged_open;
+  std::lock_guard<std::mutex> lock(n.mu);
+  h.alive = n.alive;
+  return h;
+}
+
+ClusterStats Cluster::stats() const {
+  ClusterStats s;
+  s.nodes = nodes_.size();
+  s.alive = alive_count();
+  s.replication = config_.replication;
+  s.replication_ops_sent = replication_ops_sent_.load(std::memory_order_relaxed);
+  s.replication_ops_applied =
+      replication_ops_applied_.load(std::memory_order_relaxed);
+  s.read_repairs = read_repairs_.load(std::memory_order_relaxed);
+  s.quorum_reads = quorum_reads_.load(std::memory_order_relaxed);
+  s.quorum_failures = quorum_failures_.load(std::memory_order_relaxed);
+  s.epochs_2pc = epochs_2pc_.load(std::memory_order_relaxed);
+  s.epoch_commits = epoch_commits_.load(std::memory_order_relaxed);
+  s.epoch_aborts = epoch_aborts_.load(std::memory_order_relaxed);
+  s.epoch_commit_orphans = epoch_commit_orphans_.load(std::memory_order_relaxed);
+  for (const auto& n : nodes_) {
+    const ServerStats stats = n->store->stats();
+    s.store_totals += stats.totals();
+    s.server_epochs_committed += stats.epochs_committed;
+    s.server_epochs_aborted += stats.epochs_aborted;
+  }
+  return s;
+}
+
+uint64_t Cluster::total_reencrypted_slots() const {
+  uint64_t total = 0;
+  for (const auto& n : nodes_) total += n->store->stats().totals().reencrypted_slots;
+  return total;
+}
+
+}  // namespace maabe::cloud

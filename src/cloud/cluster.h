@@ -1,0 +1,215 @@
+// Cluster: N CloudServer nodes joined only through the Transport
+// (DESIGN.md §13).
+//
+// Placement is a consistent-hash ring (HashRing): each file lives on R
+// replicas; the coordinator of an operation is the first *alive* node
+// of the file's preference order, so node failure changes who serves a
+// request, never where the data belongs.
+//
+// Writes: the coordinator assigns the file the next version of its
+// local copy, stores it, and fans a ReplicationOp out to the other
+// replicas through per-node DurableLink queues — asynchronous
+// replication with write-ahead parking, replayed in version order when
+// an unreachable replica comes back.
+//
+// Reads: the coordinator collects one FetchReply per alive replica
+// (its own copy locally, the rest over the transport), requires a
+// quorum, picks the winner (authentic > newest > preferred) and
+// repairs divergent replicas in the background (read-repair).
+//
+// Revocation epochs: cluster-wide two-phase commit over the PR 2
+// stage-then-commit hooks. The coordinator stages the epoch on every
+// node (each node re-encrypts only the files it holds), commits
+// everywhere once all staged — parked commits replay before any read —
+// and aborts everywhere byte-identically if any node cannot stage.
+//
+// Failure model: alive/killed is scripted by the chaos harness
+// (kill_node / restart_node); a killed node loses its memory-only
+// staged epochs (abort_all_staged) but keeps its committed store, and a
+// message addressed to a dead node fails like any lost frame, so the
+// ReliableLink retry/park machinery needs no special cases.
+//
+// A single-node cluster (the default) degenerates to exactly the PR 3
+// system: the node is named "server", writes replicate nowhere, reads
+// are local, and epochs skip the 2PC and call reencrypt() directly.
+#pragma once
+
+#include <atomic>
+
+#include "cloud/replication.h"
+#include "cloud/ring.h"
+#include "cloud/server.h"
+
+namespace maabe::cloud {
+
+struct ClusterConfig {
+  size_t nodes = 1;
+  size_t replication = 1;  ///< copies per file, clamped to [1, nodes]
+  size_t vnodes = 64;      ///< ring positions per node
+  /// Replies required by a quorum read; 0 means majority (R/2 + 1).
+  size_t read_quorum = 0;
+};
+
+/// Per-node liveness/robustness view (satellite of ISSUE 6): the store
+/// and epoch counters come from the node, the transport and queue
+/// fields are filled in by CloudSystem::health(node), which owns the
+/// meter and the durable queues.
+struct NodeHealth {
+  std::string node;
+  bool alive = true;
+  ShardStats store;                  ///< totals over the node's shards
+  uint64_t epochs_committed = 0;
+  uint64_t epochs_aborted = 0;
+  uint64_t epochs_staged_open = 0;   ///< staged 2PC epochs awaiting verdict
+  uint64_t pending_in = 0;           ///< deliveries parked for this node
+  uint64_t replication_lag = 0;      ///< parked replicate/read-repair ops to it
+  ChannelStats transport_in;         ///< meter rows with to == node
+  ChannelStats transport_out;        ///< meter rows with from == node
+};
+
+/// Cluster-wide monotonic counters (mirroring ServerStats/ChannelStats
+/// style: snapshot, subtract, report).
+struct ClusterStats {
+  size_t nodes = 0;
+  size_t alive = 0;
+  size_t replication = 0;
+  uint64_t replication_ops_sent = 0;  ///< ops fanned out (incl. parked)
+  uint64_t replication_ops_applied = 0;
+  uint64_t read_repairs = 0;          ///< repair ops issued by quorum reads
+  uint64_t quorum_reads = 0;          ///< reads that met quorum
+  uint64_t quorum_failures = 0;       ///< reads that could not meet quorum
+  uint64_t epochs_2pc = 0;            ///< multi-node epochs attempted
+  uint64_t epoch_commits = 0;         ///< 2PC epochs committed everywhere
+  uint64_t epoch_aborts = 0;          ///< 2PC epochs aborted everywhere
+  uint64_t epoch_commit_orphans = 0;  ///< commits for staged state lost to a restart
+  /// Totals over every node's store.
+  ShardStats store_totals;
+  uint64_t server_epochs_committed = 0;
+  uint64_t server_epochs_aborted = 0;
+};
+
+class Cluster {
+ public:
+  /// Node names: "server" for a single-node cluster (byte-compatible
+  /// with the PR 3 channel layout), else "node:0" .. "node:N-1".
+  Cluster(std::shared_ptr<const pairing::Group> grp, const ClusterConfig& config,
+          ReliableLink& link, DurableLink& durable);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  size_t size() const { return nodes_.size(); }
+  const std::vector<std::string>& node_names() const { return names_; }
+  const std::string& node_name(size_t i) const;
+  bool is_node(const std::string& name) const;
+  size_t node_index(const std::string& name) const;  ///< throws SchemeError
+  CloudServer& node_store(size_t i);
+  CloudServer& node_store(const std::string& name);
+  const CloudServer& node_store(const std::string& name) const;
+  const HashRing& ring() const { return ring_; }
+  const ClusterConfig& config() const { return config_; }
+  /// Replies a quorum read needs (config.read_quorum or majority of R).
+  size_t read_quorum() const;
+
+  // ---- Liveness (scripted by the chaos harness) ----------------------
+  bool alive(const std::string& name) const;
+  size_t alive_count() const;
+  /// Marks the node dead and discards its memory-only staged epochs
+  /// (restart semantics: the committed store is durable, stage state is
+  /// not). Messages to it now fail; durable sends park.
+  void kill_node(const std::string& name);
+  void restart_node(const std::string& name);
+
+  // ---- Placement -----------------------------------------------------
+  std::vector<std::string> replicas_for(const std::string& file_id) const;
+  /// The coordinator for this file: first alive replica, or the primary
+  /// when the whole replica set is down (sends then park at it).
+  std::string route_for(const std::string& file_id) const;
+  /// The epoch coordinator: first alive node (node 0 when all are down).
+  std::string coordinator() const;
+
+  // ---- Node-side handlers (run inside transport applies) -------------
+  /// Write path at the coordinator: assign version, store locally, fan
+  /// ReplicationOps to the other replicas. Throws TransportError(kLost)
+  /// when `self` is dead (the delivery never happened).
+  void handle_store(const std::string& self, ByteView stored_file_wire);
+  /// Replica side of replication and read-repair: applies the op iff it
+  /// is newer than the local copy, or same-version with differing bytes
+  /// (corruption repair). Idempotent.
+  void handle_replication(const std::string& self, ByteView op_wire);
+  /// Quorum read at the coordinator. Returns the winner's serialized
+  /// StoredFile; issues read-repair ops for divergent replicas. Throws
+  /// TransportError(kDegraded) when quorum cannot be met, SchemeError
+  /// when no replica has the file.
+  Bytes handle_fetch(const std::string& self, const std::string& file_id);
+  /// Revocation epoch at the coordinator. Single node: plain
+  /// reencrypt(). Multi-node: 2PC — stage on every node, commit
+  /// everywhere when all staged (parked commits replay before reads),
+  /// abort everywhere otherwise and throw so the epoch message itself
+  /// stays parked and replays.
+  void handle_epoch(const std::string& self, ByteView epoch_wire);
+
+  // ---- Anti-entropy / introspection ----------------------------------
+  /// Operator anti-entropy: quorum-read every known file at its current
+  /// coordinator so divergent replicas get read-repair ops. Files whose
+  /// replica sets cannot meet quorum are skipped. Returns the number of
+  /// repair ops issued.
+  size_t repair_all();
+
+  /// Canonical bytes of one node's store: sorted (file_id, version,
+  /// serialized file). Two replicas converged iff snapshots agree on
+  /// their shared files; chaos tests compare these across runs.
+  Bytes snapshot(const std::string& name) const;
+  /// Version of this node's copy (0 when absent).
+  uint64_t version_of(const std::string& name, const std::string& file_id) const;
+
+  NodeHealth node_health(const std::string& name) const;
+  ClusterStats stats() const;
+  /// Sum of per-node reencrypted_slots — the unit revocation returns.
+  uint64_t total_reencrypted_slots() const;
+
+ private:
+  struct Meta {
+    uint64_t version = 0;
+    Bytes hash;  ///< SHA-256 over the serialized file as written
+  };
+  struct Node {
+    std::string name;
+    std::unique_ptr<CloudServer> store;
+    bool alive = true;                       // guarded by mu
+    std::map<std::string, Meta> meta;        // guarded by mu
+    std::map<uint64_t, uint64_t> staged;     // epoch id -> store token, by mu
+    mutable std::mutex mu;
+  };
+
+  Node& node(const std::string& name);
+  const Node& node(const std::string& name) const;
+  /// Throws TransportError(kLost) when the node is down, so an apply
+  /// aimed at it fails exactly like a lost frame.
+  void ensure_alive(const Node& n) const;
+  /// Local read of one node's copy, as a FetchReply.
+  FetchReply local_read(const Node& n, const std::string& file_id) const;
+  void apply_replication(Node& n, const ReplicationOp& op);
+  void send_epoch_control(const std::string& self, const std::string& peer,
+                          uint8_t verb, uint64_t epoch_id, const std::string& label);
+
+  std::shared_ptr<const pairing::Group> grp_;
+  ClusterConfig config_;
+  ReliableLink& link_;
+  DurableLink& durable_;
+  std::vector<std::string> names_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  HashRing ring_;
+  std::atomic<uint64_t> next_epoch_id_{0};
+  std::atomic<uint64_t> replication_ops_sent_{0};
+  std::atomic<uint64_t> replication_ops_applied_{0};
+  std::atomic<uint64_t> read_repairs_{0};
+  std::atomic<uint64_t> quorum_reads_{0};
+  std::atomic<uint64_t> quorum_failures_{0};
+  std::atomic<uint64_t> epochs_2pc_{0};
+  std::atomic<uint64_t> epoch_commits_{0};
+  std::atomic<uint64_t> epoch_aborts_{0};
+  std::atomic<uint64_t> epoch_commit_orphans_{0};
+};
+
+}  // namespace maabe::cloud

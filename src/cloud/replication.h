@@ -1,0 +1,114 @@
+// Asynchronous replication plumbing for the cluster (DESIGN.md §13).
+//
+// Two pieces:
+//
+//  * Wire formats for the node-to-node protocol: ReplicationOp (a
+//    versioned copy of a stored file, fanned out from the coordinator
+//    of a write and replayed in version order) and FetchReply (one
+//    replica's answer in a quorum read, carrying the version and
+//    recorded content hash so the coordinator can detect stale or
+//    corrupt copies).
+//
+//  * DurableLink: the per-destination write-ahead op queue. A send that
+//    cannot reach its destination parks in FIFO order under its
+//    original request id and replays head-first on the next flush, so
+//    order is preserved per destination and a recovered node receives
+//    exactly the ops it missed, in the order they were issued. This is
+//    the park-and-replay machinery PR 3 built into CloudSystem,
+//    extracted so the Cluster's replication fan-out and the system's
+//    entity traffic share one implementation (and one health view).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "cloud/transport.h"
+
+namespace maabe::cloud {
+
+// ---------------------------------------------------- wire formats --
+
+/// One versioned write as shipped between replicas. `wire` is the
+/// serialized StoredFile; `hash` is SHA-256 over `wire`, recorded by
+/// the coordinator so a replica (and later quorum reads) can tell a
+/// faithful copy from a corrupted one.
+struct ReplicationOp {
+  std::string file_id;
+  uint64_t version = 0;
+  Bytes hash;
+  Bytes wire;
+};
+
+Bytes encode_replication_op(const ReplicationOp& op);
+ReplicationOp decode_replication_op(ByteView data);  ///< throws WireError
+
+/// One replica's reply in a quorum read. `hash` is the hash recorded
+/// when the copy was written; the coordinator recomputes SHA-256 over
+/// `wire` and treats a mismatch as a corrupt replica.
+struct FetchReply {
+  bool found = false;
+  uint64_t version = 0;
+  Bytes hash;
+  Bytes wire;
+};
+
+Bytes encode_fetch_reply(const FetchReply& r);
+FetchReply decode_fetch_reply(ByteView data);  ///< throws WireError
+
+// ----------------------------------------------------- DurableLink --
+
+/// Ordered durable sends over a ReliableLink: queues behind earlier
+/// parked deliveries to the same destination, parks instead of throwing
+/// on transport failure, and replays per-destination queues head-first.
+///
+/// Thread-safety: all public methods lock the (recursive) queue mutex.
+/// Recursive because a parked delivery's apply may nest another
+/// send_or_park — a replayed revocation epoch fans its commit messages
+/// out from inside its own apply.
+class DurableLink {
+ public:
+  using Apply = ReliableLink::Apply;
+
+  explicit DurableLink(ReliableLink& link) : link_(link) {}
+
+  DurableLink(const DurableLink&) = delete;
+  DurableLink& operator=(const DurableLink&) = delete;
+
+  /// Flushes `to`'s queue first (order must be preserved), then either
+  /// delivers now (returns true) or parks (returns false). The label is
+  /// operator-facing: health views and read-gating classify queued work
+  /// by label prefix.
+  bool send_or_park(const std::string& from, const std::string& to, Bytes payload,
+                    Apply apply, const std::string& label);
+
+  /// Replays `to`'s queue head-first; stops at the first transport
+  /// failure so per-destination order is never violated.
+  void flush_queue(const std::string& to);
+
+  /// Flushes every queue; returns the number of deliveries still parked.
+  size_t flush_all();
+
+  size_t pending_count() const;
+  size_t pending_for(const std::string& to) const;
+  std::map<std::string, size_t> pending_by_destination() const;
+  /// Labels of the deliveries parked for `to`, head first.
+  std::vector<std::string> pending_labels(const std::string& to) const;
+
+ private:
+  struct Pending {
+    uint64_t request_id = 0;
+    std::string from;
+    Bytes payload;
+    Apply apply;
+    std::string label;
+  };
+
+  ReliableLink& link_;
+  mutable std::recursive_mutex mu_;
+  std::map<std::string, std::deque<Pending>> pending_;  // keyed by destination
+};
+
+}  // namespace maabe::cloud

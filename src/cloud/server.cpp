@@ -105,17 +105,10 @@ std::vector<std::string> CloudServer::file_ids() const {
   return out;
 }
 
-size_t CloudServer::reencrypt(const abe::UpdateKey& uk,
-                              const std::vector<abe::UpdateInfo>& infos) {
+CloudServer::StagedEpoch CloudServer::stage_impl(
+    const abe::UpdateKey& uk, const std::vector<abe::UpdateInfo>& infos,
+    const telemetry::SpanContext& slot_parent) {
   ServerMetrics& sm = ServerMetrics::get();
-  const auto epoch_start = std::chrono::steady_clock::now();
-  telemetry::Span epoch_span =
-      telemetry::Tracer::global().start_span("server.reencrypt_epoch");
-  if (epoch_span.active()) {
-    epoch_span.attr("aid", uk.aid);
-    epoch_span.attr("owner", uk.owner_id);
-    epoch_span.attr("from_version", static_cast<uint64_t>(uk.from_version));
-  }
   // Index the update infos by ciphertext id. Two infos for the same
   // ciphertext are a protocol violation — applying an arbitrary one
   // would corrupt the slot, so fail loudly instead.
@@ -129,13 +122,12 @@ size_t CloudServer::reencrypt(const abe::UpdateKey& uk,
   // ---- Stage: select affected files under shard read locks and deep-
   // copy them. All re-encryption below mutates only these private
   // copies, so any failure leaves the store byte-identical.
-  struct StagedFile {
-    size_t shard;
-    std::shared_ptr<const StoredFile> original;  // for commit-time identity check
-    std::shared_ptr<StoredFile> staged;
-    std::vector<size_t> slot_indices;
-  };
-  std::vector<StagedFile> staged;
+  StagedEpoch epoch;
+  epoch.start_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  std::vector<StagedFile>& staged = epoch.files;
   for (size_t s = 0; s < shards_.size(); ++s) {
     std::shared_lock lk(shards_[s].mu);
     for (const auto& [file_id, entry] : shards_[s].files) {
@@ -156,7 +148,7 @@ size_t CloudServer::reencrypt(const abe::UpdateKey& uk,
                         std::move(slots)});
     }
   }
-  if (staged.empty()) return 0;
+  if (staged.empty()) return epoch;
 
   // Flatten to per-slot work items and fan the proxy re-encryption (one
   // pairing + per-row point additions each) across the engine's pool.
@@ -171,16 +163,15 @@ size_t CloudServer::reencrypt(const abe::UpdateKey& uk,
   // Every slot pairs against the same UK1; build its pairing line table
   // once before fanning out so all slots take the precomputed path.
   engine::CryptoEngine::for_group(*grp_).warm_pair_precomp(uk.uk1);
-  // Per-slot spans run on pool workers, so they parent on the epoch
-  // span's captured context rather than thread-local propagation.
-  const telemetry::SpanContext epoch_ctx = epoch_span.context();
   try {
+    // Per-slot spans run on pool workers, so they parent on the caller's
+    // captured context rather than thread-local propagation.
     engine::CryptoEngine::for_group(*grp_).parallel_for(
         work.size(), [&](size_t w) {
           abe::Ciphertext& ct =
               staged[work[w].file].staged->slots[work[w].slot].key_ct;
           telemetry::Span slot_span = telemetry::Tracer::global().start_child(
-              "server.reencrypt_slot", epoch_ctx);
+              "server.reencrypt_slot", slot_parent);
           if (slot_span.active()) slot_span.attr("ct_id", ct.id);
           if (fault_hook_) fault_hook_(ct.id);
           abe::reencrypt(*grp_, &ct, uk, *by_ct.at(ct.id));
@@ -190,22 +181,26 @@ size_t CloudServer::reencrypt(const abe::UpdateKey& uk,
     // slots — both fine here: the staged copies are simply dropped.
     epochs_aborted_.fetch_add(1, std::memory_order_relaxed);
     sm.epochs_aborted.inc();
-    if (epoch_span.active()) epoch_span.attr("outcome", "aborted");
     throw;
   }
+  return epoch;
+}
 
-  // ---- Commit: every slot succeeded; swap the snapshots in under the
-  // shard write locks. A file replaced by a concurrent store() since
-  // staging keeps the replacement (the epoch covered the files present
-  // at stage time).
+size_t CloudServer::commit_impl(StagedEpoch& epoch,
+                                std::vector<std::string>* committed_files) {
+  ServerMetrics& sm = ServerMetrics::get();
+  // Every slot succeeded; swap the snapshots in under the shard write
+  // locks. A file replaced by a concurrent store() since staging keeps
+  // the replacement (the epoch covered the files present at stage time).
   size_t committed = 0;
-  for (StagedFile& sf : staged) {
+  for (StagedFile& sf : epoch.files) {
     Shard& sh = shards_[sf.shard];
     std::unique_lock lk(sh.mu);
     const auto it = sh.files.find(sf.staged->file_id);
     if (it == sh.files.end() || it->second.file != sf.original) continue;
     const size_t bytes = serialize(*grp_, *sf.staged).size();
     sh.bytes = sh.bytes - it->second.bytes + bytes;
+    if (committed_files != nullptr) committed_files->push_back(sf.staged->file_id);
     it->second = Entry{std::move(sf.staged), bytes};
     sh.reencrypted_slots += sf.slot_indices.size();
     committed += sf.slot_indices.size();
@@ -215,13 +210,93 @@ size_t CloudServer::reencrypt(const abe::UpdateKey& uk,
   sm.reencrypted_slots.add(committed);
   sm.epoch_ns.observe(static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - epoch_start)
-          .count()));
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count()) - epoch.start_ns);
+  return committed;
+}
+
+size_t CloudServer::reencrypt(const abe::UpdateKey& uk,
+                              const std::vector<abe::UpdateInfo>& infos) {
+  telemetry::Span epoch_span =
+      telemetry::Tracer::global().start_span("server.reencrypt_epoch");
+  if (epoch_span.active()) {
+    epoch_span.attr("aid", uk.aid);
+    epoch_span.attr("owner", uk.owner_id);
+    epoch_span.attr("from_version", static_cast<uint64_t>(uk.from_version));
+  }
+  StagedEpoch epoch;
+  try {
+    epoch = stage_impl(uk, infos, epoch_span.context());
+  } catch (...) {
+    if (epoch_span.active()) epoch_span.attr("outcome", "aborted");
+    throw;
+  }
+  if (epoch.files.empty()) return 0;
+  const size_t committed = commit_impl(epoch, nullptr);
   if (epoch_span.active()) {
     epoch_span.attr("slots", static_cast<uint64_t>(committed));
     epoch_span.attr("outcome", "committed");
   }
   return committed;
+}
+
+uint64_t CloudServer::stage_reencrypt(const abe::UpdateKey& uk,
+                                      const std::vector<abe::UpdateInfo>& infos) {
+  telemetry::Span stage_span =
+      telemetry::Tracer::global().start_span("server.reencrypt_stage");
+  if (stage_span.active()) {
+    stage_span.attr("aid", uk.aid);
+    stage_span.attr("owner", uk.owner_id);
+    stage_span.attr("from_version", static_cast<uint64_t>(uk.from_version));
+  }
+  StagedEpoch epoch = stage_impl(uk, infos, stage_span.context());
+  if (epoch.files.empty()) {
+    if (stage_span.active()) stage_span.attr("outcome", "empty");
+    return 0;
+  }
+  if (stage_span.active()) {
+    stage_span.attr("files", static_cast<uint64_t>(epoch.files.size()));
+    stage_span.attr("outcome", "staged");
+  }
+  std::lock_guard<std::mutex> lock(staged_mu_);
+  const uint64_t token = ++next_token_;
+  staged_epochs_.emplace(token, std::move(epoch));
+  return token;
+}
+
+size_t CloudServer::commit_reencrypt(uint64_t token,
+                                     std::vector<std::string>* committed_files) {
+  if (token == 0) return 0;
+  StagedEpoch epoch;
+  {
+    std::lock_guard<std::mutex> lock(staged_mu_);
+    const auto it = staged_epochs_.find(token);
+    if (it == staged_epochs_.end())
+      throw SchemeError("CloudServer: unknown staged epoch token " +
+                        std::to_string(token));
+    epoch = std::move(it->second);
+    staged_epochs_.erase(it);
+  }
+  return commit_impl(epoch, committed_files);
+}
+
+void CloudServer::abort_reencrypt(uint64_t token) {
+  if (token == 0) return;
+  std::lock_guard<std::mutex> lock(staged_mu_);
+  const auto it = staged_epochs_.find(token);
+  if (it == staged_epochs_.end()) return;
+  staged_epochs_.erase(it);
+  epochs_aborted_.fetch_add(1, std::memory_order_relaxed);
+  ServerMetrics::get().epochs_aborted.inc();
+}
+
+size_t CloudServer::abort_all_staged() {
+  std::lock_guard<std::mutex> lock(staged_mu_);
+  const size_t n = staged_epochs_.size();
+  staged_epochs_.clear();
+  epochs_aborted_.fetch_add(n, std::memory_order_relaxed);
+  ServerMetrics::get().epochs_aborted.add(n);
+  return n;
 }
 
 size_t CloudServer::storage_bytes() const {
@@ -260,6 +335,10 @@ ServerStats CloudServer::stats() const {
   }
   out.epochs_committed = epochs_committed_.load(std::memory_order_relaxed);
   out.epochs_aborted = epochs_aborted_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(staged_mu_);
+    out.epochs_staged_open = staged_epochs_.size();
+  }
   return out;
 }
 

@@ -25,11 +25,14 @@
 
 #include <atomic>
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 
 #include "abe/scheme.h"
 #include "cloud/hybrid.h"
+#include "telemetry/trace.h"
 
 namespace maabe::cloud {
 
@@ -50,6 +53,7 @@ struct ServerStats {
   std::vector<ShardStats> shards;
   uint64_t epochs_committed = 0;       ///< reencrypt() epochs fully applied
   uint64_t epochs_aborted = 0;         ///< epochs staged, then discarded on failure
+  uint64_t epochs_staged_open = 0;     ///< staged, neither committed nor aborted
   ShardStats totals() const;
 };
 
@@ -85,6 +89,38 @@ class CloudServer {
   /// Returns the number of ciphertext slots re-encrypted and committed.
   size_t reencrypt(const abe::UpdateKey& uk, const std::vector<abe::UpdateInfo>& infos);
 
+  // ---- Two-phase epoch hooks (cluster 2PC, DESIGN.md §13) -------------
+  // stage_reencrypt runs the whole staging pass (select + deep-copy +
+  // re-encrypt into private copies) but does NOT touch the store; the
+  // staged epoch is held under an opaque token until the coordinator
+  // decides its fate. commit_reencrypt swaps the staged copies in;
+  // abort_reencrypt discards them, leaving the store byte-identical to
+  // before the stage. reencrypt() above is stage+commit in one call.
+
+  /// Stages an epoch. Returns a nonzero token, or 0 when no stored file
+  /// is affected (nothing to commit or abort). Throws SchemeError on
+  /// protocol violations and propagates re-encryption failures; either
+  /// way nothing is retained and the store is unchanged.
+  uint64_t stage_reencrypt(const abe::UpdateKey& uk,
+                           const std::vector<abe::UpdateInfo>& infos);
+
+  /// Commits a staged epoch; returns the slots committed and the ids of
+  /// the files actually swapped (a file replaced by a concurrent
+  /// store() since staging keeps the replacement and is not listed).
+  /// Token 0 is a no-op. Throws SchemeError on an unknown token — a
+  /// node that lost its staged state (restart) must surface that to the
+  /// coordinator rather than silently ack an empty commit.
+  size_t commit_reencrypt(uint64_t token,
+                          std::vector<std::string>* committed_files = nullptr);
+
+  /// Discards a staged epoch. Unknown (or 0) tokens are a no-op: aborts
+  /// are broadcast best-effort and may race a restart.
+  void abort_reencrypt(uint64_t token);
+
+  /// Discards every staged epoch (process restart: staged state is
+  /// memory-only and does not survive). Returns the number discarded.
+  size_t abort_all_staged();
+
   /// Bytes at rest (Table III row "Server"): serialized stored files.
   size_t storage_bytes() const;
 
@@ -117,12 +153,33 @@ class CloudServer {
     uint64_t reencrypted_slots = 0;         // guarded by mu (exclusive)
     mutable std::atomic<uint64_t> fetches{0};  // bumped under shared lock
   };
+  struct StagedFile {
+    size_t shard;
+    std::shared_ptr<const StoredFile> original;  // for commit-time identity check
+    std::shared_ptr<StoredFile> staged;
+    std::vector<size_t> slot_indices;
+  };
+  struct StagedEpoch {
+    std::vector<StagedFile> files;
+    uint64_t start_ns = 0;  ///< steady-clock, for the epoch histogram
+  };
+
+  /// Staging pass shared by reencrypt() and stage_reencrypt(). Slot
+  /// spans parent on `slot_parent` (the caller's epoch/stage span).
+  StagedEpoch stage_impl(const abe::UpdateKey& uk,
+                         const std::vector<abe::UpdateInfo>& infos,
+                         const telemetry::SpanContext& slot_parent);
+  /// Swap pass shared by reencrypt() and commit_reencrypt().
+  size_t commit_impl(StagedEpoch& epoch, std::vector<std::string>* committed_files);
 
   std::shared_ptr<const pairing::Group> grp_;
   std::vector<Shard> shards_;
   std::atomic<uint64_t> epochs_committed_{0};
   std::atomic<uint64_t> epochs_aborted_{0};
   std::function<void(const std::string&)> fault_hook_;
+  mutable std::mutex staged_mu_;
+  uint64_t next_token_ = 0;                       // guarded by staged_mu_
+  std::map<uint64_t, StagedEpoch> staged_epochs_;  // guarded by staged_mu_
 };
 
 }  // namespace maabe::cloud

@@ -11,8 +11,21 @@ namespace {
 std::string aa_name(const std::string& aid) { return "aa:" + aid; }
 std::string owner_name(const std::string& id) { return "owner:" + id; }
 std::string user_name(const std::string& uid) { return "user:" + uid; }
-constexpr const char* kServer = "server";
 constexpr const char* kCa = "ca";
+
+/// Queued work that does NOT gate reads: replication fan-out,
+/// read-repair and epoch aborts only ever rewrite a replica toward the
+/// state a quorum already serves, so a stale copy behind one of these
+/// can never open under a revoked key. Everything else (uploads,
+/// revocation epochs, 2PC commits) fails reads closed.
+bool benign_for_reads(const std::string& label) {
+  return label.starts_with("replicate ") || label.starts_with("read-repair ") ||
+         label.starts_with("epoch abort");
+}
+
+bool is_replication_label(const std::string& label) {
+  return label.starts_with("replicate ") || label.starts_with("read-repair ");
+}
 
 }  // namespace
 
@@ -22,13 +35,14 @@ CloudSystem::CloudSystem(std::shared_ptr<const pairing::Group> grp,
 
 CloudSystem::CloudSystem(std::shared_ptr<const pairing::Group> grp,
                          const std::string& seed, std::unique_ptr<Transport> transport,
-                         RetryPolicy retry)
+                         RetryPolicy retry, ClusterConfig cluster)
     : grp_(std::move(grp)),
       rng_(std::string_view(seed)),
       ca_(grp_, crypto::Drbg(std::string_view(seed + "/ca"))),
-      server_(grp_),
       transport_(std::move(transport)),
-      link_(*transport_, retry) {
+      link_(*transport_, retry),
+      durable_(link_),
+      cluster_(grp_, cluster, link_, durable_) {
   // Snapshot-time gauges for state that lives in structured stats
   // rather than registry counters. add_gauge sums, so several systems
   // in one process contribute naturally. The token (last member) is
@@ -37,7 +51,7 @@ CloudSystem::CloudSystem(std::shared_ptr<const pairing::Group> grp,
   collector_ = telemetry::MetricsRegistry::global().register_collector(
       [this](telemetry::Snapshot& snap) {
         snap.add_gauge("maabe_system_pending_deliveries",
-                       static_cast<int64_t>(pending_count()));
+                       static_cast<int64_t>(durable_.pending_count()));
         snap.add_gauge("maabe_system_sends_ok",
                        static_cast<int64_t>(link_.sends_ok()));
         snap.add_gauge("maabe_system_sends_failed",
@@ -55,9 +69,14 @@ CloudSystem::CloudSystem(std::shared_ptr<const pairing::Group> grp,
                        static_cast<int64_t>(t.bytes_delivered));
         snap.add_gauge("maabe_system_channel_bytes_accepted",
                        static_cast<int64_t>(t.bytes_accepted));
-        const ShardStats s = server_.stats().totals();
-        snap.add_gauge("maabe_system_server_files", static_cast<int64_t>(s.files));
-        snap.add_gauge("maabe_system_server_bytes", static_cast<int64_t>(s.bytes));
+        const ClusterStats cs = cluster_.stats();
+        snap.add_gauge("maabe_system_server_files",
+                       static_cast<int64_t>(cs.store_totals.files));
+        snap.add_gauge("maabe_system_server_bytes",
+                       static_cast<int64_t>(cs.store_totals.bytes));
+        snap.add_gauge("maabe_cluster_nodes_alive", static_cast<int64_t>(cs.alive));
+        snap.add_gauge("maabe_cluster_replication_lag",
+                       static_cast<int64_t>(replication_lag()));
       });
 }
 
@@ -76,60 +95,10 @@ void CloudSystem::send_reliable(const std::string& from, const std::string& to,
 
 bool CloudSystem::send_or_park(const std::string& from, const std::string& to,
                                Bytes payload, Apply apply, const std::string& label) {
-  // Recursive: an apply replayed by flush_queue below may nest another
-  // send_or_park (the revocation epoch hop does).
-  std::lock_guard<std::recursive_mutex> lock(pending_mu_);
-  // Order must be preserved per destination: never jump a parked queue.
-  flush_queue(to);
-  auto& queue = pending_[to];
-  if (!queue.empty()) {
-    queue.push_back({link_.allocate_request_id(), from, std::move(payload),
-                     std::move(apply), label});
-    return false;
-  }
-  const uint64_t rid = link_.allocate_request_id();
-  try {
-    link_.send_as(rid, from, to, payload, apply);
-  } catch (const TransportError&) {
-    queue.push_back({rid, from, std::move(payload), std::move(apply), label});
-    return false;
-  }
-  pending_.erase(to);  // drop the empty deque we may have created
-  return true;
+  return durable_.send_or_park(from, to, std::move(payload), std::move(apply), label);
 }
 
-void CloudSystem::flush_queue(const std::string& to) {
-  std::lock_guard<std::recursive_mutex> lock(pending_mu_);
-  const auto it = pending_.find(to);
-  if (it == pending_.end()) return;
-  auto& queue = it->second;
-  while (!queue.empty()) {
-    Pending& head = queue.front();
-    try {
-      link_.send_as(head.request_id, head.from, to, head.payload, head.apply);
-    } catch (const TransportError&) {
-      return;  // keep order; retry on the next call
-    }
-    queue.pop_front();
-  }
-  pending_.erase(it);
-}
-
-size_t CloudSystem::pending_count() const {
-  std::lock_guard<std::recursive_mutex> lock(pending_mu_);
-  size_t n = 0;
-  for (const auto& [to, queue] : pending_) n += queue.size();
-  return n;
-}
-
-size_t CloudSystem::flush_pending() {
-  std::lock_guard<std::recursive_mutex> lock(pending_mu_);
-  std::vector<std::string> destinations;
-  destinations.reserve(pending_.size());
-  for (const auto& [to, queue] : pending_) destinations.push_back(to);
-  for (const std::string& to : destinations) flush_queue(to);
-  return pending_count();
-}
+size_t CloudSystem::flush_pending() { return durable_.flush_all(); }
 
 CloudSystem::Health CloudSystem::health() const {
   Health h;
@@ -138,15 +107,40 @@ CloudSystem::Health CloudSystem::health() const {
   h.sends_failed = link_.sends_failed();
   h.retries = link_.retries();
   h.applied_requests = link_.applied_requests();
-  {
-    std::lock_guard<std::recursive_mutex> lock(pending_mu_);
-    for (const auto& [to, queue] : pending_) {
-      if (!queue.empty()) h.pending_by_destination[to] = queue.size();
-      h.pending_deliveries += queue.size();
-    }
-  }
+  h.pending_by_destination = durable_.pending_by_destination();
+  for (const auto& [to, n] : h.pending_by_destination) h.pending_deliveries += n;
   h.virtual_ms = transport_->now_ms();
   return h;
+}
+
+NodeHealth CloudSystem::health(const std::string& node_id) const {
+  NodeHealth h = cluster_.node_health(node_id);
+  h.pending_in = durable_.pending_for(node_id);
+  for (const std::string& label : durable_.pending_labels(node_id)) {
+    if (is_replication_label(label)) ++h.replication_lag;
+  }
+  for (const auto& [channel, stats] : transport_->meter().entries()) {
+    if (channel.second == node_id) h.transport_in += stats;
+    if (channel.first == node_id) h.transport_out += stats;
+  }
+  return h;
+}
+
+std::vector<NodeHealth> CloudSystem::cluster_health() const {
+  std::vector<NodeHealth> out;
+  out.reserve(cluster_.size());
+  for (const std::string& name : cluster_.node_names()) out.push_back(health(name));
+  return out;
+}
+
+uint64_t CloudSystem::replication_lag() const {
+  uint64_t lag = 0;
+  for (const std::string& name : cluster_.node_names()) {
+    for (const std::string& label : durable_.pending_labels(name)) {
+      if (is_replication_label(label)) ++lag;
+    }
+  }
+  return lag;
 }
 
 telemetry::Snapshot CloudSystem::telemetry_snapshot() const {
@@ -292,9 +286,12 @@ void CloudSystem::upload(const std::string& owner_id, const std::string& file_id
   }
   DataOwner& data_owner = owner(owner_id);
   StoredFile file = data_owner.protect(file_id, components);
-  send_or_park(owner_name(owner_id), kServer, serialize(*grp_, file),
-               [this](ByteView payload) {
-                 server_.store(deserialize_stored_file(*grp_, payload));
+  // Route to the file's coordinator; the node stores its copy and fans
+  // replication ops to the other replicas from inside the apply.
+  const std::string target = cluster_.route_for(file_id);
+  send_or_park(owner_name(owner_id), target, serialize(*grp_, file),
+               [this, target](ByteView payload) {
+                 cluster_.handle_store(target, payload);
                },
                "upload " + file_id);
 }
@@ -330,31 +327,53 @@ CloudSystem::DownloadReport CloudSystem::download_report(const std::string& uid,
   }
   Consumer& consumer = user(uid);
   // Fail closed: never serve reads while revocation epochs (or earlier
-  // uploads) are parked for the server — a stale ciphertext could still
-  // open under a revoked key.
-  flush_queue(kServer);
-  if (pending_.contains(kServer)) {
-    throw TransportError(
-        TransportError::Kind::kDegraded,
-        "CloudSystem: server has " + std::to_string(pending_.at(kServer).size()) +
-            " pending deliveries; refusing download of '" + file_id + "'");
+  // uploads) are parked for any node — a stale ciphertext could still
+  // open under a revoked key. Benign replica maintenance (replication
+  // fan-out, read-repair, epoch aborts) does not gate reads: it only
+  // rewrites a replica toward state a quorum already serves.
+  for (const std::string& name : cluster_.node_names()) durable_.flush_queue(name);
+  for (const std::string& name : cluster_.node_names()) {
+    const std::vector<std::string> labels = durable_.pending_labels(name);
+    bool blocking = false;
+    for (const std::string& label : labels) {
+      if (!benign_for_reads(label)) {
+        blocking = true;
+        break;
+      }
+    }
+    if (blocking) {
+      throw TransportError(
+          TransportError::Kind::kDegraded,
+          "CloudSystem: " + name + " has " + std::to_string(labels.size()) +
+              " pending deliveries; refusing download of '" + file_id + "'");
+    }
   }
   // Best effort: deliver any parked key material for this user first so
   // it can open everything it is entitled to.
-  flush_queue(user_name(uid));
+  durable_.flush_queue(user_name(uid));
 
-  // Request leg: the user asks the server for the file by id.
-  std::shared_ptr<const StoredFile> snapshot;
-  send_reliable(user_name(uid), kServer, bytes_of(file_id), [&](ByteView payload) {
-    snapshot = server_.fetch(std::string(payload.begin(), payload.end()));
+  // Request leg: the user asks the file's coordinator for it by id; the
+  // coordinator answers with a quorum read (+ read-repair). Failures
+  // out of the fetch (quorum not met, unknown file) are protocol
+  // errors, not transport errors — captured so the link does not retry
+  // an already-applied request.
+  const std::string coord = cluster_.route_for(file_id);
+  Bytes wire;
+  std::exception_ptr fetch_error;
+  send_reliable(user_name(uid), coord, bytes_of(file_id), [&](ByteView payload) {
+    try {
+      wire = cluster_.handle_fetch(coord, std::string(payload.begin(), payload.end()));
+    } catch (const Error&) {
+      fetch_error = std::current_exception();
+    }
   });
+  if (fetch_error) std::rethrow_exception(fetch_error);
 
   // Response leg: the file travels back as bytes, serialized once — the
   // transport meters the actual frame, there is no second serialization.
   DownloadReport report;
   report.file_id = file_id;
-  const Bytes wire = serialize(*grp_, *snapshot);
-  send_reliable(kServer, user_name(uid), wire, [&](ByteView payload) {
+  send_reliable(coord, user_name(uid), wire, [&](ByteView payload) {
     const StoredFile file = deserialize_stored_file(*grp_, payload);
     report.slots.clear();  // redundant on dedup'd applies, cheap insurance
     for (const SealedSlot& slot : file.slots) {
@@ -434,7 +453,7 @@ size_t CloudSystem::distribute_revocation(
     const std::string& aid, const std::string& uid, uint32_t from_version,
     const AttributeAuthority::RevocationBundle& bundle) {
   Consumer& revoked = user(uid);
-  const uint64_t slots_before = server_.stats().totals().reencrypted_slots;
+  const uint64_t slots_before = cluster_.total_reencrypted_slots();
 
   // 1) Fresh (reduced) secret keys to the revoked user — only for owners
   //    whose data the user actually holds keys for. Undeliverable keys
@@ -468,9 +487,12 @@ size_t CloudSystem::distribute_revocation(
 
   // 3) Update keys to every owner; each owner refreshes its cached
   //    public keys, emits UpdateInfo for affected ciphertexts and ships
-  //    {UK, UpdateInfo*} to the server as one epoch message. Both hops
-  //    park-and-replay, so an epoch that cannot reach the server is
-  //    applied (in version order) before any later server delivery.
+  //    {UK, UpdateInfo*} to the epoch coordinator as one epoch message.
+  //    Both hops park-and-replay, so an epoch that cannot reach the
+  //    cluster is applied (in version order) before any later read. On
+  //    a multi-node cluster the coordinator runs the epoch as a 2PC
+  //    across every node (DESIGN.md §13); an aborted 2PC rethrows, so
+  //    the epoch message itself stays parked and replays.
   for (auto& [owner_id, data_owner] : owners_) {
     const auto uk_it = bundle.update_keys.find(owner_id);
     if (uk_it == bundle.update_keys.end()) continue;
@@ -487,26 +509,16 @@ size_t CloudSystem::distribute_revocation(
           w.var_bytes(abe::serialize(*grp_, uk));
           w.u32(static_cast<uint32_t>(infos.size()));
           for (const abe::UpdateInfo& ui : infos) w.var_bytes(abe::serialize(*grp_, ui));
-          send_or_park(owner_name(owner_id), kServer, w.take(),
-                       [this](ByteView epoch) {
-                         Reader r(epoch);
-                         const abe::UpdateKey server_uk = abe::deserialize_update_key(
-                             *grp_, r.var_bytes(), abe::UkCheck::kCiphertextPath);
-                         std::vector<abe::UpdateInfo> server_infos;
-                         const uint32_t n = r.u32();
-                         server_infos.reserve(n);
-                         for (uint32_t i = 0; i < n; ++i) {
-                           server_infos.push_back(
-                               abe::deserialize_update_info(*grp_, r.var_bytes()));
-                         }
-                         r.expect_done();
-                         server_.reencrypt(server_uk, server_infos);
+          const std::string target = cluster_.coordinator();
+          send_or_park(owner_name(owner_id), target, w.take(),
+                       [this, target](ByteView epoch) {
+                         cluster_.handle_epoch(target, epoch);
                        },
                        "revocation epoch v" + std::to_string(from_version + 1));
         },
         "owner update key");
   }
-  return static_cast<size_t>(server_.stats().totals().reencrypted_slots - slots_before);
+  return static_cast<size_t>(cluster_.total_reencrypted_slots() - slots_before);
 }
 
 // ------------------------------------------------------ introspection --
@@ -553,7 +565,11 @@ CloudSystem::StorageReport CloudSystem::storage_report() const {
   for (const auto& [uid, consumer] : users_) {
     report.per_entity["user:" + uid] = consumer.key_storage_bytes();
   }
-  report.per_entity["server"] = server_.storage_bytes();
+  // One row per node: "server" on a single-node cluster (the legacy
+  // layout), "node:<i>" rows on a multi-node one.
+  for (const std::string& name : cluster_.node_names()) {
+    report.per_entity[name] = cluster_.node_store(name).storage_bytes();
+  }
   return report;
 }
 

@@ -1,18 +1,28 @@
 // CloudSystem: the full multi-authority access-control deployment.
 //
 // Wires the CA, attribute authorities, data owners, consumers and the
-// cloud server together. Every artefact that crosses an entity boundary
-// travels through a Transport as serialized bytes (DESIGN.md §10):
-// serialize -> frame -> deliver -> verify -> deserialize. Sends use a
-// ReliableLink (capped exponential backoff, per-request ids, receiver
-// dedup); revocation and upload traffic additionally parks in per-
-// destination FIFO queues when the destination stays unreachable and
-// replays on the next successful call, so a revocation epoch that could
-// not reach the server is applied before any later read. Canonical
-// entity names used for channels and metering:
-//   "ca", "aa:<AID>", "owner:<id>", "user:<UID>", "server".
+// storage cluster together. Every artefact that crosses an entity
+// boundary travels through a Transport as serialized bytes (DESIGN.md
+// §10): serialize -> frame -> deliver -> verify -> deserialize. Sends
+// use a ReliableLink (capped exponential backoff, per-request ids,
+// origin-scoped receiver dedup); revocation and upload traffic
+// additionally parks in per-destination FIFO queues (DurableLink) when
+// the destination stays unreachable and replays on the next successful
+// call, so a revocation epoch that could not reach its node is applied
+// before any later read.
+//
+// The storage tier is a Cluster (DESIGN.md §13): client traffic is
+// routed over the consistent-hash ring to the first alive replica,
+// writes replicate asynchronously through per-node op queues, reads are
+// quorum reads with read-repair, and revocation epochs are cluster-wide
+// two-phase commits. The default single-node cluster behaves exactly
+// like the PR 3 single server. Canonical entity names used for channels
+// and metering:
+//   "ca", "aa:<AID>", "owner:<id>", "user:<UID>",
+//   "server" (single-node cluster) or "node:<i>" (multi-node).
 #pragma once
 
+#include "cloud/cluster.h"
 #include "cloud/entities.h"
 #include "cloud/server.h"
 #include "cloud/transport.h"
@@ -25,9 +35,11 @@ class CloudSystem {
   explicit CloudSystem(std::shared_ptr<const pairing::Group> grp,
                        const std::string& seed = "maabe-system");
   /// Full control: inject a transport (typically a LoopbackTransport
-  /// with a FaultPlan) and a retry policy.
+  /// with a FaultPlan), a retry policy, and the cluster shape (defaults
+  /// to a single node, which behaves exactly like the PR 3 server).
   CloudSystem(std::shared_ptr<const pairing::Group> grp, const std::string& seed,
-              std::unique_ptr<Transport> transport, RetryPolicy retry = RetryPolicy());
+              std::unique_ptr<Transport> transport, RetryPolicy retry = RetryPolicy(),
+              ClusterConfig cluster = ClusterConfig());
 
   // ---- Enrollment ----------------------------------------------------
   /// Registers an AA with the CA and creates its entity. Owner shares
@@ -132,6 +144,18 @@ class CloudSystem {
   /// themselves, and every row of the result is internally coherent.
   Health health() const;
 
+  /// Per-node health: the node's store/epoch counters plus its share of
+  /// the transport meter and the durable queues, so an injected fault
+  /// is attributable to the node it hit. Throws SchemeError on an
+  /// unknown node name.
+  NodeHealth health(const std::string& node_id) const;
+  /// health(node) for every node of the cluster, in node order.
+  std::vector<NodeHealth> cluster_health() const;
+
+  /// Parked replication/read-repair deliveries across all nodes — the
+  /// cluster's replication lag in ops.
+  uint64_t replication_lag() const;
+
   /// Point-in-time view of the process-wide telemetry registry
   /// (maabe_engine_*, maabe_transport_*, maabe_server_*, ... counters
   /// and histograms), including this system's collector contributions
@@ -143,7 +167,10 @@ class CloudSystem {
   AttributeAuthority& authority(const std::string& aid);
   DataOwner& owner(const std::string& owner_id);
   Consumer& user(const std::string& uid);
-  CloudServer& server() { return server_; }
+  /// Node 0's store — the whole store on a single-node cluster.
+  CloudServer& server() { return cluster_.node_store(0); }
+  Cluster& cluster() { return cluster_; }
+  const Cluster& cluster() const { return cluster_; }
   Transport& transport() { return *transport_; }
   const ChannelMeter& meter() const { return transport_->meter(); }
   ChannelMeter& meter() { return transport_->meter(); }
@@ -161,13 +188,6 @@ class CloudSystem {
 
  private:
   using Apply = ReliableLink::Apply;
-  struct Pending {
-    uint64_t request_id = 0;
-    std::string from;
-    Bytes payload;
-    Apply apply;
-    std::string label;  ///< for error messages / health
-  };
 
   crypto::Drbg fork_rng(const std::string& label);
   size_t distribute_revocation(const std::string& aid, const std::string& uid,
@@ -177,26 +197,19 @@ class CloudSystem {
   /// Reliable send; throws TransportError(kExhausted) on failure.
   void send_reliable(const std::string& from, const std::string& to, ByteView payload,
                      const Apply& apply);
-  /// Ordered durable send: queues behind earlier parked deliveries to
-  /// `to`; parks instead of throwing on transport failure. Returns true
-  /// when the delivery was applied now.
+  /// Ordered durable send via the DurableLink (see replication.h).
   bool send_or_park(const std::string& from, const std::string& to, Bytes payload,
                     Apply apply, const std::string& label);
-  /// Replays `to`'s queue head-first; stops at the first failure.
-  void flush_queue(const std::string& to);
-  size_t pending_count() const;
 
   std::shared_ptr<const pairing::Group> grp_;
   crypto::Drbg rng_;
   CertificateAuthority ca_;
-  CloudServer server_;
   std::unique_ptr<Transport> transport_;
   ReliableLink link_;
-  /// Guards pending_. Recursive because a parked delivery's apply can
-  /// nest another send_or_park (distribute_revocation's owner hop
-  /// ships the epoch message to the server from inside its apply).
-  mutable std::recursive_mutex pending_mu_;
-  std::map<std::string, std::deque<Pending>> pending_;  // keyed by destination
+  /// Per-destination write-ahead queues, shared between entity traffic
+  /// and the cluster's replication fan-out (one health view).
+  DurableLink durable_;
+  Cluster cluster_;
   std::map<std::string, AttributeAuthority> authorities_;
   std::map<std::string, DataOwner> owners_;
   std::map<std::string, Consumer> users_;

@@ -352,11 +352,14 @@ void ReliableLink::send_as(uint64_t request_id, const std::string& from,
             // mutex must not be held while apply runs, because applies
             // nest further sends back through this link. A request id
             // is only in flight once per logical send, so the split is
-            // not a race window.
+            // not a race window. Keys are (origin, request id): ids are
+            // per-origin counters, and a retry of an applied request
+            // must dedup even when failover re-routes it elsewhere.
+            const auto key = std::make_pair(from, rid);
             bool fresh;
             {
               std::lock_guard<std::mutex> lock(applied_mu_);
-              fresh = !applied_.contains(rid);
+              fresh = !applied_.contains(key);
             }
             if (!fresh) {
               transport_.meter().apply(
@@ -369,7 +372,7 @@ void ReliableLink::send_as(uint64_t request_id, const std::string& from,
               s.bytes_accepted += delivered.size();
             });
             std::lock_guard<std::mutex> lock(applied_mu_);
-            applied_.insert(rid);
+            applied_.insert(key);
           });
       sends_ok_.fetch_add(1, std::memory_order_relaxed);
       tm.sends_ok.inc();

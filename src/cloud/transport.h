@@ -23,6 +23,7 @@
 #include <memory>
 #include <mutex>
 #include <set>
+#include <utility>
 
 #include "cloud/meter.h"
 #include "common/errors.h"
@@ -208,10 +209,14 @@ struct RetryPolicy {
 
 /// Reliable unicast over an unreliable Transport: retries with capped
 /// exponential backoff until the policy is exhausted, and guarantees the
-/// receiver-side apply runs at most once per request id even when frames
-/// are duplicated or an applied request is retried after an ack loss
-/// (idempotent request handling). Suppressed duplicate copies are
-/// counted as redeliveries on the channel.
+/// receiver-side apply runs at most once per (origin, request id) even
+/// when frames are duplicated or an applied request is retried after an
+/// ack loss (idempotent request handling). Dedup keys are scoped by the
+/// origin because request-id counters are per sender process: two nodes
+/// can legitimately allocate the same id, while one origin retrying a
+/// request against a *different* destination (a store re-routed to a
+/// new primary after failover) must still be a no-op. Suppressed
+/// duplicate copies are counted as redeliveries on the channel.
 class ReliableLink {
  public:
   explicit ReliableLink(Transport& transport, RetryPolicy policy = RetryPolicy());
@@ -256,7 +261,7 @@ class ReliableLink {
   RetryPolicy policy_;
   std::atomic<uint64_t> next_request_id_{0};
   mutable std::mutex applied_mu_;  // never held across apply/sink calls
-  std::set<uint64_t> applied_;
+  std::set<std::pair<std::string, uint64_t>> applied_;  // (origin, request id)
   std::atomic<uint64_t> sends_ok_{0};
   std::atomic<uint64_t> sends_failed_{0};
   std::atomic<uint64_t> retries_{0};

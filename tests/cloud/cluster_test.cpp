@@ -1,0 +1,449 @@
+// Cluster chaos suite (DESIGN.md §13): node failures, partitions and
+// corrupt replicas against the 3-node cloud. Invariants:
+//   1. Replicas of every file converge byte-identically once queues
+//      drain (snapshot comparison, including against a fault-free run).
+//   2. A revocation epoch commits on every node or on none (2PC).
+//   3. Reads fail closed (typed) while an epoch is parked, and fail
+//      typed when a quorum cannot be met.
+//   4. A corrupt replica loses the quorum read and gets repaired.
+// Registered under the `chaos` ctest label.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cloud/system.h"
+#include "common/errors.h"
+#include "crypto/sha256.h"
+
+namespace maabe::cloud {
+namespace {
+
+using pairing::Group;
+
+std::unique_ptr<CloudSystem> make_system(std::shared_ptr<const Group> grp,
+                                         size_t nodes, size_t replication,
+                                         FaultPlan plan = FaultPlan(),
+                                         RetryPolicy retry = RetryPolicy()) {
+  ClusterConfig cfg;
+  cfg.nodes = nodes;
+  cfg.replication = replication;
+  return std::make_unique<CloudSystem>(
+      grp, "cluster-chaos", std::make_unique<LoopbackTransport>(std::move(plan)),
+      retry, cfg);
+}
+
+void enroll(CloudSystem& sys) {
+  sys.add_authority("Med", {"Doctor"});
+  sys.add_owner("hosp");
+  sys.publish_authority_keys("Med", "hosp");
+  sys.add_user("alice");
+  sys.add_user("bob");
+  sys.assign_attributes("Med", "alice", {"Doctor"});
+  sys.assign_attributes("Med", "bob", {"Doctor"});
+  sys.issue_user_key("Med", "alice", "hosp");
+  sys.issue_user_key("Med", "bob", "hosp");
+}
+
+std::string record_of(const std::string& file_id) { return "record " + file_id; }
+
+void upload_all(CloudSystem& sys, const std::vector<std::string>& files) {
+  for (const std::string& f : files) {
+    sys.upload("hosp", f, {{"a", bytes_of(record_of(f)), "Doctor@Med"}});
+  }
+}
+
+/// Invariant 1: every replica of every file holds the same bytes at the
+/// same version, and nodes outside the replica set hold nothing.
+void expect_replicas_converged(CloudSystem& sys,
+                               const std::vector<std::string>& files) {
+  Cluster& c = sys.cluster();
+  for (const std::string& f : files) {
+    const std::vector<std::string> replicas = c.replicas_for(f);
+    ASSERT_FALSE(replicas.empty());
+    ASSERT_TRUE(c.node_store(replicas.front()).has_file(f))
+        << "primary of '" << f << "' lost it";
+    const Bytes want = serialize(sys.group(), *c.node_store(replicas.front()).fetch(f));
+    const uint64_t version = c.version_of(replicas.front(), f);
+    for (const std::string& name : c.node_names()) {
+      const bool is_replica =
+          std::find(replicas.begin(), replicas.end(), name) != replicas.end();
+      if (!is_replica) {
+        EXPECT_FALSE(c.node_store(name).has_file(f))
+            << "'" << f << "' leaked onto non-replica " << name;
+        continue;
+      }
+      ASSERT_TRUE(c.node_store(name).has_file(f))
+          << "replica " << name << " missing '" << f << "'";
+      EXPECT_EQ(serialize(sys.group(), *c.node_store(name).fetch(f)), want)
+          << "replica " << name << " diverged on '" << f << "'";
+      EXPECT_EQ(c.version_of(name, f), version)
+          << "replica " << name << " at wrong version of '" << f << "'";
+    }
+  }
+}
+
+/// Per-node snapshots, for byte-identical comparison across runs.
+std::vector<Bytes> snapshots_of(CloudSystem& sys) {
+  std::vector<Bytes> out;
+  for (const std::string& name : sys.cluster().node_names()) {
+    out.push_back(sys.cluster().snapshot(name));
+  }
+  return out;
+}
+
+/// Drives `op` until `done` holds, tolerating typed failures and
+/// replaying parked deliveries between tries (same shape as the
+/// single-node chaos soak).
+template <typename Op, typename Done>
+bool ensure(CloudSystem& sys, Op&& op, Done&& done, int limit = 120) {
+  for (int i = 0; i < limit; ++i) {
+    if (done()) return true;
+    try {
+      op();
+    } catch (const Error&) {
+      // Typed failures are allowed; untyped ones escape and fail hard.
+    }
+    sys.flush_pending();
+  }
+  return done();
+}
+
+// ----------------------------------------------------- basic routing --
+
+TEST(ClusterTest, SingleNodeDefaultKeepsLegacyShape) {
+  CloudSystem sys(Group::test_small(), "cluster-chaos");
+  EXPECT_EQ(sys.cluster().size(), 1u);
+  EXPECT_EQ(sys.cluster().node_names(), std::vector<std::string>{"server"});
+  EXPECT_EQ(&sys.server(), &sys.cluster().node_store(0));
+  enroll(sys);
+  upload_all(sys, {"f1"});
+  EXPECT_TRUE(sys.download_report("alice", "f1").all_ok());
+  EXPECT_TRUE(sys.storage_report().per_entity.contains("server"));
+  // Single node: no replication traffic, no 2PC.
+  const ClusterStats cs = sys.cluster().stats();
+  EXPECT_EQ(cs.replication_ops_sent, 0u);
+  EXPECT_EQ(cs.epochs_2pc, 0u);
+}
+
+TEST(ClusterTest, UploadReplicatesToRingReplicasAndReadsMeetQuorum) {
+  auto sys = make_system(Group::test_small(), 3, 2);
+  enroll(*sys);
+  const std::vector<std::string> files = {"f1", "f2", "f3", "f4"};
+  upload_all(*sys, files);
+  EXPECT_EQ(sys->flush_pending(), 0u);
+  expect_replicas_converged(*sys, files);
+
+  const ClusterStats cs = sys->cluster().stats();
+  EXPECT_EQ(cs.nodes, 3u);
+  EXPECT_EQ(cs.replication, 2u);
+  EXPECT_EQ(cs.replication_ops_sent, files.size());  // one secondary per file
+  EXPECT_EQ(cs.replication_ops_applied, files.size());
+
+  for (const std::string& f : files) {
+    const auto report = sys->download_report("alice", f);
+    EXPECT_TRUE(report.all_ok());
+    EXPECT_EQ(string_of(report.opened().at("a")), record_of(f));
+  }
+  EXPECT_EQ(sys->cluster().stats().quorum_reads, files.size());
+  EXPECT_EQ(sys->cluster().stats().quorum_failures, 0u);
+}
+
+TEST(ClusterTest, NodeHealthAttributesOutageAndReplicationLag) {
+  auto sys = make_system(Group::test_small(), 3, 2);
+  enroll(*sys);
+  sys->cluster().kill_node("node:2");
+  const std::vector<std::string> files = {"f1", "f2", "f3", "f4", "f5", "f6"};
+  upload_all(*sys, files);
+
+  // Every file with node:2 in its replica set has a replication (or
+  // whole-upload) delivery parked for it; lag counts the replication
+  // share and health pins it to the dead node.
+  size_t on_dead = 0;
+  for (const std::string& f : files) {
+    const auto replicas = sys->cluster().replicas_for(f);
+    if (std::find(replicas.begin(), replicas.end(), "node:2") != replicas.end())
+      ++on_dead;
+  }
+  ASSERT_GT(on_dead, 0u) << "placement left node:2 empty; add more files";
+
+  const NodeHealth dead = sys->health("node:2");
+  EXPECT_FALSE(dead.alive);
+  EXPECT_EQ(dead.pending_in, on_dead);
+  EXPECT_EQ(dead.replication_lag, sys->replication_lag());
+  EXPECT_GT(sys->replication_lag(), 0u);
+
+  const std::vector<NodeHealth> all = sys->cluster_health();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_TRUE(all[0].alive);
+  EXPECT_GT(all[0].transport_in.frames, 0u);  // served uploads
+  EXPECT_EQ(all[2].node, "node:2");
+
+  sys->cluster().restart_node("node:2");
+  EXPECT_EQ(sys->flush_pending(), 0u);
+  EXPECT_EQ(sys->replication_lag(), 0u);
+  expect_replicas_converged(*sys, files);
+}
+
+// ------------------------------------------------------- quorum reads --
+
+TEST(ClusterTest, QuorumReadRepairsCorruptReplica) {
+  auto sys = make_system(Group::test_small(), 3, 3);
+  enroll(*sys);
+  upload_all(*sys, {"f1"});
+  EXPECT_EQ(sys->flush_pending(), 0u);
+
+  // Rot one non-coordinator replica on disk: flip a sealed byte, leaving
+  // the recorded content hash pointing at the original bytes.
+  Cluster& c = sys->cluster();
+  const std::string coord = c.route_for("f1");
+  std::string victim;
+  for (const std::string& name : c.node_names()) {
+    if (name != coord) {
+      victim = name;
+      break;
+    }
+  }
+  StoredFile rotted = *c.node_store(victim).fetch("f1");
+  ASSERT_FALSE(rotted.slots.empty());
+  ASSERT_GT(rotted.slots[0].sealed_data.size(), 10u);
+  rotted.slots[0].sealed_data[10] ^= 0x40;
+  c.node_store(victim).store(std::move(rotted));
+
+  // The quorum read outvotes the rotten copy (its bytes no longer match
+  // the recorded hash) and pushes the winner back at it.
+  const auto report = sys->download_report("alice", "f1");
+  EXPECT_TRUE(report.all_ok());
+  EXPECT_EQ(string_of(report.opened().at("a")), record_of("f1"));
+  EXPECT_GE(c.stats().read_repairs, 1u);
+  EXPECT_EQ(sys->flush_pending(), 0u);
+  EXPECT_EQ(serialize(sys->group(), *c.node_store(victim).fetch("f1")),
+            serialize(sys->group(), *c.node_store(coord).fetch("f1")));
+}
+
+TEST(ClusterTest, ReadWithoutQuorumFailsTyped) {
+  auto sys = make_system(Group::test_small(), 3, 2);
+  enroll(*sys);
+  const std::vector<std::string> files = {"f1", "f2", "f3", "f4",
+                                          "f5", "f6", "f7", "f8"};
+  upload_all(*sys, files);
+  EXPECT_EQ(sys->flush_pending(), 0u);
+
+  sys->cluster().kill_node("node:2");
+  std::string degraded, healthy;
+  for (const std::string& f : files) {
+    const auto replicas = sys->cluster().replicas_for(f);
+    const bool on_dead =
+        std::find(replicas.begin(), replicas.end(), "node:2") != replicas.end();
+    (on_dead ? degraded : healthy) = f;
+  }
+  ASSERT_FALSE(degraded.empty());
+  ASSERT_FALSE(healthy.empty());
+
+  // R=2 majority quorum is 2: a file with its second replica dead cannot
+  // meet it (typed, fail-closed); a file fully off the dead node reads
+  // normally.
+  EXPECT_THROW(sys->download_report("alice", degraded), TransportError);
+  EXPECT_GE(sys->cluster().stats().quorum_failures, 1u);
+  EXPECT_TRUE(sys->download_report("alice", healthy).all_ok());
+}
+
+// -------------------------------------------------- revocation epochs --
+
+/// Enroll, upload, revoke bob — optionally killing `kill` just before
+/// the revocation so the 2PC cannot stage there. Returns the per-node
+/// snapshots after everything drained.
+std::vector<Bytes> run_epoch_scenario(std::shared_ptr<const Group> grp,
+                                      const std::string& kill,
+                                      const std::vector<std::string>& files) {
+  auto sys = make_system(grp, 3, 3);
+  enroll(*sys);
+  upload_all(*sys, files);
+  EXPECT_EQ(sys->flush_pending(), 0u);
+
+  if (!kill.empty()) {
+    sys->cluster().kill_node(kill);
+    // The 2PC aborts (a node cannot stage) and the epoch parks; nothing
+    // commits anywhere, and reads fail closed behind the parked epoch.
+    EXPECT_EQ(sys->revoke_attribute("Med", "bob", "Doctor"), 0u);
+    const ClusterStats mid = sys->cluster().stats();
+    EXPECT_GE(mid.epoch_aborts, 1u);
+    EXPECT_EQ(mid.epoch_commits, 0u);
+    EXPECT_EQ(mid.server_epochs_committed, 0u);
+    for (const std::string& name : sys->cluster().node_names()) {
+      EXPECT_EQ(sys->health(name).epochs_staged_open, 0u) << name;
+    }
+    EXPECT_THROW(sys->download_report("alice", files.front()), TransportError);
+    sys->cluster().restart_node(kill);
+    EXPECT_EQ(sys->flush_pending(), 0u);  // recovery replay commits the epoch
+  } else {
+    EXPECT_GT(sys->revoke_attribute("Med", "bob", "Doctor"), 0u);
+    EXPECT_EQ(sys->flush_pending(), 0u);
+  }
+
+  // Epoch committed on every node, exactly once each.
+  const ClusterStats cs = sys->cluster().stats();
+  EXPECT_EQ(cs.epoch_commits, 1u);
+  EXPECT_EQ(cs.server_epochs_committed, 3u);
+  EXPECT_EQ(cs.epoch_commit_orphans, 0u);
+
+  // Revoked bob opens nothing; alice keeps access through the update.
+  for (const std::string& f : files) {
+    EXPECT_TRUE(sys->download_report("bob", f).opened().empty());
+    const auto report = sys->download_report("alice", f);
+    EXPECT_TRUE(report.all_ok());
+    EXPECT_EQ(string_of(report.opened().at("a")), record_of(f));
+  }
+  expect_replicas_converged(*sys, files);
+  return snapshots_of(*sys);
+}
+
+TEST(ClusterTest, ReplicaKilledMidEpochConvergesByteIdentically) {
+  auto grp = Group::test_small();
+  const std::vector<std::string> files = {"f1", "f2", "f3"};
+  // Reference: the same protocol with no failure. The failure run must
+  // land every node on byte-identical state after recovery replay.
+  const std::vector<Bytes> reference = run_epoch_scenario(grp, "", files);
+  const std::vector<Bytes> recovered = run_epoch_scenario(grp, "node:2", files);
+  EXPECT_EQ(recovered, reference);
+}
+
+TEST(ClusterTest, PartitionDuring2PCAbortsCleanlyThenCommitsOnHeal) {
+  // Seeded plan: channel specs apply (drop=1.0 is deterministic anyway).
+  auto sys = make_system(Group::test_small(), 3, 3, FaultPlan(1));
+  enroll(*sys);
+  const std::vector<std::string> files = {"f1", "f2"};
+  upload_all(*sys, files);
+  EXPECT_EQ(sys->flush_pending(), 0u);
+  const std::vector<Bytes> before = snapshots_of(*sys);
+
+  // Partition node:2 away from the coordinator: it is alive, but no
+  // stage message can reach it.
+  auto& loopback = dynamic_cast<LoopbackTransport&>(sys->transport());
+  FaultSpec cut;
+  cut.drop = 1.0;
+  loopback.faults().set_channel("node:0", "node:2", cut);
+
+  EXPECT_EQ(sys->revoke_attribute("Med", "bob", "Doctor"), 0u);
+  const ClusterStats mid = sys->cluster().stats();
+  EXPECT_GE(mid.epoch_aborts, 1u);
+  EXPECT_EQ(mid.epoch_commits, 0u);
+  // Abort is byte-identical: no node's store moved.
+  for (const std::string& name : sys->cluster().node_names()) {
+    EXPECT_EQ(sys->health(name).epochs_staged_open, 0u) << name;
+  }
+  EXPECT_EQ(snapshots_of(*sys), before);
+  EXPECT_THROW(sys->download_report("alice", files.front()), TransportError);
+
+  // Heal: the parked epoch replays, stages everywhere and commits.
+  loopback.faults().set_channel("node:0", "node:2", FaultSpec());
+  EXPECT_EQ(sys->flush_pending(), 0u);
+  EXPECT_EQ(sys->cluster().stats().epoch_commits, 1u);
+  EXPECT_EQ(sys->cluster().stats().server_epochs_committed, 3u);
+  EXPECT_NE(snapshots_of(*sys), before);  // the epoch really re-encrypted
+  expect_replicas_converged(*sys, files);
+  for (const std::string& f : files) {
+    EXPECT_TRUE(sys->download_report("bob", f).opened().empty());
+    EXPECT_TRUE(sys->download_report("alice", f).all_ok());
+  }
+}
+
+// ------------------------------------------- fault-injected soak sweep --
+
+FaultSpec cluster_chaos() {
+  FaultSpec spec;
+  spec.drop = 0.08;
+  spec.duplicate = 0.08;
+  spec.corrupt = 0.08;
+  spec.ack_loss = 0.08;
+  spec.delay = 0.08;
+  spec.delay_ms = 5;
+  return spec;
+}
+
+RetryPolicy patient_policy() {
+  RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.base_backoff_ms = 5;
+  policy.max_backoff_ms = 80;
+  policy.deadline_ms = 1u << 20;
+  return policy;
+}
+
+Bytes run_chaos_sweep(std::shared_ptr<const Group> grp, uint64_t fault_seed) {
+  FaultPlan plan(fault_seed);
+  plan.set_default(cluster_chaos());
+  auto sys = make_system(grp, 3, 2, std::move(plan), patient_policy());
+  const std::vector<std::string> files = {"f1", "f2"};
+
+  const auto idempotent = [&](auto op, const char* what) {
+    bool done = false;
+    EXPECT_TRUE(ensure(*sys, [&] { op(); done = true; }, [&] { return done; }))
+        << "seed " << fault_seed << ": " << what << " never converged";
+  };
+  idempotent([&] { sys->add_authority("Med", {"Doctor"}); }, "add_authority");
+  idempotent([&] { sys->add_owner("hosp"); }, "add_owner");
+  idempotent([&] { sys->publish_authority_keys("Med", "hosp"); }, "publish");
+  idempotent([&] { sys->add_user("alice"); }, "add alice");
+  idempotent([&] { sys->add_user("bob"); }, "add bob");
+  idempotent([&] { sys->assign_attributes("Med", "alice", {"Doctor"}); }, "assign a");
+  idempotent([&] { sys->assign_attributes("Med", "bob", {"Doctor"}); }, "assign b");
+  idempotent([&] { sys->issue_user_key("Med", "alice", "hosp"); }, "issue a");
+  idempotent([&] { sys->issue_user_key("Med", "bob", "hosp"); }, "issue b");
+
+  upload_all(*sys, files);
+  for (const std::string& f : files) {
+    bool ok = false;
+    EXPECT_TRUE(ensure(*sys,
+                       [&] { ok = sys->download_report("alice", f).all_ok(); },
+                       [&] { return ok; }))
+        << "seed " << fault_seed << ": alice never read " << f;
+  }
+
+  sys->revoke_attribute("Med", "bob", "Doctor");
+  EXPECT_TRUE(ensure(*sys, [] {}, [&] { return sys->flush_pending() == 0; }))
+      << "seed " << fault_seed << ": revocation never drained";
+  sys->cluster().repair_all();
+  EXPECT_TRUE(ensure(*sys, [] {}, [&] { return sys->flush_pending() == 0; }));
+
+  for (const std::string& f : files) {
+    bool bob_done = false;
+    EXPECT_TRUE(ensure(*sys,
+                       [&] {
+                         EXPECT_TRUE(sys->download_report("bob", f).opened().empty())
+                             << "seed " << fault_seed << ": revoked bob read " << f;
+                         bob_done = true;
+                       },
+                       [&] { return bob_done; }));
+    bool alice_ok = false;
+    EXPECT_TRUE(ensure(*sys,
+                       [&] { alice_ok = sys->download_report("alice", f).all_ok(); },
+                       [&] { return alice_ok; }))
+        << "seed " << fault_seed << ": alice lost access after revocation";
+  }
+  expect_replicas_converged(*sys, files);
+
+  // Every injected fault is accounted for on the meter, node channels
+  // included.
+  auto& loopback = dynamic_cast<LoopbackTransport&>(sys->transport());
+  EXPECT_EQ(sys->meter().totals().faults(), loopback.faults().injected().total());
+
+  Writer w;
+  for (const Bytes& snap : snapshots_of(*sys)) w.var_bytes(snap);
+  return crypto::Sha256::digest(w.bytes());
+}
+
+TEST(ClusterChaos, FaultInjectedConvergenceSweep) {
+  auto grp = Group::test_small();
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    SCOPED_TRACE("fault seed " + std::to_string(seed));
+    run_chaos_sweep(grp, seed);
+  }
+}
+
+TEST(ClusterChaos, SameSeedIsByteIdentical) {
+  auto grp = Group::test_small();
+  EXPECT_EQ(run_chaos_sweep(grp, 11), run_chaos_sweep(grp, 11));
+}
+
+}  // namespace
+}  // namespace maabe::cloud

@@ -282,6 +282,33 @@ TEST(ReliableLinkTest, ReplayUnderSameRequestIdIsNoOp) {
   EXPECT_EQ(t.meter().stats("a", "b").redeliveries, 1u);
 }
 
+TEST(ReliableLinkTest, DedupIsScopedByOrigin) {
+  // Request-id counters are per sender process, so two origins can
+  // legitimately allocate the same id; both deliveries must apply.
+  LoopbackTransport t;
+  ReliableLink link(t);
+  const uint64_t rid = link.allocate_request_id();
+  int applied = 0;
+  link.send_as(rid, "node:0", "b", bytes_of("x"), [&](ByteView) { ++applied; });
+  link.send_as(rid, "node:1", "b", bytes_of("x"), [&](ByteView) { ++applied; });
+  EXPECT_EQ(applied, 2);
+  EXPECT_EQ(link.applied_requests(), 2u);
+}
+
+TEST(ReliableLinkTest, FailoverRetryToNewDestinationIsNoOp) {
+  // A store applied at one node and retried by the same origin against a
+  // different primary (failover after the ack was lost) must not apply
+  // twice: dedup is keyed by (origin, request id), not by destination.
+  LoopbackTransport t;
+  ReliableLink link(t);
+  const uint64_t rid = link.allocate_request_id();
+  int applied = 0;
+  link.send_as(rid, "owner:o", "node:0", bytes_of("x"), [&](ByteView) { ++applied; });
+  link.send_as(rid, "owner:o", "node:1", bytes_of("x"), [&](ByteView) { ++applied; });
+  EXPECT_EQ(applied, 1);
+  EXPECT_EQ(link.applied_requests(), 1u);
+}
+
 TEST(ReliableLinkTest, NonTransportExceptionsPropagateUnretried) {
   LoopbackTransport t;
   ReliableLink link(t);

@@ -47,6 +47,12 @@ class CliTest : public ::testing::Test {
                        std::istreambuf_iterator<char>());
   }
 
+  static std::string read_path(const fs::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }
+
   fs::path home_;
 };
 
@@ -195,6 +201,62 @@ TEST_F(CliTest, ChaosFlagsDegradeTyped) {
 TEST_F(CliTest, ChaosFlagsValidated) {
   EXPECT_EQ(run("--drop-rate 1.5 status"), 64);
   EXPECT_EQ(run("--corrupt-rate banana status"), 64);
+}
+
+TEST_F(CliTest, ClusterFlagsValidated) {
+  EXPECT_EQ(run("--nodes 0 status"), 64);
+  EXPECT_EQ(run("--replication banana status"), 64);
+}
+
+TEST_F(CliTest, ClusterPlacementReplicatesAndSurvivesShardLoss) {
+  const std::string c = "--nodes 3 --replication 2 ";
+  ASSERT_EQ(run("init --test-curve"), 0);
+  ASSERT_EQ(run("add-authority Med Doctor"), 0);
+  ASSERT_EQ(run("add-owner hosp"), 0);
+  ASSERT_EQ(run("add-user alice"), 0);
+  ASSERT_EQ(run("grant Med alice Doctor"), 0);
+  ASSERT_EQ(run("issue-key Med alice hosp"), 0);
+  write_file("in.txt", "replicated ward notes");
+  const std::vector<std::string> files = {"f1", "f2", "f3", "f4"};
+  for (const std::string& f : files)
+    ASSERT_EQ(run(c + "encrypt hosp " + f + " \"Doctor@Med\" " +
+                  (home_ / "in.txt").string()),
+              0);
+
+  // Every file lands on exactly R=2 node shards, byte-identical copies,
+  // and never in the legacy server/ root.
+  for (const std::string& f : files) {
+    EXPECT_FALSE(fs::exists(home_ / "server" / f)) << f;
+    std::vector<fs::path> copies;
+    for (int n = 0; n < 3; ++n) {
+      const fs::path p = home_ / "server" / ("node-" + std::to_string(n)) / f;
+      if (fs::exists(p)) copies.push_back(p);
+    }
+    ASSERT_EQ(copies.size(), 2u) << f;
+    EXPECT_EQ(read_path(copies[0]), read_path(copies[1])) << f;
+  }
+
+  ASSERT_EQ(run(c + "decrypt alice f1 " + (home_ / "o1.txt").string()), 0);
+  EXPECT_EQ(read_file("o1.txt"), "replicated ward notes");
+  ASSERT_EQ(run(c + "status"), 0);
+  ASSERT_EQ(run(c + "inspect f1"), 0);
+
+  // Losing one replica shard does not lose the file: the download fails
+  // over to the surviving replica.
+  for (int n = 0; n < 3; ++n) {
+    const fs::path p = home_ / "server" / ("node-" + std::to_string(n)) / "f1";
+    if (fs::exists(p)) {
+      fs::remove(p);
+      break;
+    }
+  }
+  ASSERT_EQ(run(c + "decrypt alice f1 " + (home_ / "o2.txt").string()), 0);
+  EXPECT_EQ(read_file("o2.txt"), "replicated ward notes");
+
+  // Revocation re-encrypts through the ring (and re-replicates the
+  // shard deleted above); the revoked user is locked out after.
+  ASSERT_EQ(run(c + "revoke Med alice Doctor"), 0);
+  EXPECT_EQ(run(c + "decrypt alice f1 " + (home_ / "o3.txt").string()), 2);
 }
 
 TEST_F(CliTest, TelemetryExportFlags) {

@@ -318,20 +318,47 @@ void Keystore::delete_user_key(const std::string& uid, const std::string& owner_
 
 // ---- server ------------------------------------------------------------------------
 
+namespace {
+// "" = legacy single-server layout; otherwise one node's shard.
+fs::path server_shard(const std::string& node) {
+  return node.empty() ? fs::path("server") : fs::path("server") / node;
+}
+}  // namespace
+
 void Keystore::save_server_file(const std::string& file_id, ByteView bytes) {
-  validate_id(file_id);
-  write(fs::path("server") / file_id, bytes);
+  save_server_file("", file_id, bytes);
 }
 
 Bytes Keystore::load_server_file(const std::string& file_id) {
-  validate_id(file_id);
-  return read(fs::path("server") / file_id);
+  return load_server_file("", file_id);
 }
 
 bool Keystore::has_server_file(const std::string& file_id) const {
-  return fs::exists(home_ / "server" / file_id);
+  return has_server_file("", file_id);
 }
 
 std::vector<std::string> Keystore::list_server_files() const { return list_dir("server"); }
+
+void Keystore::save_server_file(const std::string& node, const std::string& file_id,
+                                ByteView bytes) {
+  if (!node.empty()) validate_id(node);
+  validate_id(file_id);
+  write(server_shard(node) / file_id, bytes);
+}
+
+Bytes Keystore::load_server_file(const std::string& node, const std::string& file_id) {
+  if (!node.empty()) validate_id(node);
+  validate_id(file_id);
+  return read(server_shard(node) / file_id);
+}
+
+bool Keystore::has_server_file(const std::string& node,
+                               const std::string& file_id) const {
+  return fs::exists(home_ / server_shard(node) / file_id);
+}
+
+std::vector<std::string> Keystore::list_server_files(const std::string& node) const {
+  return list_dir(server_shard(node));
+}
 
 }  // namespace maabe::tools

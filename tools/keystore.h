@@ -103,10 +103,20 @@ class Keystore {
                        const std::string& aid);
 
   // ---- server ------------------------------------------------------------
+  // The `node` overloads address one replica shard of a multi-node CLI
+  // deployment (`maabe-cli --nodes N`): files live under
+  // server/<node>/<file_id>. An empty node id selects the legacy
+  // single-server layout server/<file_id>, which is what the two-arg
+  // forms use.
   void save_server_file(const std::string& file_id, ByteView bytes);
   Bytes load_server_file(const std::string& file_id);
   bool has_server_file(const std::string& file_id) const;
   std::vector<std::string> list_server_files() const;
+  void save_server_file(const std::string& node, const std::string& file_id,
+                        ByteView bytes);
+  Bytes load_server_file(const std::string& node, const std::string& file_id);
+  bool has_server_file(const std::string& node, const std::string& file_id) const;
+  std::vector<std::string> list_server_files(const std::string& node) const;
 
  private:
   Bytes read(const std::filesystem::path& rel) const;

@@ -26,6 +26,7 @@
 #include "abe/scheme.h"
 #include "abe/serial.h"
 #include "cloud/hybrid.h"
+#include "cloud/ring.h"
 #include "cloud/transport.h"
 #include "common/errors.h"
 #include "crypto/random.h"
@@ -63,6 +64,16 @@ struct TransportConfig {
   bool show_stats = false;
 };
 
+/// Multi-node storage placement (README "Cluster quick-start"): with
+/// --nodes N > 1 stored files spread over N storage nodes via the same
+/// consistent-hash ring the cluster uses, R replicas each, one shard
+/// directory per node (server/node-<i>/). The flags must be repeated on
+/// every command touching files — placement is derived, not persisted.
+struct PlacementConfig {
+  size_t nodes = 1;
+  size_t replication = 1;
+};
+
 /// Telemetry export destinations (README "Telemetry"). Empty = off.
 struct TelemetryConfig {
   std::string metrics_out;  ///< Prometheus text snapshot, written on exit
@@ -74,9 +85,12 @@ struct Cli {
   crypto::Drbg rng = crypto::make_system_drbg();
   cloud::LoopbackTransport transport;
   cloud::ReliableLink link{transport};
+  cloud::HashRing ring;
 
-  Cli(fsys::path home, const TransportConfig& cfg)
-      : store(std::move(home)), transport(make_plan(cfg)) {}
+  Cli(fsys::path home, const TransportConfig& cfg, const PlacementConfig& placement)
+      : store(std::move(home)),
+        transport(make_plan(cfg)),
+        ring(node_names(placement), placement.replication) {}
 
   static cloud::FaultPlan make_plan(const TransportConfig& cfg) {
     cloud::FaultPlan plan(cfg.fault_seed);
@@ -87,22 +101,74 @@ struct Cli {
     return plan;
   }
 
-  /// Upload leg: the serialized StoredFile travels owner -> server.
-  void server_put(const std::string& owner_id, const std::string& file_id,
-                  ByteView wire) {
-    link.send("owner:" + owner_id, "server", wire, [&](ByteView delivered) {
-      store.save_server_file(file_id, Bytes(delivered.begin(), delivered.end()));
-    });
+  /// Single node keeps the legacy channel name "server"; a real cluster
+  /// names its members node-0..node-(N-1).
+  static std::vector<std::string> node_names(const PlacementConfig& placement) {
+    if (placement.nodes <= 1) return {"server"};
+    std::vector<std::string> names;
+    for (size_t i = 0; i < placement.nodes; ++i)
+      names.push_back("node-" + std::to_string(i));
+    return names;
   }
 
-  /// Download leg: the stored bytes travel server -> `to`.
+  bool multi_node() const { return ring.nodes().size() > 1; }
+
+  /// Keystore shard for a ring node ("" = legacy server/ layout).
+  std::string shard_of(const std::string& node) const {
+    return multi_node() ? node : std::string();
+  }
+
+  /// Upload leg: the serialized StoredFile travels owner -> every ring
+  /// replica of the file, each keeping its own shard copy.
+  void server_put(const std::string& owner_id, const std::string& file_id,
+                  ByteView wire) {
+    for (const std::string& node : ring.replicas_for(file_id)) {
+      link.send("owner:" + owner_id, node, wire, [&](ByteView delivered) {
+        store.save_server_file(shard_of(node), file_id,
+                               Bytes(delivered.begin(), delivered.end()));
+      });
+    }
+  }
+
+  /// Download leg: the stored bytes travel from the first replica
+  /// holding the file -> `to`.
   Bytes server_get(const std::string& to, const std::string& file_id) {
     Bytes wire;
-    link.send("server", to, store.load_server_file(file_id),
+    link.send(serving_node(file_id), to, server_load(file_id),
               [&](ByteView delivered) {
                 wire.assign(delivered.begin(), delivered.end());
               });
     return wire;
+  }
+
+  /// First replica in preference order that holds the file; falls back
+  /// to the primary so the keystore raises its usual missing-file error.
+  std::string serving_node(const std::string& file_id) const {
+    for (const std::string& node : ring.replicas_for(file_id)) {
+      if (store.has_server_file(shard_of(node), file_id)) return node;
+    }
+    return ring.primary_for(file_id);
+  }
+
+  Bytes server_load(const std::string& file_id) {
+    return store.load_server_file(shard_of(serving_node(file_id)), file_id);
+  }
+
+  bool server_has(const std::string& file_id) const {
+    for (const std::string& node : ring.nodes()) {
+      if (store.has_server_file(shard_of(node), file_id)) return true;
+    }
+    return false;
+  }
+
+  /// Union of all shards (a file appears once, not once per replica).
+  std::vector<std::string> server_list() const {
+    std::set<std::string> all;
+    for (const std::string& node : ring.nodes()) {
+      for (const std::string& f : store.list_server_files(shard_of(node)))
+        all.insert(f);
+    }
+    return {all.begin(), all.end()};
   }
 
   void print_transport_stats() const {
@@ -221,7 +287,7 @@ struct Cli {
     const abe::OwnerMasterKey mk = store.load_owner_master(args[0]);
     const std::string& file_id = args[1];
     Keystore::validate_id(file_id);
-    if (store.has_server_file(file_id)) throw SchemeError("file exists: " + file_id);
+    if (server_has(file_id)) throw SchemeError("file exists: " + file_id);
 
     const lsss::LsssMatrix policy =
         lsss::LsssMatrix::from_policy(lsss::parse_policy(args[2]));
@@ -357,10 +423,17 @@ struct Cli {
   int inspect(const std::vector<std::string>& args) {
     if (args.size() != 1) throw SchemeError("usage: inspect <file-id>");
     auto grp = store.group();
-    const Bytes wire = store.load_server_file(args[0]);
+    const Bytes wire = server_load(args[0]);
     const cloud::StoredFile file = cloud::deserialize_stored_file(*grp, wire);
     std::printf("file '%s': owner '%s', %zu byte(s) on server\n", file.file_id.c_str(),
                 file.owner_id.c_str(), wire.size());
+    if (multi_node()) {
+      std::printf("  replicas:");
+      for (const std::string& node : ring.replicas_for(args[0]))
+        std::printf(" %s%s", node.c_str(),
+                    store.has_server_file(node, args[0]) ? "" : "(missing)");
+      std::printf("\n");
+    }
     for (const cloud::SealedSlot& slot : file.slots) {
       std::printf("  component '%s': policy %s\n", slot.component_name.c_str(),
                   slot.key_ct.policy.policy_text().c_str());
@@ -387,8 +460,14 @@ struct Cli {
     std::printf("\nusers:");
     for (const auto& u : store.list_users()) std::printf(" %s", u.c_str());
     std::printf("\nfiles:");
-    for (const auto& f : store.list_server_files()) std::printf(" %s", f.c_str());
+    for (const auto& f : server_list()) std::printf(" %s", f.c_str());
     std::printf("\n");
+    if (multi_node()) {
+      std::printf("nodes (R=%zu):", ring.replication());
+      for (const std::string& node : ring.nodes())
+        std::printf(" %s(%zu)", node.c_str(), store.list_server_files(node).size());
+      std::printf("\n");
+    }
     return 0;
   }
 };
@@ -396,9 +475,14 @@ struct Cli {
 int usage() {
   std::fprintf(stderr,
                "maabe-cli — multi-authority attribute-based access control\n"
-               "usage: maabe-cli [--home DIR] [--threads N] [chaos flags] <command> [args]\n\n"
+               "usage: maabe-cli [--home DIR] [--threads N] [cluster flags] [chaos flags]\n"
+               "                 <command> [args]\n\n"
                "  --threads N       crypto engine thread count (default: MAABE_THREADS\n"
                "                    env var, else hardware concurrency; 1 = serial)\n"
+               "cluster flags (multi-node storage placement; repeat on every command):\n"
+               "  --nodes N         spread stored files over N storage nodes via a\n"
+               "                    consistent-hash ring (default 1 = single server)\n"
+               "  --replication R   replicas kept per file, clamped to N (default 1)\n"
                "chaos flags (deterministic fault injection on the server data path):\n"
                "  --fault-seed N    seed for the fault schedule (default 1)\n"
                "  --drop-rate P     P(frame lost), 0 <= P <= 1 (default 0)\n"
@@ -426,8 +510,18 @@ int usage() {
 int run(int argc, char** argv) {
   fsys::path home = "maabe-home";
   TransportConfig transport_cfg;
+  PlacementConfig placement_cfg;
   TelemetryConfig telemetry_cfg;
   std::vector<std::string> args;
+  const auto parse_count = [](const char* flag, const char* value, size_t* out) {
+    const int n = std::atoi(value);
+    if (n < 1) {
+      std::fprintf(stderr, "%s expects a positive integer\n", flag);
+      return false;
+    }
+    *out = static_cast<size_t>(n);
+    return true;
+  };
   const auto parse_rate = [](const char* flag, const char* value, double* out) {
     char* end = nullptr;
     *out = std::strtod(value, &end);
@@ -447,6 +541,11 @@ int run(int argc, char** argv) {
         return usage();
       }
       engine::CryptoEngine::set_default_threads(n);
+    } else if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
+      if (!parse_count("--nodes", argv[++i], &placement_cfg.nodes)) return usage();
+    } else if (std::strcmp(argv[i], "--replication") == 0 && i + 1 < argc) {
+      if (!parse_count("--replication", argv[++i], &placement_cfg.replication))
+        return usage();
     } else if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc) {
       transport_cfg.fault_seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--drop-rate") == 0 && i + 1 < argc) {
@@ -484,7 +583,7 @@ int run(int argc, char** argv) {
     }
   };
 
-  Cli cli(home, transport_cfg);
+  Cli cli(home, transport_cfg, placement_cfg);
   const auto dispatch = [&]() -> int {
     if (cmd == "init") return cli.init(args);
     if (cmd == "add-authority") return cli.add_authority(args);
