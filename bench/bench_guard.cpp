@@ -8,6 +8,12 @@
 //   bench_guard regress <fresh> <baseline> <key> <max_pct>
 //       fail when fresh[key] > baseline[key] * (1 + max_pct/100)
 //                                                (e.g. epoch wall time)
+//   bench_guard floor_ratio <fresh> <baseline> <key> <min_ratio>
+//       fail when fresh[key] < baseline[key] * min_ratio
+//                                                (e.g. throughput floor)
+//
+// A missing or non-numeric key exits 2 — a guard must never silently
+// pass because the bench stopped emitting its field.
 //
 // The "parser" is a text scan for `"key":` followed by a number — the
 // harness emits flat records with ordered keys, so the first numeric
@@ -82,8 +88,23 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
+  if (argc == 6 && std::strcmp(argv[1], "floor_ratio") == 0) {
+    double fresh = 0, base = 0;
+    if (!load(argv[2], argv[4], &fresh) || !load(argv[3], argv[4], &base)) return 2;
+    const double min_ratio = std::atof(argv[5]);
+    const double limit = base * min_ratio;
+    std::printf("bench_guard: %s = %.4f fresh vs %.4f baseline (floor %.4f, x%s)\n",
+                argv[4], fresh, base, limit, argv[5]);
+    if (fresh < limit) {
+      std::fprintf(stderr, "bench_guard: FAIL — %s below %sx of baseline\n",
+                   argv[4], argv[5]);
+      return 1;
+    }
+    return 0;
+  }
   std::fprintf(stderr,
                "usage: bench_guard floor <json> <key> <min>\n"
-               "       bench_guard regress <fresh_json> <baseline_json> <key> <max_pct>\n");
+               "       bench_guard regress <fresh_json> <baseline_json> <key> <max_pct>\n"
+               "       bench_guard floor_ratio <fresh_json> <baseline_json> <key> <min_ratio>\n");
   return 2;
 }

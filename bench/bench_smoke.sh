@@ -1,27 +1,44 @@
 #!/bin/sh
-# Perf smoke for ctest (label: perf). Runs the pairing microbench and
-# the re-encryption epoch bench on the small test curve with tiny
-# iteration counts, then checks the two headline numbers against the
-# committed baselines in bench/baselines/:
+# Perf smoke for ctest (label: perf). Runs the guarded benches on the
+# small test curve with tiny iteration counts and checks the headline
+# numbers against the committed baselines in bench/baselines/.
 #
-#   * BENCH_pairing_micro.json kernel_speedup must stay >= the floor —
-#     the shared-final-exponentiation kernel must beat the legacy
-#     pair-then-multiply fold regardless of host speed (it is a ratio,
-#     so load noise largely cancels).
-#   * BENCH_revocation.json's fault-free epoch_transport wall time must
-#     not regress more than 25% against the committed baseline.
-#   * BENCH_revocation.json cluster_epoch_efficiency (single-node
-#     transported epoch wall time / 3-node R=2 cluster epoch wall time)
-#     must stay >= 0.4 — the replicated 2PC epoch within 2.5x of the
-#     single-node one. A ratio from the same process, so host speed
-#     cancels.
+# Which binary populates which guarded field is explicit below — every
+# guard names the binary that must have emitted its JSON key on THIS
+# run. bench_guard exits 2 when a key is absent, so a bench that stops
+# emitting a guarded field fails the smoke loudly instead of the guard
+# silently floor-checking a defaulted value.
 #
-# Usage: bench_smoke.sh <pairing_micro> <revocation> <bench_guard> <baseline_dir>
+# Binary -> guarded fields:
+#   pairing_micro  -> BENCH_pairing_micro.json kernel_speedup
+#       shared-final-exponentiation kernel vs the legacy
+#       pair-then-multiply fold. A same-process ratio: host speed
+#       cancels, guarded by an absolute floor.
+#   revocation     -> BENCH_revocation.json epoch_transport,
+#                     cluster_epoch_efficiency
+#       epoch_transport is a wall time, guarded as a relative
+#       regression against the committed baseline.
+#       cluster_epoch_efficiency (single-node transported epoch wall /
+#       3-node R=2 cluster epoch wall) is a same-process ratio, guarded
+#       by an absolute floor; the bench omits the key entirely when
+#       either wall was not measured.
+#   workload       -> BENCH_workload.json download_p99_ms, achieved_qps,
+#                     overload_rejected, overload_bounded
+#       The steady mixed-Zipf curve against a 3-node cluster:
+#       download tail latency guarded against the baseline (generous —
+#       it is a wall time on a shared host), throughput floored at a
+#       fraction of the baseline. The overload scenario must show
+#       bounded queues: at least one typed kOverloaded rejection and a
+#       max queue depth within the configured cap.
+#
+# Usage: bench_smoke.sh <pairing_micro> <revocation> <workload> \
+#                       <bench_guard> <baseline_dir>
 set -e
 PAIRING_MICRO=${1:?pairing_micro binary}
 REVOCATION=${2:?revocation binary}
-GUARD=${3:?bench_guard binary}
-BASELINES=${4:?baseline dir}
+WORKLOAD=${3:?workload binary}
+GUARD=${4:?bench_guard binary}
+BASELINES=${5:?baseline dir}
 
 WORK=$(mktemp -d)
 trap 'rm -rf "$WORK"' EXIT
@@ -31,12 +48,26 @@ export MAABE_BENCH_SMALL=1
 
 # Cheap google-benchmark filters; the JSON reports each bench always
 # emits (engine_batch_report / emit_phase_breakdown) are the real work.
+# The workload bench has no google-benchmark harness: its scenario loop
+# is the run.
 "$PAIRING_MICRO" --benchmark_filter='BM_FinalExp$'
 "$REVOCATION" --benchmark_filter='BM_KeyUpdate_User/2$'
+"$WORKLOAD"
 
+# pairing_micro guards
 "$GUARD" floor BENCH_pairing_micro.json kernel_speedup 1.3
+
+# revocation guards
 "$GUARD" regress BENCH_revocation.json "$BASELINES/BENCH_revocation.json" \
   epoch_transport 25
 "$GUARD" floor BENCH_revocation.json cluster_epoch_efficiency 0.4
+
+# workload guards
+"$GUARD" regress BENCH_workload.json "$BASELINES/BENCH_workload.json" \
+  download_p99_ms 150
+"$GUARD" floor_ratio BENCH_workload.json "$BASELINES/BENCH_workload.json" \
+  achieved_qps 0.3
+"$GUARD" floor BENCH_workload.json overload_rejected 1
+"$GUARD" floor BENCH_workload.json overload_bounded 1
 
 echo "bench-smoke: OK"

@@ -472,10 +472,14 @@ void emit_phase_breakdown() {
       .put("group", bench_group_label())
       .put("attrs_per_authority", kAttrsPerAuthority)
       .put("epoch_files", kFiles)
-      .put("epoch_slots", slots)
-      .put("cluster_epoch_efficiency",
-           cluster_ms > 0.0 ? transported_ms / cluster_ms : 1.0)
-      .put("phase_wall_ms", phase_wall_ms)
+      .put("epoch_slots", slots);
+  // Guarded ratio: only emitted when both epoch walls were actually
+  // measured. A defaulted value here would let bench_guard floor-check
+  // a number no run produced; absent, the guard exits 2 and the smoke
+  // fails loudly instead.
+  if (transported_ms > 0.0 && cluster_ms > 0.0)
+    root.put("cluster_epoch_efficiency", transported_ms / cluster_ms);
+  root.put("phase_wall_ms", phase_wall_ms)
       .put("phases", phases_json(meter.phases()))
       .put("epoch_wire", wire)
       .put("cluster", cluster_json)

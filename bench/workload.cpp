@@ -1,0 +1,181 @@
+// Production-shaped workload bench (DESIGN.md §14): drives the loadgen
+// harness through four scenarios against a 3-node / R=2 cluster and
+// emits BENCH_workload.json with per-op-class latency percentiles,
+// achieved throughput and the admission-control counters.
+//
+//   steady    mixed Zipf traffic, no faults — the guarded curve:
+//             download_p99_ms (regress guard) and achieved_qps
+//             (floor_ratio guard) come from here.
+//   storm     a mid-run revocation storm; shows the epoch pipeline
+//             sharing the cluster with reads.
+//   outage    kill node:1 mid-run, restart at 2/3 — quorum reads
+//             degrade (fail-closed) but never error, restart prunes
+//             superseded parked ops.
+//   overload  whole cluster down with a tiny durable-queue cap —
+//             uploads park up to the cap, then callers see the typed
+//             kOverloaded rejection and queue depth stays bounded
+//             (overload_rejected / overload_bounded guards).
+//
+// MAABE_BENCH_SMALL=1 switches to the fast insecure curve (bench-smoke).
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "bench_json.h"
+#include "loadgen/loadgen.h"
+
+namespace maabe::bench {
+namespace {
+
+using loadgen::LoadGenerator;
+using loadgen::OpStats;
+using loadgen::ScenarioEvent;
+using loadgen::WorkloadConfig;
+using loadgen::WorkloadReport;
+
+WorkloadConfig base_config() {
+  WorkloadConfig cfg;
+  cfg.authorities = 2;
+  cfg.attributes_per_authority = 2;
+  cfg.users = 8;
+  cfg.users_per_attribute_set = 2;
+  cfg.files = 16;
+  cfg.nodes = 3;
+  cfg.replication = 2;
+  cfg.ops = 240;
+  cfg.zipf_s = 1.1;
+  cfg.seed = 42;
+  return cfg;
+}
+
+Json op_json(const OpStats& s) {
+  Json j;
+  j.put("attempts", s.attempts())
+      .put("ok", s.ok)
+      .put("denied", s.denied)
+      .put("degraded", s.degraded)
+      .put("rejected", s.rejected)
+      .put("errors", s.errors)
+      .put("p50_ms", s.percentile(50))
+      .put("p95_ms", s.percentile(95))
+      .put("p99_ms", s.percentile(99));
+  return j;
+}
+
+Json report_json(const WorkloadReport& r) {
+  Json per_op;
+  for (const auto& [cls, stats] : r.per_op) per_op.put(cls, op_json(stats));
+  Json j;
+  j.put("ops", r.total_ops)
+      .put("wall_seconds", r.wall_seconds)
+      .put("achieved_qps", r.achieved_qps())
+      .put("per_op", per_op)
+      .put("decrypt_cache_hits", r.decrypt_cache_hits)
+      .put("decrypt_cache_misses", r.decrypt_cache_misses)
+      .put("parked_rejected", r.parked_rejected)
+      .put("replication_sheds", r.replication_sheds)
+      .put("restart_prunes", r.restart_prunes);
+  return j;
+}
+
+void print_report(const char* scenario, const WorkloadReport& r) {
+  std::printf("%s: %llu ops in %.3f s -> %.1f op/s\n", scenario,
+              static_cast<unsigned long long>(r.total_ops), r.wall_seconds,
+              r.achieved_qps());
+  for (const auto& [cls, s] : r.per_op) {
+    std::printf("  %-9s ok %-5llu denied %-3llu degraded %-4llu rejected %-4llu "
+                "errors %-3llu p50 %.2f p95 %.2f p99 %.2f ms\n",
+                cls.c_str(), static_cast<unsigned long long>(s.ok),
+                static_cast<unsigned long long>(s.denied),
+                static_cast<unsigned long long>(s.degraded),
+                static_cast<unsigned long long>(s.rejected),
+                static_cast<unsigned long long>(s.errors), s.percentile(50),
+                s.percentile(95), s.percentile(99));
+  }
+}
+
+}  // namespace
+}  // namespace maabe::bench
+
+int main() {
+  using namespace maabe::bench;
+  std::printf("Workload harness: Zipf traffic vs 3-node cluster (%s)\n\n",
+              bench_group_label().c_str());
+  auto grp = bench_group();
+
+  // ---- steady: the guarded curve ------------------------------------
+  WorkloadConfig steady_cfg = base_config();
+  LoadGenerator steady_gen(grp, steady_cfg);
+  steady_gen.setup();
+  const WorkloadReport steady = steady_gen.run();
+  print_report("steady", steady);
+
+  // ---- storm: revocation burst mid-run ------------------------------
+  WorkloadConfig storm_cfg = base_config();
+  storm_cfg.events.push_back(
+      {storm_cfg.ops / 3, ScenarioEvent::Kind::kRevocationStorm, "", 6});
+  LoadGenerator storm_gen(grp, storm_cfg);
+  storm_gen.setup();
+  const WorkloadReport storm = storm_gen.run();
+  print_report("storm", storm);
+
+  // ---- outage: kill + restart node:1 --------------------------------
+  WorkloadConfig outage_cfg = base_config();
+  outage_cfg.events.push_back(
+      {outage_cfg.ops / 3, ScenarioEvent::Kind::kKillNode, "node:1", 0});
+  outage_cfg.events.push_back(
+      {2 * outage_cfg.ops / 3, ScenarioEvent::Kind::kRestartNode, "node:1", 0});
+  LoadGenerator outage_gen(grp, outage_cfg);
+  outage_gen.setup();
+  const WorkloadReport outage = outage_gen.run();
+  print_report("outage", outage);
+
+  // ---- overload: bounded queues under a dead cluster ----------------
+  // Every node dead, durable cap 4, store-only traffic: the first ~cap
+  // uploads park, the rest must come back as typed kOverloaded
+  // rejections while the queue depth stays at the cap.
+  WorkloadConfig over_cfg = base_config();
+  over_cfg.ops = 16;
+  over_cfg.pending_cap = 4;
+  over_cfg.store_weight = 1.0;
+  over_cfg.download_weight = 0.0;
+  over_cfg.revoke_weight = 0.0;
+  over_cfg.churn_weight = 0.0;
+  over_cfg.flush_every = 0;  // no replay: the destination stays dead
+  LoadGenerator over_gen(grp, over_cfg);
+  over_gen.setup();
+  for (size_t i = 0; i < over_cfg.nodes; ++i)
+    over_gen.system().cluster().kill_node("node:" + std::to_string(i));
+  const WorkloadReport over = over_gen.run();
+  print_report("overload", over);
+  size_t max_queue = 0;
+  for (const auto& [dest, depth] :
+       over_gen.system().health().pending_by_destination)
+    max_queue = std::max(max_queue, depth);
+  const bool bounded = max_queue <= over_gen.system().pending_cap();
+  std::printf("  max queue depth %zu (cap %zu) -> %s\n", max_queue,
+              over_gen.system().pending_cap(), bounded ? "bounded" : "UNBOUNDED");
+
+  const OpStats& steady_dl = steady.per_op.at("download");
+  Json root;
+  root.put("bench", "workload")
+      .put("group", bench_group_label())
+      .put("nodes", static_cast<uint64_t>(steady_cfg.nodes))
+      .put("replication", static_cast<uint64_t>(steady_cfg.replication))
+      .put("zipf_s", steady_cfg.zipf_s)
+      // Guarded headline numbers (bench_smoke.sh): the steady curve's
+      // download tail and throughput, and the overload invariants.
+      .put("download_p99_ms", steady_dl.percentile(99))
+      .put("achieved_qps", steady.achieved_qps())
+      .put("overload_rejected",
+           over.per_op.count("store") ? over.per_op.at("store").rejected : 0)
+      .put("overload_bounded", bounded ? 1 : 0)
+      .put("steady", report_json(steady))
+      .put("storm", report_json(storm))
+      .put("outage", report_json(outage))
+      .put("overload", report_json(over))
+      .put("telemetry",
+           snapshot_json(maabe::telemetry::MetricsRegistry::global().collect()));
+  write_bench_json("workload", root);
+  return 0;
+}

@@ -26,6 +26,8 @@ struct ClusterMetrics {
   telemetry::Counter& epoch_commits;
   telemetry::Counter& epoch_aborts;
   telemetry::Counter& epoch_commit_orphans;
+  telemetry::Counter& replication_shed;
+  telemetry::Counter& restart_pruned;
 
   static ClusterMetrics& get() {
     auto& reg = telemetry::MetricsRegistry::global();
@@ -39,6 +41,8 @@ struct ClusterMetrics {
         reg.counter("maabe_cluster_epoch_commits_total"),
         reg.counter("maabe_cluster_epoch_aborts_total"),
         reg.counter("maabe_cluster_epoch_commit_orphans_total"),
+        reg.counter("maabe_cluster_replication_shed_total"),
+        reg.counter("maabe_cluster_restart_pruned_total"),
     };
     return *m;
   }
@@ -50,6 +54,52 @@ constexpr uint8_t kEpochCommit = 2;
 constexpr uint8_t kEpochAbort = 3;
 
 Bytes sha256_of(ByteView data) { return crypto::Sha256::digest(data); }
+
+/// Parses "replicate <fid> v<N>" / "read-repair <fid> v<N>" labels (the
+/// inverse of the label formatting in handle_store / handle_fetch).
+bool parse_versioned_label(const std::string& label, std::string* fid,
+                           uint64_t* version) {
+  size_t body = 0;
+  if (label.starts_with("replicate ")) {
+    body = 10;
+  } else if (label.starts_with("read-repair ")) {
+    body = 12;
+  } else {
+    return false;
+  }
+  const size_t sp = label.rfind(" v");
+  if (sp == std::string::npos || sp < body) return false;
+  const std::string digits = label.substr(sp + 2);
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  *fid = label.substr(body, sp - body);
+  *version = std::stoull(digits);
+  return true;
+}
+
+/// Parses "epoch commit #<id>" / "epoch abort #<id>" labels.
+bool parse_epoch_control_label(const std::string& label, bool* is_commit,
+                               uint64_t* epoch_id) {
+  size_t body = 0;
+  if (label.starts_with("epoch commit #")) {
+    body = 14;
+    *is_commit = true;
+  } else if (label.starts_with("epoch abort #")) {
+    body = 13;
+    *is_commit = false;
+  } else {
+    return false;
+  }
+  const std::string digits = label.substr(body);
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  *epoch_id = std::stoull(digits);
+  return true;
+}
 
 }  // namespace
 
@@ -152,11 +202,57 @@ void Cluster::kill_node(const std::string& name) {
 
 void Cluster::restart_node(const std::string& name) {
   Node& n = node(name);
-  std::lock_guard<std::mutex> lock(n.mu);
-  n.alive = true;
-  // Recovery replay is the durable queues' job: everything the node
-  // missed is parked for it in FIFO (= version) order and lands on the
-  // next flush; repair_all() closes any remaining divergence.
+  std::set<uint64_t> staged_ids;
+  {
+    std::lock_guard<std::mutex> lock(n.mu);
+    n.alive = true;
+    for (const auto& [id, token] : n.staged) staged_ids.insert(id);
+  }
+  // Reconcile the restarted node's parked queue against what the node
+  // can still use, so pending/replication-lag gauges stop reporting ops
+  // it will never meaningfully drain:
+  //  * replication/read-repair ops superseded by a newer parked version
+  //    of the same file — each op carries the whole file and applies
+  //    last-write-wins, so only the newest parked version matters;
+  //  * epoch commit/abort controls whose staged 2PC state died with the
+  //    node (kill_node clears it): a dropped commit is recorded as an
+  //    epoch_commit_orphan exactly as a delivered-but-unknown commit
+  //    would be, and the node's stale copy heals via read-repair.
+  // Recovery replay of the survivors is still the durable queues' job:
+  // they land on the next flush; repair_all() closes any remaining
+  // divergence.
+  std::map<std::string, uint64_t> newest;
+  for (const std::string& label : durable_.pending_labels(name)) {
+    std::string fid;
+    uint64_t version = 0;
+    if (!parse_versioned_label(label, &fid, &version)) continue;
+    auto [it, inserted] = newest.try_emplace(fid, version);
+    if (!inserted && version > it->second) it->second = version;
+  }
+  uint64_t orphans = 0;
+  const size_t pruned =
+      durable_.prune_queue(name, [&](const std::string& label) {
+        std::string fid;
+        uint64_t version = 0;
+        if (parse_versioned_label(label, &fid, &version))
+          return version < newest[fid];
+        bool is_commit = false;
+        uint64_t epoch_id = 0;
+        if (parse_epoch_control_label(label, &is_commit, &epoch_id) &&
+            !staged_ids.contains(epoch_id)) {
+          if (is_commit) ++orphans;
+          return true;
+        }
+        return false;
+      });
+  if (pruned > 0) {
+    restart_prunes_.fetch_add(pruned, std::memory_order_relaxed);
+    ClusterMetrics::get().restart_pruned.add(pruned);
+  }
+  if (orphans > 0) {
+    epoch_commit_orphans_.fetch_add(orphans, std::memory_order_relaxed);
+    ClusterMetrics::get().epoch_commit_orphans.add(orphans);
+  }
 }
 
 void Cluster::ensure_alive(const Node& n) const {
@@ -216,10 +312,19 @@ void Cluster::handle_store(const std::string& self, ByteView stored_file_wire) {
     if (replica == self) continue;
     replication_ops_sent_.fetch_add(1, std::memory_order_relaxed);
     ClusterMetrics::get().replication_ops.inc();
-    durable_.send_or_park(
-        self, replica, op_wire,
-        [this, replica](ByteView payload) { handle_replication(replica, payload); },
-        "replicate " + file_id + " v" + std::to_string(version));
+    try {
+      durable_.send_or_park(
+          self, replica, op_wire,
+          [this, replica](ByteView payload) { handle_replication(replica, payload); },
+          "replicate " + file_id + " v" + std::to_string(version));
+    } catch (const TransportError& e) {
+      // Bounded-queue backpressure: the replica's parked queue is full.
+      // The write already succeeded at the coordinator; shed this
+      // maintenance op (counted) and let read-repair heal the replica.
+      if (e.kind() != TransportError::Kind::kOverloaded) throw;
+      replication_sheds_.fetch_add(1, std::memory_order_relaxed);
+      ClusterMetrics::get().replication_shed.inc();
+    }
   }
 }
 
@@ -366,12 +471,21 @@ Bytes Cluster::handle_fetch(const std::string& self, const std::string& file_id)
       apply_replication(coord, op);  // repair our own stale/corrupt copy
       continue;
     }
-    durable_.send_or_park(
-        self, r.node, encode_replication_op(op),
-        [this, target = r.node](ByteView payload) {
-          handle_replication(target, payload);
-        },
-        "read-repair " + file_id + " v" + std::to_string(winner->reply.version));
+    try {
+      durable_.send_or_park(
+          self, r.node, encode_replication_op(op),
+          [this, target = r.node](ByteView payload) {
+            handle_replication(target, payload);
+          },
+          "read-repair " + file_id + " v" +
+              std::to_string(winner->reply.version));
+    } catch (const TransportError& e) {
+      // Shed the repair under backpressure; the read itself succeeded
+      // and a later read or repair_all() will retry the divergence.
+      if (e.kind() != TransportError::Kind::kOverloaded) throw;
+      replication_sheds_.fetch_add(1, std::memory_order_relaxed);
+      ClusterMetrics::get().replication_shed.inc();
+    }
   }
   if (span.active()) {
     span.attr("replies", static_cast<uint64_t>(replies.size()));
@@ -411,6 +525,7 @@ void Cluster::send_epoch_control(const std::string& self, const std::string& pee
   Writer w;
   w.u8(verb);
   w.u64(epoch_id);
+  try {
   durable_.send_or_park(
       self, peer, w.take(),
       [this, peer](ByteView payload) {
@@ -454,6 +569,15 @@ void Cluster::send_epoch_control(const std::string& self, const std::string& pee
         }
       },
       label);
+  } catch (const TransportError& e) {
+    // Phase-2 controls must not unwind a half-committed epoch: under
+    // backpressure the control is shed (counted) and the peer's copy
+    // stays stale — its staged state shows in epochs_staged_open and
+    // quorum reads route around it until read-repair catches it up.
+    if (e.kind() != TransportError::Kind::kOverloaded) throw;
+    replication_sheds_.fetch_add(1, std::memory_order_relaxed);
+    ClusterMetrics::get().replication_shed.inc();
+  }
 }
 
 void Cluster::handle_epoch(const std::string& self, ByteView epoch_wire) {
@@ -644,6 +768,8 @@ ClusterStats Cluster::stats() const {
   s.epoch_commits = epoch_commits_.load(std::memory_order_relaxed);
   s.epoch_aborts = epoch_aborts_.load(std::memory_order_relaxed);
   s.epoch_commit_orphans = epoch_commit_orphans_.load(std::memory_order_relaxed);
+  s.replication_sheds = replication_sheds_.load(std::memory_order_relaxed);
+  s.restart_prunes = restart_prunes_.load(std::memory_order_relaxed);
   for (const auto& n : nodes_) {
     const ServerStats stats = n->store->stats();
     s.store_totals += stats.totals();

@@ -82,6 +82,13 @@ struct ClusterStats {
   uint64_t epoch_commits = 0;         ///< 2PC epochs committed everywhere
   uint64_t epoch_aborts = 0;          ///< 2PC epochs aborted everywhere
   uint64_t epoch_commit_orphans = 0;  ///< commits for staged state lost to a restart
+  /// Maintenance ops (replication fan-out, read-repair, epoch controls)
+  /// dropped because the destination's bounded durable queue was full.
+  /// The replica stays stale until read-repair / repair_all heals it.
+  uint64_t replication_sheds = 0;
+  /// Parked ops dropped by restart_node reconciliation (superseded
+  /// replication versions, epoch controls whose staged state died).
+  uint64_t restart_prunes = 0;
   /// Totals over every node's store.
   ShardStats store_totals;
   uint64_t server_epochs_committed = 0;
@@ -118,6 +125,14 @@ class Cluster {
   /// (restart semantics: the committed store is durable, stage state is
   /// not). Messages to it now fail; durable sends park.
   void kill_node(const std::string& name);
+  /// Marks the node alive again and reconciles its parked durable queue:
+  /// replication/read-repair ops superseded by a newer parked version of
+  /// the same file are dropped (each op carries the whole file, applies
+  /// last-write-wins), and epoch commit/abort controls whose staged 2PC
+  /// state died with the node are dropped — a dropped commit counts as
+  /// an epoch_commit_orphan exactly as if it had been delivered and
+  /// found no staged state. After this, pending/replication-lag gauges
+  /// reflect only work the node will actually apply.
   void restart_node(const std::string& name);
 
   // ---- Placement -----------------------------------------------------
@@ -210,6 +225,8 @@ class Cluster {
   std::atomic<uint64_t> epoch_commits_{0};
   std::atomic<uint64_t> epoch_aborts_{0};
   std::atomic<uint64_t> epoch_commit_orphans_{0};
+  std::atomic<uint64_t> replication_sheds_{0};
+  std::atomic<uint64_t> restart_prunes_{0};
 };
 
 }  // namespace maabe::cloud

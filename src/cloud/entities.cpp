@@ -2,7 +2,9 @@
 
 #include "abe/serial.h"
 #include "common/errors.h"
+#include "crypto/sha256.h"
 #include "lsss/parser.h"
+#include "telemetry/metrics.h"
 
 namespace maabe::cloud {
 
@@ -212,25 +214,60 @@ std::vector<UpdateInfo> DataOwner::update_infos(const std::string& aid,
 
 // ----------------------------------------------------------- Consumer --
 
+struct Consumer::DecryptCache {
+  mutable std::mutex mu;
+  size_t capacity = 64;
+  std::list<std::pair<Bytes, Bytes>> order;  // (key, plaintext); front = MRU
+  std::map<Bytes, std::list<std::pair<Bytes, Bytes>>::iterator> index;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+};
+
 Consumer::Consumer(std::shared_ptr<const pairing::Group> grp, UserPublicKey pk)
-    : grp_(std::move(grp)), pk_(std::move(pk)) {}
+    : grp_(std::move(grp)), pk_(std::move(pk)),
+      cache_(std::make_unique<DecryptCache>()) {}
+
+Consumer::Consumer(Consumer&&) noexcept = default;
+Consumer& Consumer::operator=(Consumer&&) noexcept = default;
+Consumer::~Consumer() = default;
 
 namespace {
 std::string key_slot(const std::string& owner_id, const std::string& aid) {
   return owner_id + '\0' + aid;
 }
+
+/// Process-wide decrypt-cache counters, summed over every Consumer.
+struct DecryptCacheMetrics {
+  telemetry::Counter& hits;
+  telemetry::Counter& misses;
+
+  static DecryptCacheMetrics& get() {
+    auto& reg = telemetry::MetricsRegistry::global();
+    static DecryptCacheMetrics* m = new DecryptCacheMetrics{
+        reg.counter("maabe_decrypt_cache_hits_total"),
+        reg.counter("maabe_decrypt_cache_misses_total"),
+    };
+    return *m;
+  }
+};
 }  // namespace
 
 void Consumer::add_key(const UserSecretKey& sk) {
   if (sk.uid != pk_.uid)
     throw SchemeError("Consumer '" + pk_.uid + "': key issued to '" + sk.uid + "'");
   keys_.insert_or_assign(key_slot(sk.owner_id, sk.aid), sk);
+  // Any key change (first issuance, regenerated key after revocation)
+  // could alter what — and whether — a cached slot decrypts to.
+  invalidate_decrypt_cache();
 }
 
 bool Consumer::apply_update(const UpdateKey& uk) {
   const auto it = keys_.find(key_slot(uk.owner_id, uk.aid));
   if (it == keys_.end()) return false;
   it->second = abe::apply_update_to_secret_key(*grp_, it->second, uk);
+  // The key's per-authority version advanced: every cached plaintext
+  // predates this revocation epoch.
+  invalidate_decrypt_cache();
   return true;
 }
 
@@ -272,17 +309,99 @@ std::map<std::string, Bytes> Consumer::open_file(const StoredFile& file) const {
 }
 
 Bytes Consumer::open_slot(const StoredFile& file, const SealedSlot& slot) const {
+  const Bytes cache_key = decrypt_cache_key(file, slot);
+  if (!cache_key.empty()) {
+    std::lock_guard<std::mutex> lock(cache_->mu);
+    const auto it = cache_->index.find(cache_key);
+    if (it != cache_->index.end()) {
+      cache_->order.splice(cache_->order.begin(), cache_->order, it->second);
+      ++cache_->hits;
+      DecryptCacheMetrics::get().hits.inc();
+      return cache_->order.front().second;
+    }
+    ++cache_->misses;
+    DecryptCacheMetrics::get().misses.inc();
+  }
   const std::map<std::string, UserSecretKey> keys = keys_for_owner(file.owner_id);
   const GT seed = abe::decrypt(*grp_, slot.key_ct, pk_, keys);
   const Bytes key = content_key_from_gt(seed);
-  return crypto::open(key, slot.sealed_data,
-                      slot_aad(file.file_id, slot.component_name));
+  Bytes plaintext = crypto::open(key, slot.sealed_data,
+                                 slot_aad(file.file_id, slot.component_name));
+  if (!cache_key.empty()) {
+    // Only a fully authenticated decrypt reaches this point — failures
+    // threw above and are never cached.
+    std::lock_guard<std::mutex> lock(cache_->mu);
+    if (!cache_->index.contains(cache_key)) {
+      cache_->order.emplace_front(cache_key, plaintext);
+      cache_->index[cache_key] = cache_->order.begin();
+      while (cache_->index.size() > cache_->capacity) {
+        cache_->index.erase(cache_->order.back().first);
+        cache_->order.pop_back();
+      }
+    }
+  }
+  return plaintext;
 }
 
 size_t Consumer::key_storage_bytes() const {
   size_t total = 0;
   for (const auto& [slot, sk] : keys_) total += abe::serialize(*grp_, sk).size();
   return total;
+}
+
+// The key covers the slot's complete ciphertext bytes: the ABE key-ct
+// serialization embeds every per-authority version, and a revocation
+// epoch rewrites C / C_i, so a re-encrypted slot can never collide with
+// its pre-epoch plaintext. The consumer's own key state is handled by
+// wholesale invalidation in add_key / apply_update instead of being
+// folded into the key — cheaper than hashing every held key per read.
+Bytes Consumer::decrypt_cache_key(const StoredFile& file,
+                                  const SealedSlot& slot) const {
+  {
+    std::lock_guard<std::mutex> lock(cache_->mu);
+    if (cache_->capacity == 0) return {};
+  }
+  Writer w;
+  w.str(file.file_id);
+  w.str(slot.component_name);
+  w.var_bytes(abe::serialize(*grp_, slot.key_ct));
+  w.var_bytes(slot.sealed_data);
+  return crypto::Sha256::digest(w.bytes());
+}
+
+void Consumer::invalidate_decrypt_cache() {
+  std::lock_guard<std::mutex> lock(cache_->mu);
+  cache_->order.clear();
+  cache_->index.clear();
+}
+
+void Consumer::set_decrypt_cache_capacity(size_t entries) {
+  std::lock_guard<std::mutex> lock(cache_->mu);
+  cache_->capacity = entries;
+  while (cache_->index.size() > cache_->capacity) {
+    cache_->index.erase(cache_->order.back().first);
+    cache_->order.pop_back();
+  }
+}
+
+size_t Consumer::decrypt_cache_capacity() const {
+  std::lock_guard<std::mutex> lock(cache_->mu);
+  return cache_->capacity;
+}
+
+size_t Consumer::decrypt_cache_size() const {
+  std::lock_guard<std::mutex> lock(cache_->mu);
+  return cache_->index.size();
+}
+
+uint64_t Consumer::decrypt_cache_hits() const {
+  std::lock_guard<std::mutex> lock(cache_->mu);
+  return cache_->hits;
+}
+
+uint64_t Consumer::decrypt_cache_misses() const {
+  std::lock_guard<std::mutex> lock(cache_->mu);
+  return cache_->misses;
 }
 
 }  // namespace maabe::cloud

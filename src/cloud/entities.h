@@ -4,6 +4,8 @@
 // what to whom, with byte metering) lives in system.h.
 #pragma once
 
+#include <list>
+#include <mutex>
 #include <optional>
 
 #include "abe/scheme.h"
@@ -149,9 +151,21 @@ class DataOwner {
 
 /// A data consumer: accumulates per-(owner, authority) secret keys,
 /// applies update keys, opens stored files.
+///
+/// Decrypt-result cache: open_slot memoizes successful plaintexts in a
+/// bounded LRU keyed by a hash of the slot's full ciphertext bytes
+/// (ABE key-ct — which embeds every per-authority version — plus the
+/// sealed payload). A revocation epoch rewrites the ciphertext, so the
+/// re-encrypted slot misses by construction; and any change to this
+/// consumer's own keys (update key applied, key replaced/regenerated)
+/// invalidates the whole cache, so a stale plaintext can never be
+/// served across a key-version bump. Failed decrypts are never cached.
 class Consumer {
  public:
   Consumer(std::shared_ptr<const pairing::Group> grp, abe::UserPublicKey pk);
+  Consumer(Consumer&&) noexcept;
+  Consumer& operator=(Consumer&&) noexcept;
+  ~Consumer();  // out of line: DecryptCache is incomplete here
 
   const std::string& uid() const { return pk_.uid; }
   const abe::UserPublicKey& public_key() const { return pk_; }
@@ -183,13 +197,31 @@ class Consumer {
   /// Total serialized size of held secret keys (Table III row "User").
   size_t key_storage_bytes() const;
 
+  /// Bounds the decrypt-result cache in entries; 0 disables it. The
+  /// default (64) keeps a hot working set of slots decrypt-free.
+  void set_decrypt_cache_capacity(size_t entries);
+  size_t decrypt_cache_capacity() const;
+  size_t decrypt_cache_size() const;
+  /// Hit/miss counts since construction, also mirrored into the global
+  /// maabe_decrypt_cache_{hits,misses}_total counters.
+  uint64_t decrypt_cache_hits() const;
+  uint64_t decrypt_cache_misses() const;
+
  private:
+  /// Decrypt-result LRU state (entities.cpp); behind a unique_ptr so
+  /// Consumer stays movable despite the cache's internal mutex.
+  struct DecryptCache;
+
   std::map<std::string, abe::UserSecretKey> keys_for_owner(const std::string& owner_id) const;
+  /// Cache key for one slot; empty when caching is disabled.
+  Bytes decrypt_cache_key(const StoredFile& file, const SealedSlot& slot) const;
+  void invalidate_decrypt_cache();
 
   std::shared_ptr<const pairing::Group> grp_;
   abe::UserPublicKey pk_;
   /// Keyed by owner_id + '\0' + aid.
   std::map<std::string, abe::UserSecretKey> keys_;
+  std::unique_ptr<DecryptCache> cache_;
 };
 
 }  // namespace maabe::cloud

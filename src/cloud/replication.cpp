@@ -57,12 +57,47 @@ FetchReply decode_fetch_reply(ByteView data) {
 
 // ----------------------------------------------------- DurableLink --
 
+DurableLink::DurableLink(ReliableLink& link)
+    : link_(link),
+      rejected_counter_(telemetry::MetricsRegistry::global().counter(
+          "maabe_transport_parked_rejected_total")),
+      pruned_counter_(telemetry::MetricsRegistry::global().counter(
+          "maabe_transport_parked_pruned_total")) {}
+
+void DurableLink::set_pending_cap(size_t cap) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  pending_cap_ = cap == 0 ? kDefaultPendingCap : cap;
+}
+
+size_t DurableLink::pending_cap() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return pending_cap_;
+}
+
+uint64_t DurableLink::rejected_total() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return rejected_;
+}
+
+uint64_t DurableLink::pruned_total() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return pruned_;
+}
+
 bool DurableLink::send_or_park(const std::string& from, const std::string& to,
                                Bytes payload, Apply apply, const std::string& label) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   // Order must be preserved per destination: never jump a parked queue.
   flush_queue(to);
   auto& queue = pending_[to];
+  if (queue.size() >= pending_cap_) {
+    ++rejected_;
+    rejected_counter_.add(1);
+    throw TransportError(TransportError::Kind::kOverloaded,
+                         "durable queue for '" + to + "' at cap (" +
+                             std::to_string(pending_cap_) + "): rejecting '" +
+                             label + "'");
+  }
   if (!queue.empty()) {
     queue.push_back({link_.allocate_request_id(), from, std::move(payload),
                      std::move(apply), label});
@@ -77,6 +112,30 @@ bool DurableLink::send_or_park(const std::string& from, const std::string& to,
   }
   pending_.erase(to);  // drop the empty deque we may have created
   return true;
+}
+
+size_t DurableLink::prune_queue(
+    const std::string& to, const std::function<bool(const std::string&)>& drop) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  const auto it = pending_.find(to);
+  if (it == pending_.end()) return 0;
+  auto& queue = it->second;
+  std::deque<Pending> kept;
+  size_t dropped = 0;
+  for (Pending& p : queue) {
+    if (drop(p.label)) {
+      ++dropped;
+    } else {
+      kept.push_back(std::move(p));
+    }
+  }
+  queue = std::move(kept);
+  if (queue.empty()) pending_.erase(it);
+  if (dropped > 0) {
+    pruned_ += dropped;
+    pruned_counter_.add(dropped);
+  }
+  return dropped;
 }
 
 void DurableLink::flush_queue(const std::string& to) {

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "cloud/transport.h"
+#include "telemetry/metrics.h"
 
 namespace maabe::cloud {
 
@@ -60,9 +61,19 @@ FetchReply decode_fetch_reply(ByteView data);  ///< throws WireError
 
 // ----------------------------------------------------- DurableLink --
 
+/// Default bound on a single destination's parked queue; see
+/// DurableLink::set_pending_cap.
+inline constexpr size_t kDefaultPendingCap = 4096;
+
 /// Ordered durable sends over a ReliableLink: queues behind earlier
 /// parked deliveries to the same destination, parks instead of throwing
 /// on transport failure, and replays per-destination queues head-first.
+///
+/// Admission control: each destination's queue is bounded (default
+/// kDefaultPendingCap ops). A send that would park behind a full queue
+/// is rejected with TransportError(kOverloaded) and counted in
+/// maabe_transport_parked_rejected_total — a sustained outage applies
+/// backpressure to callers instead of growing memory without bound.
 ///
 /// Thread-safety: all public methods lock the (recursive) queue mutex.
 /// Recursive because a parked delivery's apply may nest another
@@ -72,17 +83,37 @@ class DurableLink {
  public:
   using Apply = ReliableLink::Apply;
 
-  explicit DurableLink(ReliableLink& link) : link_(link) {}
+  explicit DurableLink(ReliableLink& link);
 
   DurableLink(const DurableLink&) = delete;
   DurableLink& operator=(const DurableLink&) = delete;
 
+  /// Caps every per-destination queue at `cap` parked ops (0 restores
+  /// the default; there is deliberately no "unbounded" setting).
+  void set_pending_cap(size_t cap);
+  size_t pending_cap() const;
+
+  /// Rejections (kOverloaded) since construction, mirrored into the
+  /// process-wide maabe_transport_parked_rejected_total counter.
+  uint64_t rejected_total() const;
+  /// Ops dropped by prune_queue since construction, mirrored into
+  /// maabe_transport_parked_pruned_total.
+  uint64_t pruned_total() const;
+
   /// Flushes `to`'s queue first (order must be preserved), then either
   /// delivers now (returns true) or parks (returns false). The label is
   /// operator-facing: health views and read-gating classify queued work
-  /// by label prefix.
+  /// by label prefix. Throws TransportError(kOverloaded) when `to`'s
+  /// queue is already at the cap.
   bool send_or_park(const std::string& from, const std::string& to, Bytes payload,
                     Apply apply, const std::string& label);
+
+  /// Reconciliation hook for node restart: drops every parked op for
+  /// `to` whose label the predicate rejects, preserving the relative
+  /// order of survivors. Returns the number of ops dropped (also added
+  /// to pruned_total). The predicate sees the op's label.
+  size_t prune_queue(const std::string& to,
+                     const std::function<bool(const std::string& label)>& drop);
 
   /// Replays `to`'s queue head-first; stops at the first transport
   /// failure so per-destination order is never violated.
@@ -109,6 +140,11 @@ class DurableLink {
   ReliableLink& link_;
   mutable std::recursive_mutex mu_;
   std::map<std::string, std::deque<Pending>> pending_;  // keyed by destination
+  size_t pending_cap_ = kDefaultPendingCap;
+  uint64_t rejected_ = 0;
+  uint64_t pruned_ = 0;
+  telemetry::Counter& rejected_counter_;
+  telemetry::Counter& pruned_counter_;
 };
 
 }  // namespace maabe::cloud

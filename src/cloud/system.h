@@ -156,6 +156,19 @@ class CloudSystem {
   /// cluster's replication lag in ops.
   uint64_t replication_lag() const;
 
+  // ---- Admission control -----------------------------------------------
+  /// Caps every per-destination durable queue (default
+  /// kDefaultPendingCap ops; 0 restores the default). When a queue is
+  /// full further sends are rejected with TransportError(kOverloaded):
+  /// entity traffic (uploads, revocation distribution) sees the typed
+  /// error, cluster maintenance fan-out sheds and lets read-repair heal.
+  void set_pending_cap(size_t cap) { durable_.set_pending_cap(cap); }
+  size_t pending_cap() const { return durable_.pending_cap(); }
+  /// Sends rejected at the cap / parked ops dropped by restart
+  /// reconciliation (also in maabe_transport_parked_{rejected,pruned}_total).
+  uint64_t parked_rejected_total() const { return durable_.rejected_total(); }
+  uint64_t parked_pruned_total() const { return durable_.pruned_total(); }
+
   /// Point-in-time view of the process-wide telemetry registry
   /// (maabe_engine_*, maabe_transport_*, maabe_server_*, ... counters
   /// and histograms), including this system's collector contributions

@@ -55,6 +55,15 @@ class WireError : public Error {
   using Error::Error;
 };
 
+/// Admission-control rejection outside the transport: a bounded work
+/// queue (e.g. the CryptoEngine submission window) refused new work
+/// instead of growing without bound. Callers treat this as retriable
+/// backpressure, not data loss.
+class OverloadError : public Error {
+ public:
+  using Error::Error;
+};
+
 /// Byte-transport failures (cloud/transport.h): lost or corrupted
 /// frames, exhausted retry budgets, and reads refused while revocation
 /// epochs are still parked in a pending queue. The kind distinguishes
@@ -66,8 +75,9 @@ class TransportError : public Error {
     kLost,       ///< frame (or its acknowledgement) never arrived
     kChecksum,   ///< frame arrived but failed integrity verification
     kMalformed,  ///< frame structure invalid (bad magic, bad lengths)
-    kExhausted,  ///< retry attempts or the send deadline ran out
-    kDegraded,   ///< operation refused fail-closed (pending deliveries)
+    kExhausted,   ///< retry attempts or the send deadline ran out
+    kDegraded,    ///< operation refused fail-closed (pending deliveries)
+    kOverloaded,  ///< admission control rejected the op (bounded queue full)
   };
   TransportError(Kind kind, const std::string& what) : Error(what), kind_(kind) {}
   Kind kind() const { return kind_; }

@@ -40,6 +40,7 @@ struct EngineMetrics {
   telemetry::Counter& precomp_builds;
   telemetry::Counter& precomp_hits;
   telemetry::Counter& batch_wall_ns;
+  telemetry::Counter& sheds;
   telemetry::Histogram& pair_batch_ns;
   telemetry::Histogram& multi_exp_g1_ns;
   telemetry::Histogram& multi_exp_gt_ns;
@@ -61,6 +62,7 @@ struct EngineMetrics {
         reg.counter("maabe_engine_precomp_builds_total"),
         reg.counter("maabe_engine_precomp_hits_total"),
         reg.counter("maabe_engine_batch_wall_ns_total"),
+        reg.counter("maabe_engine_shed_total"),
         reg.histogram("maabe_engine_pair_batch_ns"),
         reg.histogram("maabe_engine_multi_exp_g1_ns"),
         reg.histogram("maabe_engine_multi_exp_gt_ns"),
@@ -328,6 +330,65 @@ class CryptoEngine::BatchScope {
   std::chrono::steady_clock::time_point start_;
 };
 
+// --------------------------------------------------- admission control --
+
+/// RAII reservation against the engine's bounded submission window.
+/// Construction sheds (throws OverloadError) when the window is full;
+/// destruction releases the items. `tl_in_worker` calls run inline on a
+/// pool thread inside an already-admitted batch, so they bypass the
+/// window — counting them again would deadlock a nested sweep against
+/// its own parent's reservation.
+class CryptoEngine::AdmissionTicket {
+ public:
+  AdmissionTicket(CryptoEngine& eng, size_t items) : eng_(eng) {
+    if (tl_in_worker) return;
+    eng_.admit_items(items);
+    items_ = items;
+  }
+  ~AdmissionTicket() {
+    if (items_ > 0) eng_.release_items(items_);
+  }
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+
+ private:
+  CryptoEngine& eng_;
+  size_t items_ = 0;
+};
+
+void CryptoEngine::set_admission_limit(size_t items) {
+  admission_limit_.store(items, std::memory_order_relaxed);
+}
+
+size_t CryptoEngine::admission_limit() const {
+  return admission_limit_.load(std::memory_order_relaxed);
+}
+
+size_t CryptoEngine::inflight_items() const {
+  return inflight_items_.load(std::memory_order_relaxed);
+}
+
+uint64_t CryptoEngine::shed_total() const {
+  return sheds_.load(std::memory_order_relaxed);
+}
+
+void CryptoEngine::admit_items(size_t items) {
+  const size_t limit = admission_limit_.load(std::memory_order_relaxed);
+  const size_t prior = inflight_items_.fetch_add(items, std::memory_order_relaxed);
+  if (limit == 0 || prior + items <= limit) return;
+  inflight_items_.fetch_sub(items, std::memory_order_relaxed);
+  sheds_.fetch_add(1, std::memory_order_relaxed);
+  EngineMetrics::get().sheds.inc();
+  throw OverloadError("CryptoEngine: admission window full (" +
+                      std::to_string(prior) + " in flight, limit " +
+                      std::to_string(limit) + "): shedding batch of " +
+                      std::to_string(items));
+}
+
+void CryptoEngine::release_items(size_t items) {
+  inflight_items_.fetch_sub(items, std::memory_order_relaxed);
+}
+
 // --------------------------------------------------------- construction --
 
 CryptoEngine::CryptoEngine(const Group& grp, int threads)
@@ -393,6 +454,7 @@ void CryptoEngine::run_items(size_t n, const std::function<void(size_t)>& fn) {
 
 void CryptoEngine::parallel_for(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
+  AdmissionTicket ticket(*this, n);
   telemetry::Span span = telemetry::Tracer::global().start_span("engine.parallel_for");
   if (span.active()) span.attr("items", static_cast<uint64_t>(n));
   EngineStats d;
@@ -402,6 +464,7 @@ void CryptoEngine::parallel_for(size_t n, const std::function<void(size_t)>& fn)
 }
 
 std::vector<GT> CryptoEngine::pair_batch(const std::vector<PairTerm>& terms) {
+  AdmissionTicket ticket(*this, terms.size());
   BatchScope scope(*this, EngineMetrics::get().pair_batch_ns, "engine.pair_batch");
   const size_t n = terms.size();
   scope.delta.pairings = n;
@@ -441,6 +504,7 @@ GT CryptoEngine::pairing_power_product(const std::vector<PairTerm>& terms,
                                        const std::vector<Zr>& exps) {
   if (!exps.empty() && exps.size() != terms.size())
     throw MathError("pairing_power_product: terms/exps size mismatch");
+  AdmissionTicket ticket(*this, terms.size());
   BatchScope scope(*this, EngineMetrics::get().pair_batch_ns,
                    "engine.pairing_product");
   const size_t n = terms.size();
@@ -508,6 +572,7 @@ GT CryptoEngine::pairing_power_product(const std::vector<PairTerm>& terms,
 }
 
 GT CryptoEngine::pair(const pairing::G1& a, const pairing::G1& b) {
+  AdmissionTicket ticket(*this, 1);
   BatchScope scope(*this, EngineMetrics::get().pair_batch_ns, "engine.pair");
   scope.delta.pairings = 1;
   scope.set_items(1);
@@ -548,6 +613,7 @@ void CryptoEngine::warm_pair_precomp(const pairing::G1& base) {
 
 std::vector<G1> CryptoEngine::multi_exp_g1(const std::vector<G1Term>& terms,
                                            bool cache_bases) {
+  AdmissionTicket ticket(*this, terms.size());
   BatchScope scope(*this, EngineMetrics::get().multi_exp_g1_ns,
                    "engine.multi_exp_g1");
   const size_t n = terms.size();
@@ -580,6 +646,7 @@ std::vector<G1> CryptoEngine::multi_exp_g1(const std::vector<G1Term>& terms,
 
 std::vector<GT> CryptoEngine::multi_exp_gt(const std::vector<GtTerm>& terms,
                                            bool cache_bases) {
+  AdmissionTicket ticket(*this, terms.size());
   BatchScope scope(*this, EngineMetrics::get().multi_exp_gt_ns,
                    "engine.multi_exp_gt");
   const size_t n = terms.size();
@@ -609,6 +676,7 @@ std::vector<GT> CryptoEngine::multi_exp_gt(const std::vector<GtTerm>& terms,
 }
 
 std::vector<G1> CryptoEngine::g_pow_batch(const std::vector<Zr>& exps) {
+  AdmissionTicket ticket(*this, exps.size());
   BatchScope scope(*this, EngineMetrics::get().g_pow_batch_ns,
                    "engine.g_pow_batch");
   scope.delta.g1_exps = exps.size();
@@ -620,6 +688,7 @@ std::vector<G1> CryptoEngine::g_pow_batch(const std::vector<Zr>& exps) {
 }
 
 std::vector<GT> CryptoEngine::egg_pow_batch(const std::vector<Zr>& exps) {
+  AdmissionTicket ticket(*this, exps.size());
   BatchScope scope(*this, EngineMetrics::get().egg_pow_batch_ns,
                    "engine.egg_pow_batch");
   scope.delta.gt_exps = exps.size();

@@ -34,6 +34,7 @@
 // multiple threads; batches are serialized on the pool.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <list>
@@ -93,6 +94,21 @@ class CryptoEngine {
   int threads() const { return threads_; }
   /// Resize the pool (joins and respawns workers). `0` = default.
   void set_threads(int threads);
+
+  // ---- Admission control -------------------------------------------
+  /// Bounds the engine's submission window: while more than `items`
+  /// batch items (pairing terms, exponentiation terms, parallel_for
+  /// iterations) are in flight across all callers, further batch calls
+  /// are shed with OverloadError instead of queueing behind the pool.
+  /// `0` (the default) disables the bound — the process-wide for_group
+  /// engines stay unbounded unless a deployment opts in.
+  void set_admission_limit(size_t items);
+  size_t admission_limit() const;
+  /// Batch items currently admitted (approximate while calls race).
+  size_t inflight_items() const;
+  /// Batch calls shed with OverloadError since construction, mirrored
+  /// into maabe_engine_shed_total.
+  uint64_t shed_total() const;
 
   // ---- Batched operations ------------------------------------------
   struct PairTerm {
@@ -169,6 +185,13 @@ class CryptoEngine {
   struct LruCache;
   struct StatCells;  // seqlock-guarded per-engine stat store (engine.cpp)
   class BatchScope;  // RAII per-batch delta accumulator (engine.cpp)
+  class AdmissionTicket;  // RAII admit/release around a batch (engine.cpp)
+
+  /// Reserves `items` against the admission window; throws OverloadError
+  /// (and counts the shed) when the window is full. Paired with
+  /// release_items by AdmissionTicket.
+  void admit_items(size_t items);
+  void release_items(size_t items);
 
   void ensure_pool();
   /// parallel_for's dispatch without the task accounting — batch APIs
@@ -183,6 +206,9 @@ class CryptoEngine {
   std::unique_ptr<Pool> pool_;        // created lazily; null when threads_ == 1
   std::unique_ptr<LruCache> cache_;   // variable-base window tables
   std::unique_ptr<StatCells> stat_cells_;
+  std::atomic<size_t> admission_limit_{0};  // 0 = unbounded
+  std::atomic<size_t> inflight_items_{0};
+  std::atomic<uint64_t> sheds_{0};
   mutable std::mutex mu_;             // guards pool_ resize
 };
 

@@ -347,6 +347,53 @@ TEST(ClusterTest, PartitionDuring2PCAbortsCleanlyThenCommitsOnHeal) {
   }
 }
 
+TEST(ClusterTest, RestartReconcilesStaleGaugesAndPrunesSupersededOps) {
+  auto sys = make_system(Group::test_small(), 3, 2);
+  enroll(*sys);
+  std::vector<std::string> files;
+  for (int i = 0; i < 8; ++i) files.push_back("f" + std::to_string(i));
+  upload_all(*sys, files);
+  EXPECT_EQ(sys->flush_pending(), 0u);
+  expect_replicas_converged(*sys, files);
+
+  // A file replicated onto node:1 (deterministic ring placement; with 8
+  // files one always lands there).
+  std::string fx;
+  for (const std::string& f : files) {
+    const auto replicas = sys->cluster().replicas_for(f);
+    if (std::find(replicas.begin(), replicas.end(), "node:1") != replicas.end()) {
+      fx = f;
+      break;
+    }
+  }
+  ASSERT_FALSE(fx.empty());
+
+  // Kill node:1, then write two more versions of fx: the surviving
+  // coordinator stores them, and two versioned replicate ops park for
+  // the dead node. The per-node gauges now show real lag.
+  sys->cluster().kill_node("node:1");
+  sys->upload("hosp", fx, {{"b", bytes_of("v2 " + fx), "Doctor@Med"}});
+  sys->upload("hosp", fx, {{"c", bytes_of("v3 " + fx), "Doctor@Med"}});
+  EXPECT_GT(sys->replication_lag(), 0u);
+  EXPECT_GT(sys->health().pending_by_destination.at("node:1"), 0u);
+  const uint64_t prunes_before = sys->cluster().stats().restart_prunes;
+
+  // Restart reconciles the parked queue against what replay can use:
+  // the superseded v2 replicate op is pruned (apply is last-write-wins
+  // and each op carries the whole file), the newest survives and
+  // replays. Gauges return to zero once converged.
+  sys->cluster().restart_node("node:1");
+  EXPECT_GE(sys->cluster().stats().restart_prunes, prunes_before + 1);
+  EXPECT_EQ(sys->flush_pending(), 0u);
+  EXPECT_EQ(sys->replication_lag(), 0u);
+  EXPECT_EQ(sys->health().pending_by_destination.count("node:1"), 0u);
+  for (const NodeHealth& nh : sys->cluster_health()) {
+    EXPECT_EQ(nh.replication_lag, 0u) << nh.node;
+  }
+  expect_replicas_converged(*sys, files);
+  EXPECT_TRUE(sys->download_report("alice", fx).all_ok());
+}
+
 // ------------------------------------------- fault-injected soak sweep --
 
 FaultSpec cluster_chaos() {
