@@ -23,13 +23,19 @@
 #       by an absolute floor; the bench omits the key entirely when
 #       either wall was not measured.
 #   workload       -> BENCH_workload.json download_p99_ms, achieved_qps,
-#                     overload_rejected, overload_bounded
+#                     overload_rejected, overload_bounded,
+#                     recovery_bytes_transferred, recovery_bounded,
+#                     recovery_staged_open_zero
 #       The steady mixed-Zipf curve against a 3-node cluster:
 #       download tail latency guarded against the baseline (generous —
 #       it is a wall time on a shared host), throughput floored at a
 #       fraction of the baseline. The overload scenario must show
 #       bounded queues: at least one typed kOverloaded rejection and a
-#       max queue depth within the configured cap.
+#       max queue depth within the configured cap. The recovery
+#       scenario (kill -> traffic -> rejoin) must converge through the
+#       recovery protocol: some bytes moved, strictly less than a full
+#       snapshot of the rejoined node (recovery_bounded folds the
+#       <0.9x-snapshot ratio check), and zero epochs left staged-open.
 #
 # Usage: bench_smoke.sh <pairing_micro> <revocation> <workload> \
 #                       <bench_guard> <baseline_dir>
@@ -69,5 +75,8 @@ export MAABE_BENCH_SMALL=1
   achieved_qps 0.3
 "$GUARD" floor BENCH_workload.json overload_rejected 1
 "$GUARD" floor BENCH_workload.json overload_bounded 1
+"$GUARD" floor BENCH_workload.json recovery_bytes_transferred 1
+"$GUARD" floor BENCH_workload.json recovery_bounded 1
+"$GUARD" floor BENCH_workload.json recovery_staged_open_zero 1
 
 echo "bench-smoke: OK"

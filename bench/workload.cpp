@@ -1,5 +1,5 @@
 // Production-shaped workload bench (DESIGN.md §14): drives the loadgen
-// harness through four scenarios against a 3-node / R=2 cluster and
+// harness through five scenarios against a 3-node / R=2 cluster and
 // emits BENCH_workload.json with per-op-class latency percentiles,
 // achieved throughput and the admission-control counters.
 //
@@ -15,6 +15,14 @@
 //             uploads park up to the cap, then callers see the typed
 //             kOverloaded rejection and queue depth stays bounded
 //             (overload_rejected / overload_bounded guards).
+//   recovery  kill node:1 at 1/3, traffic through the outage, rejoin at
+//             2/3 via the recovery protocol (hinted hand-off + Merkle
+//             anti-entropy + 2PC epoch resolution, DESIGN.md §15) —
+//             emits recovery_convergence_ms and the transferred-bytes
+//             counters. Guards: the rejoin must move something
+//             (recovery_bytes_transferred) but strictly less than a
+//             full snapshot of the node (recovery_bounded), and no
+//             epoch may end staged-open (recovery_staged_open_zero).
 //
 // MAABE_BENCH_SMALL=1 switches to the fast insecure curve (bench-smoke).
 #include <algorithm>
@@ -74,7 +82,13 @@ Json report_json(const WorkloadReport& r) {
       .put("decrypt_cache_misses", r.decrypt_cache_misses)
       .put("parked_rejected", r.parked_rejected)
       .put("replication_sheds", r.replication_sheds)
-      .put("restart_prunes", r.restart_prunes);
+      .put("restart_prunes", r.restart_prunes)
+      .put("rejoins", r.rejoins)
+      .put("recovery_convergence_ms", r.recovery_convergence_ms)
+      .put("recovery_bytes_transferred", r.recovery_bytes_transferred)
+      .put("recovery_files_transferred", r.recovery_files_transferred)
+      .put("recovery_hints_replayed", r.recovery_hints_replayed)
+      .put("recovery_epochs_resolved", r.recovery_epochs_resolved);
   return j;
 }
 
@@ -130,6 +144,39 @@ int main() {
   const WorkloadReport outage = outage_gen.run();
   print_report("outage", outage);
 
+  // ---- recovery: kill -> traffic -> rejoin --------------------------
+  WorkloadConfig rec_cfg = base_config();
+  rec_cfg.events.push_back(
+      {rec_cfg.ops / 3, ScenarioEvent::Kind::kKillNode, "node:1", 0});
+  rec_cfg.events.push_back(
+      {2 * rec_cfg.ops / 3, ScenarioEvent::Kind::kRejoinNode, "node:1", 0});
+  LoadGenerator rec_gen(grp, rec_cfg);
+  rec_gen.setup();
+  const WorkloadReport rec = rec_gen.run();
+  print_report("recovery", rec);
+  // The rejoin must have moved strictly less than the node's full store
+  // (that is the point of hint-scoped drains + Merkle diffs over a
+  // snapshot fetch), and no epoch may be left staged-open.
+  const uint64_t rec_snapshot_bytes =
+      rec_gen.system().cluster().snapshot("node:1").size();
+  const double rec_ratio =
+      rec_snapshot_bytes > 0
+          ? static_cast<double>(rec.recovery_bytes_transferred) /
+                static_cast<double>(rec_snapshot_bytes)
+          : 0.0;
+  const bool rec_bounded = rec.recovery_bytes_transferred > 0 && rec_ratio < 0.9;
+  uint64_t rec_staged_open = 0;
+  for (const auto& nh : rec_gen.system().cluster_health())
+    rec_staged_open += nh.epochs_staged_open;
+  std::printf("  rejoin converged in %.2f ms, moved %llu bytes "
+              "(%.1f%% of a %llu-byte snapshot) -> %s, staged-open %llu\n",
+              rec.recovery_convergence_ms,
+              static_cast<unsigned long long>(rec.recovery_bytes_transferred),
+              rec_ratio * 100.0,
+              static_cast<unsigned long long>(rec_snapshot_bytes),
+              rec_bounded ? "bounded" : "UNBOUNDED",
+              static_cast<unsigned long long>(rec_staged_open));
+
   // ---- overload: bounded queues under a dead cluster ----------------
   // Every node dead, durable cap 4, store-only traffic: the first ~cap
   // uploads park, the rest must come back as typed kOverloaded
@@ -170,9 +217,18 @@ int main() {
       .put("overload_rejected",
            over.per_op.count("store") ? over.per_op.at("store").rejected : 0)
       .put("overload_bounded", bounded ? 1 : 0)
+      .put("recovery_convergence_ms", rec.recovery_convergence_ms)
+      .put("recovery_bytes_transferred", rec.recovery_bytes_transferred)
+      .put("recovery_files_transferred", rec.recovery_files_transferred)
+      .put("recovery_hints_replayed", rec.recovery_hints_replayed)
+      .put("recovery_snapshot_bytes", rec_snapshot_bytes)
+      .put("recovery_transfer_ratio", rec_ratio)
+      .put("recovery_bounded", rec_bounded ? 1 : 0)
+      .put("recovery_staged_open_zero", rec_staged_open == 0 ? 1 : 0)
       .put("steady", report_json(steady))
       .put("storm", report_json(storm))
       .put("outage", report_json(outage))
+      .put("recovery", report_json(rec))
       .put("overload", report_json(over))
       .put("telemetry",
            snapshot_json(maabe::telemetry::MetricsRegistry::global().collect()));

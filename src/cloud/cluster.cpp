@@ -124,6 +124,7 @@ Cluster::Cluster(std::shared_ptr<const pairing::Group> grp,
     nodes_.push_back(std::move(n));
   }
   ring_ = HashRing(names_, config_.replication, config_.vnodes);
+  recovery_ = std::make_unique<RecoveryManager>(*this);
 }
 
 const std::string& Cluster::node_name(size_t i) const {
@@ -253,6 +254,26 @@ void Cluster::restart_node(const std::string& name) {
     epoch_commit_orphans_.fetch_add(orphans, std::memory_order_relaxed);
     ClusterMetrics::get().epoch_commit_orphans.add(orphans);
   }
+  // Rejoin protocol (DESIGN.md §15): resolve staged-open epochs, drain
+  // the hinted hand-offs recorded while this node was down, then run a
+  // scoped Merkle anti-entropy round against each alive peer. The node
+  // is byte-identical to its peers afterwards without a full-store
+  // scan or quorum read.
+  recovery_->rejoin(name);
+  // Second reconciliation: parked replication/read-repair ops at or
+  // below the version the rejoin already delivered would replay as
+  // no-ops — drop them so the pending/lag gauges reflect real work.
+  const size_t pruned_after =
+      durable_.prune_queue(name, [&](const std::string& label) {
+        std::string fid;
+        uint64_t version = 0;
+        return parse_versioned_label(label, &fid, &version) &&
+               version <= version_of(name, fid);
+      });
+  if (pruned_after > 0) {
+    restart_prunes_.fetch_add(pruned_after, std::memory_order_relaxed);
+    ClusterMetrics::get().restart_pruned.add(pruned_after);
+  }
 }
 
 void Cluster::ensure_alive(const Node& n) const {
@@ -295,9 +316,12 @@ void Cluster::handle_store(const std::string& self, ByteView stored_file_wire) {
   const Bytes wire(stored_file_wire.begin(), stored_file_wire.end());
   const Bytes hash = sha256_of(wire);
   uint64_t version = 0;
-  n.store->store(std::move(file));
   {
+    // Store mutation and meta bump under one mu hold: snapshot() and
+    // local_read() read under the same lock, so no reader can pair the
+    // new bytes with the old version (or vice versa).
     std::lock_guard<std::mutex> lock(n.mu);
+    n.store->store(std::move(file));
     Meta& m = n.meta[file_id];
     version = ++m.version;
     m.hash = hash;
@@ -305,7 +329,9 @@ void Cluster::handle_store(const std::string& self, ByteView stored_file_wire) {
   if (config_.replication == 1) return;
   // Fan the versioned op out to the other replicas. Unreachable
   // replicas park; the queue replays in FIFO = version order, so a
-  // recovered replica converges without reordering.
+  // recovered replica converges without reordering. Any replica that
+  // misses the synchronous delivery (parked or shed) gets a hinted
+  // hand-off, drained when it rejoins.
   ReplicationOp op{file_id, version, hash, wire};
   const Bytes op_wire = encode_replication_op(op);
   for (const std::string& replica : ring_.replicas_for(file_id)) {
@@ -313,17 +339,20 @@ void Cluster::handle_store(const std::string& self, ByteView stored_file_wire) {
     replication_ops_sent_.fetch_add(1, std::memory_order_relaxed);
     ClusterMetrics::get().replication_ops.inc();
     try {
-      durable_.send_or_park(
+      const bool delivered = durable_.send_or_park(
           self, replica, op_wire,
           [this, replica](ByteView payload) { handle_replication(replica, payload); },
           "replicate " + file_id + " v" + std::to_string(version));
+      if (!delivered) recovery_->record_hint(self, replica, file_id, version);
     } catch (const TransportError& e) {
       // Bounded-queue backpressure: the replica's parked queue is full.
       // The write already succeeded at the coordinator; shed this
-      // maintenance op (counted) and let read-repair heal the replica.
+      // maintenance op (counted) and leave a hint so the rejoin drain
+      // (or read-repair) heals the replica.
       if (e.kind() != TransportError::Kind::kOverloaded) throw;
       replication_sheds_.fetch_add(1, std::memory_order_relaxed);
       ClusterMetrics::get().replication_shed.inc();
+      recovery_->record_hint(self, replica, file_id, version);
     }
   }
 }
@@ -332,6 +361,8 @@ void Cluster::apply_replication(Node& n, const ReplicationOp& op) {
   // Newer versions always apply; an equal version applies only when the
   // stored bytes differ from the op's (corruption repair). Older
   // versions are ignored, which makes replays and duplicates idempotent.
+  // The check, store mutation and meta update share one mu hold so no
+  // snapshot or local read sees a version/bytes mismatch.
   {
     std::lock_guard<std::mutex> lock(n.mu);
     const auto it = n.meta.find(op.file_id);
@@ -341,10 +372,7 @@ void Cluster::apply_replication(Node& n, const ReplicationOp& op) {
       const Bytes local = serialize(*grp_, *n.store->fetch(op.file_id));
       if (sha256_of(local) == op.hash) return;  // already converged
     }
-  }
-  n.store->store(deserialize_stored_file(*grp_, op.wire));
-  {
-    std::lock_guard<std::mutex> lock(n.mu);
+    n.store->store(deserialize_stored_file(*grp_, op.wire));
     Meta& m = n.meta[op.file_id];
     m.version = op.version;
     m.hash = op.hash;
@@ -363,10 +391,12 @@ void Cluster::handle_replication(const std::string& self, ByteView op_wire) {
 
 FetchReply Cluster::local_read(const Node& n, const std::string& file_id) const {
   FetchReply reply;
+  // One mu hold across bytes and meta: a concurrent writer can never
+  // make the reply pair new bytes with an old version.
+  std::lock_guard<std::mutex> lock(n.mu);
   if (!n.store->has_file(file_id)) return reply;
   reply.found = true;
   reply.wire = serialize(*grp_, *n.store->fetch(file_id));
-  std::lock_guard<std::mutex> lock(n.mu);
   const auto it = n.meta.find(file_id);
   if (it != n.meta.end()) {
     reply.version = it->second.version;
@@ -472,19 +502,23 @@ Bytes Cluster::handle_fetch(const std::string& self, const std::string& file_id)
       continue;
     }
     try {
-      durable_.send_or_park(
+      const bool delivered = durable_.send_or_park(
           self, r.node, encode_replication_op(op),
           [this, target = r.node](ByteView payload) {
             handle_replication(target, payload);
           },
           "read-repair " + file_id + " v" +
               std::to_string(winner->reply.version));
+      if (!delivered) {
+        recovery_->record_hint(self, r.node, file_id, winner->reply.version);
+      }
     } catch (const TransportError& e) {
-      // Shed the repair under backpressure; the read itself succeeded
-      // and a later read or repair_all() will retry the divergence.
+      // Shed the repair under backpressure; the read itself succeeded.
+      // The hint keeps the divergence on record for the rejoin drain.
       if (e.kind() != TransportError::Kind::kOverloaded) throw;
       replication_sheds_.fetch_add(1, std::memory_order_relaxed);
       ClusterMetrics::get().replication_shed.inc();
+      recovery_->record_hint(self, r.node, file_id, winner->reply.version);
     }
   }
   if (span.active()) {
@@ -535,37 +569,16 @@ void Cluster::send_epoch_control(const std::string& self, const std::string& pee
         r.expect_done();
         Node& n = node(peer);
         ensure_alive(n);
-        uint64_t token = 0;
-        bool known = false;
-        {
-          std::lock_guard<std::mutex> lock(n.mu);
-          const auto it = n.staged.find(id);
-          if (it != n.staged.end()) {
-            known = true;
-            token = it->second;
-            n.staged.erase(it);
-          }
-        }
-        if (v == kEpochCommit) {
-          if (!known) {
-            // The node restarted between stage and commit and lost its
-            // staged state: the commit is an orphan. Its copy is stale
-            // until read-repair / repair_all() catches it up — counted,
-            // never silent.
-            epoch_commit_orphans_.fetch_add(1, std::memory_order_relaxed);
-            ClusterMetrics::get().epoch_commit_orphans.inc();
-            return;
-          }
-          std::vector<std::string> committed_files;
-          n.store->commit_reencrypt(token, &committed_files);
-          std::lock_guard<std::mutex> lock(n.mu);
-          for (const std::string& fid : committed_files) {
-            Meta& m = n.meta[fid];
-            ++m.version;
-            m.hash = sha256_of(serialize(*grp_, *n.store->fetch(fid)));
-          }
-        } else {
-          if (known) n.store->abort_reencrypt(token);
+        // The verdict lands in the node's decision log either way, so
+        // recovery resolution can answer queries about this epoch.
+        const bool known = apply_epoch_decision(n, id, v == kEpochCommit);
+        if (v == kEpochCommit && !known) {
+          // The node restarted between stage and commit and lost its
+          // staged state: the commit is an orphan. Its copy is stale
+          // until anti-entropy / read-repair catches it up — counted,
+          // never silent.
+          epoch_commit_orphans_.fetch_add(1, std::memory_order_relaxed);
+          ClusterMetrics::get().epoch_commit_orphans.inc();
         }
       },
       label);
@@ -578,6 +591,34 @@ void Cluster::send_epoch_control(const std::string& self, const std::string& pee
     replication_sheds_.fetch_add(1, std::memory_order_relaxed);
     ClusterMetrics::get().replication_shed.inc();
   }
+}
+
+bool Cluster::apply_epoch_decision(Node& n, uint64_t epoch_id, bool commit) {
+  std::lock_guard<std::mutex> lock(n.mu);
+  n.decisions[epoch_id] = commit ? kVerdictCommit : kVerdictAbort;
+  const auto it = n.staged.find(epoch_id);
+  if (it == n.staged.end()) return false;
+  const uint64_t token = it->second;
+  n.staged.erase(it);
+  if (commit) {
+    // Commit and meta bump under the same mu hold (see handle_store):
+    // no reader pairs re-encrypted bytes with the old version.
+    std::vector<std::string> committed_files;
+    n.store->commit_reencrypt(token, &committed_files);
+    for (const std::string& fid : committed_files) {
+      Meta& m = n.meta[fid];
+      ++m.version;
+      m.hash = sha256_of(serialize(*grp_, *n.store->fetch(fid)));
+    }
+  } else {
+    n.store->abort_reencrypt(token);
+  }
+  return true;
+}
+
+bool Cluster::epoch_in_flight(uint64_t epoch_id) const {
+  std::lock_guard<std::mutex> g(active_epochs_mu_);
+  return active_epochs_.contains(epoch_id);
 }
 
 void Cluster::handle_epoch(const std::string& self, ByteView epoch_wire) {
@@ -593,6 +634,20 @@ void Cluster::handle_epoch(const std::string& self, ByteView epoch_wire) {
   epochs_2pc_.fetch_add(1, std::memory_order_relaxed);
   ClusterMetrics::get().epochs_2pc.inc();
   const uint64_t epoch_id = next_epoch_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  // Mark the epoch in flight so the recovery resolver never presumes
+  // abort on a 2PC that is still executing; removed on every exit path.
+  {
+    std::lock_guard<std::mutex> g(active_epochs_mu_);
+    active_epochs_.insert(epoch_id);
+  }
+  struct ActiveEpochGuard {
+    Cluster* c;
+    uint64_t id;
+    ~ActiveEpochGuard() {
+      std::lock_guard<std::mutex> g(c->active_epochs_mu_);
+      c->active_epochs_.erase(id);
+    }
+  } active_guard{this, epoch_id};
   telemetry::Span span = telemetry::Tracer::global().start_span("cluster.epoch_2pc");
   if (span.active()) {
     span.attr("coordinator", self);
@@ -637,25 +692,29 @@ void Cluster::handle_epoch(const std::string& self, ByteView epoch_wire) {
       });
       staged_nodes.push_back(peer);
     }
+    // Crash point "staged": all nodes staged, no decision recorded yet.
+    // A hook that kills this coordinator and throws leaves its peers
+    // staged-open with nothing in any decision log — the presumed-abort
+    // case the recovery resolver must handle.
+    if (epoch_fault_hook_) epoch_fault_hook_(epoch_id, "staged");
   } catch (...) {
-    // ---- Abort: discard every staged copy so all stores stay byte-
-    // identical to before the epoch, then rethrow. A TransportError
-    // keeps the epoch message parked at the coordinator, so it replays
-    // (and eventually commits everywhere) once the cluster heals.
+    if (!alive(self)) {
+      // The coordinator crashed mid-epoch: a dead node sends nothing,
+      // so no abort controls go out. Peers stay staged until recovery
+      // resolution presumes abort from the missing decision record.
+      if (span.active()) span.attr("outcome", "coordinator_crashed");
+      throw;
+    }
+    // ---- Abort: record the verdict, then discard every staged copy so
+    // all stores stay byte-identical to before the epoch, and rethrow.
+    // A TransportError keeps the epoch message parked at the
+    // coordinator, so it replays (and eventually commits everywhere)
+    // once the cluster heals.
     epoch_aborts_.fetch_add(1, std::memory_order_relaxed);
     ClusterMetrics::get().epoch_aborts.inc();
     for (const std::string& staged : staged_nodes) {
       if (staged == self) {
-        uint64_t token = 0;
-        {
-          std::lock_guard<std::mutex> lock(coord.mu);
-          const auto it = coord.staged.find(epoch_id);
-          if (it != coord.staged.end()) {
-            token = it->second;
-            coord.staged.erase(it);
-          }
-        }
-        coord.store->abort_reencrypt(token);
+        apply_epoch_decision(coord, epoch_id, /*commit=*/false);
         continue;
       }
       send_epoch_control(self, staged, kEpochAbort, epoch_id,
@@ -665,25 +724,21 @@ void Cluster::handle_epoch(const std::string& self, ByteView epoch_wire) {
     throw;
   }
 
+  // ---- Decision record (presumed-abort write-ahead): the commit
+  // verdict lands in the coordinator's decision log — which survives
+  // kill_node — before any commit applies, so peers can resolve the
+  // epoch even if the coordinator dies right here.
+  {
+    std::lock_guard<std::mutex> lock(coord.mu);
+    coord.decisions[epoch_id] = kVerdictCommit;
+  }
+  // Crash point "decided": decision durable, nothing committed yet.
+  if (epoch_fault_hook_) epoch_fault_hook_(epoch_id, "decided");
+
   // ---- Phase 2: every node staged; commit everywhere. The local
   // commit happens first, the rest go through the durable queues —
   // a parked commit is a blocking delivery, replayed before any read.
-  {
-    uint64_t token = 0;
-    {
-      std::lock_guard<std::mutex> lock(coord.mu);
-      token = coord.staged.at(epoch_id);
-      coord.staged.erase(epoch_id);
-    }
-    std::vector<std::string> committed_files;
-    coord.store->commit_reencrypt(token, &committed_files);
-    std::lock_guard<std::mutex> lock(coord.mu);
-    for (const std::string& fid : committed_files) {
-      Meta& m = coord.meta[fid];
-      ++m.version;
-      m.hash = sha256_of(serialize(*grp_, *coord.store->fetch(fid)));
-    }
-  }
+  apply_epoch_decision(coord, epoch_id, /*commit=*/true);
   for (const std::string& peer : names_) {
     if (peer == self) continue;
     send_epoch_control(self, peer, kEpochCommit, epoch_id,
@@ -707,8 +762,20 @@ size_t Cluster::repair_all() {
     for (const std::string& id : n->store->file_ids()) ids.insert(id);
   }
   for (const std::string& id : ids) {
-    const std::string coord = route_for(id);
-    if (!alive(coord)) continue;  // whole replica set down
+    std::string coord = route_for(id);
+    if (!alive(coord)) {
+      // Whole replica set down: fall back to the next alive node in
+      // preference order so the attempt is made (and its quorum failure
+      // counted) instead of silently skipping the file.
+      coord.clear();
+      for (const std::string& n : ring_.preference_order(id)) {
+        if (alive(n)) {
+          coord = n;
+          break;
+        }
+      }
+      if (coord.empty()) continue;  // whole cluster down
+    }
     try {
       handle_fetch(coord, id);
     } catch (const Error&) {
@@ -720,12 +787,17 @@ size_t Cluster::repair_all() {
 
 Bytes Cluster::snapshot(const std::string& name) const {
   const Node& n = node(name);
+  // One consistent pass under the node mutex: taking version_of() per
+  // file after listing ids would let a concurrent store pair a new
+  // version with old bytes (or vice versa) — a torn read.
+  std::lock_guard<std::mutex> lock(n.mu);
   Writer w;
   const std::vector<std::string> ids = n.store->file_ids();
   w.u32(static_cast<uint32_t>(ids.size()));
   for (const std::string& id : ids) {
     w.str(id);
-    w.u64(version_of(name, id));
+    const auto it = n.meta.find(id);
+    w.u64(it == n.meta.end() ? 0 : it->second.version);
     w.var_bytes(serialize(*grp_, *n.store->fetch(id)));
   }
   return w.take();

@@ -35,7 +35,10 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
+#include <set>
 
+#include "cloud/recovery.h"
 #include "cloud/replication.h"
 #include "cloud/ring.h"
 #include "cloud/server.h"
@@ -125,14 +128,17 @@ class Cluster {
   /// (restart semantics: the committed store is durable, stage state is
   /// not). Messages to it now fail; durable sends park.
   void kill_node(const std::string& name);
-  /// Marks the node alive again and reconciles its parked durable queue:
-  /// replication/read-repair ops superseded by a newer parked version of
-  /// the same file are dropped (each op carries the whole file, applies
-  /// last-write-wins), and epoch commit/abort controls whose staged 2PC
-  /// state died with the node are dropped — a dropped commit counts as
-  /// an epoch_commit_orphan exactly as if it had been delivered and
-  /// found no staged state. After this, pending/replication-lag gauges
-  /// reflect only work the node will actually apply.
+  /// Marks the node alive again, reconciles its parked durable queue
+  /// (replication/read-repair ops superseded by a newer parked version
+  /// of the same file are dropped — each op carries the whole file and
+  /// applies last-write-wins — and epoch commit/abort controls whose
+  /// staged 2PC state died with the node are dropped, a dropped commit
+  /// counting as an epoch_commit_orphan), then runs the rejoin protocol
+  /// (DESIGN.md §15): resolve staged epochs, drain hinted hand-offs,
+  /// scoped Merkle anti-entropy against each alive peer, and a second
+  /// prune of parked ops the recovered state supersedes. After this the
+  /// node is byte-identical to its peers on the files it replicates,
+  /// without a full-store scan.
   void restart_node(const std::string& name);
 
   // ---- Placement -----------------------------------------------------
@@ -165,11 +171,29 @@ class Cluster {
   void handle_epoch(const std::string& self, ByteView epoch_wire);
 
   // ---- Anti-entropy / introspection ----------------------------------
-  /// Operator anti-entropy: quorum-read every known file at its current
-  /// coordinator so divergent replicas get read-repair ops. Files whose
-  /// replica sets cannot meet quorum are skipped. Returns the number of
-  /// repair ops issued.
+  /// Legacy operator anti-entropy: quorum-read every known file at its
+  /// current coordinator so divergent replicas get read-repair ops.
+  /// When the whole replica set of a file is down, the read is
+  /// attempted from the next alive node in preference order so the
+  /// failure is counted (quorum_failures) instead of silently skipped.
+  /// Prefer recovery().sync_all(): it moves only divergent files.
+  /// Returns the number of repair ops issued.
   size_t repair_all();
+
+  /// The self-healing subsystem (Merkle anti-entropy, hinted hand-off,
+  /// 2PC epoch resolution — DESIGN.md §15).
+  RecoveryManager& recovery() { return *recovery_; }
+  const RecoveryManager& recovery() const { return *recovery_; }
+
+  /// Test hook for 2PC crash injection: called during a multi-node
+  /// epoch with phase "staged" (all nodes staged, no decision recorded)
+  /// and "decided" (commit decision recorded, before any commit
+  /// applies). A hook that kills the coordinator and throws
+  /// TransportError simulates a coordinator crash at that point.
+  using EpochFaultHook = std::function<void(uint64_t, const std::string&)>;
+  void set_epoch_fault_hook(EpochFaultHook hook) {
+    epoch_fault_hook_ = std::move(hook);
+  }
 
   /// Canonical bytes of one node's store: sorted (file_id, version,
   /// serialized file). Two replicas converged iff snapshots agree on
@@ -184,6 +208,12 @@ class Cluster {
   uint64_t total_reencrypted_slots() const;
 
  private:
+  friend class RecoveryManager;
+
+  // 2PC decision-log verdicts (persisted per node, survive kill_node).
+  static constexpr uint8_t kVerdictCommit = 1;
+  static constexpr uint8_t kVerdictAbort = 2;
+
   struct Meta {
     uint64_t version = 0;
     Bytes hash;  ///< SHA-256 over the serialized file as written
@@ -194,6 +224,14 @@ class Cluster {
     bool alive = true;                       // guarded by mu
     std::map<std::string, Meta> meta;        // guarded by mu
     std::map<uint64_t, uint64_t> staged;     // epoch id -> store token, by mu
+    /// Hinted hand-off: target node -> (file_id -> newest missed
+    /// version). Held by the coordinator that shed/parked the write;
+    /// survives kill_node like the committed store. Guarded by mu.
+    std::map<std::string, std::map<std::string, uint64_t>> hints;
+    /// 2PC decision log: epoch id -> kVerdict*. The durable half of the
+    /// presumed-abort protocol — kill_node wipes staged state but never
+    /// this, so peers can resolve a dead coordinator's epochs. By mu.
+    std::map<uint64_t, uint8_t> decisions;
     mutable std::mutex mu;
   };
 
@@ -205,8 +243,14 @@ class Cluster {
   /// Local read of one node's copy, as a FetchReply.
   FetchReply local_read(const Node& n, const std::string& file_id) const;
   void apply_replication(Node& n, const ReplicationOp& op);
+  /// Records the verdict in n's decision log and commits or aborts the
+  /// staged epoch if n still holds it (store mutation + meta bump under
+  /// n.mu). Returns whether staged state was found. Used by phase 2, by
+  /// control applies and by the recovery resolver.
+  bool apply_epoch_decision(Node& n, uint64_t epoch_id, bool commit);
   void send_epoch_control(const std::string& self, const std::string& peer,
                           uint8_t verb, uint64_t epoch_id, const std::string& label);
+  bool epoch_in_flight(uint64_t epoch_id) const;
 
   std::shared_ptr<const pairing::Group> grp_;
   ClusterConfig config_;
@@ -215,6 +259,12 @@ class Cluster {
   std::vector<std::string> names_;
   std::vector<std::unique_ptr<Node>> nodes_;
   HashRing ring_;
+  std::unique_ptr<RecoveryManager> recovery_;
+  EpochFaultHook epoch_fault_hook_;
+  /// Epochs whose 2PC is currently executing; the recovery resolver
+  /// skips them (they are not stuck, just in flight).
+  mutable std::mutex active_epochs_mu_;
+  std::set<uint64_t> active_epochs_;
   std::atomic<uint64_t> next_epoch_id_{0};
   std::atomic<uint64_t> replication_ops_sent_{0};
   std::atomic<uint64_t> replication_ops_applied_{0};

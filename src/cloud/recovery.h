@@ -1,0 +1,181 @@
+// Self-healing recovery for the replicated Cluster (DESIGN.md §15).
+//
+// Three protocols, all speaking node-to-node over the same Transport the
+// data plane uses (so the meter and fault injection see every byte):
+//
+//  * Merkle anti-entropy — each node's store state folds into a per-
+//    shard hash tree over (file_id, version, content-hash of the bytes
+//    it currently holds); `sync(a, b)` walks the two trees level by
+//    level, root first, and transfers only the files under divergent
+//    leaves. Hashing the *current* bytes (not the recorded write hash)
+//    means silent bit-rot diverges the trees too, so sync survives
+//    corrupt and missing replicas, replacing repair_all()'s O(files)
+//    quorum fetches with O(divergence) transfers.
+//
+//  * Hinted hand-off — when a write sheds or parks for a dead replica,
+//    the coordinator records a typed hint (target, file_id, version).
+//    On rejoin the node drains its hints from every alive holder,
+//    pulling exactly the files written while it was down.
+//
+//  * 2PC epoch resolution — every commit/abort verdict is recorded in a
+//    per-node decision log that (unlike staged state) survives
+//    kill_node. When a coordinator dies mid-epoch, any alive replica
+//    resolves its staged epochs by querying peers for a decision:
+//    any recorded commit wins, otherwise presumed abort. No epoch
+//    stays staged-open forever.
+//
+// `rejoin(node)` (run by Cluster::restart_node) strings the three into
+// one traced sequence: resolve staged epochs, drain hints, then a
+// scoped anti-entropy round against each alive peer — byte-identical
+// state without a full-store scan.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace maabe::cloud {
+
+class Cluster;
+
+/// Result of one pairwise anti-entropy session (initiator's view).
+struct SyncReport {
+  uint64_t rounds = 0;             ///< tree-level exchanges (root → leaves)
+  uint64_t shards_divergent = 0;   ///< leaf shards whose digests differed
+  uint64_t files_pushed = 0;       ///< initiator → peer transfers
+  uint64_t files_pulled = 0;       ///< peer → initiator transfers
+  uint64_t bytes_transferred = 0;  ///< file payload bytes moved either way
+
+  bool converged_without_transfer() const {
+    return files_pushed + files_pulled == 0;
+  }
+  SyncReport& operator+=(const SyncReport& o) {
+    rounds += o.rounds;
+    shards_divergent += o.shards_divergent;
+    files_pushed += o.files_pushed;
+    files_pulled += o.files_pulled;
+    bytes_transferred += o.bytes_transferred;
+    return *this;
+  }
+};
+
+/// Monotonic counters (snapshot/subtract, ClusterStats style).
+struct RecoveryStats {
+  uint64_t hints_recorded = 0;
+  uint64_t hints_replayed = 0;    ///< hinted files pulled and applied
+  uint64_t hints_superseded = 0;  ///< cleared: local copy already as new
+  uint64_t hints_dropped = 0;     ///< cleared: holder no longer had the file
+  uint64_t syncs = 0;             ///< pairwise anti-entropy sessions
+  uint64_t sync_rounds = 0;       ///< tree-level exchanges across sessions
+  uint64_t shards_divergent = 0;
+  uint64_t files_transferred = 0;
+  uint64_t bytes_transferred = 0;
+  uint64_t epochs_resolved_commit = 0;
+  uint64_t epochs_resolved_abort = 0;
+  uint64_t rejoins = 0;
+  uint64_t sync_failures = 0;  ///< sessions/drains lost to transport faults
+};
+
+class RecoveryManager {
+ public:
+  // Both out of line: Session is incomplete here, and the sessions_ map
+  // needs its complete type for (exception-path) destruction.
+  explicit RecoveryManager(Cluster& cluster);
+  ~RecoveryManager();
+
+  RecoveryManager(const RecoveryManager&) = delete;
+  RecoveryManager& operator=(const RecoveryManager&) = delete;
+
+  // ---- Merkle anti-entropy -------------------------------------------
+  /// One pairwise session: `initiator` walks `peer`'s tree over the
+  /// transport and converges the files both nodes replicate. Both nodes
+  /// must be alive; throws TransportError(kLost) otherwise and lets
+  /// in-flight transport faults propagate.
+  SyncReport sync(const std::string& initiator, const std::string& peer);
+  /// Every alive pair, tolerating per-pair transport failures (counted
+  /// in stats().sync_failures). The operator-facing repair_all()
+  /// replacement: O(divergence) transfers instead of O(files) reads.
+  SyncReport sync_all();
+
+  // ---- Hinted hand-off -----------------------------------------------
+  /// Records at `holder` that `target` missed (file_id, version). Called
+  /// by the write paths when a fan-out parks or sheds.
+  void record_hint(const std::string& holder, const std::string& target,
+                   const std::string& file_id, uint64_t version);
+  /// Rejoining side: pull every hinted file from every alive holder and
+  /// clear the served hints. Returns hints drained (replayed, superseded
+  /// or dropped). Per-holder transport failures leave that holder's
+  /// hints for a later drain.
+  size_t drain_hints_for(const std::string& target);
+  /// Hints currently held for `target`, across all holders.
+  size_t hint_count(const std::string& target) const;
+  /// All hints across all holders and targets.
+  size_t pending_hints() const;
+
+  // ---- 2PC epoch resolution ------------------------------------------
+  /// Resolves every staged-open epoch on every alive node: query alive
+  /// peers for a recorded decision — any commit wins, otherwise
+  /// presumed abort. Skips epochs whose 2PC is still in flight. Returns
+  /// the number of epochs resolved.
+  size_t resolve_staged_epochs();
+
+  // ---- Rejoin orchestration ------------------------------------------
+  /// The restart_node recovery sequence, linked under one
+  /// "recovery.rejoin" span: resolve staged epochs, drain this node's
+  /// hints, scoped anti-entropy against each alive peer. No full-store
+  /// scan and no quorum reads.
+  void rejoin(const std::string& name);
+
+  RecoveryStats stats() const;
+
+ private:
+  struct ShardLeaf;
+  struct Session;
+
+  /// Two transport legs (request then reply), like the quorum read, so
+  /// the meter sees both directions.
+  Bytes rpc(const std::string& from, const std::string& to, Bytes request);
+  /// Responder dispatch for every recovery verb.
+  Bytes serve(const std::string& self, ByteView request);
+
+  std::vector<std::vector<ShardLeaf>> pair_listing(const std::string& owner,
+                                                   const std::string& peer);
+  static std::vector<std::vector<Bytes>> build_tree_levels(
+      const std::vector<std::vector<ShardLeaf>>& listing);
+  Session& session_for(const std::string& owner, const std::string& peer,
+                       uint64_t sync_id);
+  void push_file(const std::string& from, const std::string& to,
+                 const ShardLeaf& leaf, SyncReport* rep);
+  bool pull_file(const std::string& to, const std::string& from,
+                 const std::string& file_id, uint64_t* bytes);
+  void clear_hint(const std::string& target, const std::string& holder,
+                  const std::string& file_id, uint64_t version);
+
+  Cluster& cluster_;
+
+  std::mutex mu_;  ///< guards sessions_
+  std::map<std::string, std::unique_ptr<Session>> sessions_;  // responder → latest
+  std::atomic<uint64_t> next_sync_id_{0};
+
+  std::atomic<uint64_t> hints_recorded_{0};
+  std::atomic<uint64_t> hints_replayed_{0};
+  std::atomic<uint64_t> hints_superseded_{0};
+  std::atomic<uint64_t> hints_dropped_{0};
+  std::atomic<uint64_t> syncs_{0};
+  std::atomic<uint64_t> sync_rounds_{0};
+  std::atomic<uint64_t> shards_divergent_{0};
+  std::atomic<uint64_t> files_transferred_{0};
+  std::atomic<uint64_t> bytes_transferred_{0};
+  std::atomic<uint64_t> epochs_resolved_commit_{0};
+  std::atomic<uint64_t> epochs_resolved_abort_{0};
+  std::atomic<uint64_t> rejoins_{0};
+  std::atomic<uint64_t> sync_failures_{0};
+};
+
+}  // namespace maabe::cloud

@@ -1,0 +1,458 @@
+// Self-healing recovery suite (DESIGN.md §15), under the `recovery`
+// ctest label (also part of the unit/unit-asan/unit-tsan presets).
+// Invariants:
+//   1. Merkle anti-entropy converges a divergent pair by transferring
+//      only the divergent files — a converged pair moves nothing, and a
+//      corrupt replica is restored from the authentic copy.
+//   2. A node killed mid-workload rejoins byte-identically through
+//      hinted hand-off + scoped anti-entropy alone: no full-store scan
+//      and zero quorum reads, moving less than a full snapshot.
+//   3. A 2PC epoch whose coordinator dies between stage and commit
+//      resolves on the survivors (presumed abort when no decision was
+//      recorded, commit when the write-ahead verdict exists) — no epoch
+//      stays staged-open.
+//   4. snapshot() never pairs a file's bytes with another version's
+//      metadata while writers run (torn-read regression, TSan-backed).
+//   5. repair_all() still attempts files whose coordinator is dead by
+//      falling back along the ring preference order.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "cloud/system.h"
+#include "common/errors.h"
+#include "crypto/sha256.h"
+#include "loadgen/loadgen.h"
+
+namespace maabe::cloud {
+namespace {
+
+using pairing::Group;
+
+std::unique_ptr<CloudSystem> make_system(std::shared_ptr<const Group> grp,
+                                         size_t nodes, size_t replication) {
+  ClusterConfig cfg;
+  cfg.nodes = nodes;
+  cfg.replication = replication;
+  return std::make_unique<CloudSystem>(
+      grp, "recovery-suite", std::make_unique<LoopbackTransport>(),
+      RetryPolicy(), cfg);
+}
+
+void enroll(CloudSystem& sys) {
+  sys.add_authority("Med", {"Doctor"});
+  sys.add_owner("hosp");
+  sys.publish_authority_keys("Med", "hosp");
+  sys.add_user("alice");
+  sys.add_user("bob");
+  sys.assign_attributes("Med", "alice", {"Doctor"});
+  sys.assign_attributes("Med", "bob", {"Doctor"});
+  sys.issue_user_key("Med", "alice", "hosp");
+  sys.issue_user_key("Med", "bob", "hosp");
+}
+
+std::string record_of(const std::string& file_id) { return "record " + file_id; }
+
+void upload_all(CloudSystem& sys, const std::vector<std::string>& files) {
+  for (const std::string& f : files) {
+    sys.upload("hosp", f, {{"a", bytes_of(record_of(f)), "Doctor@Med"}});
+  }
+}
+
+std::vector<std::string> eight_files() {
+  std::vector<std::string> files;
+  for (int i = 0; i < 8; ++i) files.push_back("f" + std::to_string(i));
+  return files;
+}
+
+void expect_replicas_converged(CloudSystem& sys,
+                               const std::vector<std::string>& files) {
+  Cluster& c = sys.cluster();
+  for (const std::string& f : files) {
+    const std::vector<std::string> replicas = c.replicas_for(f);
+    ASSERT_FALSE(replicas.empty());
+    ASSERT_TRUE(c.node_store(replicas.front()).has_file(f));
+    const Bytes want =
+        serialize(sys.group(), *c.node_store(replicas.front()).fetch(f));
+    const uint64_t version = c.version_of(replicas.front(), f);
+    for (const std::string& name : replicas) {
+      ASSERT_TRUE(c.node_store(name).has_file(f))
+          << "replica " << name << " missing '" << f << "'";
+      EXPECT_EQ(serialize(sys.group(), *c.node_store(name).fetch(f)), want)
+          << "replica " << name << " diverged on '" << f << "'";
+      EXPECT_EQ(c.version_of(name, f), version)
+          << "replica " << name << " at wrong version of '" << f << "'";
+    }
+  }
+}
+
+/// A file whose replica set contains `node` (deterministic placement;
+/// with 8 files every node holds some).
+std::string file_replicated_on(CloudSystem& sys, const std::string& node,
+                               const std::vector<std::string>& files) {
+  for (const std::string& f : files) {
+    const auto replicas = sys.cluster().replicas_for(f);
+    if (std::find(replicas.begin(), replicas.end(), node) != replicas.end())
+      return f;
+  }
+  return "";
+}
+
+// ------------------------------------------------ Merkle anti-entropy --
+
+TEST(RecoveryTest, SyncOnConvergedPairMovesNothing) {
+  auto sys = make_system(Group::test_small(), 3, 3);
+  enroll(*sys);
+  upload_all(*sys, eight_files());
+  ASSERT_EQ(sys->flush_pending(), 0u);
+
+  const SyncReport rep = sys->cluster().recovery().sync("node:0", "node:1");
+  EXPECT_TRUE(rep.converged_without_transfer());
+  EXPECT_GE(rep.rounds, 1u);  // root digests compared and matched
+  EXPECT_EQ(rep.shards_divergent, 0u);
+  EXPECT_EQ(rep.bytes_transferred, 0u);
+}
+
+TEST(RecoveryTest, SyncRestoresCorruptReplicaFromAuthenticCopy) {
+  auto sys = make_system(Group::test_small(), 3, 3);
+  enroll(*sys);
+  upload_all(*sys, {"f1"});
+  ASSERT_EQ(sys->flush_pending(), 0u);
+
+  // Rot one non-coordinator replica on disk: same version, different
+  // bytes, recorded hash still pointing at the original. Only hashing
+  // the *current* bytes lets the trees diverge on this.
+  Cluster& c = sys->cluster();
+  const std::string coord = c.route_for("f1");
+  std::string victim;
+  for (const std::string& name : c.node_names()) {
+    if (name != coord) {
+      victim = name;
+      break;
+    }
+  }
+  StoredFile rotted = *c.node_store(victim).fetch("f1");
+  ASSERT_FALSE(rotted.slots.empty());
+  ASSERT_GT(rotted.slots[0].sealed_data.size(), 10u);
+  rotted.slots[0].sealed_data[10] ^= 0x40;
+  c.node_store(victim).store(std::move(rotted));
+
+  const SyncReport rep = c.recovery().sync(victim, coord);
+  EXPECT_GE(rep.shards_divergent, 1u);
+  EXPECT_EQ(rep.files_pulled, 1u);  // authentic copy wins, victim pulls
+  EXPECT_GT(rep.bytes_transferred, 0u);
+  EXPECT_EQ(serialize(sys->group(), *c.node_store(victim).fetch("f1")),
+            serialize(sys->group(), *c.node_store(coord).fetch("f1")));
+  EXPECT_TRUE(sys->download_report("alice", "f1").all_ok());
+
+  // Once healed, a second pass is pure hash comparison.
+  EXPECT_TRUE(c.recovery().sync(victim, coord).converged_without_transfer());
+}
+
+TEST(RecoveryTest, SyncRefusesDeadPeer) {
+  auto sys = make_system(Group::test_small(), 3, 2);
+  enroll(*sys);
+  sys->cluster().kill_node("node:1");
+  EXPECT_THROW(sys->cluster().recovery().sync("node:0", "node:1"),
+               TransportError);
+  EXPECT_THROW(sys->cluster().recovery().sync("node:1", "node:0"),
+               TransportError);
+}
+
+// ------------------------------------------------- hinted hand-off --
+
+TEST(RecoveryTest, HintsRecordedForDeadReplicaAndDrainedOnRejoin) {
+  auto sys = make_system(Group::test_small(), 3, 2);
+  enroll(*sys);
+  const std::vector<std::string> files = eight_files();
+  upload_all(*sys, files);
+  ASSERT_EQ(sys->flush_pending(), 0u);
+
+  const std::string fx = file_replicated_on(*sys, "node:1", files);
+  ASSERT_FALSE(fx.empty());
+  sys->cluster().kill_node("node:1");
+  sys->upload("hosp", fx, {{"b", bytes_of("v2 " + fx), "Doctor@Med"}});
+  sys->upload("hosp", fx, {{"c", bytes_of("v3 " + fx), "Doctor@Med"}});
+
+  RecoveryManager& rec = sys->cluster().recovery();
+  EXPECT_GE(rec.hint_count("node:1"), 1u);  // one hint at the max version
+  EXPECT_GE(rec.pending_hints(), 1u);
+  const RecoveryStats before = rec.stats();
+  EXPECT_GE(before.hints_recorded, 2u);  // both parked writes left one
+
+  sys->cluster().restart_node("node:1");
+  EXPECT_EQ(rec.hint_count("node:1"), 0u);
+  EXPECT_EQ(rec.pending_hints(), 0u);
+  const RecoveryStats after = rec.stats();
+  EXPECT_GE(after.hints_replayed, before.hints_replayed + 1);
+  EXPECT_EQ(sys->flush_pending(), 0u);
+  expect_replicas_converged(*sys, files);
+  EXPECT_TRUE(sys->download_report("alice", fx).all_ok());
+}
+
+// ------------------------------------ rejoin without a full-store scan --
+
+TEST(RecoveryChaos, KilledNodeRejoinsByteIdenticallyWithoutFullScan) {
+  auto sys = make_system(Group::test_small(), 3, 2);
+  enroll(*sys);
+  const std::vector<std::string> files = eight_files();
+  upload_all(*sys, files);
+  ASSERT_EQ(sys->flush_pending(), 0u);
+  expect_replicas_converged(*sys, files);
+
+  const std::string fx = file_replicated_on(*sys, "node:1", files);
+  ASSERT_FALSE(fx.empty());
+  sys->cluster().kill_node("node:1");
+  sys->upload("hosp", fx, {{"b", bytes_of("v2 " + fx), "Doctor@Med"}});
+  sys->upload("hosp", fx, {{"c", bytes_of("v3 " + fx), "Doctor@Med"}});
+
+  const ClusterStats cluster_before = sys->cluster().stats();
+  const RecoveryStats rec_before = sys->cluster().recovery().stats();
+
+  sys->cluster().restart_node("node:1");
+  EXPECT_EQ(sys->flush_pending(), 0u);
+  EXPECT_EQ(sys->replication_lag(), 0u);
+  expect_replicas_converged(*sys, files);
+
+  // Convergence came from hints + anti-entropy alone: the rejoin issued
+  // zero quorum reads (the full-scan repair path), and moved strictly
+  // less than the node's full store.
+  const ClusterStats cluster_after = sys->cluster().stats();
+  EXPECT_EQ(cluster_after.quorum_reads, cluster_before.quorum_reads);
+  EXPECT_EQ(cluster_after.quorum_failures, cluster_before.quorum_failures);
+  const RecoveryStats rec_after = sys->cluster().recovery().stats();
+  EXPECT_GE(rec_after.rejoins, rec_before.rejoins + 1);
+  EXPECT_GE(rec_after.hints_replayed, rec_before.hints_replayed + 1);
+  const uint64_t moved = rec_after.bytes_transferred - rec_before.bytes_transferred;
+  EXPECT_GT(moved, 0u);
+  EXPECT_LT(moved, sys->cluster().snapshot("node:1").size());
+  EXPECT_TRUE(sys->download_report("alice", fx).all_ok());
+}
+
+TEST(RecoveryChaos, WorkloadKillAndRejoinConvergesUnderTraffic) {
+  loadgen::WorkloadConfig cfg;
+  cfg.nodes = 3;
+  cfg.replication = 2;
+  cfg.users = 4;
+  cfg.files = 12;
+  cfg.ops = 60;
+  cfg.store_weight = 0.5;  // outage writes are what the rejoin must heal
+  cfg.download_weight = 0.4;
+  cfg.revoke_weight = 0.0;
+  cfg.churn_weight = 0.1;
+  cfg.flush_every = 0;  // no background replay: recovery works alone
+  cfg.events.push_back(
+      {10, loadgen::ScenarioEvent::Kind::kKillNode, "node:1", 0});
+  cfg.events.push_back(
+      {45, loadgen::ScenarioEvent::Kind::kRejoinNode, "node:1", 0});
+
+  loadgen::LoadGenerator gen(Group::test_small(), cfg);
+  gen.setup();
+  const loadgen::WorkloadReport report = gen.run();
+
+  EXPECT_EQ(report.rejoins, 1u);
+  EXPECT_GT(report.recovery_convergence_ms, 0.0);
+  EXPECT_GE(report.recovery_hints_replayed, 1u);
+  EXPECT_GT(report.recovery_bytes_transferred, 0u);
+  EXPECT_EQ(gen.system().flush_pending(), 0u);
+  EXPECT_EQ(gen.system().replication_lag(), 0u);
+  std::vector<std::string> files;
+  for (size_t f = 0; f < cfg.files; ++f)
+    files.push_back("file" + std::to_string(f));
+  expect_replicas_converged(gen.system(), files);
+}
+
+// --------------------------------------- 2PC coordinator recovery --
+
+TEST(RecoveryChaos, CoordinatorKilledAfterStagingResolvesPresumedAbort) {
+  auto sys = make_system(Group::test_small(), 3, 3);
+  enroll(*sys);
+  const std::vector<std::string> files = {"f1", "f2", "f3"};
+  upload_all(*sys, files);
+  ASSERT_EQ(sys->flush_pending(), 0u);
+
+  // Crash the coordinator after every node staged but before any
+  // decision was recorded: peers are staged-open with empty decision
+  // logs everywhere — the presumed-abort case.
+  const std::string coord = sys->cluster().coordinator();
+  std::atomic<bool> fired{false};
+  sys->cluster().set_epoch_fault_hook(
+      [&](uint64_t, const std::string& phase) {
+        if (phase == "staged" && !fired.exchange(true)) {
+          sys->cluster().kill_node(coord);
+          throw TransportError(TransportError::Kind::kLost,
+                               "injected coordinator crash");
+        }
+      });
+  EXPECT_EQ(sys->revoke_attribute("Med", "bob", "Doctor"), 0u);
+  ASSERT_TRUE(fired.load());
+  size_t staged_open = 0;
+  for (const std::string& name : sys->cluster().node_names()) {
+    if (name != coord) staged_open += sys->health(name).epochs_staged_open;
+  }
+  EXPECT_EQ(staged_open, 2u);
+
+  // Survivors resolve with the coordinator still dead: no decision
+  // record anywhere -> presumed abort, stores byte-identical to before
+  // the epoch, nothing staged-open.
+  const RecoveryStats before = sys->cluster().recovery().stats();
+  EXPECT_EQ(sys->cluster().recovery().resolve_staged_epochs(), 2u);
+  EXPECT_GE(sys->cluster().recovery().stats().epochs_resolved_abort,
+            before.epochs_resolved_abort + 2);
+  for (const std::string& name : sys->cluster().node_names()) {
+    EXPECT_EQ(sys->health(name).epochs_staged_open, 0u) << name;
+  }
+
+  // Heal: the epoch message stayed parked at the dead coordinator's
+  // queue; the restart replays it as a fresh 2PC which commits.
+  sys->cluster().set_epoch_fault_hook({});
+  sys->cluster().restart_node(coord);
+  EXPECT_EQ(sys->flush_pending(), 0u);
+  for (const std::string& name : sys->cluster().node_names()) {
+    EXPECT_EQ(sys->health(name).epochs_staged_open, 0u) << name;
+  }
+  EXPECT_GE(sys->cluster().stats().epoch_commits, 1u);
+  expect_replicas_converged(*sys, files);
+  for (const std::string& f : files) {
+    EXPECT_TRUE(sys->download_report("bob", f).opened().empty());
+    EXPECT_TRUE(sys->download_report("alice", f).all_ok());
+  }
+}
+
+TEST(RecoveryChaos, CoordinatorKilledAfterDecisionResolvesCommit) {
+  auto sys = make_system(Group::test_small(), 3, 3);
+  enroll(*sys);
+  const std::vector<std::string> files = {"f1", "f2", "f3"};
+  upload_all(*sys, files);
+  ASSERT_EQ(sys->flush_pending(), 0u);
+
+  // Crash after the write-ahead commit verdict but before any commit
+  // applied: the coordinator's decision log (which survives the kill)
+  // is the only witness that this epoch must commit.
+  const std::string coord = sys->cluster().coordinator();
+  std::atomic<bool> fired{false};
+  sys->cluster().set_epoch_fault_hook(
+      [&](uint64_t, const std::string& phase) {
+        if (phase == "decided" && !fired.exchange(true)) {
+          sys->cluster().kill_node(coord);
+          throw TransportError(TransportError::Kind::kLost,
+                               "injected coordinator crash");
+        }
+      });
+  EXPECT_EQ(sys->revoke_attribute("Med", "bob", "Doctor"), 0u);
+  ASSERT_TRUE(fired.load());
+  size_t staged_open = 0;
+  for (const std::string& name : sys->cluster().node_names()) {
+    if (name != coord) staged_open += sys->health(name).epochs_staged_open;
+  }
+  EXPECT_EQ(staged_open, 2u);
+
+  // Rejoin resolves the peers from the recorded verdict (commit), then
+  // anti-entropy pulls the re-encrypted bytes back onto the coordinator
+  // (whose own staged copy died with it).
+  sys->cluster().set_epoch_fault_hook({});
+  const RecoveryStats before = sys->cluster().recovery().stats();
+  sys->cluster().restart_node(coord);
+  const RecoveryStats after = sys->cluster().recovery().stats();
+  EXPECT_GE(after.epochs_resolved_commit, before.epochs_resolved_commit + 2);
+  for (const std::string& name : sys->cluster().node_names()) {
+    EXPECT_EQ(sys->health(name).epochs_staged_open, 0u) << name;
+  }
+  // The parked epoch message replays as a fresh 2PC over already
+  // re-encrypted slots: it stages an empty change set and commits as a
+  // no-op, leaving state untouched.
+  EXPECT_EQ(sys->flush_pending(), 0u);
+  expect_replicas_converged(*sys, files);
+  for (const std::string& f : files) {
+    EXPECT_TRUE(sys->download_report("bob", f).opened().empty());
+    EXPECT_TRUE(sys->download_report("alice", f).all_ok());
+  }
+}
+
+// ---------------------------------------------- snapshot consistency --
+
+TEST(RecoveryTest, SnapshotNeverTearsVersionFromBytes) {
+  auto sys = make_system(Group::test_small(), 3, 2);
+  enroll(*sys);
+  upload_all(*sys, {"tf"});
+  ASSERT_EQ(sys->flush_pending(), 0u);
+
+  Cluster& c = sys->cluster();
+  const std::string coord = c.route_for("tf");
+  const uint64_t base = c.version_of(coord, "tf");
+
+  // Pre-build K distinct versions of the file (same id, perturbed
+  // sealed bytes) so the writer thread needs no client-side crypto.
+  constexpr size_t kVersions = 24;
+  std::vector<Bytes> wires;
+  for (size_t v = 0; v < kVersions; ++v) {
+    StoredFile variant = *c.node_store(coord).fetch("tf");
+    variant.slots[0].sealed_data[0] ^= static_cast<uint8_t>(v + 1);
+    wires.push_back(serialize(sys->group(), variant));
+  }
+  const Bytes initial = serialize(sys->group(), *c.node_store(coord).fetch("tf"));
+
+  std::atomic<bool> done{false};
+  std::atomic<size_t> torn{0};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const Bytes snap = c.snapshot(coord);
+      Reader r(snap);
+      const uint32_t count = r.u32();
+      for (uint32_t i = 0; i < count; ++i) {
+        const std::string id = r.str();
+        const uint64_t version = r.u64();
+        const Bytes bytes = r.var_bytes();
+        if (id != "tf") continue;
+        // handle_store assigns base+1, base+2, ... to wires[0], [1], ...
+        // under the same mutex hold that stores the bytes; any other
+        // pairing is a torn read.
+        const Bytes& want =
+            version == base ? initial : wires.at(version - base - 1);
+        if (bytes != want) torn.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  for (const Bytes& wire : wires) c.handle_store(coord, wire);
+  done.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_EQ(c.version_of(coord, "tf"), base + kVersions);
+  sys->flush_pending();
+}
+
+// ----------------------------------------------- repair_all fallback --
+
+TEST(RecoveryTest, RepairAllAttemptsFilesWhoseCoordinatorIsDead) {
+  auto sys = make_system(Group::test_small(), 3, 2);
+  enroll(*sys);
+  const std::vector<std::string> files = eight_files();
+  upload_all(*sys, files);
+  ASSERT_EQ(sys->flush_pending(), 0u);
+
+  // Kill a node that is primary for at least one file: the old
+  // repair_all skipped those files outright; now the next alive node in
+  // preference order runs the read, whose quorum failure is counted
+  // (R=2 majority needs both replicas).
+  std::string victim;
+  for (const std::string& name : sys->cluster().node_names()) {
+    for (const std::string& f : files) {
+      if (sys->cluster().route_for(f) == name) {
+        victim = name;
+        break;
+      }
+    }
+    if (!victim.empty()) break;
+  }
+  ASSERT_FALSE(victim.empty());
+  sys->cluster().kill_node(victim);
+
+  const uint64_t failures_before = sys->cluster().stats().quorum_failures;
+  sys->cluster().repair_all();
+  EXPECT_GT(sys->cluster().stats().quorum_failures, failures_before);
+}
+
+}  // namespace
+}  // namespace maabe::cloud

@@ -104,6 +104,12 @@ WorkloadReport& WorkloadReport::operator+=(const WorkloadReport& o) {
   parked_rejected += o.parked_rejected;
   replication_sheds += o.replication_sheds;
   restart_prunes += o.restart_prunes;
+  rejoins += o.rejoins;
+  recovery_convergence_ms += o.recovery_convergence_ms;
+  recovery_bytes_transferred += o.recovery_bytes_transferred;
+  recovery_files_transferred += o.recovery_files_transferred;
+  recovery_hints_replayed += o.recovery_hints_replayed;
+  recovery_epochs_resolved += o.recovery_epochs_resolved;
   return *this;
 }
 
@@ -338,6 +344,32 @@ void LoadGenerator::fire_event(const ScenarioEvent& ev, WorkloadReport& report) 
       sys_->cluster().restart_node(ev.node);
       sys_->flush_pending();  // queue replay — the recovery daemon
       break;
+    case ScenarioEvent::Kind::kRejoinNode: {
+      // Same restart + replay as kRestartNode, but bracketed by the
+      // recovery counters so the report carries how much the rejoin
+      // protocol (hint drain + anti-entropy + epoch resolution) moved
+      // and how long convergence took.
+      const cloud::RecoveryStats before = sys_->cluster().recovery().stats();
+      const auto t0 = std::chrono::steady_clock::now();
+      sys_->cluster().restart_node(ev.node);
+      sys_->flush_pending();
+      report.recovery_convergence_ms +=
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
+      const cloud::RecoveryStats after = sys_->cluster().recovery().stats();
+      ++report.rejoins;
+      report.recovery_bytes_transferred +=
+          after.bytes_transferred - before.bytes_transferred;
+      report.recovery_files_transferred +=
+          after.files_transferred - before.files_transferred;
+      report.recovery_hints_replayed +=
+          after.hints_replayed - before.hints_replayed;
+      report.recovery_epochs_resolved +=
+          (after.epochs_resolved_commit + after.epochs_resolved_abort) -
+          (before.epochs_resolved_commit + before.epochs_resolved_abort);
+      break;
+    }
   }
 }
 

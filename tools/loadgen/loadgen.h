@@ -44,6 +44,9 @@ struct ScenarioEvent {
     kRevocationStorm,  ///< `revocations` back-to-back revoke ops
     kKillNode,         ///< kill `node` (authority outage for its shards)
     kRestartNode,      ///< restart `node` (reconcile + replay)
+    kRejoinNode,       ///< restart `node`, timing the recovery protocol
+                       ///< (hints + anti-entropy + epoch resolution) and
+                       ///< folding the deltas into the report
   };
   size_t at_op = 0;
   Kind kind = Kind::kRevocationStorm;
@@ -109,6 +112,14 @@ struct WorkloadReport {
   uint64_t parked_rejected = 0;    ///< durable-queue cap rejections
   uint64_t replication_sheds = 0;  ///< maintenance ops shed under backpressure
   uint64_t restart_prunes = 0;     ///< parked ops reconciled away on restart
+
+  // ---- recovery (populated by kRejoinNode events) ----
+  uint64_t rejoins = 0;                       ///< kRejoinNode events fired
+  double recovery_convergence_ms = 0;         ///< wall time of rejoin + replay
+  uint64_t recovery_bytes_transferred = 0;    ///< hint + anti-entropy payloads
+  uint64_t recovery_files_transferred = 0;
+  uint64_t recovery_hints_replayed = 0;
+  uint64_t recovery_epochs_resolved = 0;      ///< commit + presumed-abort
 
   /// Merges another report into this one (for phase-wise runs).
   WorkloadReport& operator+=(const WorkloadReport& o);

@@ -43,6 +43,9 @@ void usage(const char* argv0) {
       "  --kill-at OP          kill a node before op OP\n"
       "  --kill-node I         node index to kill/restart (default 1)\n"
       "  --restart-at OP       restart the killed node before op OP\n"
+      "  --rejoin-at OP        restart via the recovery protocol before op OP,\n"
+      "                        timing convergence and bytes moved\n"
+      "  --recovery-stats      print the recovery section after the run\n"
       "  --small               use the fast insecure curve (or MAABE_BENCH_SMALL=1)\n",
       argv0);
 }
@@ -77,8 +80,9 @@ maabe::bench::Json stats_json(const OpStats& s) {
 int main(int argc, char** argv) {
   WorkloadConfig cfg;
   size_t storm_at = 0, storm_size = 4, kill_at = 0, restart_at = 0;
-  size_t kill_node = 1;
+  size_t rejoin_at = 0, kill_node = 1;
   bool has_storm = false, has_kill = false, has_restart = false;
+  bool has_rejoin = false, recovery_stats = false;
   bool small = std::getenv("MAABE_BENCH_SMALL") != nullptr &&
                std::getenv("MAABE_BENCH_SMALL")[0] == '1';
 
@@ -107,6 +111,8 @@ int main(int argc, char** argv) {
     else if (arg == "--kill-at") { kill_at = std::strtoull(next(), nullptr, 10); has_kill = true; }
     else if (arg == "--kill-node") kill_node = std::strtoull(next(), nullptr, 10);
     else if (arg == "--restart-at") { restart_at = std::strtoull(next(), nullptr, 10); has_restart = true; }
+    else if (arg == "--rejoin-at") { rejoin_at = std::strtoull(next(), nullptr, 10); has_rejoin = true; }
+    else if (arg == "--recovery-stats") recovery_stats = true;
     else if (arg == "--small") small = true;
     else if (arg == "--help" || arg == "-h") { usage(argv[0]); return 0; }
     else {
@@ -122,6 +128,8 @@ int main(int argc, char** argv) {
   if (has_kill) cfg.events.push_back({kill_at, ScenarioEvent::Kind::kKillNode, node, 0});
   if (has_restart)
     cfg.events.push_back({restart_at, ScenarioEvent::Kind::kRestartNode, node, 0});
+  if (has_rejoin)
+    cfg.events.push_back({rejoin_at, ScenarioEvent::Kind::kRejoinNode, node, 0});
 
   auto grp = small ? maabe::pairing::Group::test_small()
                    : maabe::pairing::Group::pbc_a512();
@@ -152,6 +160,17 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(report.parked_rejected),
               static_cast<unsigned long long>(report.replication_sheds),
               static_cast<unsigned long long>(report.restart_prunes));
+  if (recovery_stats) {
+    std::printf("  recovery: %llu rejoins converged in %.2f ms, "
+                "%llu files / %llu bytes transferred, "
+                "%llu hints replayed, %llu epochs resolved\n",
+                static_cast<unsigned long long>(report.rejoins),
+                report.recovery_convergence_ms,
+                static_cast<unsigned long long>(report.recovery_files_transferred),
+                static_cast<unsigned long long>(report.recovery_bytes_transferred),
+                static_cast<unsigned long long>(report.recovery_hints_replayed),
+                static_cast<unsigned long long>(report.recovery_epochs_resolved));
+  }
 
   maabe::bench::Json per_op;
   for (const auto& [cls, stats] : report.per_op) per_op.put(cls, stats_json(stats));
@@ -166,7 +185,13 @@ int main(int argc, char** argv) {
       .put("decrypt_cache_misses", report.decrypt_cache_misses)
       .put("parked_rejected", report.parked_rejected)
       .put("replication_sheds", report.replication_sheds)
-      .put("restart_prunes", report.restart_prunes);
+      .put("restart_prunes", report.restart_prunes)
+      .put("rejoins", report.rejoins)
+      .put("recovery_convergence_ms", report.recovery_convergence_ms)
+      .put("recovery_bytes_transferred", report.recovery_bytes_transferred)
+      .put("recovery_files_transferred", report.recovery_files_transferred)
+      .put("recovery_hints_replayed", report.recovery_hints_replayed)
+      .put("recovery_epochs_resolved", report.recovery_epochs_resolved);
   maabe::bench::write_bench_json("workload_cli", root);
   return 0;
 }
