@@ -25,7 +25,7 @@
 #   workload       -> BENCH_workload.json download_p99_ms, achieved_qps,
 #                     overload_rejected, overload_bounded,
 #                     recovery_bytes_transferred, recovery_bounded,
-#                     recovery_staged_open_zero
+#                     recovery_staged_open_zero, slo_download_p99_met
 #       The steady mixed-Zipf curve against a 3-node cluster:
 #       download tail latency guarded against the baseline (generous —
 #       it is a wall time on a shared host), throughput floored at a
@@ -36,6 +36,10 @@
 #       recovery protocol: some bytes moved, strictly less than a full
 #       snapshot of the rejoined node (recovery_bounded folds the
 #       <0.9x-snapshot ratio check), and zero epochs left staged-open.
+#       The SLO plane scores the steady curve against generous rolling
+#       objectives (download_p99_ms=250 et al.); a fault-free run must
+#       stay inside every budget, so slo_download_p99_met is floored
+#       at 1.
 #
 # Usage: bench_smoke.sh <pairing_micro> <revocation> <workload> \
 #                       <bench_guard> <baseline_dir>
@@ -78,5 +82,6 @@ export MAABE_BENCH_SMALL=1
 "$GUARD" floor BENCH_workload.json recovery_bytes_transferred 1
 "$GUARD" floor BENCH_workload.json recovery_bounded 1
 "$GUARD" floor BENCH_workload.json recovery_staged_open_zero 1
+"$GUARD" floor BENCH_workload.json slo_download_p99_met 1
 
 echo "bench-smoke: OK"

@@ -41,6 +41,14 @@ using loadgen::ScenarioEvent;
 using loadgen::WorkloadConfig;
 using loadgen::WorkloadReport;
 
+/// SLO spec applied to every scenario (DESIGN.md §16). Thresholds are
+/// deliberately generous against the committed steady baseline
+/// (download p99 ~2 ms on the small curve): steady must meet them
+/// (slo_download_p99_met is smoke-guarded), the fault scenarios show
+/// burn rates above 1 when degraded/rejected ops eat the budget.
+constexpr const char* kSloSpec =
+    "download_p99_ms=250,epoch_commit_ms=30000@0.95,error_rate=0.01";
+
 WorkloadConfig base_config() {
   WorkloadConfig cfg;
   cfg.authorities = 2;
@@ -53,7 +61,27 @@ WorkloadConfig base_config() {
   cfg.ops = 240;
   cfg.zipf_s = 1.1;
   cfg.seed = 42;
+  cfg.slo_spec = kSloSpec;
   return cfg;
+}
+
+Json slo_json(const maabe::telemetry::SloStatus& s) {
+  Json j;
+  j.put("objective", s.objective)
+      .put("threshold_ms", s.threshold_ms)
+      .put("samples", s.samples)
+      .put("bad", s.bad)
+      .put("burn_short", s.burn_short)
+      .put("burn_long", s.burn_long)
+      .put("met", s.met ? 1 : 0);
+  return j;
+}
+
+int slo_met(const WorkloadReport& r, const std::string& name) {
+  for (const auto& s : r.slo) {
+    if (s.name == name) return s.met ? 1 : 0;
+  }
+  return 0;  // untracked objective reads as unmet, never silently green
 }
 
 Json op_json(const OpStats& s) {
@@ -89,6 +117,11 @@ Json report_json(const WorkloadReport& r) {
       .put("recovery_files_transferred", r.recovery_files_transferred)
       .put("recovery_hints_replayed", r.recovery_hints_replayed)
       .put("recovery_epochs_resolved", r.recovery_epochs_resolved);
+  if (!r.slo.empty()) {
+    Json slo;
+    for (const auto& s : r.slo) slo.put(s.name, slo_json(s));
+    j.put("slo", slo);
+  }
   return j;
 }
 
@@ -105,6 +138,13 @@ void print_report(const char* scenario, const WorkloadReport& r) {
                 static_cast<unsigned long long>(s.rejected),
                 static_cast<unsigned long long>(s.errors), s.percentile(50),
                 s.percentile(95), s.percentile(99));
+  }
+  for (const auto& s : r.slo) {
+    std::printf("  slo %-18s burn short %.3f long %.3f (%llu/%llu bad) -> %s\n",
+                s.name.c_str(), s.burn_short, s.burn_long,
+                static_cast<unsigned long long>(s.bad),
+                static_cast<unsigned long long>(s.samples),
+                s.met ? "met" : "MISSED");
   }
 }
 
@@ -225,6 +265,12 @@ int main() {
       .put("recovery_transfer_ratio", rec_ratio)
       .put("recovery_bounded", rec_bounded ? 1 : 0)
       .put("recovery_staged_open_zero", rec_staged_open == 0 ? 1 : 0)
+      // SLO plane (DESIGN.md §16): the steady scenario must stay inside
+      // every objective's budget (slo_download_p99_met is smoke-guarded).
+      .put("slo_spec", kSloSpec)
+      .put("slo_download_p99_met", slo_met(steady, "download_p99_ms"))
+      .put("slo_epoch_commit_met", slo_met(steady, "epoch_commit_ms"))
+      .put("slo_error_rate_met", slo_met(steady, "error_rate"))
       .put("steady", report_json(steady))
       .put("storm", report_json(storm))
       .put("outage", report_json(outage))

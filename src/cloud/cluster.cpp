@@ -7,6 +7,7 @@
 #include "abe/serial.h"
 #include "common/errors.h"
 #include "crypto/sha256.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
@@ -121,6 +122,7 @@ Cluster::Cluster(std::shared_ptr<const pairing::Group> grp,
     auto n = std::make_unique<Node>();
     n->name = name;
     n->store = std::make_unique<CloudServer>(grp_);
+    n->store->set_node_name(name);
     nodes_.push_back(std::move(n));
   }
   ring_ = HashRing(names_, config_.replication, config_.vnodes);
@@ -417,6 +419,7 @@ Bytes Cluster::handle_fetch(const std::string& self, const std::string& file_id)
     span = telemetry::Tracer::global().start_span("cluster.quorum_fetch");
     if (span.active()) {
       span.attr("coordinator", self);
+      span.attr("node_id", self);
       span.attr("file_id", file_id);
     }
   }
@@ -590,30 +593,49 @@ void Cluster::send_epoch_control(const std::string& self, const std::string& pee
     if (e.kind() != TransportError::Kind::kOverloaded) throw;
     replication_sheds_.fetch_add(1, std::memory_order_relaxed);
     ClusterMetrics::get().replication_shed.inc();
+    if (telemetry::FlightRegistry::armed())
+      telemetry::FlightRegistry::global().record_event(
+          peer, telemetry::FlightEntry::Kind::kOverloadShed, "epoch_control_shed",
+          "label=" + label + " from=" + self);
   }
 }
 
 bool Cluster::apply_epoch_decision(Node& n, uint64_t epoch_id, bool commit) {
-  std::lock_guard<std::mutex> lock(n.mu);
-  n.decisions[epoch_id] = commit ? kVerdictCommit : kVerdictAbort;
-  const auto it = n.staged.find(epoch_id);
-  if (it == n.staged.end()) return false;
-  const uint64_t token = it->second;
-  n.staged.erase(it);
-  if (commit) {
-    // Commit and meta bump under the same mu hold (see handle_store):
-    // no reader pairs re-encrypted bytes with the old version.
-    std::vector<std::string> committed_files;
-    n.store->commit_reencrypt(token, &committed_files);
-    for (const std::string& fid : committed_files) {
-      Meta& m = n.meta[fid];
-      ++m.version;
-      m.hash = sha256_of(serialize(*grp_, *n.store->fetch(fid)));
+  bool had_staged = false;
+  {
+    std::lock_guard<std::mutex> lock(n.mu);
+    n.decisions[epoch_id] = commit ? kVerdictCommit : kVerdictAbort;
+    const auto it = n.staged.find(epoch_id);
+    if (it != n.staged.end()) {
+      had_staged = true;
+      const uint64_t token = it->second;
+      n.staged.erase(it);
+      if (commit) {
+        // Commit and meta bump under the same mu hold (see
+        // handle_store): no reader pairs re-encrypted bytes with the
+        // old version.
+        std::vector<std::string> committed_files;
+        n.store->commit_reencrypt(token, &committed_files);
+        for (const std::string& fid : committed_files) {
+          Meta& m = n.meta[fid];
+          ++m.version;
+          m.hash = sha256_of(serialize(*grp_, *n.store->fetch(fid)));
+        }
+      } else {
+        n.store->abort_reencrypt(token);
+      }
     }
-  } else {
-    n.store->abort_reencrypt(token);
   }
-  return true;
+  // Epoch decisions are the events a 2PC post-mortem needs: which
+  // verdict reached which node, and whether staged state was there to
+  // apply it to (a commit with no staged state is the orphan case).
+  if (telemetry::FlightRegistry::armed())
+    telemetry::FlightRegistry::global().record_event(
+        n.name, telemetry::FlightEntry::Kind::kEpochDecision,
+        commit ? "commit" : "abort",
+        "epoch_id=" + std::to_string(epoch_id) +
+            (had_staged ? " applied" : " no_staged_state"));
+  return had_staged;
 }
 
 bool Cluster::epoch_in_flight(uint64_t epoch_id) const {
@@ -651,6 +673,7 @@ void Cluster::handle_epoch(const std::string& self, ByteView epoch_wire) {
   telemetry::Span span = telemetry::Tracer::global().start_span("cluster.epoch_2pc");
   if (span.active()) {
     span.attr("coordinator", self);
+    span.attr("node_id", self);
     span.attr("epoch_id", epoch_id);
   }
 
@@ -809,6 +832,10 @@ uint64_t Cluster::version_of(const std::string& name,
   std::lock_guard<std::mutex> lock(n.mu);
   const auto it = n.meta.find(file_id);
   return it == n.meta.end() ? 0 : it->second.version;
+}
+
+std::string Cluster::dump_flight_recorder(const std::string& name) const {
+  return telemetry::FlightRegistry::global().dump(name);
 }
 
 NodeHealth Cluster::node_health(const std::string& name) const {

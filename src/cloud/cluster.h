@@ -202,6 +202,12 @@ class Cluster {
   /// Version of this node's copy (0 when absent).
   uint64_t version_of(const std::string& name, const std::string& file_id) const;
 
+  /// Human-readable dump of one node's flight-recorder ring (last N
+  /// spans + typed events, DESIGN.md §16). Empty-ish ("0 entries")
+  /// when the FlightRegistry was never armed or the node recorded
+  /// nothing; chaos and recovery tests attach this on failure.
+  std::string dump_flight_recorder(const std::string& name) const;
+
   NodeHealth node_health(const std::string& name) const;
   ClusterStats stats() const;
   /// Sum of per-node reencrypted_slots — the unit revocation returns.

@@ -337,6 +337,7 @@ SyncReport RecoveryManager::sync(const std::string& initiator,
   if (span.active()) {
     span.attr("initiator", initiator);
     span.attr("peer", peer);
+    span.attr("node_id", initiator);
   }
   const uint64_t sync_id =
       next_sync_id_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -529,7 +530,10 @@ size_t RecoveryManager::drain_hints_for(const std::string& target) {
   if (!cluster_.alive(target) || cluster_.size() <= 1) return 0;
   telemetry::Span span =
       telemetry::Tracer::global().start_span("recovery.drain_hints");
-  if (span.active()) span.attr("node", target);
+  if (span.active()) {
+    span.attr("node", target);
+    span.attr("node_id", target);
+  }
   size_t drained = 0;
   for (const std::string& holder : cluster_.names_) {
     if (holder == target || !cluster_.alive(holder)) continue;
@@ -647,6 +651,7 @@ size_t RecoveryManager::resolve_staged_epochs() {
           telemetry::Tracer::global().start_span("recovery.resolve_epoch");
       if (span.active()) {
         span.attr("node", name);
+        span.attr("node_id", name);
         span.attr("epoch_id", epoch_id);
         span.attr("verdict", commit            ? "commit"
                              : verdict == 0    ? "presumed_abort"
@@ -668,7 +673,10 @@ void RecoveryManager::rejoin(const std::string& name) {
   if (cluster_.size() <= 1) return;
   telemetry::Span span =
       telemetry::Tracer::global().start_span("recovery.rejoin");
-  if (span.active()) span.attr("node", name);
+  if (span.active()) {
+    span.attr("node", name);
+    span.attr("node_id", name);
+  }
   rejoins_.fetch_add(1, std::memory_order_relaxed);
   RecoveryMetrics::get().rejoins.inc();
   // Order matters: resolve staged epochs first so anti-entropy compares

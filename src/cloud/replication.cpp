@@ -1,5 +1,7 @@
 #include "cloud/replication.h"
 
+#include "telemetry/flight_recorder.h"
+
 namespace maabe::cloud {
 
 // ---------------------------------------------------- wire formats --
@@ -93,6 +95,10 @@ bool DurableLink::send_or_park(const std::string& from, const std::string& to,
   if (queue.size() >= pending_cap_) {
     ++rejected_;
     rejected_counter_.add(1);
+    if (telemetry::FlightRegistry::armed())
+      telemetry::FlightRegistry::global().record_event(
+          to, telemetry::FlightEntry::Kind::kOverloadShed, "parked_rejected",
+          "label=" + label + " cap=" + std::to_string(pending_cap_));
     throw TransportError(TransportError::Kind::kOverloaded,
                          "durable queue for '" + to + "' at cap (" +
                              std::to_string(pending_cap_) + "): rejecting '" +
@@ -100,14 +106,15 @@ bool DurableLink::send_or_park(const std::string& from, const std::string& to,
   }
   if (!queue.empty()) {
     queue.push_back({link_.allocate_request_id(), from, std::move(payload),
-                     std::move(apply), label});
+                     std::move(apply), label, telemetry::Tracer::current()});
     return false;
   }
   const uint64_t rid = link_.allocate_request_id();
   try {
     link_.send_as(rid, from, to, payload, apply);
   } catch (const TransportError&) {
-    queue.push_back({rid, from, std::move(payload), std::move(apply), label});
+    queue.push_back({rid, from, std::move(payload), std::move(apply), label,
+                     telemetry::Tracer::current()});
     return false;
   }
   pending_.erase(to);  // drop the empty deque we may have created
@@ -145,11 +152,24 @@ void DurableLink::flush_queue(const std::string& to) {
   auto& queue = it->second;
   while (!queue.empty()) {
     Pending& head = queue.front();
+    // Replay under the context captured at park time: the frame on the
+    // wire carries the originating trace, and an originally-untraced
+    // op stays detached from whatever operation triggered this flush.
+    telemetry::ContextOverride restore_ctx(head.ctx);
+    telemetry::Span replay =
+        telemetry::Tracer::global().start_span("durable.replay");
+    if (replay.active()) {
+      replay.attr("to", to);
+      replay.attr("label", head.label);
+      replay.attr("node_id", head.from);
+    }
     try {
       link_.send_as(head.request_id, head.from, to, head.payload, head.apply);
     } catch (const TransportError&) {
+      if (replay.active()) replay.attr("outcome", "still_parked");
       return;  // keep order; retry on the next call
     }
+    if (replay.active()) replay.attr("outcome", "delivered");
     queue.pop_front();
   }
   pending_.erase(it);

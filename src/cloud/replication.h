@@ -27,6 +27,7 @@
 
 #include "cloud/transport.h"
 #include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace maabe::cloud {
 
@@ -135,6 +136,11 @@ class DurableLink {
     Bytes payload;
     Apply apply;
     std::string label;
+    /// The sender's span context at park time. Replays run under it
+    /// (ContextOverride), so a parked frame carries its ORIGINATING
+    /// trace over the wire instead of whichever operation happened to
+    /// trigger the flush; invalid when the original send was untraced.
+    telemetry::SpanContext ctx;
   };
 
   ReliableLink& link_;

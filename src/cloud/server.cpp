@@ -172,7 +172,10 @@ CloudServer::StagedEpoch CloudServer::stage_impl(
               staged[work[w].file].staged->slots[work[w].slot].key_ct;
           telemetry::Span slot_span = telemetry::Tracer::global().start_child(
               "server.reencrypt_slot", slot_parent);
-          if (slot_span.active()) slot_span.attr("ct_id", ct.id);
+          if (slot_span.active()) {
+            slot_span.attr("ct_id", ct.id);
+            slot_span.attr("node_id", node_name_);
+          }
           if (fault_hook_) fault_hook_(ct.id);
           abe::reencrypt(*grp_, &ct, uk, *by_ct.at(ct.id));
         });
@@ -223,6 +226,7 @@ size_t CloudServer::reencrypt(const abe::UpdateKey& uk,
     epoch_span.attr("aid", uk.aid);
     epoch_span.attr("owner", uk.owner_id);
     epoch_span.attr("from_version", static_cast<uint64_t>(uk.from_version));
+    epoch_span.attr("node_id", node_name_);
   }
   StagedEpoch epoch;
   try {
@@ -248,6 +252,7 @@ uint64_t CloudServer::stage_reencrypt(const abe::UpdateKey& uk,
     stage_span.attr("aid", uk.aid);
     stage_span.attr("owner", uk.owner_id);
     stage_span.attr("from_version", static_cast<uint64_t>(uk.from_version));
+    stage_span.attr("node_id", node_name_);
   }
   StagedEpoch epoch = stage_impl(uk, infos, stage_span.context());
   if (epoch.files.empty()) {

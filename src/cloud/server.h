@@ -132,6 +132,13 @@ class CloudServer {
   size_t shard_of(const std::string& file_id) const;
   ServerStats stats() const;
 
+  /// Node identity stamped onto this store's spans (node_id attr). Set
+  /// by the Cluster at construction; the default "server" matches the
+  /// single-node CloudSystem. Not thread-safe against running epochs —
+  /// install before use.
+  void set_node_name(std::string name) { node_name_ = std::move(name); }
+  const std::string& node_name() const { return node_name_; }
+
   /// Test-only: invoked (from pool workers) once per slot during the
   /// staging pass, before the slot is re-encrypted; throwing from the
   /// hook aborts the epoch. Not thread-safe against a running
@@ -173,6 +180,7 @@ class CloudServer {
   size_t commit_impl(StagedEpoch& epoch, std::vector<std::string>* committed_files);
 
   std::shared_ptr<const pairing::Group> grp_;
+  std::string node_name_ = "server";
   std::vector<Shard> shards_;
   std::atomic<uint64_t> epochs_committed_{0};
   std::atomic<uint64_t> epochs_aborted_{0};

@@ -149,6 +149,109 @@ telemetry::Snapshot CloudSystem::telemetry_snapshot() const {
   return telemetry::MetricsRegistry::global().collect();
 }
 
+namespace {
+
+void status_escape_to(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+}
+
+std::string status_str(std::string_view s) {
+  std::string out = "\"";
+  status_escape_to(out, s);
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+std::string CloudSystem::status_json() const {
+  const ClusterStats cs = cluster_.stats();
+  const Health h = health();
+  std::string out = "{";
+  out += "\"cluster\":{";
+  out += "\"nodes\":" + std::to_string(cs.nodes);
+  out += ",\"alive\":" + std::to_string(cs.alive);
+  out += ",\"replication\":" + std::to_string(cs.replication);
+  out += ",\"coordinator\":" + status_str(cluster_.coordinator());
+  out += "}";
+  out += ",\"replication_lag\":" + std::to_string(replication_lag());
+  out += ",\"pending_deliveries\":" + std::to_string(h.pending_deliveries);
+  out += ",\"pending_by_destination\":{";
+  bool first = true;
+  for (const auto& [to, n] : h.pending_by_destination) {
+    if (!first) out += ",";
+    first = false;
+    out += status_str(to) + ":" + std::to_string(n);
+  }
+  out += "}";
+  out += ",\"link\":{";
+  out += "\"sends_ok\":" + std::to_string(h.sends_ok);
+  out += ",\"sends_failed\":" + std::to_string(h.sends_failed);
+  out += ",\"retries\":" + std::to_string(h.retries);
+  out += ",\"parked_rejected\":" + std::to_string(parked_rejected_total());
+  out += ",\"parked_pruned\":" + std::to_string(parked_pruned_total());
+  out += "}";
+  uint64_t staged_total = 0;
+  out += ",\"nodes\":[";
+  first = true;
+  for (const NodeHealth& nh : cluster_health()) {
+    if (!first) out += ",";
+    first = false;
+    staged_total += nh.epochs_staged_open;
+    out += "{";
+    out += "\"node\":" + status_str(nh.node);
+    out += ",\"alive\":" + std::string(nh.alive ? "true" : "false");
+    out += ",\"files\":" + std::to_string(nh.store.files);
+    out += ",\"bytes\":" + std::to_string(nh.store.bytes);
+    out += ",\"epochs_committed\":" + std::to_string(nh.epochs_committed);
+    out += ",\"epochs_aborted\":" + std::to_string(nh.epochs_aborted);
+    out += ",\"epochs_staged_open\":" + std::to_string(nh.epochs_staged_open);
+    out += ",\"pending_in\":" + std::to_string(nh.pending_in);
+    out += ",\"replication_lag\":" + std::to_string(nh.replication_lag);
+    out += "}";
+  }
+  out += "]";
+  out += ",\"staged_epochs\":" + std::to_string(staged_total);
+  // The SLO plane exports maabe_slo_<name>_{met,burn_short_x1000,
+  // burn_long_x1000,samples} gauges (slo.h); fold them back into
+  // per-objective sub-objects so burn rates ride the same document.
+  out += ",\"slo\":{";
+  const telemetry::Snapshot snap = telemetry_snapshot();
+  static constexpr std::string_view kSloPrefix = "maabe_slo_";
+  static constexpr std::string_view kSuffixes[] = {
+      "_met", "_burn_short_x1000", "_burn_long_x1000", "_samples"};
+  std::map<std::string, std::map<std::string, int64_t>> slos;
+  for (const auto& [name, value] : snap.gauges) {
+    if (!name.starts_with(kSloPrefix)) continue;
+    for (const std::string_view suffix : kSuffixes) {
+      if (!name.ends_with(suffix)) continue;
+      const std::string objective =
+          name.substr(kSloPrefix.size(),
+                      name.size() - kSloPrefix.size() - suffix.size());
+      if (!objective.empty()) slos[objective][std::string(suffix.substr(1))] = value;
+      break;
+    }
+  }
+  first = true;
+  for (const auto& [objective, fields] : slos) {
+    if (!first) out += ",";
+    first = false;
+    out += status_str(objective) + ":{";
+    bool f2 = true;
+    for (const auto& [k, v] : fields) {
+      if (!f2) out += ",";
+      f2 = false;
+      out += status_str(k) + ":" + std::to_string(v);
+    }
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
 // -------------------------------------------------------- enrollment --
 
 AttributeAuthority& CloudSystem::add_authority(const std::string& aid,

@@ -176,6 +176,14 @@ class CloudSystem {
   /// with Snapshot::prometheus_text().
   telemetry::Snapshot telemetry_snapshot() const;
 
+  /// One aggregated cluster-observability document (ISSUE 9): per-node
+  /// health (liveness, store totals, epoch ledger, queue depth),
+  /// replication lag, parked-delivery queues, staged 2PC epochs, link
+  /// counters, and every maabe_slo_* burn-rate gauge currently in the
+  /// registry — a single JSON object an operator (or `maabe-loadgen
+  /// --status-out`) can poll instead of stitching five views together.
+  std::string status_json() const;
+
   // ---- Introspection ----------------------------------------------------
   AttributeAuthority& authority(const std::string& aid);
   DataOwner& owner(const std::string& owner_id);

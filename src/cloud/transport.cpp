@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "crypto/sha256.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
@@ -66,6 +67,10 @@ uint64_t uniform_u64(crypto::Drbg& rng) {
 
 // ----------------------------------------------------------- Frames --
 
+namespace {
+constexpr uint8_t kFlagTrace = 0x01;
+}  // namespace
+
 Bytes encode_frame(const Frame& f) {
   Writer w;
   w.u8(kFrameTag);
@@ -73,6 +78,14 @@ Bytes encode_frame(const Frame& f) {
   w.str(f.to);
   w.u64(f.request_id);
   w.u64(f.seq);
+  if (f.has_trace()) {
+    w.u8(kFlagTrace);
+    w.u64(f.trace_id);
+    w.u64(f.parent_span_id);
+    w.str(f.origin_node);
+  } else {
+    w.u8(0);
+  }
   w.var_bytes(f.payload);
   Bytes out = w.take();
   const Bytes sum = frame_checksum(out);
@@ -103,6 +116,18 @@ Frame decode_frame(ByteView wire) {
     f.to = r.str();
     f.request_id = r.u64();
     f.seq = r.u64();
+    const uint8_t flags = r.u8();
+    if ((flags & ~kFlagTrace) != 0)
+      throw TransportError(TransportError::Kind::kMalformed,
+                           "transport: unknown frame flags");
+    if (flags & kFlagTrace) {
+      f.trace_id = r.u64();
+      f.parent_span_id = r.u64();
+      f.origin_node = r.str();
+      if (f.parent_span_id == 0)
+        throw TransportError(TransportError::Kind::kMalformed,
+                             "transport: trace flag set with null span id");
+    }
     f.payload = r.var_bytes();
     r.expect_done();
     return f;
@@ -205,6 +230,16 @@ void LoopbackTransport::deliver(const std::string& from, const std::string& to,
   frame.from = from;
   frame.to = to;
   frame.request_id = request_id;
+  // Trace-context injection: the sender's current span (the scoped
+  // "transport.send" for direct sends, the replay span for parked
+  // frames — which preserves the ORIGINATING context) rides the frame
+  // so the receiving side can continue the same trace.
+  const telemetry::SpanContext ctx = telemetry::Tracer::current();
+  if (ctx.valid()) {
+    frame.trace_id = ctx.trace_id;
+    frame.parent_span_id = ctx.span_id;
+    frame.origin_node = from;
+  }
   frame.payload.assign(payload.begin(), payload.end());
   FaultPlan::Decision d;
   {
@@ -228,6 +263,7 @@ void LoopbackTransport::deliver(const std::string& from, const std::string& to,
   if (span.active()) {
     span.attr("from", from);
     span.attr("to", to);
+    span.attr("node_id", from);
     span.attr("request_id", request_id);
     span.attr("seq", frame.seq);
     span.attr("frame_bytes", static_cast<uint64_t>(wire.size()));
@@ -241,10 +277,21 @@ void LoopbackTransport::deliver(const std::string& from, const std::string& to,
     s.payload_bytes += payload.size();
   });
 
+  // Fault injections land in the destination node's flight recorder
+  // (when armed): a failing chaos run dumps exactly which faults hit
+  // the node under suspicion.
+  const auto flight_fault = [&](const char* what) {
+    if (telemetry::FlightRegistry::armed())
+      telemetry::FlightRegistry::global().record_event(
+          to, telemetry::FlightEntry::Kind::kFaultInjected, what,
+          "from=" + from + " request_id=" + std::to_string(request_id));
+  };
+
   if (d.script_failure) {
     meter_.apply(from, to, [](ChannelStats& s) { ++s.script_failures; });
     tm.faults.inc();
     span.attr("outcome", "scripted_failure");
+    flight_fault("scripted_failure");
     throw TransportError(TransportError::Kind::kLost,
                          "transport: scripted failure on " + from + " -> " + to);
   }
@@ -256,11 +303,13 @@ void LoopbackTransport::deliver(const std::string& from, const std::string& to,
     tm.faults.inc();
     now_ms_.fetch_add(d.delay_ms, std::memory_order_relaxed);
     span.attr("delay_ms", d.delay_ms);
+    flight_fault("delay");
   }
   if (d.drop) {
     meter_.apply(from, to, [](ChannelStats& s) { ++s.drops; });
     tm.faults.inc();
     span.attr("outcome", "dropped");
+    flight_fault("drop");
     throw TransportError(TransportError::Kind::kLost,
                          "transport: frame lost on " + from + " -> " + to);
   }
@@ -274,7 +323,23 @@ void LoopbackTransport::deliver(const std::string& from, const std::string& to,
     meter_.apply(from, to, [](ChannelStats& s) { ++s.corruptions; });
     tm.faults.inc();
     span.attr("outcome", "corrupted");
+    flight_fault("corrupt");
     throw;
+  }
+  // Trace rehydration: continue the sender's trace on the receiving
+  // side. The scoped recv span becomes the thread's current span, so
+  // everything the sink does on this node nests under the propagated
+  // wire context — this is what links a coordinator's epoch to its
+  // replicas' stage/commit work into one tree.
+  telemetry::Span recv;
+  if (received.has_trace()) {
+    recv = telemetry::Tracer::global().start_span(
+        "transport.recv", {received.trace_id, received.parent_span_id});
+    if (recv.active()) {
+      recv.attr("node_id", to);
+      recv.attr("origin", received.origin_node);
+      recv.attr("request_id", received.request_id);
+    }
   }
   // Delivery is counted at hand-off, before the sink runs: the intact
   // copy has reached the receiver at that point, and counting first
@@ -298,12 +363,14 @@ void LoopbackTransport::deliver(const std::string& from, const std::string& to,
     tm.frames.inc();
     tm.frame_bytes.add(wire.size());
     tm.deliveries.inc();
+    flight_fault("duplicate");
     sink(received.request_id, received.payload);
   }
   if (d.ack_loss) {
     meter_.apply(from, to, [](ChannelStats& s) { ++s.ack_losses; });
     tm.faults.inc();
     span.attr("outcome", "ack_lost");
+    flight_fault("ack_loss");
     throw TransportError(TransportError::Kind::kLost,
                          "transport: acknowledgement lost on " + from + " -> " + to);
   }
@@ -330,6 +397,7 @@ void ReliableLink::send_as(uint64_t request_id, const std::string& from,
   if (span.active()) {
     span.attr("from", from);
     span.attr("to", to);
+    span.attr("node_id", from);
     span.attr("request_id", request_id);
   }
   const uint64_t deadline = transport_.now_ms() + policy_.deadline_ms;
@@ -365,6 +433,18 @@ void ReliableLink::send_as(uint64_t request_id, const std::string& from,
               transport_.meter().apply(
                   from, to, [](ChannelStats& s) { s.redeliveries += 1; });
               tm.redeliveries.inc();
+              // A dedup'd redelivery is an event leaf in the ambient
+              // trace (child of the rehydrated recv span), never a new
+              // subtree: the duplicate's work was already recorded the
+              // first time around.
+              telemetry::Span dup = telemetry::Tracer::global().start_span(
+                  "transport.dropped_duplicate");
+              if (dup.active()) {
+                dup.attr("from", from);
+                dup.attr("to", to);
+                dup.attr("node_id", to);
+                dup.attr("request_id", rid);
+              }
               return;
             }
             apply(delivered);

@@ -36,16 +36,32 @@ namespace maabe::cloud {
 
 /// A decoded transport frame. The wire form is
 ///   u8 tag (0x7A) | str from | str to | u64 request_id | u64 seq |
+///   u8 flags | [u64 trace_id | u64 parent_span_id | str origin_node] |
 ///   var_bytes payload | raw[4] checksum
-/// where the checksum is the first 4 bytes of SHA-256 over everything
-/// before it. decode_frame verifies the checksum before parsing, so any
-/// in-flight corruption surfaces as TransportError(kChecksum).
+/// where flags bit 0 says whether the optional trace-context triple is
+/// present (all other flag bits must be zero), and the checksum is the
+/// first 4 bytes of SHA-256 over everything before it — the trace
+/// header is inside the checksummed body, so a flipped trace byte is a
+/// kChecksum fault like any other corruption. decode_frame verifies
+/// the checksum before parsing, so any in-flight corruption surfaces
+/// as TransportError(kChecksum).
+///
+/// The trace triple (DESIGN.md §16) carries the sender's current span
+/// context across the wire: the receiving node rehydrates it as the
+/// parent of a scoped "transport.recv" span, so one revocation epoch's
+/// coordinator fan-out, replica stage/commit, quorum reads and
+/// recovery rounds form a single cross-node span tree.
 struct Frame {
   std::string from;
   std::string to;
   uint64_t request_id = 0;  ///< sender-unique logical request id
   uint64_t seq = 0;         ///< per-channel transmission counter
+  uint64_t trace_id = 0;        ///< propagated trace (0 = untraced)
+  uint64_t parent_span_id = 0;  ///< sender's span at send time
+  std::string origin_node;      ///< where the trace context was captured
   Bytes payload;
+
+  bool has_trace() const { return parent_span_id != 0; }
 };
 
 Bytes encode_frame(const Frame& f);

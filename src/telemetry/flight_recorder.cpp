@@ -1,0 +1,192 @@
+#include "telemetry/flight_recorder.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "telemetry/trace.h"
+
+namespace maabe::telemetry {
+namespace {
+
+const char* kind_label(FlightEntry::Kind k) {
+  switch (k) {
+    case FlightEntry::Kind::kSpan: return "span";
+    case FlightEntry::Kind::kFaultInjected: return "fault";
+    case FlightEntry::Kind::kOverloadShed: return "shed";
+    case FlightEntry::Kind::kEpochDecision: return "epoch";
+  }
+  return "?";
+}
+
+class SlotGuard {
+ public:
+  explicit SlotGuard(std::atomic<bool>& busy) : busy_(busy) {
+    while (busy_.exchange(true, std::memory_order_acquire)) {
+      // Spin: the guarded section is a single entry copy.
+    }
+  }
+  ~SlotGuard() { busy_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool>& busy_;
+};
+
+}  // namespace
+
+std::string FlightEntry::to_line() const {
+  std::string out = "[" + std::to_string(seq) + "] ";
+  out += kind_label(kind);
+  out += " ";
+  out += name;
+  out += " node=" + node;
+  out += " wall_us=" + std::to_string(wall_us);
+  if (kind == Kind::kSpan) {
+    out += " trace=" + std::to_string(trace_id);
+    out += " span=" + std::to_string(span_id);
+    out += " parent=" + std::to_string(parent_id);
+    out += " dur_us=" + std::to_string((end_ns - start_ns) / 1000);
+  }
+  if (!detail.empty()) out += " " + detail;
+  return out;
+}
+
+FlightRecorder::FlightRecorder(size_t capacity) {
+  slots_.reserve(capacity == 0 ? 1 : capacity);
+  for (size_t i = 0; i < (capacity == 0 ? 1 : capacity); ++i)
+    slots_.push_back(std::make_unique<Slot>());
+}
+
+void FlightRecorder::record(FlightEntry entry) {
+  const uint64_t idx = cursor_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = *slots_[idx % slots_.size()];
+  SlotGuard guard(slot.busy);
+  // A writer lapped by the whole ring must not clobber a newer entry.
+  if (slot.published && slot.entry.seq > entry.seq) return;
+  slot.entry = std::move(entry);
+  slot.published = true;
+}
+
+std::vector<FlightEntry> FlightRecorder::snapshot() const {
+  std::vector<FlightEntry> out;
+  out.reserve(slots_.size());
+  for (const auto& slot_ptr : slots_) {
+    Slot& slot = *const_cast<Slot*>(slot_ptr.get());
+    SlotGuard guard(slot.busy);
+    if (slot.published) out.push_back(slot.entry);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightEntry& a, const FlightEntry& b) { return a.seq < b.seq; });
+  return out;
+}
+
+std::atomic<bool> FlightRegistry::armed_{false};
+
+FlightRegistry& FlightRegistry::global() {
+  static FlightRegistry* registry = new FlightRegistry();  // leaked
+  return *registry;
+}
+
+bool FlightRegistry::armed() {
+  return armed_.load(std::memory_order_relaxed);
+}
+
+void FlightRegistry::arm(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  recorders_.clear();
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void FlightRegistry::disarm() {
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+FlightRecorder& FlightRegistry::recorder_locked(const std::string& node) {
+  auto it = recorders_.find(node);
+  if (it == recorders_.end())
+    it = recorders_.emplace(node, std::make_unique<FlightRecorder>(capacity_)).first;
+  return *it->second;
+}
+
+void FlightRegistry::record_span(const SpanRecord& rec) {
+  if (!armed()) return;
+  FlightEntry e;
+  e.kind = FlightEntry::Kind::kSpan;
+  e.node = "process";
+  std::string detail;
+  for (const auto& [k, v] : rec.attrs) {
+    if (k == "node_id") {
+      e.node = v;
+      continue;
+    }
+    if (!detail.empty()) detail += " ";
+    detail += k + "=" + v;
+  }
+  e.name = rec.name;
+  e.detail = std::move(detail);
+  e.wall_us = rec.wall_start_us;
+  e.trace_id = rec.trace_id;
+  e.span_id = rec.span_id;
+  e.parent_id = rec.parent_id;
+  e.start_ns = rec.start_ns;
+  e.end_ns = rec.end_ns;
+  e.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  FlightRecorder* ring;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ring = &recorder_locked(e.node);
+  }
+  ring->record(std::move(e));
+}
+
+void FlightRegistry::record_event(const std::string& node, FlightEntry::Kind kind,
+                                  std::string_view name, std::string detail) {
+  if (!armed()) return;
+  FlightEntry e;
+  e.kind = kind;
+  e.node = node.empty() ? "process" : node;
+  e.name = std::string(name);
+  e.detail = std::move(detail);
+  e.wall_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  e.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  FlightRecorder* ring;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ring = &recorder_locked(e.node);
+  }
+  ring->record(std::move(e));
+}
+
+std::vector<FlightEntry> FlightRegistry::entries(const std::string& node) const {
+  const FlightRecorder* ring = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = recorders_.find(node);
+    if (it != recorders_.end()) ring = it->second.get();
+  }
+  if (!ring) return {};
+  return ring->snapshot();
+}
+
+std::string FlightRegistry::dump(const std::string& node) const {
+  const std::vector<FlightEntry> all = entries(node);
+  std::string out = "flight-recorder " + node + ": " +
+                    std::to_string(all.size()) + " entries\n";
+  for (const FlightEntry& e : all) {
+    out += "  " + e.to_line() + "\n";
+  }
+  return out;
+}
+
+std::vector<std::string> FlightRegistry::nodes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(recorders_.size());
+  for (const auto& [name, ring] : recorders_) out.push_back(name);
+  return out;
+}
+
+}  // namespace maabe::telemetry

@@ -1,0 +1,144 @@
+// Per-node flight recorder (DESIGN.md §16): fixed-capacity ring
+// buffers that always retain the last N finished spans and typed
+// events (fault injections, overload sheds, epoch decisions) per node,
+// independently of whether the JSONL trace sink is enabled. Chaos and
+// recovery tests arm the registry and attach a dump on failure, so a
+// non-deterministic flake ships its own post-mortem instead of needing
+// a rerun.
+//
+// Concurrency model: recording never blocks on a global lock. A writer
+// claims a slot with one fetch_add on the ring cursor (wait-free), then
+// publishes through that slot's seqlock-style spin guard; the guarded
+// section is only the entry copy. Readers (snapshot/dump) take the same
+// per-slot guards one slot at a time. Two writers contend on a slot
+// only when one has lapped the whole ring; the newer entry (by global
+// sequence) wins. Arming is a process-wide static atomic so the
+// disarmed fast path in Tracer costs one relaxed load.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace maabe::telemetry {
+
+struct SpanRecord;
+
+/// One retained record: a finished span or a typed event.
+struct FlightEntry {
+  enum class Kind : uint8_t {
+    kSpan,           ///< a finished span (tee from Tracer::emit)
+    kFaultInjected,  ///< transport fault plan fired (drop/corrupt/...)
+    kOverloadShed,   ///< durable queue at cap rejected or shed a send
+    kEpochDecision,  ///< 2PC epoch decided (commit/abort) on a node
+  };
+  uint64_t seq = 0;      ///< global order across every node's ring
+  uint64_t wall_us = 0;  ///< wall-clock µs (spans: wall_start_us)
+  Kind kind = Kind::kSpan;
+  std::string node;    ///< owning node ("process" when unattributed)
+  std::string name;    ///< span name, or a short event label
+  std::string detail;  ///< rendered span attrs, or event detail
+  // Span-only fields (zero for events).
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;
+
+  /// One human-readable line, stable field order, for dumps.
+  std::string to_line() const;
+};
+
+/// Fixed-capacity ring of FlightEntry. See the header comment for the
+/// concurrency model.
+class FlightRecorder {
+ public:
+  static constexpr size_t kDefaultCapacity = 256;
+
+  explicit FlightRecorder(size_t capacity = kDefaultCapacity);
+
+  /// Retains `entry`, evicting the oldest when full. entry.seq must be
+  /// set (the registry assigns it); lapped stale writers lose.
+  void record(FlightEntry entry);
+
+  /// The retained entries in global-sequence order.
+  std::vector<FlightEntry> snapshot() const;
+
+  size_t capacity() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    /// Per-slot spin guard (seqlock-style publication): writers and
+    /// readers exchange/store with acquire/release so the entry copy
+    /// is race-free under tsan.
+    std::atomic<bool> busy{false};
+    bool published = false;
+    FlightEntry entry;
+  };
+
+  std::atomic<uint64_t> cursor_{0};
+  /// unique_ptr slots: Slot holds an atomic, so the vector must never
+  /// relocate construction-in-place; fixed at construction anyway.
+  std::vector<std::unique_ptr<Slot>> slots_;
+};
+
+/// Process-wide registry interning one FlightRecorder per node name.
+/// Disarmed by default: record_* calls are dropped at one relaxed
+/// atomic load, and the Tracer does not tee spans. Tests arm it (RAII:
+/// ArmedFlightRecorder) around chaos/recovery runs.
+class FlightRegistry {
+ public:
+  static FlightRegistry& global();
+
+  /// Arms recording; rings created afterwards use `capacity`. Clears
+  /// previously retained entries so each arming is a fresh recording.
+  void arm(size_t capacity = FlightRecorder::kDefaultCapacity);
+  void disarm();
+  static bool armed();
+
+  /// Tee from Tracer::emit: routes by the span's `node_id` attribute
+  /// ("process" when absent). No-op when disarmed.
+  void record_span(const SpanRecord& rec);
+  /// Typed event from an instrumentation site. No-op when disarmed.
+  void record_event(const std::string& node, FlightEntry::Kind kind,
+                    std::string_view name, std::string detail);
+
+  /// The retained entries of one node's ring, oldest first. Empty for
+  /// an unknown node.
+  std::vector<FlightEntry> entries(const std::string& node) const;
+  /// Human-readable dump of one node's ring ("<node>: <n> entries"
+  /// header + one line per entry). Used by
+  /// Cluster::dump_flight_recorder and failing chaos tests.
+  std::string dump(const std::string& node) const;
+  /// Every node that has a ring, in name order.
+  std::vector<std::string> nodes() const;
+
+ private:
+  FlightRecorder& recorder_locked(const std::string& node);
+
+  static std::atomic<bool> armed_;
+  std::atomic<uint64_t> seq_{1};
+  mutable std::mutex mu_;  ///< guards the ring map, not the rings
+  size_t capacity_ = FlightRecorder::kDefaultCapacity;
+  std::map<std::string, std::unique_ptr<FlightRecorder>> recorders_;
+};
+
+/// RAII arming for tests: arms on construction, disarms on scope exit
+/// so the process-wide default (disarmed, zero overhead) is restored
+/// even when a test fails by exception.
+class ArmedFlightRecorder {
+ public:
+  explicit ArmedFlightRecorder(size_t capacity = FlightRecorder::kDefaultCapacity) {
+    FlightRegistry::global().arm(capacity);
+  }
+  ~ArmedFlightRecorder() { FlightRegistry::global().disarm(); }
+  ArmedFlightRecorder(const ArmedFlightRecorder&) = delete;
+  ArmedFlightRecorder& operator=(const ArmedFlightRecorder&) = delete;
+};
+
+}  // namespace maabe::telemetry

@@ -64,24 +64,54 @@ void Snapshot::add_gauge(const std::string& name, int64_t v) {
   gauges[name] += v;
 }
 
+namespace {
+
+/// Prometheus metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*.
+/// Registry names are free-form (collector contributions interpolate
+/// node names like "node:1" — ':' is legal, but '-' or '.' are not),
+/// so the exposition maps every other character to '_' and prefixes a
+/// leading digit.
+std::string sanitize_metric_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty()) out = "_";
+  if (out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+  return out;
+}
+
+}  // namespace
+
 std::string Snapshot::prometheus_text() const {
   std::ostringstream out;
   for (const auto& [name, v] : counters) {
-    out << "# TYPE " << name << " counter\n" << name << " " << v << "\n";
+    const std::string n = sanitize_metric_name(name);
+    out << "# HELP " << n << " Monotonic counter " << n << ".\n";
+    out << "# TYPE " << n << " counter\n" << n << " " << v << "\n";
   }
   for (const auto& [name, v] : gauges) {
-    out << "# TYPE " << name << " gauge\n" << name << " " << v << "\n";
+    const std::string n = sanitize_metric_name(name);
+    out << "# HELP " << n << " Point-in-time gauge " << n << ".\n";
+    out << "# TYPE " << n << " gauge\n" << n << " " << v << "\n";
   }
   for (const auto& [name, h] : histograms) {
-    out << "# TYPE " << name << " histogram\n";
+    const std::string n = sanitize_metric_name(name);
+    out << "# HELP " << n << " Cumulative histogram " << n << ".\n";
+    out << "# TYPE " << n << " histogram\n";
+    // Canonical le order: ascending finite bounds, then +Inf; buckets
+    // are cumulative so each count includes every bucket below it.
     uint64_t cum = 0;
     for (size_t i = 0; i < h.bounds.size(); ++i) {
       cum += h.counts[i];
-      out << name << "_bucket{le=\"" << h.bounds[i] << "\"} " << cum << "\n";
+      out << n << "_bucket{le=\"" << h.bounds[i] << "\"} " << cum << "\n";
     }
-    out << name << "_bucket{le=\"+Inf\"} " << h.count << "\n";
-    out << name << "_sum " << h.sum << "\n";
-    out << name << "_count " << h.count << "\n";
+    out << n << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    out << n << "_sum " << h.sum << "\n";
+    out << n << "_count " << h.count << "\n";
   }
   return out.str();
 }
@@ -144,7 +174,7 @@ MetricsRegistry::CollectorToken& MetricsRegistry::CollectorToken::operator=(
 
 void MetricsRegistry::CollectorToken::reset() {
   if (reg_ != nullptr) {
-    std::lock_guard<std::mutex> lock(reg_->mu_);
+    std::lock_guard<std::mutex> lock(reg_->collector_mu_);
     reg_->collectors_.erase(id_);
     reg_ = nullptr;
     id_ = 0;
@@ -152,7 +182,7 @@ void MetricsRegistry::CollectorToken::reset() {
 }
 
 MetricsRegistry::CollectorToken MetricsRegistry::register_collector(Collector fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(collector_mu_);
   const uint64_t id = next_collector_id_++;
   collectors_.emplace(id, std::move(fn));
   return CollectorToken(this, id);
@@ -160,10 +190,18 @@ MetricsRegistry::CollectorToken MetricsRegistry::register_collector(Collector fn
 
 Snapshot MetricsRegistry::collect() const {
   Snapshot snap;
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
-  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
-  for (const auto& [name, h] : histograms_) snap.histograms[name] = h->data();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+    for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+    for (const auto& [name, h] : histograms_) snap.histograms[name] = h->data();
+  }
+  // Callbacks run without the registry mutex: a collector may read
+  // subsystem state whose locks are held around metric updates
+  // elsewhere (queue depth vs. a handler bumping a counter) without a
+  // lock-order cycle. collector_mu_ keeps the token guarantee: reset()
+  // returns only once no callback is in flight.
+  std::lock_guard<std::mutex> lock(collector_mu_);
   for (const auto& [id, fn] : collectors_) fn(snap);
   return snap;
 }

@@ -144,9 +144,12 @@ class MetricsRegistry {
   Histogram& histogram(std::string_view name, std::vector<uint64_t> bounds = {});
 
   /// Snapshot-time contributions from subsystems with structured stats.
-  /// The callback runs under the registry mutex during collect(): it
-  /// must not call back into the registry and should only read its own
-  /// state and Snapshot::add_gauge.
+  /// The callback runs with the registry mutex RELEASED (under a
+  /// dedicated collector mutex), so it may read state guarded by locks
+  /// that are themselves held around metric updates — e.g. a queue
+  /// mutex held while a handler bumps a counter — without creating a
+  /// lock-order cycle. It must not call collect() or
+  /// register_collector() re-entrantly.
   using Collector = std::function<void(Snapshot&)>;
 
   /// RAII deregistration: the collector stops being invoked when the
@@ -180,6 +183,12 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+
+  // Collectors live under their own mutex, never taken by the metric
+  // interning above: collect() runs the callbacks holding only this
+  // one, and CollectorToken::reset() blocking on it preserves the
+  // "never invoked after reset" guarantee.
+  mutable std::mutex collector_mu_;
   std::map<uint64_t, Collector> collectors_;
   uint64_t next_collector_id_ = 1;
 };

@@ -1,0 +1,152 @@
+#include "telemetry/slo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "telemetry/metrics.h"
+
+namespace maabe::telemetry {
+namespace {
+
+double burn_rate(double bad_fraction, double objective) {
+  const double budget = 1.0 - objective;
+  if (budget <= 1e-12) return bad_fraction > 0.0 ? 1e12 : 0.0;
+  return bad_fraction / budget;
+}
+
+}  // namespace
+
+SloTracker::SloTracker(SloSpec spec, size_t short_window, size_t long_window)
+    : spec_(std::move(spec)),
+      short_window_(std::max<size_t>(1, short_window)),
+      long_window_(std::max(std::max<size_t>(1, long_window), short_window_)) {
+  ring_.assign(long_window_, 0);
+}
+
+void SloTracker::record(double ms, bool failed) {
+  const bool bad =
+      spec_.kind == SloSpec::Kind::kLatency ? (failed || ms > spec_.threshold_ms)
+                                            : failed;
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_[pos_ % long_window_] = bad ? 1 : 0;
+  ++pos_;
+  ++total_;
+  if (bad) ++total_bad_;
+}
+
+double SloTracker::bad_fraction_locked(size_t window) const {
+  const size_t have = std::min<size_t>(pos_, long_window_);
+  const size_t n = std::min(window, have);
+  if (n == 0) return 0.0;
+  uint64_t bad = 0;
+  for (size_t i = 0; i < n; ++i)
+    bad += ring_[(pos_ - 1 - i) % long_window_];
+  return static_cast<double>(bad) / static_cast<double>(n);
+}
+
+SloStatus SloTracker::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SloStatus s;
+  s.name = spec_.name;
+  s.kind = spec_.kind;
+  s.threshold_ms = spec_.threshold_ms;
+  s.objective = spec_.objective;
+  s.samples = total_;
+  s.bad = total_bad_;
+  s.bad_fraction_short = bad_fraction_locked(short_window_);
+  s.bad_fraction_long = bad_fraction_locked(long_window_);
+  s.burn_short = burn_rate(s.bad_fraction_short, spec_.objective);
+  s.burn_long = burn_rate(s.bad_fraction_long, spec_.objective);
+  s.met = total_ == 0 || s.burn_long <= 1.0;
+  return s;
+}
+
+SloPlane::SloPlane(std::vector<SloSpec> specs) {
+  trackers_.reserve(specs.size());
+  for (SloSpec& spec : specs)
+    trackers_.push_back(std::make_unique<SloTracker>(std::move(spec)));
+}
+
+std::vector<SloSpec> SloPlane::parse(const std::string& spec) {
+  std::vector<SloSpec> out;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string token = spec.substr(start, comma - start);
+    start = comma + 1;
+    if (token.empty()) continue;
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0)
+      throw std::invalid_argument("bad SLO token (want name=value): " + token);
+    SloSpec s;
+    s.name = token.substr(0, eq);
+    std::string value = token.substr(eq + 1);
+    const size_t at = value.find('@');
+    std::string objective_str;
+    if (at != std::string::npos) {
+      objective_str = value.substr(at + 1);
+      value = value.substr(0, at);
+    }
+    double v = 0.0, obj = 0.0;
+    try {
+      v = std::stod(value);
+      if (!objective_str.empty()) obj = std::stod(objective_str);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("bad SLO value in token: " + token);
+    }
+    if (s.name.find("error_rate") != std::string::npos) {
+      s.kind = SloSpec::Kind::kErrorRate;
+      if (v < 0.0 || v >= 1.0)
+        throw std::invalid_argument("error-rate SLO wants a fraction in [0,1): " +
+                                    token);
+      s.objective = 1.0 - v;
+    } else {
+      s.kind = SloSpec::Kind::kLatency;
+      if (v <= 0.0)
+        throw std::invalid_argument("latency SLO wants a positive ms threshold: " +
+                                    token);
+      s.threshold_ms = v;
+      s.objective = 0.99;
+    }
+    if (!objective_str.empty()) {
+      if (obj <= 0.0 || obj >= 1.0)
+        throw std::invalid_argument("SLO objective wants a fraction in (0,1): " +
+                                    token);
+      s.objective = obj;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void SloPlane::observe(std::string_view name, double ms, bool failed) {
+  for (const auto& t : trackers_) {
+    if (t->spec().name == name) t->record(ms, failed);
+  }
+}
+
+std::vector<SloStatus> SloPlane::status() const {
+  std::vector<SloStatus> out;
+  out.reserve(trackers_.size());
+  for (const auto& t : trackers_) out.push_back(t->status());
+  return out;
+}
+
+void SloPlane::export_gauges() const {
+  auto& reg = MetricsRegistry::global();
+  for (const SloStatus& s : status()) {
+    const std::string base = "maabe_slo_" + s.name;
+    reg.gauge(base + "_met").set(s.met ? 1 : 0);
+    reg.gauge(base + "_burn_short_x1000")
+        .set(static_cast<int64_t>(std::lround(
+            std::min(s.burn_short, 1e6) * 1000.0)));
+    reg.gauge(base + "_burn_long_x1000")
+        .set(static_cast<int64_t>(std::lround(
+            std::min(s.burn_long, 1e6) * 1000.0)));
+    reg.gauge(base + "_samples").set(static_cast<int64_t>(s.samples));
+  }
+}
+
+}  // namespace maabe::telemetry

@@ -1,0 +1,120 @@
+// SLO plane (DESIGN.md §16): rolling-window service-level objectives
+// with multi-window burn rates, fed by the workload harness and
+// exported as maabe_slo_* gauges.
+//
+// Model: every objective is a good-fraction target over a stream of
+// samples. A latency SLO "download_p99_ms=250@0.99" means "at least
+// 99% of downloads finish within 250 ms" — a sample is bad when it
+// misses the threshold or fails outright. An error-rate SLO
+// "error_rate=0.01" means "at most 1% of operations fail".
+//
+// Burn rate (SRE convention): bad_fraction / error_budget where
+// error_budget = 1 - objective. burn == 1.0 consumes the budget
+// exactly as fast as allowed; burn > 1 means the objective will be
+// violated if the window's behaviour continues. Two windows are
+// computed — a short window that reacts fast (paging signal) and a
+// long window that smooths bursts (ticket signal); `met` reports the
+// long window staying within budget.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace maabe::telemetry {
+
+struct SloSpec {
+  enum class Kind {
+    kLatency,    ///< sample bad when latency > threshold_ms or failed
+    kErrorRate,  ///< sample bad when the operation failed
+  };
+  std::string name;  ///< e.g. "download_p99_ms"; keyed by the feeder
+  Kind kind = Kind::kLatency;
+  double threshold_ms = 0.0;  ///< kLatency only
+  double objective = 0.99;    ///< required good fraction (0,1)
+};
+
+struct SloStatus {
+  std::string name;
+  SloSpec::Kind kind = SloSpec::Kind::kLatency;
+  double threshold_ms = 0.0;
+  double objective = 0.99;
+  uint64_t samples = 0;  ///< lifetime samples recorded
+  uint64_t bad = 0;      ///< lifetime bad samples
+  double bad_fraction_short = 0.0;
+  double bad_fraction_long = 0.0;
+  double burn_short = 0.0;  ///< short-window burn-rate multiplier
+  double burn_long = 0.0;   ///< long-window burn-rate multiplier
+  bool met = true;          ///< long-window burn <= 1 (or no samples)
+};
+
+/// One objective's rolling windows. record() is mutex-guarded (the
+/// harness drives it from the op loop; contention is negligible next
+/// to the crypto work being measured).
+class SloTracker {
+ public:
+  static constexpr size_t kShortWindow = 64;
+  static constexpr size_t kLongWindow = 512;
+
+  explicit SloTracker(SloSpec spec, size_t short_window = kShortWindow,
+                      size_t long_window = kLongWindow);
+
+  /// kLatency: bad when failed or ms > threshold. kErrorRate: bad when
+  /// failed (ms ignored).
+  void record(double ms, bool failed);
+
+  SloStatus status() const;
+  const SloSpec& spec() const { return spec_; }
+
+ private:
+  double bad_fraction_locked(size_t window) const;
+
+  SloSpec spec_;
+  size_t short_window_;
+  size_t long_window_;
+  mutable std::mutex mu_;
+  std::vector<uint8_t> ring_;  ///< 1 = bad, newest at (pos_ - 1)
+  size_t pos_ = 0;
+  uint64_t total_ = 0;
+  uint64_t total_bad_ = 0;
+};
+
+/// A set of trackers keyed by SLO name. Feeders call observe() with
+/// the SLO name they map to; unknown names are dropped, so the harness
+/// instruments unconditionally and the --slo spec decides what is
+/// actually tracked.
+class SloPlane {
+ public:
+  SloPlane() = default;
+  explicit SloPlane(std::vector<SloSpec> specs);
+
+  /// Parses a spec string: comma-separated `name=value[@objective]`.
+  /// A name containing "error_rate" is an error-rate SLO whose value
+  /// is the allowed bad fraction (objective = 1 - value); any other
+  /// name is a latency SLO whose value is the threshold in ms with a
+  /// default objective of 0.99. Throws std::invalid_argument on a
+  /// malformed token. Example:
+  ///   "download_p99_ms=250,epoch_commit_ms=2000@0.95,error_rate=0.01"
+  static std::vector<SloSpec> parse(const std::string& spec);
+
+  bool empty() const { return trackers_.empty(); }
+
+  /// Feed one sample to the named objective (no-op when untracked).
+  void observe(std::string_view name, double ms, bool failed);
+
+  std::vector<SloStatus> status() const;
+
+  /// Publishes maabe_slo_<name>_{met,burn_short_x1000,burn_long_x1000,
+  /// samples} gauges into the global MetricsRegistry, so SLO state
+  /// rides the existing snapshot/exposition path (status documents,
+  /// BENCH telemetry blocks, prometheus_text).
+  void export_gauges() const;
+
+ private:
+  std::vector<std::unique_ptr<SloTracker>> trackers_;
+};
+
+}  // namespace maabe::telemetry

@@ -5,10 +5,46 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "telemetry/flight_recorder.h"
+
 namespace maabe::telemetry {
 namespace {
 
 thread_local SpanContext tl_current;
+
+/// One-time per-process pairing of the steady and wall clocks, taken
+/// together on first use. Every span's wall_start_us is derived from
+/// its steady start_ns against this anchor, so all spans of a process
+/// share one consistent steady->wall mapping (no per-span wall reads,
+/// immune to wall-clock steps mid-run).
+struct WallAnchor {
+  uint64_t steady_ns;
+  uint64_t wall_us;
+};
+
+const WallAnchor& wall_anchor() {
+  static const WallAnchor anchor = [] {
+    WallAnchor a;
+    a.steady_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+    a.wall_us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    return a;
+  }();
+  return anchor;
+}
+
+uint64_t wall_us_of(uint64_t steady_ns) {
+  const WallAnchor& a = wall_anchor();
+  // steady_ns predating the anchor can only happen for the anchoring
+  // call itself (sub-µs skew); clamp instead of wrapping.
+  const uint64_t delta_ns = steady_ns >= a.steady_ns ? steady_ns - a.steady_ns : 0;
+  return a.wall_us + delta_ns / 1000;
+}
 
 void json_escape_to(std::string& out, std::string_view s) {
   for (const char c : s) {
@@ -41,6 +77,7 @@ std::string SpanRecord::to_json_line() const {
   json_escape_to(out, name);
   out += "\",\"start_ns\":" + std::to_string(start_ns);
   out += ",\"end_ns\":" + std::to_string(end_ns);
+  out += ",\"wall_start_us\":" + std::to_string(wall_start_us);
   out += ",\"attrs\":{";
   bool first = true;
   for (const auto& [k, v] : attrs) {
@@ -99,30 +136,51 @@ void Span::end() {
   scoped_ = false;
 }
 
+ContextOverride::ContextOverride(const SpanContext& ctx) : prev_(tl_current) {
+  tl_current = ctx;
+}
+
+ContextOverride::~ContextOverride() { tl_current = prev_; }
+
 Tracer& Tracer::global() {
   static Tracer* tracer = new Tracer();  // intentionally leaked
   return *tracer;
 }
 
 void Tracer::enable(Sink sink) {
-  std::lock_guard<std::mutex> lock(sink_mu_);
+  std::unique_lock<std::mutex> lock(sink_mu_);
+  // Wait out an active flusher so records queued for the old sink are
+  // not delivered to the new one.
+  flush_cv_.wait(lock, [this] { return !flushing_; });
   sink_ = std::move(sink);
   enabled_.store(sink_ != nullptr, std::memory_order_relaxed);
 }
 
 void Tracer::disable() {
-  std::lock_guard<std::mutex> lock(sink_mu_);
+  std::unique_lock<std::mutex> lock(sink_mu_);
   enabled_.store(false, std::memory_order_relaxed);
+  // Drain: the flusher loops until the queue is empty, so once it is
+  // done every record emitted before disable() has reached the sink.
+  flush_cv_.wait(lock, [this] { return !flushing_; });
   sink_ = nullptr;
 }
 
+bool Tracer::recording() const {
+  return enabled() || FlightRegistry::armed();
+}
+
 Span Tracer::start_span(std::string_view name) {
-  if (!enabled()) return {};
+  if (!recording()) return {};
   return make_span(name, tl_current, /*scoped=*/true);
 }
 
+Span Tracer::start_span(std::string_view name, const SpanContext& parent) {
+  if (!recording() || !parent.valid()) return {};
+  return make_span(name, parent, /*scoped=*/true);
+}
+
 Span Tracer::start_child(std::string_view name, const SpanContext& parent) {
-  if (!enabled() || !parent.valid()) return {};
+  if (!recording() || !parent.valid()) return {};
   return make_span(name, parent, /*scoped=*/false);
 }
 
@@ -136,15 +194,36 @@ Span Tracer::make_span(std::string_view name, const SpanContext& parent,
   rec->parent_id = parent.valid() ? parent.span_id : 0;
   rec->name = std::string(name);
   rec->start_ns = now_ns();
+  rec->wall_start_us = wall_us_of(rec->start_ns);
   const SpanContext prev = tl_current;
   if (scoped) tl_current = {rec->trace_id, rec->span_id};
   return Span(this, std::move(rec), prev, scoped);
 }
 
 void Tracer::emit(const SpanRecord& rec) {
-  std::lock_guard<std::mutex> lock(sink_mu_);
+  // The flight-recorder tee is independent of the sink: armed rings
+  // retain spans even when JSONL output is off.
+  if (FlightRegistry::armed()) FlightRegistry::global().record_span(rec);
+
+  std::unique_lock<std::mutex> lock(sink_mu_);
   // Late-ending spans after disable() are dropped, not crashed on.
-  if (sink_) sink_(rec);
+  if (!sink_) return;
+  queue_.push_back(rec);
+  if (flushing_) return;  // the active flusher will pick this up
+  flushing_ = true;
+  while (!queue_.empty()) {
+    std::vector<SpanRecord> batch;
+    batch.swap(queue_);
+    // Copy the sink so enable()/disable() racing this flush cannot
+    // invalidate it mid-batch (both wait for !flushing_ anyway).
+    Sink sink = sink_;
+    lock.unlock();
+    for (const SpanRecord& r : batch) sink(r);
+    lock.lock();
+  }
+  flushing_ = false;
+  lock.unlock();
+  flush_cv_.notify_all();
 }
 
 uint64_t Tracer::now_ns() {

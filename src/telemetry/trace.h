@@ -12,13 +12,19 @@
 // the previous current span, so strict RAII nesting holds per thread.
 //
 // Cost model: tracing is off by default. A disabled tracer hands out
-// inert spans — no id allocation, no clock read, one relaxed atomic
-// load — so instrumented hot paths stay within the <1% overhead budget.
-// When enabled, finished spans are serialized to the sink under a
-// mutex; the stock sink is JSON-lines (one object per line).
+// inert spans — no id allocation, no clock read, two relaxed atomic
+// loads — so instrumented hot paths stay within the <1% overhead
+// budget. When enabled, finished spans are handed to the sink through a
+// flush-combining queue: emitters enqueue under the lock, one thread
+// drains outside it, so file I/O never serializes concurrent emitters.
+// The stock sink is JSON-lines (one object per line). Independently of
+// the sink, an armed FlightRegistry (flight_recorder.h) tees every
+// finished span into per-node ring buffers, so the last N spans survive
+// for post-mortems even with the JSONL sink disabled.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -45,6 +51,11 @@ struct SpanRecord {
   std::string name;
   uint64_t start_ns = 0;  ///< steady-clock, process-relative
   uint64_t end_ns = 0;
+  /// Wall-clock start (µs since the Unix epoch), derived from a
+  /// one-time per-process (steady, wall) anchor so traces from
+  /// different runs/nodes can be aligned on a shared timeline while
+  /// start_ns/end_ns keep steady-clock monotonicity for durations.
+  uint64_t wall_start_us = 0;
   std::vector<std::pair<std::string, std::string>> attrs;
 
   /// One JSON object, no trailing newline. Numeric ids are emitted as
@@ -93,6 +104,23 @@ class Span {
   bool scoped_ = false; // whether this span installed itself as current
 };
 
+/// RAII override of the calling thread's current span context,
+/// restored on scope exit. Used by replay paths (DurableLink) that
+/// must run under the context captured when the work was parked — an
+/// op parked during one operation must not attach its transport spans
+/// to whatever operation happens to trigger the flush. Overriding
+/// with an invalid context detaches the scope from the ambient trace.
+class ContextOverride {
+ public:
+  explicit ContextOverride(const SpanContext& ctx);
+  ~ContextOverride();
+  ContextOverride(const ContextOverride&) = delete;
+  ContextOverride& operator=(const ContextOverride&) = delete;
+
+ private:
+  SpanContext prev_;
+};
+
 class Tracer {
  public:
   /// The process-wide tracer (never destroyed).
@@ -112,6 +140,13 @@ class Tracer {
   /// Child of the calling thread's current span; a new trace root when
   /// there is none. Becomes the thread's current span until it ends.
   Span start_span(std::string_view name);
+  /// Scoped child of an explicit parent: becomes the thread's current
+  /// span until it ends, but links to `parent` instead of the ambient
+  /// context. This is the wire-rehydration primitive — a receiving
+  /// node continues the sender's trace and everything it does nests
+  /// under the propagated context. An invalid parent yields an inert
+  /// span: an untraced frame stays untraced on the receiving side.
+  Span start_span(std::string_view name, const SpanContext& parent);
   /// Child of an explicit parent (cross-thread propagation). Does NOT
   /// become the thread's current span. An invalid parent yields an
   /// inert span: untraced callers stay untraced across thread hops.
@@ -130,10 +165,21 @@ class Tracer {
   Span make_span(std::string_view name, const SpanContext& parent, bool scoped);
   void emit(const SpanRecord& rec);
   static uint64_t now_ns();
+  /// Spans are real when the sink is on OR the flight registry is
+  /// armed (rings retain spans with the JSONL sink disabled).
+  bool recording() const;
 
   std::atomic<bool> enabled_{false};
   std::atomic<uint64_t> next_id_{1};
+  // Flush-combining sink state: emitters append to queue_ under
+  // sink_mu_; the first one becomes the flusher and drains batches
+  // with the lock released, so the sink callback (file I/O) never
+  // runs under the lock and re-entrant emits from inside a sink
+  // cannot deadlock. enable()/disable() wait out an active flusher.
   std::mutex sink_mu_;
+  std::condition_variable flush_cv_;
+  std::vector<SpanRecord> queue_;
+  bool flushing_ = false;
   Sink sink_;
 };
 

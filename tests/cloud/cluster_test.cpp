@@ -14,11 +14,17 @@
 #include "cloud/system.h"
 #include "common/errors.h"
 #include "crypto/sha256.h"
+#include "../support/flight_dump_on_failure.h"
 
 namespace maabe::cloud {
 namespace {
 
 using pairing::Group;
+
+// One install per binary: a failing chaos test dumps every node's
+// flight-recorder ring so the fault sequence ships with the report.
+[[maybe_unused]] const bool kFlightDumpInstalled =
+    maabe::test_support::install_flight_dump_on_failure();
 
 std::unique_ptr<CloudSystem> make_system(std::shared_ptr<const Group> grp,
                                          size_t nodes, size_t replication,

@@ -1,0 +1,45 @@
+// Test-support listener (DESIGN.md §16): arms the process-wide flight
+// recorder around every test and, when a test fails, dumps each node's
+// ring to stderr — a non-deterministic chaos/recovery flake ships its
+// own post-mortem (the last N spans and typed fault/shed/epoch events
+// per node) instead of demanding a rerun.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <iostream>
+#include <string>
+
+#include "telemetry/flight_recorder.h"
+
+namespace maabe::test_support {
+
+class FlightDumpOnFailure : public ::testing::EmptyTestEventListener {
+ public:
+  void OnTestStart(const ::testing::TestInfo&) override {
+    // Fresh recording per test: old entries never pollute a new dump.
+    telemetry::FlightRegistry::global().arm();
+  }
+
+  void OnTestEnd(const ::testing::TestInfo& info) override {
+    if (info.result() != nullptr && info.result()->Failed()) {
+      auto& reg = telemetry::FlightRegistry::global();
+      std::cerr << "---- flight-recorder dump (" << info.test_suite_name()
+                << "." << info.name() << ") ----\n";
+      for (const std::string& node : reg.nodes()) {
+        std::cerr << reg.dump(node);
+      }
+    }
+    telemetry::FlightRegistry::global().disarm();
+  }
+};
+
+/// Call from ONE translation unit per test binary (a static initializer
+/// is fine: gtest_main runs after static init, and the listener list
+/// takes ownership of the pointer).
+inline bool install_flight_dump_on_failure() {
+  ::testing::UnitTest::GetInstance()->listeners().Append(new FlightDumpOnFailure());
+  return true;
+}
+
+}  // namespace maabe::test_support

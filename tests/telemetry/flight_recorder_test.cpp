@@ -1,0 +1,170 @@
+// Per-node flight recorder (DESIGN.md §16): fixed-capacity rings
+// retaining the last N spans/events per node, armed via the process-
+// wide FlightRegistry independently of the JSONL trace sink.
+//
+// The registry is process-wide, so every test scopes its arming with
+// ArmedFlightRecorder and uses distinct node names; arm() clears
+// retained entries, so tests do not see each other's records.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/flight_recorder.h"
+#include "telemetry/trace.h"
+
+namespace maabe::telemetry {
+namespace {
+
+FlightEntry make_entry(uint64_t seq, const std::string& name) {
+  FlightEntry e;
+  e.seq = seq;
+  e.kind = FlightEntry::Kind::kSpan;
+  e.node = "ring-test";
+  e.name = name;
+  return e;
+}
+
+TEST(FlightRecorder, DisarmedByDefaultAndDropsRecords) {
+  ASSERT_FALSE(FlightRegistry::armed());
+  FlightRegistry::global().record_event("flight-disarmed",
+                                        FlightEntry::Kind::kFaultInjected,
+                                        "dropped", "should not be retained");
+  EXPECT_TRUE(FlightRegistry::global().entries("flight-disarmed").empty());
+}
+
+TEST(FlightRecorder, RingKeepsNewestWhenLapped) {
+  FlightRecorder ring(4);
+  ASSERT_EQ(ring.capacity(), 4u);
+  for (uint64_t i = 1; i <= 10; ++i)
+    ring.record(make_entry(i, "e" + std::to_string(i)));
+  const std::vector<FlightEntry> got = ring.snapshot();
+  ASSERT_EQ(got.size(), 4u);
+  // Oldest first, and only the newest four survive the laps.
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].seq, 7u + i);
+    EXPECT_EQ(got[i].name, "e" + std::to_string(7 + i));
+  }
+}
+
+TEST(FlightRecorder, ConcurrentWritersLoseNoSlotAndStayOrdered) {
+  FlightRecorder ring(64);
+  std::atomic<uint64_t> next_seq{1};
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 400;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i)
+        ring.record(make_entry(next_seq.fetch_add(1), "w"));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const std::vector<FlightEntry> got = ring.snapshot();
+  ASSERT_EQ(got.size(), 64u);
+  // snapshot() is sorted by global seq; every retained entry is unique.
+  for (size_t i = 1; i < got.size(); ++i) EXPECT_GT(got[i].seq, got[i - 1].seq);
+  // Lapped writers lose to newer entries: the retained window must sit
+  // in the top portion of the sequence space.
+  EXPECT_GT(got.front().seq, static_cast<uint64_t>(kThreads * kPerThread) / 2);
+}
+
+TEST(FlightRecorder, EventsCarryWallClockAndTypedKind) {
+  ArmedFlightRecorder armed;
+  FlightRegistry::global().record_event("flight-events",
+                                        FlightEntry::Kind::kOverloadShed,
+                                        "parked_rejected", "queue at cap");
+  const std::vector<FlightEntry> got =
+      FlightRegistry::global().entries("flight-events");
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].kind, FlightEntry::Kind::kOverloadShed);
+  EXPECT_EQ(got[0].name, "parked_rejected");
+  EXPECT_EQ(got[0].detail, "queue at cap");
+  EXPECT_GT(got[0].wall_us, 0u);  // wall anchor, not steady clock
+  EXPECT_EQ(got[0].span_id, 0u);  // events carry no span ids
+}
+
+TEST(FlightRecorder, SpansRouteByNodeIdAttrWithProcessFallback) {
+  ArmedFlightRecorder armed;
+  SpanRecord rec;
+  rec.trace_id = 7;
+  rec.span_id = 7;
+  rec.name = "routed.span";
+  rec.attrs.emplace_back("node_id", "flight-node-a");
+  FlightRegistry::global().record_span(rec);
+
+  SpanRecord unattributed;
+  unattributed.trace_id = 8;
+  unattributed.span_id = 8;
+  unattributed.name = "process.span";
+  FlightRegistry::global().record_span(unattributed);
+
+  const auto a = FlightRegistry::global().entries("flight-node-a");
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a[0].name, "routed.span");
+  EXPECT_EQ(a[0].span_id, 7u);
+
+  const auto proc = FlightRegistry::global().entries("process");
+  ASSERT_FALSE(proc.empty());
+  EXPECT_EQ(proc.back().name, "process.span");
+}
+
+TEST(FlightRecorder, ArmedRegistryTeesSpansWithSinkDisabled) {
+  ASSERT_FALSE(Tracer::global().enabled());
+  ArmedFlightRecorder armed;
+  {
+    Span s = Tracer::global().start_span("teed.without_sink");
+    ASSERT_TRUE(s.active());  // recording() is on because armed
+    s.attr("node_id", "flight-tee");
+    s.attr("outcome", "ok");
+  }
+  const auto got = FlightRegistry::global().entries("flight-tee");
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].name, "teed.without_sink");
+  EXPECT_NE(got[0].trace_id, 0u);
+  EXPECT_GE(got[0].end_ns, got[0].start_ns);
+  // node_id is consumed for routing; the other attrs land in detail.
+  EXPECT_NE(got[0].detail.find("outcome=ok"), std::string::npos);
+  EXPECT_EQ(got[0].detail.find("node_id"), std::string::npos);
+}
+
+TEST(FlightRecorder, ArmClearsPriorRecordingAndDisarmRestoresDefault) {
+  FlightRegistry& reg = FlightRegistry::global();
+  reg.arm();
+  reg.record_event("flight-rearm", FlightEntry::Kind::kEpochDecision,
+                   "commit", "epoch 1");
+  ASSERT_EQ(reg.entries("flight-rearm").size(), 1u);
+  reg.arm();  // fresh recording: prior entries cleared
+  EXPECT_TRUE(reg.entries("flight-rearm").empty());
+  reg.disarm();
+  EXPECT_FALSE(FlightRegistry::armed());
+  {
+    Span s = Tracer::global().start_span("after.disarm");
+    EXPECT_FALSE(s.active());  // sink off + disarmed = inert spans again
+  }
+}
+
+TEST(FlightRecorder, DumpIsHumanReadableWithHeaderAndEntryLines) {
+  ArmedFlightRecorder armed;
+  FlightRegistry& reg = FlightRegistry::global();
+  reg.record_event("flight-dump", FlightEntry::Kind::kFaultInjected,
+                   "drop", "owner:hosp -> node-1");
+  reg.record_event("flight-dump", FlightEntry::Kind::kEpochDecision,
+                   "commit", "epoch 3");
+  const std::string dump = reg.dump("flight-dump");
+  EXPECT_NE(dump.find("flight-recorder flight-dump: 2 entries"),
+            std::string::npos);
+  EXPECT_NE(dump.find("drop"), std::string::npos);
+  EXPECT_NE(dump.find("owner:hosp -> node-1"), std::string::npos);
+  EXPECT_NE(dump.find("commit"), std::string::npos);
+  // nodes() lists the ring we just created.
+  const std::vector<std::string> nodes = reg.nodes();
+  bool found = false;
+  for (const std::string& n : nodes) found = found || n == "flight-dump";
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace maabe::telemetry

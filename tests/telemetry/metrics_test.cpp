@@ -85,6 +85,68 @@ TEST(Metrics, PrometheusTextExposition) {
   EXPECT_NE(text.find("test_prom_hist_count 1"), std::string::npos);
 }
 
+// ---- Exposition conformance (DESIGN.md §16): every series gets HELP
+// and TYPE lines, free-form registry names are sanitized to the
+// Prometheus charset, and histograms expose cumulative _bucket series
+// in ascending le order plus _sum/_count.
+TEST(Metrics, ExpositionEmitsHelpBeforeTypeForEverySeries) {
+  Snapshot snap;
+  snap.counters["test_help_total"] = 1;
+  snap.gauges["test_help_gauge"] = 2;
+  Histogram::Data h;
+  h.bounds = {10};
+  h.counts = {1, 0};
+  h.count = 1;
+  h.sum = 4;
+  snap.histograms["test_help_hist"] = h;
+  const std::string text = snap.prometheus_text();
+  for (const char* n : {"test_help_total", "test_help_gauge", "test_help_hist"}) {
+    const size_t help = text.find("# HELP " + std::string(n) + " ");
+    const size_t type = text.find("# TYPE " + std::string(n) + " ");
+    ASSERT_NE(help, std::string::npos) << n;
+    ASSERT_NE(type, std::string::npos) << n;
+    EXPECT_LT(help, type) << n << ": HELP must precede TYPE";
+  }
+}
+
+TEST(Metrics, ExpositionSanitizesNonPrometheusNameCharacters) {
+  Snapshot snap;
+  // Collector contributions interpolate node names: '-' and '.' are
+  // illegal in a metric name, ':' is legal.
+  snap.gauges["maabe_node:node-1.lag"] = 3;
+  snap.counters["9starts_with_digit"] = 1;
+  const std::string text = snap.prometheus_text();
+  EXPECT_NE(text.find("maabe_node:node_1_lag 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE maabe_node:node_1_lag gauge"), std::string::npos);
+  EXPECT_EQ(text.find("node-1.lag"), std::string::npos);
+  EXPECT_NE(text.find("_9starts_with_digit 1"), std::string::npos);
+}
+
+TEST(Metrics, ExpositionHistogramBucketsAreCumulativeAscending) {
+  Snapshot snap;
+  Histogram::Data h;
+  h.bounds = {10, 100, 1000};
+  h.counts = {2, 3, 0, 1};  // per-bucket, last is the overflow bucket
+  h.count = 6;
+  h.sum = 1234;
+  snap.histograms["test_cum_hist"] = h;
+  const std::string text = snap.prometheus_text();
+  // Cumulative: each bucket includes everything below; +Inf == _count.
+  const size_t b10 = text.find("test_cum_hist_bucket{le=\"10\"} 2\n");
+  const size_t b100 = text.find("test_cum_hist_bucket{le=\"100\"} 5\n");
+  const size_t b1000 = text.find("test_cum_hist_bucket{le=\"1000\"} 5\n");
+  const size_t binf = text.find("test_cum_hist_bucket{le=\"+Inf\"} 6\n");
+  ASSERT_NE(b10, std::string::npos);
+  ASSERT_NE(b100, std::string::npos);
+  ASSERT_NE(b1000, std::string::npos);
+  ASSERT_NE(binf, std::string::npos);
+  EXPECT_LT(b10, b100);
+  EXPECT_LT(b100, b1000);
+  EXPECT_LT(b1000, binf);
+  EXPECT_NE(text.find("test_cum_hist_sum 1234"), std::string::npos);
+  EXPECT_NE(text.find("test_cum_hist_count 6"), std::string::npos);
+}
+
 TEST(Metrics, CollectorRunsUntilTokenReset) {
   MetricsRegistry& reg = MetricsRegistry::global();
   MetricsRegistry::CollectorToken token = reg.register_collector(

@@ -1,0 +1,161 @@
+// SLO plane (DESIGN.md §16): spec parsing, rolling-window bad
+// fractions, multi-window burn rates and the maabe_slo_* gauge export.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.h"
+#include "telemetry/slo.h"
+
+namespace maabe::telemetry {
+namespace {
+
+TEST(Slo, ParseLatencyErrorRateAndExplicitObjectives) {
+  const std::vector<SloSpec> specs = SloPlane::parse(
+      "download_p99_ms=250,epoch_commit_ms=2000@0.95,error_rate=0.01");
+  ASSERT_EQ(specs.size(), 3u);
+
+  EXPECT_EQ(specs[0].name, "download_p99_ms");
+  EXPECT_EQ(specs[0].kind, SloSpec::Kind::kLatency);
+  EXPECT_DOUBLE_EQ(specs[0].threshold_ms, 250.0);
+  EXPECT_DOUBLE_EQ(specs[0].objective, 0.99);  // latency default
+
+  EXPECT_EQ(specs[1].name, "epoch_commit_ms");
+  EXPECT_DOUBLE_EQ(specs[1].threshold_ms, 2000.0);
+  EXPECT_DOUBLE_EQ(specs[1].objective, 0.95);  // @objective override
+
+  EXPECT_EQ(specs[2].name, "error_rate");
+  EXPECT_EQ(specs[2].kind, SloSpec::Kind::kErrorRate);
+  // Error-rate value is the allowed bad fraction.
+  EXPECT_DOUBLE_EQ(specs[2].objective, 0.99);
+}
+
+TEST(Slo, ParseSkipsEmptyTokensAndRejectsMalformedOnes) {
+  EXPECT_TRUE(SloPlane::parse("").empty());
+  EXPECT_EQ(SloPlane::parse("a_ms=1,,b_ms=2").size(), 2u);  // empty token ok
+
+  EXPECT_THROW(SloPlane::parse("no_equals"), std::invalid_argument);
+  EXPECT_THROW(SloPlane::parse("=250"), std::invalid_argument);
+  EXPECT_THROW(SloPlane::parse("x_ms=abc"), std::invalid_argument);
+  EXPECT_THROW(SloPlane::parse("x_ms=250@nope"), std::invalid_argument);
+  EXPECT_THROW(SloPlane::parse("x_ms=0"), std::invalid_argument);     // <= 0 ms
+  EXPECT_THROW(SloPlane::parse("x_ms=-5"), std::invalid_argument);
+  EXPECT_THROW(SloPlane::parse("error_rate=1.0"), std::invalid_argument);
+  EXPECT_THROW(SloPlane::parse("error_rate=-0.1"), std::invalid_argument);
+  EXPECT_THROW(SloPlane::parse("x_ms=250@0"), std::invalid_argument);
+  EXPECT_THROW(SloPlane::parse("x_ms=250@1"), std::invalid_argument);
+}
+
+TEST(Slo, LatencySamplesAreBadOnThresholdMissOrFailure) {
+  SloTracker t({"lat_ms", SloSpec::Kind::kLatency, 100.0, 0.9});
+  t.record(50.0, false);   // good
+  t.record(100.0, false);  // good: threshold is strict >
+  t.record(150.0, false);  // bad: over threshold
+  t.record(10.0, true);    // bad: failed outright, latency irrelevant
+  const SloStatus s = t.status();
+  EXPECT_EQ(s.samples, 4u);
+  EXPECT_EQ(s.bad, 2u);
+}
+
+TEST(Slo, ErrorRateSamplesIgnoreLatency) {
+  SloTracker t({"error_rate", SloSpec::Kind::kErrorRate, 0.0, 0.9});
+  t.record(99999.0, false);  // good no matter how slow
+  t.record(0.1, true);       // bad
+  const SloStatus s = t.status();
+  EXPECT_EQ(s.samples, 2u);
+  EXPECT_EQ(s.bad, 1u);
+}
+
+TEST(Slo, BurnRateIsBadFractionOverBudgetPerWindow) {
+  // Short window 4, long window 8, objective 0.9 -> budget 0.1.
+  SloTracker t({"lat_ms", SloSpec::Kind::kLatency, 100.0, 0.9}, 4, 8);
+  // 4 old bad samples, then 4 recent good ones: the short window is
+  // clean while the long window still remembers the burst.
+  for (int i = 0; i < 4; ++i) t.record(500.0, false);
+  for (int i = 0; i < 4; ++i) t.record(1.0, false);
+  const SloStatus s = t.status();
+  EXPECT_DOUBLE_EQ(s.bad_fraction_short, 0.0);
+  EXPECT_DOUBLE_EQ(s.bad_fraction_long, 0.5);
+  EXPECT_DOUBLE_EQ(s.burn_short, 0.0);
+  EXPECT_DOUBLE_EQ(s.burn_long, 5.0);  // 0.5 / 0.1
+  EXPECT_FALSE(s.met);                 // burn_long > 1
+}
+
+TEST(Slo, RollingWindowForgetsOldBadSamples) {
+  SloTracker t({"lat_ms", SloSpec::Kind::kLatency, 100.0, 0.9}, 4, 8);
+  for (int i = 0; i < 4; ++i) t.record(500.0, false);
+  // Push the burst fully out of the long window.
+  for (int i = 0; i < 8; ++i) t.record(1.0, false);
+  const SloStatus s = t.status();
+  EXPECT_EQ(s.samples, 12u);  // lifetime counters keep the burst...
+  EXPECT_EQ(s.bad, 4u);
+  EXPECT_DOUBLE_EQ(s.bad_fraction_long, 0.0);  // ...the window forgot it
+  EXPECT_TRUE(s.met);
+}
+
+TEST(Slo, MetSemantics) {
+  SloTracker empty({"lat_ms", SloSpec::Kind::kLatency, 100.0, 0.9}, 4, 8);
+  EXPECT_TRUE(empty.status().met);  // no samples: trivially met
+
+  // Exactly-at-budget burns at 1.0 and still counts as met. Objective
+  // 0.75 keeps budget (0.25) and bad fraction (1/4) exact in binary.
+  SloTracker at_budget({"lat_ms", SloSpec::Kind::kLatency, 100.0, 0.75}, 4, 4);
+  for (int i = 0; i < 3; ++i) at_budget.record(1.0, false);
+  at_budget.record(500.0, false);
+  const SloStatus s = at_budget.status();
+  EXPECT_DOUBLE_EQ(s.burn_long, 1.0);
+  EXPECT_TRUE(s.met);
+}
+
+TEST(Slo, ZeroBudgetObjectiveUsesSentinelBurn) {
+  // objective 1.0 cannot come from parse() (rejected), but a
+  // hand-built spec must not divide by zero.
+  SloTracker t({"error_rate", SloSpec::Kind::kErrorRate, 0.0, 1.0}, 4, 8);
+  t.record(1.0, false);
+  EXPECT_DOUBLE_EQ(t.status().burn_long, 0.0);
+  t.record(1.0, true);
+  EXPECT_GE(t.status().burn_long, 1e12);
+  EXPECT_FALSE(t.status().met);
+}
+
+TEST(Slo, PlaneRoutesByNameAndDropsUnknownFeeds) {
+  SloPlane plane(SloPlane::parse("download_p99_ms=100,error_rate=0.5"));
+  ASSERT_FALSE(plane.empty());
+  plane.observe("download_p99_ms", 250.0, false);  // bad for latency SLO
+  plane.observe("error_rate", 250.0, false);       // good for error SLO
+  plane.observe("never_configured", 1.0, true);    // dropped silently
+  const std::vector<SloStatus> st = plane.status();
+  ASSERT_EQ(st.size(), 2u);
+  EXPECT_EQ(st[0].name, "download_p99_ms");
+  EXPECT_EQ(st[0].samples, 1u);
+  EXPECT_EQ(st[0].bad, 1u);
+  EXPECT_EQ(st[1].name, "error_rate");
+  EXPECT_EQ(st[1].samples, 1u);
+  EXPECT_EQ(st[1].bad, 0u);
+}
+
+TEST(Slo, ExportPublishesMaabeSloGauges) {
+  SloPlane plane(SloPlane::parse("slo_test_export_ms=100@0.9"));
+  for (int i = 0; i < 3; ++i) plane.observe("slo_test_export_ms", 1.0, false);
+  plane.observe("slo_test_export_ms", 500.0, false);
+  plane.export_gauges();
+
+  const Snapshot snap = MetricsRegistry::global().collect();
+  // 1 bad / 4 samples = 0.25 bad fraction; budget 0.1 -> burn 2.5.
+  EXPECT_EQ(snap.gauge("maabe_slo_slo_test_export_ms_met"), 0);
+  EXPECT_EQ(snap.gauge("maabe_slo_slo_test_export_ms_burn_short_x1000"), 2500);
+  EXPECT_EQ(snap.gauge("maabe_slo_slo_test_export_ms_burn_long_x1000"), 2500);
+  EXPECT_EQ(snap.gauge("maabe_slo_slo_test_export_ms_samples"), 4);
+}
+
+TEST(Slo, DefaultPlaneIsEmptyAndInert) {
+  SloPlane plane;
+  EXPECT_TRUE(plane.empty());
+  plane.observe("anything", 1.0, true);  // no-op, must not crash
+  EXPECT_TRUE(plane.status().empty());
+}
+
+}  // namespace
+}  // namespace maabe::telemetry

@@ -5,7 +5,10 @@
 // trace id (DESIGN.md §11).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <map>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -129,6 +132,102 @@ TEST(Trace, JsonLineFormat) {
   EXPECT_NE(line.find("\"start_ns\":100"), std::string::npos);
   EXPECT_NE(line.find("\"end_ns\":250"), std::string::npos);
   EXPECT_NE(line.find("\"outcome\":\"delivered\""), std::string::npos);
+}
+
+TEST(Trace, WallStartDerivesFromProcessAnchor) {
+  const auto wall_before = std::chrono::duration_cast<std::chrono::microseconds>(
+                               std::chrono::system_clock::now().time_since_epoch())
+                               .count();
+  SpanCollector sink;
+  { Span s = Tracer::global().start_span("anchored"); }
+  const auto wall_after = std::chrono::duration_cast<std::chrono::microseconds>(
+                              std::chrono::system_clock::now().time_since_epoch())
+                              .count();
+  ASSERT_EQ(sink.records().size(), 1u);
+  const SpanRecord& rec = sink.records()[0];
+  // The anchor maps the steady start into wall time: the span's wall
+  // start must land inside the wall interval bracketing the test
+  // (generous ±1s slack for clock reads on a loaded host).
+  EXPECT_GE(rec.wall_start_us + 1'000'000u, static_cast<uint64_t>(wall_before));
+  EXPECT_LE(rec.wall_start_us, static_cast<uint64_t>(wall_after) + 1'000'000u);
+  EXPECT_NE(rec.to_json_line().find("\"wall_start_us\":"), std::string::npos);
+}
+
+// ---- Satellite (c): emit must not hold the sink lock across the sink
+// callback. A slow sink with many concurrent emitters would serialize
+// (or deadlock, for a re-entrant sink) if it did.
+TEST(Trace, ConcurrentEmittersDoNotSerializeOnTheSink) {
+  std::atomic<int> in_sink{0};
+  std::atomic<int> max_concurrent_spans{0};
+  std::atomic<int> live_spans{0};
+  std::atomic<size_t> emitted{0};
+  Tracer::global().enable([&](const SpanRecord&) {
+    in_sink.fetch_add(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    in_sink.fetch_sub(1);
+    emitted.fetch_add(1);
+  });
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 16;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Span s = Tracer::global().start_span("burst");
+        const int live = live_spans.fetch_add(1) + 1;
+        int seen = max_concurrent_spans.load();
+        while (live > seen &&
+               !max_concurrent_spans.compare_exchange_weak(seen, live)) {
+        }
+        s.end();  // enqueue + maybe flush; must not block siblings
+        live_spans.fetch_sub(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  Tracer::global().disable();  // drains the queue before dropping the sink
+  EXPECT_EQ(emitted.load(), static_cast<size_t>(kThreads) * kPerThread);
+  // With a 1ms sink delay per record, emitters that waited for the sink
+  // would run lockstep; flush combining keeps them concurrent.
+  EXPECT_GT(max_concurrent_spans.load(), 1);
+}
+
+TEST(Trace, ReentrantEmitFromInsideSinkDoesNotDeadlock) {
+  std::vector<std::string> names;
+  std::atomic<bool> emitted_inner{false};
+  Tracer::global().enable([&](const SpanRecord& rec) {
+    names.push_back(rec.name);  // sink calls are serialized by the tracer
+    if (!emitted_inner.exchange(true)) {
+      // A sink that itself traces (e.g. logging through an instrumented
+      // writer) re-enters emit() on the flushing thread.
+      Span inner = Tracer::global().start_span("inner.from_sink");
+      inner.end();
+    }
+  });
+  { Span outer = Tracer::global().start_span("outer"); }
+  Tracer::global().disable();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "outer");
+  EXPECT_EQ(names[1], "inner.from_sink");
+}
+
+TEST(Trace, DisableDrainsPendingRecordsBeforeDroppingSink) {
+  std::atomic<size_t> seen{0};
+  Tracer::global().enable([&](const SpanRecord&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    seen.fetch_add(1);
+  });
+  constexpr int kSpans = 8;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kSpans; ++i) {
+    threads.emplace_back([&] { Span s = Tracer::global().start_span("drain"); });
+  }
+  for (std::thread& t : threads) t.join();
+  // All spans ended; some may still sit in the flush queue. disable()
+  // must wait for the active flusher instead of racing the teardown.
+  Tracer::global().disable();
+  EXPECT_EQ(seen.load(), static_cast<size_t>(kSpans));
 }
 
 // ---- The acceptance scenario -----------------------------------------

@@ -1,0 +1,130 @@
+// trace-lint integration: drive the real binary over JSONL traces and
+// check the exit codes and violation classes (parseable lines, unique
+// span ids, end_ns >= start_ns, no orphan parents, roots own their
+// trace id).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "telemetry/trace.h"
+
+#ifndef MAABE_TRACE_LINT_PATH
+#error "MAABE_TRACE_LINT_PATH must be defined by the build"
+#endif
+
+namespace {
+
+namespace fs = std::filesystem;
+
+class TraceLintTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("maabe-trace-lint-" + std::to_string(::getpid()) + "-" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path write(const std::string& name, const std::string& content) {
+    const fs::path p = dir_ / name;
+    std::ofstream out(p);
+    out << content;
+    return p;
+  }
+
+  int lint(const fs::path& file) {
+    const std::string cmd = std::string(MAABE_TRACE_LINT_PATH) + " " +
+                            file.string() + " >/dev/null 2>&1";
+    const int status = std::system(cmd.c_str());
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+
+  /// One valid span line in the emitter's format (ids as decimal
+  /// strings, clocks as bare numbers).
+  static std::string span_line(uint64_t trace, uint64_t span, uint64_t parent,
+                               uint64_t start = 100, uint64_t end = 200) {
+    maabe::telemetry::SpanRecord rec;
+    rec.trace_id = trace;
+    rec.span_id = span;
+    rec.parent_id = parent;
+    rec.name = "op";
+    rec.start_ns = start;
+    rec.end_ns = end;
+    rec.wall_start_us = 42;
+    return rec.to_json_line() + "\n";
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(TraceLintTest, AcceptsAWellFormedTrace) {
+  // Children emit before their parent (spans emit when they END).
+  const fs::path p = write("good.jsonl", span_line(7, 9, 8, 120, 150) +
+                                             span_line(7, 8, 7, 110, 160) +
+                                             span_line(7, 7, 0, 100, 200));
+  EXPECT_EQ(lint(p), 0);
+}
+
+TEST_F(TraceLintTest, AcceptsTheRealEmitterOutput) {
+  // End-to-end: JsonLinesSink writes, trace-lint validates.
+  const fs::path p = dir_ / "emitted.jsonl";
+  auto& tracer = maabe::telemetry::Tracer::global();
+  tracer.enable(maabe::telemetry::JsonLinesSink(p.string()));
+  {
+    maabe::telemetry::Span root = tracer.start_span("root");
+    root.attr("outcome", "ok \"quoted\"");
+    maabe::telemetry::Span child = tracer.start_span("child");
+  }
+  tracer.disable();  // flushes and closes the file
+  EXPECT_EQ(lint(p), 0);
+}
+
+TEST_F(TraceLintTest, RejectsOrphanParent) {
+  const fs::path p = write("orphan.jsonl", span_line(7, 8, 99));
+  EXPECT_EQ(lint(p), 1);
+}
+
+TEST_F(TraceLintTest, RejectsDuplicateSpanIds) {
+  const fs::path p =
+      write("dup.jsonl", span_line(7, 7, 0) + span_line(7, 7, 0));
+  EXPECT_EQ(lint(p), 1);
+}
+
+TEST_F(TraceLintTest, RejectsEndBeforeStart) {
+  const fs::path p = write("clock.jsonl", span_line(7, 7, 0, 200, 100));
+  EXPECT_EQ(lint(p), 1);
+}
+
+TEST_F(TraceLintTest, RejectsRootWithForeignTraceId) {
+  // parent_id 0 claims "root", but the trace id belongs elsewhere.
+  const fs::path p = write("root.jsonl", span_line(3, 7, 0));
+  EXPECT_EQ(lint(p), 1);
+}
+
+TEST_F(TraceLintTest, RejectsChildInDifferentTraceThanParent) {
+  const fs::path p =
+      write("cross.jsonl", span_line(9, 8, 7) + span_line(7, 7, 0));
+  EXPECT_EQ(lint(p), 1);
+}
+
+TEST_F(TraceLintTest, RejectsTruncatedAndFieldlessLines) {
+  EXPECT_EQ(lint(write("trunc.jsonl", "{\"trace_id\":\"7\",\"span_id\"\n")), 1);
+  EXPECT_EQ(lint(write("fields.jsonl", "{\"name\":\"op\"}\n")), 1);
+  EXPECT_EQ(lint(write("zero.jsonl", span_line(7, 0, 0))), 1);
+}
+
+TEST_F(TraceLintTest, UsageAndMissingFileAreDistinctFromViolations) {
+  const int status = std::system((std::string(MAABE_TRACE_LINT_PATH) +
+                                  " >/dev/null 2>&1")
+                                     .c_str());
+  EXPECT_EQ(WIFEXITED(status) ? WEXITSTATUS(status) : -1, 2);  // usage
+  EXPECT_EQ(lint(dir_ / "does-not-exist.jsonl"), 2);
+}
+
+}  // namespace

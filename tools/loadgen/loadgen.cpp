@@ -110,6 +110,9 @@ WorkloadReport& WorkloadReport::operator+=(const WorkloadReport& o) {
   recovery_files_transferred += o.recovery_files_transferred;
   recovery_hints_replayed += o.recovery_hints_replayed;
   recovery_epochs_resolved += o.recovery_epochs_resolved;
+  // SLO statuses are lifetime snapshots of one shared plane: the later
+  // phase's snapshot subsumes the earlier one.
+  if (!o.slo.empty()) slo = o.slo;
   return *this;
 }
 
@@ -132,6 +135,8 @@ LoadGenerator::LoadGenerator(std::shared_ptr<const pairing::Group> grp,
       grp_, "loadgen-" + std::to_string(cfg_.seed),
       std::make_unique<cloud::LoopbackTransport>(), cloud::RetryPolicy(), cluster);
   if (cfg_.pending_cap > 0) sys_->set_pending_cap(cfg_.pending_cap);
+  if (!cfg_.slo_spec.empty())
+    slo_ = telemetry::SloPlane(telemetry::SloPlane::parse(cfg_.slo_spec));
   file_revision_.assign(cfg_.files, 0);
 }
 
@@ -237,9 +242,18 @@ void LoadGenerator::timed(OpStats& stats, const std::string& op_class,
   const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                       std::chrono::steady_clock::now() - start)
                       .count();
-  stats.latencies_ms.push_back(static_cast<double>(ns) / 1e6);
+  const double ms = static_cast<double>(ns) / 1e6;
+  stats.latencies_ms.push_back(ms);
   metrics.ops.inc();
   metrics.for_class(op_class).observe(static_cast<uint64_t>(ns));
+  // SLO feed (no-ops for objectives the spec does not track). A denied
+  // download is a correct authorization outcome, not an SLO violation;
+  // degraded/rejected/error all burn budget.
+  const bool slo_failed = outcome == kDegraded || outcome == kRejected ||
+                          outcome == kError;
+  if (op_class == "download") slo_.observe("download_p99_ms", ms, slo_failed);
+  if (op_class == "revoke") slo_.observe("epoch_commit_ms", ms, slo_failed);
+  slo_.observe("error_rate", ms, slo_failed);
   switch (outcome) {
     case kOk:
       ++stats.ok;
@@ -422,6 +436,10 @@ WorkloadReport LoadGenerator::run_ops(size_t n) {
   }
   report.decrypt_cache_hits -= cache_hits_before;
   report.decrypt_cache_misses -= cache_misses_before;
+  if (!slo_.empty()) {
+    report.slo = slo_.status();
+    slo_.export_gauges();  // burn rates ride the registry snapshot
+  }
   return report;
 }
 

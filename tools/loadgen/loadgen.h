@@ -23,6 +23,7 @@
 
 #include "cloud/system.h"
 #include "crypto/drbg.h"
+#include "telemetry/slo.h"
 
 namespace maabe::loadgen {
 
@@ -82,6 +83,11 @@ struct WorkloadConfig {
   /// 0 disables periodic flushing.
   size_t flush_every = 16;
   std::vector<ScenarioEvent> events;
+  /// SLO spec (SloPlane::parse grammar); empty = no objectives tracked.
+  /// The harness feeds "download_p99_ms" (downloads), "epoch_commit_ms"
+  /// (revocation epochs) and "error_rate" (every op) unconditionally;
+  /// this spec decides which of them are scored.
+  std::string slo_spec;
 };
 
 /// Latency/outcome accounting for one op class.
@@ -121,6 +127,12 @@ struct WorkloadReport {
   uint64_t recovery_hints_replayed = 0;
   uint64_t recovery_epochs_resolved = 0;      ///< commit + presumed-abort
 
+  /// SLO state at the end of the run (one entry per configured
+  /// objective; empty when no --slo spec was given). Statuses carry
+  /// lifetime counters from the generator's plane, so merging keeps
+  /// the newest snapshot rather than summing.
+  std::vector<telemetry::SloStatus> slo;
+
   /// Merges another report into this one (for phase-wise runs).
   WorkloadReport& operator+=(const WorkloadReport& o);
 };
@@ -145,6 +157,8 @@ class LoadGenerator {
   const WorkloadConfig& config() const { return cfg_; }
   /// Users enrolled so far (pool + churn).
   size_t user_count() const { return user_ids_.size(); }
+  /// The SLO plane driven by this generator (empty without a spec).
+  const telemetry::SloPlane& slo_plane() const { return slo_; }
 
  private:
   struct UserState {
@@ -179,6 +193,7 @@ class LoadGenerator {
   WorkloadConfig cfg_;
   crypto::Drbg rng_;
   std::unique_ptr<cloud::CloudSystem> sys_;
+  telemetry::SloPlane slo_;
   ZipfSampler file_zipf_;
   std::vector<UserState> users_;
   std::vector<std::string> user_ids_;

@@ -46,6 +46,9 @@ void usage(const char* argv0) {
       "  --rejoin-at OP        restart via the recovery protocol before op OP,\n"
       "                        timing convergence and bytes moved\n"
       "  --recovery-stats      print the recovery section after the run\n"
+      "  --slo SPEC            track objectives, e.g.\n"
+      "                        download_p99_ms=250,epoch_commit_ms=2000@0.95,error_rate=0.01\n"
+      "  --status-out PATH     write the aggregated cluster status JSON after the run\n"
       "  --small               use the fast insecure curve (or MAABE_BENCH_SMALL=1)\n",
       argv0);
 }
@@ -59,6 +62,18 @@ void print_stats(const char* cls, const OpStats& s) {
               static_cast<unsigned long long>(s.rejected),
               static_cast<unsigned long long>(s.errors), s.percentile(50),
               s.percentile(95), s.percentile(99));
+}
+
+maabe::bench::Json slo_json(const maabe::telemetry::SloStatus& s) {
+  maabe::bench::Json j;
+  j.put("objective", s.objective)
+      .put("threshold_ms", s.threshold_ms)
+      .put("samples", s.samples)
+      .put("bad", s.bad)
+      .put("burn_short", s.burn_short)
+      .put("burn_long", s.burn_long)
+      .put("met", s.met ? 1 : 0);
+  return j;
 }
 
 maabe::bench::Json stats_json(const OpStats& s) {
@@ -83,6 +98,7 @@ int main(int argc, char** argv) {
   size_t rejoin_at = 0, kill_node = 1;
   bool has_storm = false, has_kill = false, has_restart = false;
   bool has_rejoin = false, recovery_stats = false;
+  std::string status_out;
   bool small = std::getenv("MAABE_BENCH_SMALL") != nullptr &&
                std::getenv("MAABE_BENCH_SMALL")[0] == '1';
 
@@ -113,6 +129,8 @@ int main(int argc, char** argv) {
     else if (arg == "--restart-at") { restart_at = std::strtoull(next(), nullptr, 10); has_restart = true; }
     else if (arg == "--rejoin-at") { rejoin_at = std::strtoull(next(), nullptr, 10); has_rejoin = true; }
     else if (arg == "--recovery-stats") recovery_stats = true;
+    else if (arg == "--slo") cfg.slo_spec = next();
+    else if (arg == "--status-out") status_out = next();
     else if (arg == "--small") small = true;
     else if (arg == "--help" || arg == "-h") { usage(argv[0]); return 0; }
     else {
@@ -160,6 +178,16 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(report.parked_rejected),
               static_cast<unsigned long long>(report.replication_sheds),
               static_cast<unsigned long long>(report.restart_prunes));
+  if (!report.slo.empty()) {
+    std::printf("\n  %-18s %9s %9s %7s %10s %10s %5s\n", "slo", "samples",
+                "bad", "target", "burn_short", "burn_long", "met");
+    for (const auto& s : report.slo) {
+      std::printf("  %-18s %9llu %9llu %7.3f %10.3f %10.3f %5s\n",
+                  s.name.c_str(), static_cast<unsigned long long>(s.samples),
+                  static_cast<unsigned long long>(s.bad), s.objective,
+                  s.burn_short, s.burn_long, s.met ? "yes" : "NO");
+    }
+  }
   if (recovery_stats) {
     std::printf("  recovery: %llu rejoins converged in %.2f ms, "
                 "%llu files / %llu bytes transferred, "
@@ -192,6 +220,25 @@ int main(int argc, char** argv) {
       .put("recovery_files_transferred", report.recovery_files_transferred)
       .put("recovery_hints_replayed", report.recovery_hints_replayed)
       .put("recovery_epochs_resolved", report.recovery_epochs_resolved);
+  if (!report.slo.empty()) {
+    maabe::bench::Json slo;
+    for (const auto& s : report.slo) slo.put(s.name, slo_json(s));
+    root.put("slo", slo);
+    for (const auto& s : report.slo)
+      root.put("slo_" + s.name + "_met", s.met ? 1 : 0);
+  }
   maabe::bench::write_bench_json("workload_cli", root);
+  if (!status_out.empty()) {
+    std::FILE* f = std::fopen(status_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open '%s'\n", status_out.c_str());
+      return 1;
+    }
+    const std::string status = gen.system().status_json();
+    std::fwrite(status.data(), 1, status.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("  status written to %s\n", status_out.c_str());
+  }
   return 0;
 }

@@ -446,6 +446,71 @@ struct Cli {
     return 0;
   }
 
+  static void json_str_to(std::string& out, std::string_view s) {
+    out += '"';
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+  }
+
+  /// Aggregated observability document (--status): keystore entities,
+  /// ring placement with per-shard occupancy, link/transport counters,
+  /// and every maabe_slo_* gauge in the registry, as one JSON object.
+  int status_json(const std::vector<std::string>&) {
+    if (!store.initialized())
+      throw SchemeError("keystore not initialized (run 'maabe-cli init' first)");
+    std::string out = "{";
+    out += "\"home\":";
+    json_str_to(out, store.home().string());
+    out += ",\"authorities\":[";
+    bool first = true;
+    for (const auto& aid : store.list_authorities()) {
+      const AuthorityState s = store.load_authority(aid);
+      if (!first) out += ",";
+      first = false;
+      out += "{\"aid\":";
+      json_str_to(out, aid);
+      out += ",\"version\":" + std::to_string(s.vk.version);
+      out += ",\"attributes\":" + std::to_string(s.universe.size());
+      out += ",\"assignments\":" + std::to_string(s.assignments.size()) + "}";
+    }
+    out += "],\"owners\":" + std::to_string(store.list_owners().size());
+    out += ",\"users\":" + std::to_string(store.list_users().size());
+    out += ",\"files\":" + std::to_string(server_list().size());
+    out += ",\"cluster\":{\"replication\":" + std::to_string(ring.replication());
+    out += ",\"nodes\":[";
+    first = true;
+    for (const std::string& node : ring.nodes()) {
+      if (!first) out += ",";
+      first = false;
+      out += "{\"node\":";
+      json_str_to(out, node);
+      out += ",\"files\":" +
+             std::to_string(store.list_server_files(shard_of(node)).size()) + "}";
+    }
+    out += "]}";
+    out += ",\"link\":{\"sends_ok\":" + std::to_string(link.sends_ok());
+    out += ",\"sends_failed\":" + std::to_string(link.sends_failed());
+    out += ",\"retries\":" + std::to_string(link.retries()) + "}";
+    // SLO burn-rate gauges (exported by a co-resident SloPlane; absent
+    // in a cold CLI process, in which case the object is empty).
+    out += ",\"slo_gauges\":{";
+    const telemetry::Snapshot snap = telemetry::MetricsRegistry::global().collect();
+    first = true;
+    for (const auto& [name, value] : snap.gauges) {
+      if (!name.starts_with("maabe_slo_")) continue;
+      if (!first) out += ",";
+      first = false;
+      json_str_to(out, name);
+      out += ":" + std::to_string(value);
+    }
+    out += "}}";
+    std::printf("%s\n", out.c_str());
+    return 0;
+  }
+
   int status(const std::vector<std::string>&) {
     if (!store.initialized())
       throw SchemeError("keystore not initialized (run 'maabe-cli init' first)");
@@ -491,7 +556,10 @@ int usage() {
                "telemetry flags:\n"
                "  --metrics-out F   write a Prometheus-style metrics snapshot to F\n"
                "                    on exit (also enables per-op pairing timing)\n"
-               "  --trace-out F     stream operation spans to F as JSON lines\n\n"
+               "  --trace-out F     stream operation spans to F as JSON lines\n"
+               "  --status          print the aggregated observability JSON (entities,\n"
+               "                    per-node placement, link counters, maabe_slo_* gauges)\n"
+               "                    instead of running a command\n\n"
                "commands:\n"
                "  init [--test-curve]                  create the keystore\n"
                "  add-authority <aid> <attr>...        register an attribute authority\n"
@@ -512,6 +580,7 @@ int run(int argc, char** argv) {
   TransportConfig transport_cfg;
   PlacementConfig placement_cfg;
   TelemetryConfig telemetry_cfg;
+  bool status_flag = false;
   std::vector<std::string> args;
   const auto parse_count = [](const char* flag, const char* value, size_t* out) {
     const int n = std::atoi(value);
@@ -556,6 +625,8 @@ int run(int argc, char** argv) {
         return usage();
     } else if (std::strcmp(argv[i], "--transport-stats") == 0) {
       transport_cfg.show_stats = true;
+    } else if (std::strcmp(argv[i], "--status") == 0) {
+      status_flag = true;
     } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       telemetry_cfg.metrics_out = argv[++i];
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
@@ -564,6 +635,7 @@ int run(int argc, char** argv) {
       args.emplace_back(argv[i]);
     }
   }
+  if (status_flag) args.insert(args.begin(), "status-json");
   if (args.empty()) return usage();
   const std::string cmd = args.front();
   args.erase(args.begin());
@@ -596,6 +668,7 @@ int run(int argc, char** argv) {
     if (cmd == "revoke") return cli.revoke(args);
     if (cmd == "inspect") return cli.inspect(args);
     if (cmd == "status") return cli.status(args);
+    if (cmd == "status-json") return cli.status_json(args);
     std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
     return usage();
   };

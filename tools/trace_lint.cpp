@@ -1,0 +1,169 @@
+// trace-lint — validator for JSONL span streams (maabe-cli --trace-out,
+// JsonLinesSink). Checks, per file:
+//
+//   * every line is a parseable span object with the required fields
+//     (trace_id, span_id, parent_id, name, start_ns, end_ns),
+//   * span ids are unique,
+//   * end_ns >= start_ns on every span,
+//   * no orphan parent: every nonzero parent_id names a span_id present
+//     in the same file, and the child carries its parent's trace_id.
+//
+// Exit 0 when every file is clean, 1 with one line per violation
+// otherwise (2 for usage errors). CI runs it over the traces the
+// observability tests write; operators can point it at any capture.
+#include <cstdio>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct SpanLine {
+  size_t lineno = 0;
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;
+};
+
+/// Extracts the value of `"key":` in `line` as a u64. The sink emits
+/// ids as decimal strings ("123") and clocks as bare numbers; both are
+/// accepted. Returns false when the key is absent or non-numeric.
+bool extract_u64(const std::string& line, const std::string& key, uint64_t* out) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  size_t i = at + needle.size();
+  if (i < line.size() && line[i] == '"') ++i;  // string-wrapped id
+  if (i >= line.size() || line[i] < '0' || line[i] > '9') return false;
+  uint64_t v = 0;
+  for (; i < line.size() && line[i] >= '0' && line[i] <= '9'; ++i)
+    v = v * 10 + static_cast<uint64_t>(line[i] - '0');
+  *out = v;
+  return true;
+}
+
+/// Structural sanity without a full JSON parser: balanced braces and
+/// balanced (unescaped) quotes. The emitter writes one object per line,
+/// so an unbalanced line means truncation or interleaved writes.
+bool balanced(const std::string& line) {
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{') ++depth;
+    else if (c == '}') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+int lint_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "trace-lint: cannot open '%s'\n", path.c_str());
+    return 2;
+  }
+  std::vector<SpanLine> spans;
+  std::map<uint64_t, size_t> by_span_id;  // span_id -> index into spans
+  int violations = 0;
+  const auto fail = [&](size_t lineno, const std::string& what) {
+    std::fprintf(stderr, "%s:%zu: %s\n", path.c_str(), lineno, what.c_str());
+    ++violations;
+  };
+
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (line.front() != '{' || line.back() != '}' || !balanced(line)) {
+      fail(lineno, "unparseable line (not a balanced JSON object)");
+      continue;
+    }
+    SpanLine s;
+    s.lineno = lineno;
+    bool ok = true;
+    ok &= extract_u64(line, "trace_id", &s.trace_id);
+    ok &= extract_u64(line, "span_id", &s.span_id);
+    ok &= extract_u64(line, "parent_id", &s.parent_id);
+    ok &= extract_u64(line, "start_ns", &s.start_ns);
+    ok &= extract_u64(line, "end_ns", &s.end_ns);
+    if (!ok || line.find("\"name\":\"") == std::string::npos) {
+      fail(lineno, "missing required span field "
+                   "(trace_id/span_id/parent_id/name/start_ns/end_ns)");
+      continue;
+    }
+    if (s.span_id == 0) {
+      fail(lineno, "span_id 0 (reserved for 'no span')");
+      continue;
+    }
+    if (s.end_ns < s.start_ns)
+      fail(lineno, "end_ns " + std::to_string(s.end_ns) + " < start_ns " +
+                       std::to_string(s.start_ns));
+    const auto [it, fresh] = by_span_id.emplace(s.span_id, spans.size());
+    if (!fresh)
+      fail(lineno, "duplicate span_id " + std::to_string(s.span_id) +
+                       " (first at line " +
+                       std::to_string(spans[it->second].lineno) + ")");
+    spans.push_back(s);
+  }
+
+  // Parent links. Spans are emitted when they END, so a parent always
+  // appears after its children — resolve after reading the whole file.
+  std::map<uint64_t, size_t> traces;  // trace_id -> span count
+  for (const SpanLine& s : spans) {
+    ++traces[s.trace_id];
+    if (s.parent_id == 0) {
+      if (s.trace_id != s.span_id)
+        fail(s.lineno, "root span " + std::to_string(s.span_id) +
+                           " has trace_id " + std::to_string(s.trace_id));
+      continue;
+    }
+    const auto parent = by_span_id.find(s.parent_id);
+    if (parent == by_span_id.end()) {
+      fail(s.lineno, "orphan parent_id " + std::to_string(s.parent_id) +
+                         " (no such span in this file)");
+      continue;
+    }
+    if (spans[parent->second].trace_id != s.trace_id)
+      fail(s.lineno, "span " + std::to_string(s.span_id) + " trace_id " +
+                         std::to_string(s.trace_id) +
+                         " != parent's trace_id " +
+                         std::to_string(spans[parent->second].trace_id));
+  }
+
+  if (violations == 0) {
+    std::printf("trace-lint: %s OK (%zu spans, %zu traces)\n", path.c_str(),
+                spans.size(), traces.size());
+    return 0;
+  }
+  std::fprintf(stderr, "trace-lint: %s FAILED (%d violation%s)\n", path.c_str(),
+               violations, violations == 1 ? "" : "s");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: trace-lint <trace.jsonl>...\n");
+    return 2;
+  }
+  int rc = 0;
+  for (int i = 1; i < argc; ++i) {
+    const int r = lint_file(argv[i]);
+    if (r > rc) rc = r;
+  }
+  return rc;
+}
